@@ -1,0 +1,119 @@
+// Ablation (ours, motivated by DESIGN.md): how much do the PH-tree's two
+// node-layout mechanisms matter?
+//  1. Adaptive HC/LHC switching (paper Sect. 3.2) vs forcing either
+//     representation everywhere.
+//  2. The strict smaller-wins switch rule vs the paper's proposed "relaxed
+//     switching condition" (hysteresis) under insert/delete churn.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "benchlib/workloads.h"
+#include "common/rng.h"
+#include "datasets/datasets.h"
+#include "phtree/phtree_d.h"
+
+namespace phtree::bench {
+namespace {
+
+struct ReprResult {
+  double insert_us;
+  double query_us;
+  double bytes_per_entry;
+  size_t hc_nodes;
+  size_t nodes;
+};
+
+ReprResult RunConfig(const Dataset& ds, NodeRepr repr) {
+  PhTreeConfig cfg;
+  cfg.repr = repr;
+  PhTreeD tree(ds.dim, cfg);
+  Timer timer;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    tree.InsertOrAssign(ds.point(i), i);
+  }
+  ReprResult r;
+  r.insert_us = timer.ElapsedUs() / static_cast<double>(ds.n());
+  const auto queries = MakePointQueries(ds, ScaledN(50000), 3);
+  size_t hits = 0;
+  timer.Reset();
+  for (const auto& q : queries) {
+    hits += tree.Contains(q) ? 1 : 0;
+  }
+  r.query_us = timer.ElapsedUs() / static_cast<double>(queries.size());
+  const auto stats = tree.ComputeStats();
+  r.bytes_per_entry = stats.BytesPerEntry();
+  r.hc_nodes = stats.n_hc_nodes;
+  r.nodes = stats.n_nodes;
+  return r;
+}
+
+void RunRepr(const char* name, const Dataset& ds) {
+  std::printf("\n## Node representation ablation: %s, k=%u, n=%zu\n", name,
+              ds.dim, ds.n());
+  Table table({"policy", "insert us/e", "query us", "bytes/e", "HC nodes",
+               "nodes"});
+  const auto row = [&](const char* pname, const ReprResult& r) {
+    table.Cell(std::string(pname));
+    table.Cell(r.insert_us);
+    table.Cell(r.query_us);
+    table.Cell(r.bytes_per_entry);
+    table.Cell(static_cast<uint64_t>(r.hc_nodes));
+    table.Cell(static_cast<uint64_t>(r.nodes));
+  };
+  row("adaptive", RunConfig(ds, NodeRepr::kAdaptive));
+  row("lhc-only", RunConfig(ds, NodeRepr::kLhcOnly));
+  row("hc-only", RunConfig(ds, NodeRepr::kHcOnly));
+}
+
+void RunHysteresis() {
+  std::printf(
+      "\n## Switching-rule ablation: insert/delete churn at a node-size "
+      "boundary\n");
+  // Dense 2D grid so nodes sit exactly at the HC/LHC boundary, then
+  // alternately erase/insert the same keys (the paper's oscillation
+  // scenario motivating the relaxed switching condition, Sect. 3.2).
+  const size_t kRounds = ScaledN(400);
+  Table table({"hysteresis", "churn us/op"});
+  for (const double h : {1.0, 0.9, 0.7}) {
+    PhTreeConfig cfg;
+    cfg.hysteresis = h;
+    PhTree tree(2, cfg);
+    std::vector<PhKey> keys;
+    for (uint64_t x = 0; x < 64; ++x) {
+      for (uint64_t y = 0; y < 64; ++y) {
+        keys.push_back(PhKey{x, y});
+        tree.Insert(keys.back(), 1);
+      }
+    }
+    Timer timer;
+    size_t ops = 0;
+    for (size_t round = 0; round < kRounds; ++round) {
+      for (size_t i = 0; i < keys.size(); i += 4) {
+        tree.Erase(keys[i]);
+        tree.Insert(keys[i], 1);
+        ops += 2;
+      }
+    }
+    table.Cell(std::to_string(h));
+    table.Cell(timer.ElapsedUs() / static_cast<double>(ops));
+  }
+}
+
+void Main() {
+  PrintHeader("ablation_node_repr", "DESIGN.md ablation (Sect. 3.2 mechanisms)",
+              "Adaptive HC/LHC vs forced representations; switch hysteresis");
+  const size_t n = ScaledN(200000);
+  RunRepr("3D CUBE", GenerateCube(n, 3, 42));
+  RunRepr("8D CLUSTER0.4", GenerateCluster(n, 8, 0.4, 42));
+  RunHysteresis();
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper Figure 7 (a/b/c): average insertion time per entry for
+// growing n, on 2D TIGER/Line, 3D CUBE and 3D CLUSTER, for the PH-tree and
+// the four baselines.
+//
+// Expected shape (paper Sect. 4.3.1): PH and CB times stay flat or decrease
+// with n (prefix sharing shortens postfixes); kd-tree times grow with n
+// (O(log n) descent). PH on TIGER/CLUSTER improves with n thanks to
+// increasing HC prevalence at k=2..3.
+#include <functional>
+#include <vector>
+
+#include "benchlib/measure.h"
+
+namespace phtree::bench {
+namespace {
+
+template <typename Adapter>
+void Row(const char* dataset_name, const Dataset& ds, Table& table) {
+  const LoadResult r = MeasureLoad<Adapter>(ds);
+  table.Cell(std::string(dataset_name));
+  table.Cell(std::string(Adapter::kName));
+  table.Cell(static_cast<uint64_t>(ds.n()));
+  table.Cell(r.us_per_entry);
+}
+
+void RunDataset(const char* name, const char* figure,
+                const std::vector<size_t>& sizes,
+                const std::function<Dataset(size_t)>& make) {
+  std::printf("\n## %s (%s)\n", figure, name);
+  Table table({"dataset", "struct", "n", "us/entry"});
+  for (const size_t n : sizes) {
+    const Dataset ds = make(n);
+    Row<PhAdapter>(name, ds, table);
+    Row<Kd1Adapter>(name, ds, table);
+    Row<Kd2Adapter>(name, ds, table);
+    Row<Cb1Adapter>(name, ds, table);
+    Row<Cb2Adapter>(name, ds, table);
+  }
+}
+
+void Main() {
+  PrintHeader("fig07_insertion", "Figure 7 (a,b,c), Sect. 4.3.1",
+              "Average insertion time per entry vs n (lower is better)");
+  const std::vector<size_t> sizes = {ScaledN(50000), ScaledN(100000),
+                                     ScaledN(200000), ScaledN(400000)};
+  RunDataset("2D TIGER/Line", "Fig. 7a", sizes,
+             [](size_t n) { return GenerateTigerLike(n, 42); });
+  RunDataset("3D CUBE", "Fig. 7b", sizes,
+             [](size_t n) { return GenerateCube(n, 3, 42); });
+  RunDataset("3D CLUSTER0.5", "Fig. 7c", sizes,
+             [](size_t n) { return GenerateCluster(n, 3, 0.5, 42); });
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

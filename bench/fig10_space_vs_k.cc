@@ -1,0 +1,37 @@
+// Reproduces paper Figure 10: PH-tree bytes per entry for 10^6 entries and
+// increasing dimensionality k, for CLUSTER0.4, CLUSTER0.5 and CUBE.
+//
+// Expected shape: CL0.4 stays low and even *drops* with k (clusters share
+// almost all bits); CL0.5 explodes beyond k ~ 8 (the exponent boundary at
+// 0.5 shatters the tree into 2^k subtrees, Sect. 4.3.6); CUBE sits between.
+#include <vector>
+
+#include "benchlib/measure.h"
+
+namespace phtree::bench {
+namespace {
+
+void Main() {
+  PrintHeader("fig10_space_vs_k", "Figure 10, Sect. 4.3.6",
+              "PH bytes/entry vs k for CLUSTER0.4, CLUSTER0.5, CUBE");
+  const size_t n = ScaledN(200000);
+  const std::vector<uint32_t> dims = {2, 3, 4, 5, 8, 10, 12, 15};
+  Table table({"k", "PH-CL0.4", "PH-CL0.5", "PH-CU"});
+  for (const uint32_t k : dims) {
+    const auto r04 = MeasureLoad<PhAdapter>(GenerateCluster(n, k, 0.4, 42));
+    const auto r05 = MeasureLoad<PhAdapter>(GenerateCluster(n, k, 0.5, 42));
+    const auto rcu = MeasureLoad<PhAdapter>(GenerateCube(n, k, 42));
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(static_cast<double>(r04.memory_bytes) / r04.unique_entries);
+    table.Cell(static_cast<double>(r05.memory_bytes) / r05.unique_entries);
+    table.Cell(static_cast<double>(rcu.memory_bytes) / rcu.unique_entries);
+  }
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

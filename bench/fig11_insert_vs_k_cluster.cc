@@ -1,0 +1,39 @@
+// Reproduces paper Figure 11: insertion time per entry vs dimensionality k
+// on the CLUSTER datasets (PH on both offsets, KD2 and CB1 on 0.5/0.4).
+//
+// Expected shape: PH scales well to k ~ 8 and then degrades (large node
+// bit-strings make shifting expensive, Sect. 4.3.7/Sect. 5); CB1 scales
+// linearly in k; KD2 stays flat-ish.
+#include <vector>
+
+#include "benchlib/measure.h"
+
+namespace phtree::bench {
+namespace {
+
+void Main() {
+  PrintHeader("fig11_insert_vs_k_cluster", "Figure 11, Sect. 4.3.7",
+              "Insertion us/entry vs k on CLUSTER (paper: n = 1e7)");
+  const size_t n = ScaledN(200000);
+  const std::vector<uint32_t> dims = {2, 3, 4, 5, 6, 8, 10};
+  Table table(
+      {"k", "PH-CL0.4", "PH-CL0.5", "KD2-CL0.5", "CB1-CL0.5", "CB1-CL0.4"});
+  for (const uint32_t k : dims) {
+    const Dataset d04 = GenerateCluster(n, k, 0.4, 42);
+    const Dataset d05 = GenerateCluster(n, k, 0.5, 42);
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(MeasureLoad<PhAdapter>(d04).us_per_entry);
+    table.Cell(MeasureLoad<PhAdapter>(d05).us_per_entry);
+    table.Cell(MeasureLoad<Kd2Adapter>(d05).us_per_entry);
+    table.Cell(MeasureLoad<Cb1Adapter>(d05).us_per_entry);
+    table.Cell(MeasureLoad<Cb1Adapter>(d04).us_per_entry);
+  }
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces paper Figure 12: insertion time per entry vs dimensionality k
+// on the CUBE dataset for PH, KD2 and CB1.
+//
+// Expected shape: PH competitive with KD2 for k <= 8, degrading beyond;
+// CB1 grows linearly with k (one tree level per interleaved bit).
+#include <vector>
+
+#include "benchlib/measure.h"
+
+namespace phtree::bench {
+namespace {
+
+void Main() {
+  PrintHeader("fig12_insert_vs_k_cube", "Figure 12, Sect. 4.3.7",
+              "Insertion us/entry vs k on CUBE (paper: n = 1e7)");
+  const size_t n = ScaledN(200000);
+  const std::vector<uint32_t> dims = {2, 3, 4, 5, 6, 8, 10};
+  Table table({"k", "PH-CU", "KD2-CU", "CB1-CU"});
+  for (const uint32_t k : dims) {
+    const Dataset ds = GenerateCube(n, k, 42);
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(MeasureLoad<PhAdapter>(ds).us_per_entry);
+    table.Cell(MeasureLoad<Kd2Adapter>(ds).us_per_entry);
+    table.Cell(MeasureLoad<Cb1Adapter>(ds).us_per_entry);
+  }
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces paper Figure 13 (a/b/c): query performance vs dimensionality.
+//  (a) CLUSTER point queries:   PH-CL0.4, PH-CL0.5, KD2-CL0.5, CB1-CL0.5
+//  (b) CUBE point queries:      PH, KD2, CB1, CB2
+//  (c) range queries vs k:      PH-CL0.4, PH-CL0.5, PH-CU, KD2-CU
+//      (KD-CL omitted as in the paper: 500-1000 us per returned entry.)
+//
+// Expected shape: point queries roughly k-independent for PH and KD2 with
+// PH consistently faster; CB grows linearly in k. Range queries: PH-CU
+// linear in k; PH-CL0.4 nearly flat; PH-CL0.5 degrades for k > 8.
+#include <vector>
+
+#include "benchlib/measure.h"
+
+namespace phtree::bench {
+namespace {
+
+void PartA(size_t n) {
+  std::printf("\n## Fig. 13a: CLUSTER point queries vs k\n");
+  const std::vector<uint32_t> dims = {2, 3, 5, 8, 10, 15};
+  const size_t n_queries = ScaledN(50000);
+  Table table({"k", "PH-CL0.4", "PH-CL0.5", "KD2-CL0.5", "CB1-CL0.5"});
+  for (const uint32_t k : dims) {
+    const Dataset d04 = GenerateCluster(n, k, 0.4, 42);
+    const Dataset d05 = GenerateCluster(n, k, 0.5, 42);
+    const auto q04 = MakePointQueries(d04, n_queries, 9);
+    const auto q05 = MakePointQueries(d05, n_queries, 9);
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(MeasurePointQueryUs<PhAdapter>(d04, q04));
+    table.Cell(MeasurePointQueryUs<PhAdapter>(d05, q05));
+    table.Cell(MeasurePointQueryUs<Kd2Adapter>(d05, q05));
+    table.Cell(MeasurePointQueryUs<Cb1Adapter>(d05, q05));
+  }
+}
+
+void PartB(size_t n) {
+  std::printf("\n## Fig. 13b: CUBE point queries vs k\n");
+  const std::vector<uint32_t> dims = {2, 3, 5, 8, 10, 15};
+  const size_t n_queries = ScaledN(50000);
+  Table table({"k", "PH-CU", "KD2-CU", "CB1-CU", "CB2-CU"});
+  for (const uint32_t k : dims) {
+    const Dataset ds = GenerateCube(n, k, 42);
+    const auto queries = MakePointQueries(ds, n_queries, 9);
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(MeasurePointQueryUs<PhAdapter>(ds, queries));
+    table.Cell(MeasurePointQueryUs<Kd2Adapter>(ds, queries));
+    table.Cell(MeasurePointQueryUs<Cb1Adapter>(ds, queries));
+    table.Cell(MeasurePointQueryUs<Cb2Adapter>(ds, queries));
+  }
+}
+
+void PartC(size_t n) {
+  std::printf("\n## Fig. 13c: range queries vs k (us per returned entry)\n");
+  const std::vector<uint32_t> dims = {2, 3, 4, 5, 6, 8, 10};
+  Table table({"k", "PH-CL0.4", "PH-CL0.5", "PH-CU", "KD2-CU"});
+  for (const uint32_t k : dims) {
+    const Dataset d04 = GenerateCluster(n, k, 0.4, 42);
+    const Dataset d05 = GenerateCluster(n, k, 0.5, 42);
+    const Dataset dcu = GenerateCube(n, k, 42);
+    const auto qcl = MakeClusterQueries(k, 50, 9);
+    const auto qcu = MakeVolumeQueries(dcu, 100, 0.001, 9);
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(MeasureRangeQueryUsPerResult<PhAdapter>(d04, qcl));
+    table.Cell(MeasureRangeQueryUsPerResult<PhAdapter>(d05, qcl));
+    table.Cell(MeasureRangeQueryUsPerResult<PhAdapter>(dcu, qcu));
+    table.Cell(MeasureRangeQueryUsPerResult<Kd2Adapter>(dcu, qcu));
+  }
+}
+
+void Main() {
+  PrintHeader("fig13_queries_vs_k", "Figure 13 (a,b,c), Sect. 4.3.7",
+              "Query times vs k (paper: n = 1e7)");
+  const size_t n = ScaledN(200000);
+  PartA(n);
+  PartB(n);
+  PartC(n);
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

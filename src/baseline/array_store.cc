@@ -1,0 +1,86 @@
+#include "baseline/array_store.h"
+
+#include <algorithm>
+
+namespace phtree {
+namespace {
+
+bool InBox(std::span<const double> p, std::span<const double> min,
+           std::span<const double> max) {
+  for (size_t d = 0; d < p.size(); ++d) {
+    if (p[d] < min[d] || p[d] > max[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<size_t> FlatArrayStore::Find(
+    std::span<const double> key) const {
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    if (std::equal(key.begin(), key.end(), point(i).begin())) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void FlatArrayStore::QueryWindow(
+    std::span<const double> min, std::span<const double> max,
+    const std::function<void(std::span<const double>, size_t)>& fn) const {
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    if (InBox(point(i), min, max)) {
+      fn(point(i), i);
+    }
+  }
+}
+
+size_t FlatArrayStore::CountWindow(std::span<const double> min,
+                                   std::span<const double> max) const {
+  size_t count = 0;
+  QueryWindow(min, max, [&count](std::span<const double>, size_t) {
+    ++count;
+  });
+  return count;
+}
+
+void ObjectArrayStore::Add(std::span<const double> point) {
+  auto obj = std::make_unique<double[]>(dim_);
+  std::copy(point.begin(), point.end(), obj.get());
+  objects_.push_back(std::move(obj));
+}
+
+std::optional<size_t> ObjectArrayStore::Find(
+    std::span<const double> key) const {
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    if (std::equal(key.begin(), key.end(), point(i).begin())) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void ObjectArrayStore::QueryWindow(
+    std::span<const double> min, std::span<const double> max,
+    const std::function<void(std::span<const double>, size_t)>& fn) const {
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    if (InBox(point(i), min, max)) {
+      fn(point(i), i);
+    }
+  }
+}
+
+size_t ObjectArrayStore::CountWindow(std::span<const double> min,
+                                     std::span<const double> max) const {
+  size_t count = 0;
+  QueryWindow(min, max, [&count](std::span<const double>, size_t) {
+    ++count;
+  });
+  return count;
+}
+
+}  // namespace phtree

@@ -1,0 +1,88 @@
+// The paper's two non-index storage baselines (Sect. 4.3.5):
+//  * FlatArrayStore  - "double[]": one contiguous array of k*n doubles,
+//  * ObjectArrayStore- "object[]": one heap object per point plus an array
+//    of references to them (the paper models (k*8 + 16 + 4) bytes/entry on
+//    the JVM; in C++ the reference is 8 bytes, see MemoryBytes()).
+// Both support linear-scan point and window queries, doubling as the
+// brute-force oracle for tests and as the "no index" reference in benches.
+#ifndef PHTREE_BASELINE_ARRAY_STORE_H_
+#define PHTREE_BASELINE_ARRAY_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace phtree {
+
+/// Contiguous row-major point storage ("double[]").
+class FlatArrayStore {
+ public:
+  explicit FlatArrayStore(uint32_t dim) : dim_(dim) {}
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return coords_.size() / dim_; }
+
+  void Add(std::span<const double> point) {
+    coords_.insert(coords_.end(), point.begin(), point.end());
+  }
+
+  std::span<const double> point(size_t i) const {
+    return {coords_.data() + i * dim_, dim_};
+  }
+
+  /// Linear-scan point query; returns the index of the first match.
+  std::optional<size_t> Find(std::span<const double> key) const;
+
+  /// Linear-scan window query.
+  void QueryWindow(std::span<const double> min, std::span<const double> max,
+                   const std::function<void(std::span<const double>, size_t)>&
+                       fn) const;
+  size_t CountWindow(std::span<const double> min,
+                     std::span<const double> max) const;
+
+  /// k * 8 * n bytes (paper Sect. 4.3.5).
+  uint64_t MemoryBytes() const { return coords_.size() * sizeof(double); }
+
+ private:
+  uint32_t dim_;
+  std::vector<double> coords_;
+};
+
+/// One heap-allocated object per point ("object[]").
+class ObjectArrayStore {
+ public:
+  explicit ObjectArrayStore(uint32_t dim) : dim_(dim) {}
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return objects_.size(); }
+
+  void Add(std::span<const double> point);
+
+  std::span<const double> point(size_t i) const {
+    return {objects_[i].get(), dim_};
+  }
+
+  std::optional<size_t> Find(std::span<const double> key) const;
+  void QueryWindow(std::span<const double> min, std::span<const double> max,
+                   const std::function<void(std::span<const double>, size_t)>&
+                       fn) const;
+  size_t CountWindow(std::span<const double> min,
+                     std::span<const double> max) const;
+
+  /// Per entry: k*8 payload + 16 allocation header + 8 array reference
+  /// (paper: k*8 + 16 + 4 with 4-byte compressed JVM references).
+  uint64_t MemoryBytes() const {
+    return size() * (dim_ * sizeof(double) + 16 + sizeof(void*));
+  }
+
+ private:
+  uint32_t dim_;
+  std::vector<std::unique_ptr<double[]>> objects_;
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_BASELINE_ARRAY_STORE_H_

@@ -1,0 +1,95 @@
+// Generic measurement routines shared by the per-figure benchmark binaries.
+#ifndef PHTREE_BENCHLIB_MEASURE_H_
+#define PHTREE_BENCHLIB_MEASURE_H_
+
+#include <cstdint>
+
+#include "benchlib/adapters.h"
+#include "benchlib/harness.h"
+#include "benchlib/workloads.h"
+#include "datasets/datasets.h"
+
+namespace phtree::bench {
+
+/// Result of a loading run.
+struct LoadResult {
+  double us_per_entry = 0;
+  uint64_t memory_bytes = 0;
+  size_t unique_entries = 0;
+};
+
+/// Loads the full dataset into a fresh index; returns the average insertion
+/// time per entry (paper Sect. 4.3.1) and the structural memory footprint.
+template <typename Adapter>
+LoadResult MeasureLoad(const Dataset& ds) {
+  Adapter index(ds.dim);
+  Timer timer;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    index.Insert(ds.point(i), i);
+  }
+  LoadResult r;
+  r.us_per_entry = timer.ElapsedUs() / static_cast<double>(ds.n());
+  r.memory_bytes = index.MemoryBytes();
+  r.unique_entries = index.size();
+  return r;
+}
+
+/// Average point-query time in us (paper Sect. 4.3.2). The index is loaded
+/// with the dataset first.
+template <typename Adapter>
+double MeasurePointQueryUs(const Dataset& ds,
+                           const std::vector<std::vector<double>>& queries) {
+  Adapter index(ds.dim);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    index.Insert(ds.point(i), i);
+  }
+  // Warm-up pass (the paper warms up each index before measuring).
+  size_t hits = 0;
+  for (size_t q = 0; q < queries.size() / 10; ++q) {
+    hits += index.Contains(queries[q]) ? 1 : 0;
+  }
+  Timer timer;
+  for (const auto& q : queries) {
+    hits += index.Contains(q) ? 1 : 0;
+  }
+  const double us = timer.ElapsedUs() / static_cast<double>(queries.size());
+  // Keep `hits` observable so the loop cannot be optimised away.
+  return hits == ~size_t{0} ? -1.0 : us;
+}
+
+/// Average range-query time per *returned entry* in us (paper Sect. 4.3.3).
+template <typename Adapter>
+double MeasureRangeQueryUsPerResult(const Dataset& ds,
+                                    const std::vector<QueryBox>& queries) {
+  Adapter index(ds.dim);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    index.Insert(ds.point(i), i);
+  }
+  size_t results = 0;
+  Timer timer;
+  for (const auto& q : queries) {
+    results += index.CountWindow(q.lo, q.hi);
+  }
+  const double us = timer.ElapsedUs();
+  return results == 0 ? us : us / static_cast<double>(results);
+}
+
+/// Average deletion time per entry (paper Sect. 4.3.4): loads the dataset,
+/// then removes every point.
+template <typename Adapter>
+double MeasureUnloadUsPerEntry(const Dataset& ds) {
+  Adapter index(ds.dim);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    index.Insert(ds.point(i), i);
+  }
+  const size_t n = index.size();
+  Timer timer;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    index.Erase(ds.point(i));
+  }
+  return timer.ElapsedUs() / static_cast<double>(n);
+}
+
+}  // namespace phtree::bench
+
+#endif  // PHTREE_BENCHLIB_MEASURE_H_

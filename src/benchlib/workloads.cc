@@ -1,0 +1,121 @@
+#include "benchlib/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace phtree::bench {
+namespace {
+
+/// Per-dimension bounding box of a dataset.
+void Bounds(const Dataset& ds, std::vector<double>* lo,
+            std::vector<double>* hi) {
+  lo->assign(ds.dim, 0.0);
+  hi->assign(ds.dim, 1.0);
+  if (ds.n() == 0) {
+    return;
+  }
+  for (uint32_t d = 0; d < ds.dim; ++d) {
+    (*lo)[d] = (*hi)[d] = ds.point(0)[d];
+  }
+  for (size_t i = 1; i < ds.n(); ++i) {
+    const auto pt = ds.point(i);
+    for (uint32_t d = 0; d < ds.dim; ++d) {
+      (*lo)[d] = std::min((*lo)[d], pt[d]);
+      (*hi)[d] = std::max((*hi)[d], pt[d]);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> MakePointQueries(const Dataset& ds,
+                                                  size_t n_queries,
+                                                  uint64_t seed) {
+  std::vector<double> lo, hi;
+  Bounds(ds, &lo, &hi);
+  Rng rng(seed);
+  std::vector<std::vector<double>> queries;
+  queries.reserve(n_queries);
+  for (size_t q = 0; q < n_queries; ++q) {
+    if (rng.NextBool(0.5) && ds.n() > 0) {
+      const auto pt = ds.point(rng.NextBounded(ds.n()));
+      queries.emplace_back(pt.begin(), pt.end());
+    } else {
+      std::vector<double> p(ds.dim);
+      for (uint32_t d = 0; d < ds.dim; ++d) {
+        p[d] = rng.NextDouble(lo[d], hi[d]);
+      }
+      queries.push_back(std::move(p));
+    }
+  }
+  return queries;
+}
+
+std::vector<QueryBox> MakeVolumeQueries(const Dataset& ds, size_t n_queries,
+                                        double coverage, uint64_t seed) {
+  std::vector<double> lo, hi;
+  Bounds(ds, &lo, &hi);
+  const uint32_t dim = ds.dim;
+  Rng rng(seed);
+  std::vector<QueryBox> queries;
+  queries.reserve(n_queries);
+  for (size_t q = 0; q < n_queries; ++q) {
+    // Random fractional edge lengths; one randomly chosen edge is adjusted
+    // so the product of fractions equals `coverage` (paper Sect. 4.3.3).
+    std::vector<double> frac(dim);
+    for (auto& f : frac) {
+      f = rng.NextDouble(0.05, 1.0);
+    }
+    const uint32_t adjust = static_cast<uint32_t>(rng.NextBounded(dim));
+    double others = 1.0;
+    for (uint32_t d = 0; d < dim; ++d) {
+      if (d != adjust) {
+        others *= frac[d];
+      }
+    }
+    frac[adjust] = std::clamp(coverage / others, 1e-9, 1.0);
+    // If clamping changed the volume, rescale the other edges uniformly.
+    const double actual = others * frac[adjust];
+    if (actual > coverage * 1.0000001 && dim > 1) {
+      const double fix =
+          std::pow(coverage / actual, 1.0 / static_cast<double>(dim - 1));
+      for (uint32_t d = 0; d < dim; ++d) {
+        if (d != adjust) {
+          frac[d] *= fix;
+        }
+      }
+    }
+    QueryBox box;
+    box.lo.resize(dim);
+    box.hi.resize(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      const double len = frac[d] * (hi[d] - lo[d]);
+      const double start = lo[d] + rng.NextDouble() * (hi[d] - lo[d] - len);
+      box.lo[d] = start;
+      box.hi[d] = start + len;
+    }
+    queries.push_back(std::move(box));
+  }
+  return queries;
+}
+
+std::vector<QueryBox> MakeClusterQueries(uint32_t dim, size_t n_queries,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QueryBox> queries;
+  queries.reserve(n_queries);
+  for (size_t q = 0; q < n_queries; ++q) {
+    QueryBox box;
+    box.lo.assign(dim, 0.0);
+    box.hi.assign(dim, 1.0);
+    const double x0 = rng.NextDouble(0.0, 0.1);
+    box.lo[0] = x0;
+    box.hi[0] = x0 + 0.0001;  // 0.01% of the x axis
+    queries.push_back(std::move(box));
+  }
+  return queries;
+}
+
+}  // namespace phtree::bench

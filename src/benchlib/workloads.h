@@ -1,0 +1,41 @@
+// Query workload generators matching the paper's evaluation setup
+// (Sect. 4.3.2 and 4.3.3).
+#ifndef PHTREE_BENCHLIB_WORKLOADS_H_
+#define PHTREE_BENCHLIB_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/datasets.h"
+
+namespace phtree::bench {
+
+/// One axis-aligned query box.
+struct QueryBox {
+  std::vector<double> lo;
+  std::vector<double> hi;
+};
+
+/// Point-query workload (Sect. 4.3.2): each query has a 50% chance of
+/// hitting an existing point, otherwise it is a random coordinate within the
+/// per-dimension [lo, hi] bounds of the dataset.
+std::vector<std::vector<double>> MakePointQueries(const Dataset& ds,
+                                                  size_t n_queries,
+                                                  uint64_t seed);
+
+/// Range-query workload for TIGER/CUBE (Sect. 4.3.3): cuboids with random
+/// edge lengths, one randomly chosen edge adjusted so the box covers
+/// `coverage` of the data-domain volume (1% for TIGER, 0.1% for CUBE),
+/// placed uniformly at random inside the domain.
+std::vector<QueryBox> MakeVolumeQueries(const Dataset& ds, size_t n_queries,
+                                        double coverage, uint64_t seed);
+
+/// CLUSTER range-query workload (Sect. 4.3.3): boxes spanning the full
+/// [0,1] extent in every dimension except x, where they have length 0.0001
+/// (0.01% of the axis) and are placed randomly in [0, 0.1].
+std::vector<QueryBox> MakeClusterQueries(uint32_t dim, size_t n_queries,
+                                         uint64_t seed);
+
+}  // namespace phtree::bench
+
+#endif  // PHTREE_BENCHLIB_WORKLOADS_H_

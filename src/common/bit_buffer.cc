@@ -1,0 +1,258 @@
+#include "common/bit_buffer.h"
+
+#include <bit>
+
+#include "common/bits.h"
+
+namespace phtree {
+
+void BitBuffer::Resize(uint64_t size_bits) {
+  words_.resize(WordsFor(size_bits), 0);
+  size_bits_ = size_bits;
+  // Invariant: bits at positions >= size_bits_ are zero.
+  const uint32_t off = size_bits_ & 63;
+  if (off != 0) {
+    words_.back() &= ~LowMask(64 - off);
+  }
+}
+
+uint64_t BitBuffer::ReadBits(uint64_t pos, uint32_t n) const {
+  assert(pos + n <= size_bits_);
+  if (n == 0) {
+    return 0;
+  }
+  const uint64_t wi = pos >> 6;
+  const uint32_t off = static_cast<uint32_t>(pos & 63);
+  if (off + n <= 64) {
+    return (words_[wi] >> (64 - off - n)) & LowMask(n);
+  }
+  const uint32_t n1 = 64 - off;  // bits taken from the first word
+  const uint32_t n2 = n - n1;    // bits taken from the second word
+  const uint64_t hi = words_[wi] & LowMask(n1);
+  const uint64_t lo = words_[wi + 1] >> (64 - n2);
+  return (hi << n2) | lo;
+}
+
+void BitBuffer::WriteBits(uint64_t pos, uint32_t n, uint64_t value) {
+  assert(pos + n <= size_bits_);
+  if (n == 0) {
+    return;
+  }
+  value &= LowMask(n);
+  const uint64_t wi = pos >> 6;
+  const uint32_t off = static_cast<uint32_t>(pos & 63);
+  if (off + n <= 64) {
+    const uint32_t shift = 64 - off - n;
+    words_[wi] = (words_[wi] & ~(LowMask(n) << shift)) | (value << shift);
+    return;
+  }
+  const uint32_t n1 = 64 - off;
+  const uint32_t n2 = n - n1;
+  words_[wi] = (words_[wi] & ~LowMask(n1)) | (value >> n2);
+  words_[wi + 1] =
+      (words_[wi + 1] & LowMask(64 - n2)) | ((value & LowMask(n2)) << (64 - n2));
+}
+
+void BitBuffer::InsertBits(uint64_t pos, uint64_t n) {
+  assert(pos <= size_bits_);
+  if (n == 0) {
+    return;
+  }
+  if ((pos & 63) == 0 && (n & 63) == 0) {
+    // Word-aligned fast path (the PH-tree node's 64-bit payload region):
+    // whole-word insertion is a single memmove.
+    words_.insert(words_.begin() + static_cast<ptrdiff_t>(pos >> 6), n >> 6,
+                  0);
+    size_bits_ += n;
+    const uint32_t off = size_bits_ & 63;
+    words_.resize(WordsFor(size_bits_));
+    if (off != 0) {
+      words_.back() &= ~LowMask(64 - off);
+    }
+    return;
+  }
+  const uint64_t old_size = size_bits_;
+  Resize(old_size + n);
+  // Shift the tail [pos, old_size) right by n bits, processing 64-bit chunks
+  // from the end so sources are read before they can be overwritten.
+  uint64_t len = old_size - pos;
+  uint64_t src_end = pos + len;
+  uint64_t dst_end = pos + n + len;
+  while (len >= 64) {
+    src_end -= 64;
+    dst_end -= 64;
+    len -= 64;
+    WriteBits(dst_end, 64, ReadBits(src_end, 64));
+  }
+  if (len > 0) {
+    WriteBits(pos + n, static_cast<uint32_t>(len),
+              ReadBits(pos, static_cast<uint32_t>(len)));
+  }
+  // Zero the inserted window.
+  uint64_t p = pos;
+  uint64_t remaining = n;
+  while (remaining > 0) {
+    const uint32_t chunk = remaining >= 64 ? 64 : static_cast<uint32_t>(remaining);
+    WriteBits(p, chunk, 0);
+    p += chunk;
+    remaining -= chunk;
+  }
+}
+
+void BitBuffer::RemoveBits(uint64_t pos, uint64_t n) {
+  assert(pos + n <= size_bits_);
+  if (n == 0) {
+    return;
+  }
+  if ((pos & 63) == 0 && (n & 63) == 0) {
+    // Word-aligned fast path: whole-word removal is a single memmove.
+    const auto first = words_.begin() + static_cast<ptrdiff_t>(pos >> 6);
+    words_.erase(first, first + static_cast<ptrdiff_t>(n >> 6));
+    size_bits_ -= n;
+    words_.resize(WordsFor(size_bits_));
+    const uint32_t off = size_bits_ & 63;
+    if (off != 0 && !words_.empty()) {
+      words_.back() &= ~LowMask(64 - off);
+    }
+    return;
+  }
+  // Shift the tail [pos+n, size) left by n bits, processing forward.
+  uint64_t len = size_bits_ - pos - n;
+  uint64_t src = pos + n;
+  uint64_t dst = pos;
+  while (len >= 64) {
+    WriteBits(dst, 64, ReadBits(src, 64));
+    src += 64;
+    dst += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    WriteBits(dst, static_cast<uint32_t>(len),
+              ReadBits(src, static_cast<uint32_t>(len)));
+  }
+  Resize(size_bits_ - n);
+}
+
+uint64_t BitBuffer::CountOnes(uint64_t pos) const {
+  assert(pos <= size_bits_);
+  uint64_t ones = 0;
+  const uint64_t full_words = pos >> 6;
+  for (uint64_t i = 0; i < full_words; ++i) {
+    ones += static_cast<uint64_t>(std::popcount(words_[i]));
+  }
+  const uint32_t rem = static_cast<uint32_t>(pos & 63);
+  if (rem > 0) {
+    ones += static_cast<uint64_t>(
+        std::popcount(ReadBits(full_words << 6, rem)));
+  }
+  return ones;
+}
+
+uint64_t BitBuffer::CountOnesInRange(uint64_t begin, uint64_t end) const {
+  assert(begin <= end && end <= size_bits_);
+  if (begin == end) {
+    return 0;
+  }
+  const uint64_t first_word = begin >> 6;
+  const uint64_t last_word = (end - 1) >> 6;
+  if (first_word == last_word) {
+    return static_cast<uint64_t>(std::popcount(
+        ReadBits(begin, static_cast<uint32_t>(end - begin))));
+  }
+  uint64_t ones = 0;
+  // Partial first word: bits [begin, word boundary).
+  const uint32_t head = 64 - static_cast<uint32_t>(begin & 63);
+  if (head < 64) {
+    ones += static_cast<uint64_t>(std::popcount(ReadBits(begin, head)));
+  } else {
+    ones += static_cast<uint64_t>(std::popcount(words_[first_word]));
+  }
+  for (uint64_t w = first_word + 1; w < last_word; ++w) {
+    ones += static_cast<uint64_t>(std::popcount(words_[w]));
+  }
+  // Partial last word: bits [word boundary, end).
+  const uint32_t tail = static_cast<uint32_t>(end - (last_word << 6));
+  ones += static_cast<uint64_t>(std::popcount(ReadBits(last_word << 6, tail)));
+  return ones;
+}
+
+uint64_t BitBuffer::FindNextOne(uint64_t pos) const {
+  if (pos >= size_bits_) {
+    return kNpos;
+  }
+  uint64_t wi = pos >> 6;
+  const uint32_t off = static_cast<uint32_t>(pos & 63);
+  // Mask away bits before `pos` in the first word (stream bit i lives at
+  // word bit 63 - i%64, so earlier stream bits are the higher word bits).
+  uint64_t word = words_[wi] & LowMask(64 - off);
+  const uint64_t n_words = WordsFor(size_bits_);
+  while (word == 0) {
+    if (++wi >= n_words) {
+      return kNpos;
+    }
+    word = words_[wi];
+  }
+  const uint64_t bit = (wi << 6) + static_cast<uint64_t>(std::countl_zero(word));
+  return bit < size_bits_ ? bit : kNpos;
+}
+
+void BitBuffer::CopyFrom(const BitBuffer& src, uint64_t src_pos,
+                         uint64_t dst_pos, uint64_t n) {
+  assert(this != &src);
+  assert(src_pos + n <= src.size_bits_);
+  assert(dst_pos + n <= size_bits_);
+  while (n >= 64) {
+    WriteBits(dst_pos, 64, src.ReadBits(src_pos, 64));
+    src_pos += 64;
+    dst_pos += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    WriteBits(dst_pos, static_cast<uint32_t>(n),
+              src.ReadBits(src_pos, static_cast<uint32_t>(n)));
+  }
+}
+
+void BitBuffer::MoveBits(uint64_t src_pos, uint64_t dst_pos, uint64_t n) {
+  assert(src_pos + n <= size_bits_ && dst_pos + n <= size_bits_);
+  if (n == 0 || src_pos == dst_pos) {
+    return;
+  }
+  if (dst_pos > src_pos) {
+    // Shift right: process 64-bit chunks from the end.
+    uint64_t len = n;
+    uint64_t src_end = src_pos + n;
+    uint64_t dst_end = dst_pos + n;
+    while (len >= 64) {
+      src_end -= 64;
+      dst_end -= 64;
+      len -= 64;
+      WriteBits(dst_end, 64, ReadBits(src_end, 64));
+    }
+    if (len > 0) {
+      WriteBits(dst_pos, static_cast<uint32_t>(len),
+                ReadBits(src_pos, static_cast<uint32_t>(len)));
+    }
+    return;
+  }
+  // Shift left: process forward.
+  uint64_t len = n;
+  uint64_t src = src_pos;
+  uint64_t dst = dst_pos;
+  while (len >= 64) {
+    WriteBits(dst, 64, ReadBits(src, 64));
+    src += 64;
+    dst += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    WriteBits(dst, static_cast<uint32_t>(len),
+              ReadBits(src, static_cast<uint32_t>(len)));
+  }
+}
+
+bool operator==(const BitBuffer& a, const BitBuffer& b) {
+  return a.size_bits_ == b.size_bits_ && a.words_ == b.words_;
+}
+
+}  // namespace phtree

@@ -1,0 +1,106 @@
+// Packed bit-stream storage. Every PH-tree node serialises its prefix and
+// postfix data into such buffers (paper Sect. 3.4, following the
+// "tightly packed tries" idea of Germann et al. [9]): values occupy exactly
+// the number of bits they need, and insert/delete shift the tail of the
+// stream right/left (the shift costs discussed in Sect. 4.3.4).
+#ifndef PHTREE_COMMON_BIT_BUFFER_H_
+#define PHTREE_COMMON_BIT_BUFFER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace phtree {
+
+/// A growable sequence of bits with random access to arbitrary [pos, pos+n)
+/// windows (n <= 64) and bit-granular insertion/removal.
+///
+/// Bit order: bit index 0 is the most significant bit of word 0. A window
+/// read returns its bits right-aligned in the returned word, i.e., reading n
+/// bits yields a value < 2^n whose MSB is the first (lowest-index) bit of
+/// the window. This matches the MSB-first orientation of PH-tree keys.
+class BitBuffer {
+ public:
+  BitBuffer() = default;
+
+  /// Constructs a buffer of `size_bits` zero bits.
+  explicit BitBuffer(uint64_t size_bits) { Resize(size_bits); }
+
+  /// Number of valid bits in the buffer.
+  uint64_t size_bits() const { return size_bits_; }
+
+  bool empty() const { return size_bits_ == 0; }
+
+  /// Grows or shrinks the buffer to `size_bits`; new bits are zero.
+  void Resize(uint64_t size_bits);
+
+  /// Removes all bits (capacity is kept).
+  void Clear() {
+    size_bits_ = 0;
+    words_.clear();
+  }
+
+  /// Reads `n` bits (0 <= n <= 64) starting at bit `pos`, right-aligned.
+  uint64_t ReadBits(uint64_t pos, uint32_t n) const;
+
+  /// Writes the low `n` bits of `value` at bit position `pos`.
+  /// [pos, pos+n) must lie within the buffer.
+  void WriteBits(uint64_t pos, uint32_t n, uint64_t value);
+
+  /// Returns bit `pos` (0 or 1).
+  uint64_t GetBit(uint64_t pos) const { return ReadBits(pos, 1); }
+
+  /// Sets bit `pos` to the low bit of `value`.
+  void SetBit(uint64_t pos, uint64_t value) { WriteBits(pos, 1, value & 1u); }
+
+  /// Inserts `n` zero bits at position `pos`, shifting the tail right.
+  /// `pos` may equal size_bits() (append).
+  void InsertBits(uint64_t pos, uint64_t n);
+
+  /// Removes the `n` bits at [pos, pos+n), shifting the tail left.
+  void RemoveBits(uint64_t pos, uint64_t n);
+
+  /// Number of 1-bits in [0, pos).
+  uint64_t CountOnes(uint64_t pos) const;
+
+  /// Index of the first 1-bit at position >= pos, or kNpos if none.
+  uint64_t FindNextOne(uint64_t pos) const;
+
+  /// Returned by FindNextOne when no further 1-bit exists.
+  static constexpr uint64_t kNpos = ~uint64_t{0};
+
+  /// Total number of 1-bits.
+  uint64_t CountOnes() const { return CountOnes(size_bits_); }
+
+  /// Number of 1-bits in [begin, end). Scans only the touched words —
+  /// O((end-begin)/64) — unlike CountOnes(pos), which scans from bit 0.
+  uint64_t CountOnesInRange(uint64_t begin, uint64_t end) const;
+
+  /// Copies `n` bits from `src` starting at `src_pos` into this buffer at
+  /// `dst_pos`. Ranges must be valid; buffers may not alias.
+  void CopyFrom(const BitBuffer& src, uint64_t src_pos, uint64_t dst_pos,
+                uint64_t n);
+
+  /// Moves `n` bits from [src_pos, src_pos+n) to [dst_pos, dst_pos+n)
+  /// within this buffer; the ranges may overlap (memmove semantics). Both
+  /// ranges must lie within the buffer.
+  void MoveBits(uint64_t src_pos, uint64_t dst_pos, uint64_t n);
+
+  /// Heap bytes owned by this buffer (for structural memory accounting).
+  uint64_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+  /// Releases excess capacity.
+  void ShrinkToFit() { words_.shrink_to_fit(); }
+
+  friend bool operator==(const BitBuffer& a, const BitBuffer& b);
+
+ private:
+  static uint64_t WordsFor(uint64_t bits) { return (bits + 63) / 64; }
+
+  std::vector<uint64_t> words_;
+  uint64_t size_bits_ = 0;
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_COMMON_BIT_BUFFER_H_

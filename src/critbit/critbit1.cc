@@ -1,0 +1,237 @@
+#include "critbit/critbit1.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.h"
+
+namespace phtree {
+
+namespace {
+constexpr uint64_t kAllocOverhead = 16;
+}  // namespace
+
+struct CritBit1::Internal {
+  uint32_t bit;  // index of the critical bit (0 = MSB of the z-code)
+  NodeRef child[2];
+};
+
+struct CritBit1::Leaf {
+  uint64_t value;
+  std::vector<uint64_t> zcode;
+};
+
+CritBit1::CritBit1(uint32_t dim) : dim_(dim), zwords_(dim) {
+  assert(dim >= 1 && dim <= kMaxDims);
+}
+
+CritBit1::~CritBit1() { DeleteSubtree(root_); }
+
+void CritBit1::DeleteSubtree(NodeRef ref) {
+  std::vector<NodeRef> stack;
+  if (ref != 0) {
+    stack.push_back(ref);
+  }
+  while (!stack.empty()) {
+    const NodeRef cur = stack.back();
+    stack.pop_back();
+    if (IsInternal(cur)) {
+      Internal* node = AsInternal(cur);
+      stack.push_back(node->child[0]);
+      stack.push_back(node->child[1]);
+      delete node;
+    } else {
+      delete AsLeaf(cur);
+    }
+  }
+}
+
+std::vector<uint64_t> CritBit1::EncodeZ(std::span<const double> key) const {
+  std::vector<uint64_t> converted(dim_);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    converted[d] = SortableDoubleBits(key[d]);
+  }
+  std::vector<uint64_t> zcode(zwords_);
+  InterleaveZOrder(converted, zcode);
+  return zcode;
+}
+
+bool CritBit1::Insert(std::span<const double> key, uint64_t value) {
+  assert(key.size() == dim_);
+  std::vector<uint64_t> zcode = EncodeZ(key);
+  if (root_ == 0) {
+    Leaf* leaf = new Leaf{value, std::move(zcode)};
+    root_ = MakeRef(leaf);
+    size_ = 1;
+    return true;
+  }
+  // Phase 1: walk to the best-matching leaf.
+  NodeRef ref = root_;
+  while (IsInternal(ref)) {
+    const Internal* node = AsInternal(ref);
+    ref = node->child[ZBit(zcode, node->bit)];
+  }
+  const Leaf* best = AsLeaf(ref);
+  // Find the first differing bit.
+  uint32_t crit = ~0u;
+  for (uint32_t w = 0; w < zwords_; ++w) {
+    const uint64_t diff = zcode[w] ^ best->zcode[w];
+    if (diff != 0) {
+      crit = (w << 6) + static_cast<uint32_t>(std::countl_zero(diff));
+      break;
+    }
+  }
+  if (crit == ~0u) {
+    return false;  // duplicate key
+  }
+  const uint64_t new_side = ZBit(zcode, crit);
+  // Phase 2: re-descend and splice in the new internal node in crit-bit
+  // order (internal bits increase along every root-to-leaf path).
+  NodeRef* link = &root_;
+  while (IsInternal(*link)) {
+    Internal* node = AsInternal(*link);
+    if (node->bit >= crit) {
+      break;
+    }
+    link = &node->child[ZBit(zcode, node->bit)];
+  }
+  Leaf* leaf = new Leaf{value, std::move(zcode)};
+  Internal* internal = new Internal{crit, {0, 0}};
+  internal->child[new_side] = MakeRef(leaf);
+  internal->child[1 - new_side] = *link;
+  *link = MakeRef(internal);
+  ++size_;
+  return true;
+}
+
+std::optional<uint64_t> CritBit1::Find(std::span<const double> key) const {
+  assert(key.size() == dim_);
+  if (root_ == 0) {
+    return std::nullopt;
+  }
+  const std::vector<uint64_t> zcode = EncodeZ(key);
+  NodeRef ref = root_;
+  while (IsInternal(ref)) {
+    const Internal* node = AsInternal(ref);
+    ref = node->child[ZBit(zcode, node->bit)];
+  }
+  const Leaf* leaf = AsLeaf(ref);
+  if (std::equal(zcode.begin(), zcode.end(), leaf->zcode.begin())) {
+    return leaf->value;
+  }
+  return std::nullopt;
+}
+
+bool CritBit1::Erase(std::span<const double> key) {
+  assert(key.size() == dim_);
+  if (root_ == 0) {
+    return false;
+  }
+  const std::vector<uint64_t> zcode = EncodeZ(key);
+  NodeRef* link = &root_;
+  NodeRef* parent_link = nullptr;
+  while (IsInternal(*link)) {
+    Internal* node = AsInternal(*link);
+    parent_link = link;
+    link = &node->child[ZBit(zcode, node->bit)];
+  }
+  Leaf* leaf = AsLeaf(*link);
+  if (!std::equal(zcode.begin(), zcode.end(), leaf->zcode.begin())) {
+    return false;
+  }
+  delete leaf;
+  if (parent_link == nullptr) {
+    root_ = 0;
+  } else {
+    Internal* parent = AsInternal(*parent_link);
+    const NodeRef sibling =
+        (&parent->child[0] == link) ? parent->child[1] : parent->child[0];
+    *parent_link = sibling;
+    delete parent;
+  }
+  --size_;
+  return true;
+}
+
+void CritBit1::QueryWindow(
+    std::span<const double> min, std::span<const double> max,
+    const std::function<void(std::span<const double>, uint64_t)>& fn) const {
+  assert(min.size() == dim_ && max.size() == dim_);
+  if (root_ == 0) {
+    return;
+  }
+  std::vector<uint64_t> lo(dim_), hi(dim_);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    lo[d] = SortableDoubleBits(min[d]);
+    hi[d] = SortableDoubleBits(max[d]);
+    if (lo[d] > hi[d]) {
+      return;
+    }
+  }
+  // Near-full-scan traversal with a per-leaf membership test (the paper's
+  // observed behaviour for crit-bit range queries).
+  std::vector<uint64_t> decoded(dim_);
+  std::vector<double> point(dim_);
+  std::vector<NodeRef> stack{root_};
+  while (!stack.empty()) {
+    const NodeRef ref = stack.back();
+    stack.pop_back();
+    if (IsInternal(ref)) {
+      const Internal* node = AsInternal(ref);
+      stack.push_back(node->child[0]);
+      stack.push_back(node->child[1]);
+      continue;
+    }
+    const Leaf* leaf = AsLeaf(ref);
+    DeinterleaveZOrder(leaf->zcode, decoded);
+    bool inside = true;
+    for (uint32_t d = 0; d < dim_ && inside; ++d) {
+      inside = decoded[d] >= lo[d] && decoded[d] <= hi[d];
+    }
+    if (inside) {
+      for (uint32_t d = 0; d < dim_; ++d) {
+        point[d] = SortableBitsToDouble(decoded[d]);
+      }
+      fn(point, leaf->value);
+    }
+  }
+}
+
+size_t CritBit1::CountWindow(std::span<const double> min,
+                             std::span<const double> max) const {
+  size_t n = 0;
+  QueryWindow(min, max, [&n](std::span<const double>, uint64_t) { ++n; });
+  return n;
+}
+
+uint64_t CritBit1::MemoryBytes() const {
+  if (size_ == 0) {
+    return 0;
+  }
+  const uint64_t leaf_bytes =
+      sizeof(Leaf) + kAllocOverhead + zwords_ * 8 + kAllocOverhead;
+  const uint64_t internal_bytes = sizeof(Internal) + kAllocOverhead;
+  // A crit-bit tree with n leaves has exactly n-1 internal nodes.
+  return size_ * leaf_bytes + (size_ - 1) * internal_bytes;
+}
+
+size_t CritBit1::MaxDepth() const {
+  size_t max_depth = 0;
+  std::vector<std::pair<NodeRef, size_t>> stack;
+  if (root_ != 0) {
+    stack.emplace_back(root_, 1);
+  }
+  while (!stack.empty()) {
+    const auto [ref, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    if (IsInternal(ref)) {
+      const Internal* node = AsInternal(ref);
+      stack.emplace_back(node->child[0], depth + 1);
+      stack.emplace_back(node->child[1], depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace phtree

@@ -1,0 +1,86 @@
+// CB1: a classic critical-bit tree (binary PATRICIA trie) over bit-
+// interleaved multi-dimensional keys — the first of the paper's two crit-bit
+// baselines (Sect. 4.1: "we interleaved the k values of each entry into a
+// single bit-stream"). Internal nodes store the index of the critical bit;
+// leaves store the precomputed z-order bit string (k x 64 bits) plus the
+// payload. Children are reached through tagged pointers.
+//
+// Window queries are supported but perform close to a full scan, which is
+// exactly the behaviour the paper reports for the available crit-bit
+// implementations (Sect. 4.3.3) — they are therefore excluded from the range
+// query benchmarks, as in the paper.
+#ifndef PHTREE_CRITBIT_CRITBIT1_H_
+#define PHTREE_CRITBIT_CRITBIT1_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace phtree {
+
+class CritBit1 {
+ public:
+  explicit CritBit1(uint32_t dim);
+  ~CritBit1();
+
+  CritBit1(const CritBit1&) = delete;
+  CritBit1& operator=(const CritBit1&) = delete;
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts the double point `key` -> `value` (converted per Sect. 3.3 and
+  /// z-order interleaved). False if the point already exists.
+  bool Insert(std::span<const double> key, uint64_t value);
+  bool Erase(std::span<const double> key);
+  std::optional<uint64_t> Find(std::span<const double> key) const;
+  bool Contains(std::span<const double> key) const {
+    return Find(key).has_value();
+  }
+
+  /// Closed-box window query (near full scan; see header comment).
+  void QueryWindow(std::span<const double> min, std::span<const double> max,
+                   const std::function<void(std::span<const double>,
+                                            uint64_t)>& fn) const;
+  size_t CountWindow(std::span<const double> min,
+                     std::span<const double> max) const;
+
+  uint64_t MemoryBytes() const;
+  size_t MaxDepth() const;
+
+ private:
+  struct Internal;
+  struct Leaf;
+
+  /// Tagged pointer: low bit set = Internal, clear = Leaf.
+  using NodeRef = uintptr_t;
+
+  std::vector<uint64_t> EncodeZ(std::span<const double> key) const;
+  static bool IsInternal(NodeRef ref) { return (ref & 1u) != 0; }
+  static Internal* AsInternal(NodeRef ref) {
+    return reinterpret_cast<Internal*>(ref & ~uintptr_t{1});
+  }
+  static Leaf* AsLeaf(NodeRef ref) { return reinterpret_cast<Leaf*>(ref); }
+  static NodeRef MakeRef(Internal* n) {
+    return reinterpret_cast<uintptr_t>(n) | 1u;
+  }
+  static NodeRef MakeRef(Leaf* l) { return reinterpret_cast<uintptr_t>(l); }
+
+  uint64_t ZBit(std::span<const uint64_t> zcode, uint32_t bit) const {
+    return (zcode[bit >> 6] >> (63 - (bit & 63))) & 1u;
+  }
+
+  void DeleteSubtree(NodeRef ref);
+
+  uint32_t dim_;
+  uint32_t zwords_;  // words per z-code == dim
+  size_t size_ = 0;
+  NodeRef root_ = 0;  // 0 = empty
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_CRITBIT_CRITBIT1_H_

@@ -1,0 +1,240 @@
+#include "critbit/critbit2.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "common/bits.h"
+
+namespace phtree {
+
+CritBit2::CritBit2(uint32_t dim) : dim_(dim) {
+  assert(dim >= 1 && dim <= kMaxDims);
+}
+
+uint32_t CritBit2::FirstDiffBit(std::span<const uint64_t> a,
+                                std::span<const uint64_t> b) const {
+  // Highest differing (dimension-level) position across all dimensions, in
+  // z-order: lower level wins; within a level, lower dimension wins.
+  uint32_t best = kNil;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t diff = a[d] ^ b[d];
+    if (diff == 0) {
+      continue;
+    }
+    const uint32_t level = static_cast<uint32_t>(std::countl_zero(diff));
+    const uint32_t zbit = level * dim_ + d;
+    best = std::min(best, zbit);
+  }
+  return best;
+}
+
+uint32_t CritBit2::NewLeaf(std::span<const uint64_t> key, uint64_t value) {
+  uint32_t idx;
+  if (!free_leaves_.empty()) {
+    idx = free_leaves_.back();
+    free_leaves_.pop_back();
+    values_[idx] = value;
+  } else {
+    idx = static_cast<uint32_t>(values_.size());
+    values_.push_back(value);
+    keys_.resize(keys_.size() + dim_);
+  }
+  std::copy(key.begin(), key.end(),
+            keys_.begin() + static_cast<ptrdiff_t>(idx) * dim_);
+  return idx | kLeafFlag;
+}
+
+uint32_t CritBit2::NewInternal() {
+  if (!free_internals_.empty()) {
+    const uint32_t idx = free_internals_.back();
+    free_internals_.pop_back();
+    return idx;
+  }
+  internals_.emplace_back();
+  return static_cast<uint32_t>(internals_.size() - 1);
+}
+
+bool CritBit2::Insert(std::span<const double> key, uint64_t value) {
+  assert(key.size() == dim_);
+  std::vector<uint64_t> conv(dim_);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    conv[d] = SortableDoubleBits(key[d]);
+  }
+  if (root_ == kNil) {
+    root_ = NewLeaf(conv, value);
+    size_ = 1;
+    return true;
+  }
+  uint32_t ref = root_;
+  while (!IsLeaf(ref)) {
+    const Internal& node = internals_[ref];
+    ref = node.child[ZBit(conv, node.bit)];
+  }
+  const uint32_t crit = FirstDiffBit(conv, LeafKey(LeafIdx(ref)));
+  if (crit == kNil) {
+    return false;  // duplicate
+  }
+  const uint64_t new_side = ZBit(conv, crit);
+  // Track the insertion link as (parent index, side): NewInternal() may
+  // reallocate internals_, so raw pointers into it would dangle.
+  uint32_t link_parent = kNil;
+  uint32_t link_side = 0;
+  uint32_t displaced = root_;
+  while (!IsLeaf(displaced)) {
+    const Internal& node = internals_[displaced];
+    if (node.bit >= crit) {
+      break;
+    }
+    link_parent = displaced;
+    link_side = static_cast<uint32_t>(ZBit(conv, node.bit));
+    displaced = node.child[link_side];
+  }
+  const uint32_t leaf = NewLeaf(conv, value);
+  const uint32_t internal = NewInternal();
+  internals_[internal].bit = crit;
+  internals_[internal].child[new_side] = leaf;
+  internals_[internal].child[1 - new_side] = displaced;
+  if (link_parent == kNil) {
+    root_ = internal;
+  } else {
+    internals_[link_parent].child[link_side] = internal;
+  }
+  ++size_;
+  return true;
+}
+
+std::optional<uint64_t> CritBit2::Find(std::span<const double> key) const {
+  assert(key.size() == dim_);
+  if (root_ == kNil) {
+    return std::nullopt;
+  }
+  std::vector<uint64_t> conv(dim_);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    conv[d] = SortableDoubleBits(key[d]);
+  }
+  uint32_t ref = root_;
+  while (!IsLeaf(ref)) {
+    const Internal& node = internals_[ref];
+    ref = node.child[ZBit(conv, node.bit)];
+  }
+  const uint32_t leaf = LeafIdx(ref);
+  const auto stored = LeafKey(leaf);
+  if (std::equal(conv.begin(), conv.end(), stored.begin())) {
+    return values_[leaf];
+  }
+  return std::nullopt;
+}
+
+bool CritBit2::Erase(std::span<const double> key) {
+  assert(key.size() == dim_);
+  if (root_ == kNil) {
+    return false;
+  }
+  std::vector<uint64_t> conv(dim_);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    conv[d] = SortableDoubleBits(key[d]);
+  }
+  uint32_t* link = &root_;
+  uint32_t* parent_link = nullptr;
+  uint32_t parent_idx = kNil;
+  while (!IsLeaf(*link)) {
+    Internal& node = internals_[*link];
+    parent_link = link;
+    parent_idx = *link;
+    link = &node.child[ZBit(conv, node.bit)];
+  }
+  const uint32_t leaf = LeafIdx(*link);
+  if (!std::equal(conv.begin(), conv.end(), LeafKey(leaf).begin())) {
+    return false;
+  }
+  free_leaves_.push_back(leaf);
+  if (parent_link == nullptr) {
+    root_ = kNil;
+  } else {
+    Internal& parent = internals_[parent_idx];
+    const uint32_t sibling =
+        (&parent.child[0] == link) ? parent.child[1] : parent.child[0];
+    *parent_link = sibling;
+    free_internals_.push_back(parent_idx);
+  }
+  --size_;
+  return true;
+}
+
+void CritBit2::QueryWindow(
+    std::span<const double> min, std::span<const double> max,
+    const std::function<void(std::span<const double>, uint64_t)>& fn) const {
+  assert(min.size() == dim_ && max.size() == dim_);
+  if (root_ == kNil) {
+    return;
+  }
+  std::vector<uint64_t> lo(dim_), hi(dim_);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    lo[d] = SortableDoubleBits(min[d]);
+    hi[d] = SortableDoubleBits(max[d]);
+    if (lo[d] > hi[d]) {
+      return;
+    }
+  }
+  std::vector<double> point(dim_);
+  std::vector<uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const uint32_t ref = stack.back();
+    stack.pop_back();
+    if (!IsLeaf(ref)) {
+      const Internal& node = internals_[ref];
+      stack.push_back(node.child[0]);
+      stack.push_back(node.child[1]);
+      continue;
+    }
+    const uint32_t leaf = LeafIdx(ref);
+    const auto stored = LeafKey(leaf);
+    bool inside = true;
+    for (uint32_t d = 0; d < dim_ && inside; ++d) {
+      inside = stored[d] >= lo[d] && stored[d] <= hi[d];
+    }
+    if (inside) {
+      for (uint32_t d = 0; d < dim_; ++d) {
+        point[d] = SortableBitsToDouble(stored[d]);
+      }
+      fn(point, values_[leaf]);
+    }
+  }
+}
+
+size_t CritBit2::CountWindow(std::span<const double> min,
+                             std::span<const double> max) const {
+  size_t n = 0;
+  QueryWindow(min, max, [&n](std::span<const double>, uint64_t) { ++n; });
+  return n;
+}
+
+uint64_t CritBit2::MemoryBytes() const {
+  constexpr uint64_t kAllocOverhead = 16;
+  return internals_.size() * sizeof(Internal) + keys_.size() * 8 +
+         values_.size() * 8 +
+         (free_internals_.size() + free_leaves_.size()) * 4 +
+         5 * kAllocOverhead;
+}
+
+size_t CritBit2::MaxDepth() const {
+  size_t max_depth = 0;
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  if (root_ != kNil) {
+    stack.emplace_back(root_, 1);
+  }
+  while (!stack.empty()) {
+    const auto [ref, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    if (!IsLeaf(ref)) {
+      const Internal& node = internals_[ref];
+      stack.emplace_back(node.child[0], depth + 1);
+      stack.emplace_back(node.child[1], depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace phtree

@@ -1,0 +1,87 @@
+// CB2: the second crit-bit baseline — same PATRICIA algorithm as CB1, but a
+// different engineering design point (the paper used two independent
+// libraries with different constants): nodes live in flat pools addressed by
+// 32-bit indices (two allocations instead of one per node), leaves store the
+// *plain* converted coordinates instead of a precomputed z-code, and the
+// interleaved bit at index b is computed on demand as bit (63 - b/k) of
+// dimension b%k. Less memory per entry, slightly more work per bit test.
+#ifndef PHTREE_CRITBIT_CRITBIT2_H_
+#define PHTREE_CRITBIT_CRITBIT2_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace phtree {
+
+class CritBit2 {
+ public:
+  explicit CritBit2(uint32_t dim);
+
+  CritBit2(const CritBit2&) = delete;
+  CritBit2& operator=(const CritBit2&) = delete;
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Insert(std::span<const double> key, uint64_t value);
+  bool Erase(std::span<const double> key);
+  std::optional<uint64_t> Find(std::span<const double> key) const;
+  bool Contains(std::span<const double> key) const {
+    return Find(key).has_value();
+  }
+
+  /// Near-full-scan window query (see critbit1.h).
+  void QueryWindow(std::span<const double> min, std::span<const double> max,
+                   const std::function<void(std::span<const double>,
+                                            uint64_t)>& fn) const;
+  size_t CountWindow(std::span<const double> min,
+                     std::span<const double> max) const;
+
+  uint64_t MemoryBytes() const;
+  size_t MaxDepth() const;
+
+ private:
+  static constexpr uint32_t kNil = ~uint32_t{0};
+  static constexpr uint32_t kLeafFlag = uint32_t{1} << 31;
+
+  struct Internal {
+    uint32_t bit;
+    uint32_t child[2];
+  };
+
+  static bool IsLeaf(uint32_t ref) { return (ref & kLeafFlag) != 0; }
+  static uint32_t LeafIdx(uint32_t ref) { return ref & ~kLeafFlag; }
+
+  std::span<const uint64_t> LeafKey(uint32_t leaf) const {
+    return {keys_.data() + static_cast<size_t>(leaf) * dim_, dim_};
+  }
+
+  /// Bit `b` of the virtual z-order interleaving of `key`.
+  uint64_t ZBit(std::span<const uint64_t> key, uint32_t b) const {
+    return (key[b % dim_] >> (63 - b / dim_)) & 1u;
+  }
+
+  /// Index of the first differing z-order bit, or kNil if equal.
+  uint32_t FirstDiffBit(std::span<const uint64_t> a,
+                        std::span<const uint64_t> b) const;
+
+  uint32_t NewLeaf(std::span<const uint64_t> key, uint64_t value);
+  uint32_t NewInternal();
+
+  uint32_t dim_;
+  size_t size_ = 0;
+  uint32_t root_ = kNil;
+  std::vector<Internal> internals_;
+  std::vector<uint64_t> keys_;    // leaf i owns keys_[i*dim .. +dim)
+  std::vector<uint64_t> values_;  // parallel to leaves
+  std::vector<uint32_t> free_internals_;
+  std::vector<uint32_t> free_leaves_;
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_CRITBIT_CRITBIT2_H_

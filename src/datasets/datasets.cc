@@ -1,0 +1,111 @@
+#include "datasets/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace phtree {
+
+Dataset GenerateCube(size_t n, uint32_t dim, uint64_t seed) {
+  Dataset ds;
+  ds.dim = dim;
+  ds.coords.reserve(n * dim);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t d = 0; d < dim; ++d) {
+      ds.coords.push_back(rng.NextDouble());
+    }
+  }
+  return ds;
+}
+
+Dataset GenerateCluster(size_t n, uint32_t dim, double offset, uint64_t seed) {
+  Dataset ds;
+  ds.dim = dim;
+  ds.coords.reserve(n * dim);
+  Rng rng(seed);
+  const double half = kClusterExtent / 2.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Uniformly pick one of the evenly spaced clusters; centres run from
+    // 0.0 to 1.0 along x.
+    const size_t cluster = rng.NextBounded(kClusterCount);
+    const double cx =
+        static_cast<double>(cluster) / static_cast<double>(kClusterCount - 1);
+    ds.coords.push_back(cx + rng.NextDouble(-half, half));
+    for (uint32_t d = 1; d < dim; ++d) {
+      ds.coords.push_back(offset + rng.NextDouble(-half, half));
+    }
+  }
+  return ds;
+}
+
+namespace {
+
+/// Quantises a coordinate to the 1e-6-degree grid used by TIGER/Line KML.
+double Quantise(double v) { return std::round(v * 1e6) / 1e6; }
+
+struct PointHash {
+  size_t operator()(const std::pair<double, double>& p) const {
+    uint64_t state =
+        std::hash<double>()(p.first) * 0x9e3779b97f4a7c15ULL +
+        std::hash<double>()(p.second);
+    return static_cast<size_t>(SplitMix64(state));
+  }
+};
+
+}  // namespace
+
+Dataset GenerateTigerLike(size_t n, uint64_t seed) {
+  constexpr double kLonMin = -125.0, kLonMax = -65.0;
+  constexpr double kLatMin = 24.0, kLatMax = 50.0;
+  // Mainland USA has ~3100 counties; density varies wildly, which we mimic
+  // with a Zipf-ish skew over county sizes.
+  constexpr size_t kCounties = 3000;
+
+  Dataset ds;
+  ds.dim = 2;
+  ds.coords.reserve(n * 2);
+  Rng rng(seed);
+  std::unordered_set<std::pair<double, double>, PointHash> seen;
+  seen.reserve(n * 2);
+
+  while (seen.size() < n) {
+    // Start a new poly-line in a random county. County centres and extents
+    // are derived deterministically from the county id.
+    uint64_t cseed = seed ^ (rng.NextBounded(kCounties) * 0x9e3779b97f4a7c15ULL);
+    uint64_t s = cseed;
+    const double ccx = kLonMin + (kLonMax - kLonMin) *
+                                     (static_cast<double>(SplitMix64(s) >> 11) *
+                                      0x1.0p-53);
+    const double ccy = kLatMin + (kLatMax - kLatMin) *
+                                     (static_cast<double>(SplitMix64(s) >> 11) *
+                                      0x1.0p-53);
+    // County extent: 0.1 to 1.1 degrees (skewed small).
+    const double extent =
+        0.1 + 1.0 * std::pow(static_cast<double>(SplitMix64(s) >> 11) *
+                                 0x1.0p-53,
+                             2.0);
+    // Random-walk poly-line: TIGER features are chains of nearby vertices.
+    double x = ccx + rng.NextDouble(-extent, extent);
+    double y = ccy + rng.NextDouble(-extent, extent);
+    const size_t chain_len = 16 + rng.NextBounded(240);
+    for (size_t j = 0; j < chain_len && seen.size() < n; ++j) {
+      const double qx = Quantise(std::clamp(x, kLonMin, kLonMax));
+      const double qy = Quantise(std::clamp(y, kLatMin, kLatMax));
+      if (seen.emplace(qx, qy).second) {
+        ds.coords.push_back(qx);
+        ds.coords.push_back(qy);
+      }
+      // Step size ~ tens of metres, like consecutive poly-line vertices.
+      x += rng.NextDouble(-0.0008, 0.0008);
+      y += rng.NextDouble(-0.0008, 0.0008);
+    }
+  }
+  return ds;
+}
+
+}  // namespace phtree

@@ -1,0 +1,57 @@
+// Dataset generators for the paper's evaluation (Sect. 4.2):
+//   * CUBE      - n points uniform in [0,1)^k,
+//   * CLUSTER   - a line of 10,000 evenly spaced clusters of extent 1e-5
+//                 along the x axis; all other axes fixed near `offset`
+//                 (0.5 in the paper's main variant, 0.4 in CLUSTER0.4),
+//   * TIGER-like- a synthetic substitute for the TIGER/Line 2010 dataset:
+//                 spatially clustered 2D poly-line vertices over the
+//                 mainland-US bounding box, deduplicated (see DESIGN.md,
+//                 substitutions).
+// All generators are deterministic in (n, dim, seed).
+#ifndef PHTREE_DATASETS_DATASETS_H_
+#define PHTREE_DATASETS_DATASETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace phtree {
+
+/// A set of n k-dimensional double points, row-major.
+struct Dataset {
+  uint32_t dim = 0;
+  std::vector<double> coords;  // size() == n() * dim
+
+  size_t n() const { return dim == 0 ? 0 : coords.size() / dim; }
+
+  /// Point `i` as a span of `dim` doubles.
+  std::span<const double> point(size_t i) const {
+    return {coords.data() + i * dim, dim};
+  }
+};
+
+/// CUBE: uniform points in [0,1)^dim.
+Dataset GenerateCube(size_t n, uint32_t dim, uint64_t seed = 42);
+
+/// Number of clusters on the CLUSTER line (paper: 10,000).
+inline constexpr size_t kClusterCount = 10000;
+/// Extent of each cluster in every dimension (paper: 0.00001).
+inline constexpr double kClusterExtent = 0.00001;
+
+/// CLUSTER: points in kClusterCount clusters whose centres are evenly
+/// spaced on the x axis from 0.0 to 1.0; every other axis is centred at
+/// `offset` (paper Sect. 4.3.6: offset 0.5 is a space worst case because the
+/// IEEE exponent changes at 0.5; offset 0.4 avoids it).
+Dataset GenerateCluster(size_t n, uint32_t dim, double offset = 0.5,
+                        uint64_t seed = 42);
+
+/// TIGER-like: deduplicated 2D map-feature vertices. Points are generated as
+/// random-walk poly-lines inside randomly placed "counties" within
+/// x (longitude) in [-125,-65], y (latitude) in [24,50], quantised to 1e-6
+/// degrees like TIGER/Line data. Exactly n unique points are returned.
+Dataset GenerateTigerLike(size_t n, uint64_t seed = 42);
+
+}  // namespace phtree
+
+#endif  // PHTREE_DATASETS_DATASETS_H_

@@ -1,0 +1,112 @@
+#include "phtree/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "common/bits.h"
+
+namespace phtree {
+namespace {
+
+double CoordDelta(uint64_t a, uint64_t b, KnnMetric metric) {
+  if (metric == KnnMetric::kL2Double) {
+    return SortableBitsToDouble(a) - SortableBitsToDouble(b);
+  }
+  const uint64_t delta = a > b ? a - b : b - a;
+  return static_cast<double>(delta);
+}
+
+double PointDist2(std::span<const uint64_t> center,
+                  std::span<const uint64_t> point, KnnMetric metric) {
+  double sum = 0;
+  for (size_t d = 0; d < center.size(); ++d) {
+    const double delta = CoordDelta(center[d], point[d], metric);
+    sum += delta * delta;
+  }
+  return sum;
+}
+
+/// Minimum squared distance from `center` to the box spanned by clearing /
+/// setting the low `low_bits` bits of each dimension of `path_key`.
+double BoxDist2(std::span<const uint64_t> center,
+                std::span<const uint64_t> path_key, uint32_t low_bits,
+                KnnMetric metric) {
+  double sum = 0;
+  for (size_t d = 0; d < center.size(); ++d) {
+    const uint64_t lo = path_key[d] & ~LowMask(low_bits);
+    const uint64_t hi = lo | LowMask(low_bits);
+    const uint64_t clamped = std::clamp(center[d], lo, hi);
+    const double delta = CoordDelta(center[d], clamped, metric);
+    sum += delta * delta;
+  }
+  return sum;
+}
+
+struct QueueItem {
+  double dist2;
+  const Node* node;  // nullptr for point items
+  PhKey key;         // node: path bits; point: full key
+  uint64_t value;    // point items only
+};
+
+struct ItemGreater {
+  bool operator()(const QueueItem& a, const QueueItem& b) const {
+    return a.dist2 > b.dist2;
+  }
+};
+
+}  // namespace
+
+std::vector<KnnResult> KnnSearch(const PhTree& tree,
+                                 std::span<const uint64_t> center, size_t n,
+                                 KnnMetric metric) {
+  assert(center.size() == tree.dim());
+  std::vector<KnnResult> results;
+  const Node* root = tree.root();
+  if (root == nullptr || n == 0) {
+    return results;
+  }
+  std::priority_queue<QueueItem, std::vector<QueueItem>, ItemGreater> queue;
+  queue.push(QueueItem{0.0, root, PhKey(tree.dim(), 0), 0});
+  while (!queue.empty() && results.size() < n) {
+    QueueItem item = std::move(const_cast<QueueItem&>(queue.top()));
+    queue.pop();
+    if (item.node == nullptr) {
+      results.push_back(KnnResult{std::move(item.key), item.value,
+                                  item.dist2});
+      continue;
+    }
+    const Node* node = item.node;
+    const uint32_t pl = node->postfix_len();
+    for (uint64_t ord = node->FirstOrdinal(); ord != Node::kNoOrdinal;
+         ord = node->NextOrdinal(ord)) {
+      PhKey key = item.key;
+      ApplyHcAddress(node->OrdinalAddr(ord), pl, key);
+      if (node->OrdinalIsSub(ord)) {
+        const Node* child = node->OrdinalSub(ord);
+        child->ReadInfixInto(key);
+        const double d2 =
+            BoxDist2(center, key, child->postfix_len() + 1, metric);
+        queue.push(QueueItem{d2, child, std::move(key), 0});
+      } else {
+        node->ReadPostfixInto(ord, key);
+        const double d2 = PointDist2(center, key, metric);
+        queue.push(
+            QueueItem{d2, nullptr, std::move(key), node->OrdinalPayload(ord)});
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<KnnResult> KnnSearchD(const PhTree& tree,
+                                  std::span<const double> center, size_t n) {
+  PhKey encoded(center.size());
+  for (size_t i = 0; i < center.size(); ++i) {
+    encoded[i] = SortableDoubleBits(center[i]);
+  }
+  return KnnSearch(tree, encoded, n, KnnMetric::kL2Double);
+}
+
+}  // namespace phtree

@@ -1,0 +1,658 @@
+#include "phtree/node.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace phtree {
+namespace {
+
+// Estimated allocator overhead per heap block, used by the structural memory
+// accounting (glibc malloc: 8-16 bytes header + alignment).
+constexpr uint64_t kAllocOverhead = 16;
+
+uint64_t PtrToPayload(Node* p) {
+  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(p));
+}
+
+Node* PayloadToPtr(uint64_t v) {
+  return reinterpret_cast<Node*>(static_cast<uintptr_t>(v));
+}
+
+// Memory accounting uses logical sizes: the reported footprint is a pure
+// function of the stored data (insertion-order independent), mirroring the
+// paper's "summing up the required bytes of all nodes". std::vector growth
+// slack is a C++-side amortisation detail.
+uint64_t BufferBytes(const BitBuffer& b) {
+  const uint64_t words = (b.size_bits() + 63) / 64;
+  return words == 0 ? 0 : words * 8 + kAllocOverhead;
+}
+
+}  // namespace
+
+Node::Node(uint32_t dim, uint32_t infix_len, uint32_t postfix_len,
+           bool store_values)
+    : dim_(static_cast<uint16_t>(dim)),
+      infix_len_(static_cast<uint8_t>(infix_len)),
+      postfix_len_(static_cast<uint8_t>(postfix_len)),
+      store_values_(store_values) {
+  assert(dim >= 1 && dim <= kMaxDims);
+  assert(infix_len + 1 + postfix_len <= kBitWidth);
+  bits_.Resize(infix_bits());  // empty LHC node: just the (zero) infix
+}
+
+// ---- Infix ------------------------------------------------------------
+
+void Node::SetInfixFromKey(std::span<const uint64_t> key) {
+  const uint32_t il = infix_len_;
+  if (il == 0) {
+    return;
+  }
+  const uint64_t base = infix_base();
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t seg = (key[d] >> (postfix_len_ + 1)) & LowMask(il);
+    bits_.WriteBits(base + static_cast<uint64_t>(d) * il, il, seg);
+  }
+}
+
+void Node::ReadInfixInto(std::span<uint64_t> key) const {
+  const uint32_t il = infix_len_;
+  if (il == 0) {
+    return;
+  }
+  const uint64_t base = infix_base();
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t seg = bits_.ReadBits(base + static_cast<uint64_t>(d) * il,
+                                        il);
+    key[d] = (key[d] & ~(LowMask(il) << (postfix_len_ + 1))) |
+             (seg << (postfix_len_ + 1));
+  }
+}
+
+int Node::MatchInfix(std::span<const uint64_t> key) const {
+  const uint32_t il = infix_len_;
+  if (il == 0) {
+    return -1;
+  }
+  const uint64_t base = infix_base();
+  uint64_t agg = 0;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t stored =
+        bits_.ReadBits(base + static_cast<uint64_t>(d) * il, il);
+    const uint64_t keyseg = (key[d] >> (postfix_len_ + 1)) & LowMask(il);
+    agg |= stored ^ keyseg;
+  }
+  if (agg == 0) {
+    return -1;
+  }
+  // Highest differing segment bit j corresponds to key bit postfix_len+1+j.
+  const int j = static_cast<int>(std::bit_width(agg)) - 1;
+  return static_cast<int>(postfix_len_) + 1 + j;
+}
+
+void Node::ReplaceInfix(uint32_t new_infix_len,
+                        std::span<const uint64_t> segments) {
+  const uint64_t base = infix_base();
+  const uint64_t old_bits = infix_bits();
+  const uint64_t new_bits = static_cast<uint64_t>(dim_) * new_infix_len;
+  if (new_bits > old_bits) {
+    bits_.InsertBits(base, new_bits - old_bits);
+  } else if (new_bits < old_bits) {
+    bits_.RemoveBits(base, old_bits - new_bits);
+  }
+  infix_len_ = static_cast<uint8_t>(new_infix_len);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    bits_.WriteBits(base + static_cast<uint64_t>(d) * new_infix_len,
+                    new_infix_len, segments[d]);
+  }
+}
+
+void Node::TrimInfixToLow(uint32_t new_infix_len, const PhTreeConfig& cfg) {
+  assert(new_infix_len <= infix_len_);
+  const uint32_t il = infix_len_;
+  const uint64_t base = infix_base();
+  uint64_t segments[kMaxDims];
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t seg = bits_.ReadBits(base + static_cast<uint64_t>(d) * il,
+                                        il);
+    segments[d] = seg & LowMask(new_infix_len);
+  }
+  ReplaceInfix(new_infix_len, {segments, dim_});
+  // The infix length changed, so the representation sizes changed too.
+  MaybeSwitchRepresentation(cfg);
+}
+
+void Node::AbsorbParentInfix(const Node& parent, uint64_t addr_in_parent,
+                             const PhTreeConfig& cfg) {
+  const uint32_t il = infix_len_;
+  const uint32_t pil = parent.infix_len_;
+  const uint32_t new_il = il + 1 + pil;
+  assert(new_il + 1 + postfix_len_ <= kBitWidth);
+  const uint64_t base = infix_base();
+  const uint64_t pbase = parent.infix_base();
+  uint64_t segments[kMaxDims];
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t my_seg =
+        il > 0 ? bits_.ReadBits(base + static_cast<uint64_t>(d) * il, il) : 0;
+    const uint64_t parent_seg =
+        pil > 0
+            ? parent.bits_.ReadBits(pbase + static_cast<uint64_t>(d) * pil,
+                                    pil)
+            : 0;
+    const uint64_t addr_bit = (addr_in_parent >> (dim_ - 1 - d)) & 1u;
+    segments[d] = (parent_seg << (1 + il)) | (addr_bit << il) | my_seg;
+  }
+  ReplaceInfix(new_il, {segments, dim_});
+  MaybeSwitchRepresentation(cfg);
+}
+
+// ---- Lookup -------------------------------------------------------------
+
+uint64_t Node::FindOrdinal(uint64_t addr) const {
+  if (is_hc_) {
+    return bits_.GetBit(hc_present_base() + addr) ? addr : kNoOrdinal;
+  }
+  // Binary search over the packed, sorted address table (paper Sect. 3.2:
+  // keys are extracted from the bit stream at each search step).
+  const uint64_t base = lhc_addrs_base();
+  uint64_t lo = 0;
+  uint64_t hi = num_entries_;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi) / 2;
+    const uint64_t a = bits_.ReadBits(base + mid * dim_, dim_);
+    if (a < addr) {
+      lo = mid + 1;
+    } else if (a > addr) {
+      hi = mid;
+    } else {
+      return mid;
+    }
+  }
+  return kNoOrdinal;
+}
+
+bool Node::OrdinalIsSub(uint64_t ord) const {
+  return bits_.GetBit((is_hc_ ? hc_sub_base() : lhc_flags_base()) + ord) != 0;
+}
+
+uint64_t Node::OrdinalAddr(uint64_t ord) const {
+  if (is_hc_) {
+    return ord;
+  }
+  return bits_.ReadBits(lhc_addrs_base() + ord * dim_, dim_);
+}
+
+uint64_t Node::OrdinalPayload(uint64_t ord) const {
+  if (!store_values_ && !OrdinalIsSub(ord)) {
+    return 0;  // key-only mode: postfix entries carry no payload
+  }
+  return bits_.ReadBits(PayloadSlot(ord) * 64, 64);
+}
+
+Node* Node::OrdinalSub(uint64_t ord) const {
+  return PayloadToPtr(OrdinalPayload(ord));
+}
+
+void Node::ReadPostfixInto(uint64_t ord, std::span<uint64_t> key) const {
+  const uint32_t pl = postfix_len_;
+  if (pl == 0) {
+    return;
+  }
+  const uint64_t record_pos =
+      is_hc_ ? hc_records_base() + ord * stride()
+             : lhc_records_base() + LhcPostfixRank(ord) * stride();
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t seg =
+        bits_.ReadBits(record_pos + static_cast<uint64_t>(d) * pl, pl);
+    key[d] = (key[d] & ~LowMask(pl)) | seg;
+  }
+}
+
+int Node::PostfixDivergence(uint64_t ord,
+                            std::span<const uint64_t> key) const {
+  const uint32_t pl = postfix_len_;
+  if (pl == 0) {
+    return -1;
+  }
+  const uint64_t record_pos =
+      is_hc_ ? hc_records_base() + ord * stride()
+             : lhc_records_base() + LhcPostfixRank(ord) * stride();
+  uint64_t agg = 0;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t seg =
+        bits_.ReadBits(record_pos + static_cast<uint64_t>(d) * pl, pl);
+    agg |= seg ^ (key[d] & LowMask(pl));
+  }
+  if (agg == 0) {
+    return -1;
+  }
+  return static_cast<int>(std::bit_width(agg)) - 1;
+}
+
+// ---- Ordinal iteration -------------------------------------------------
+
+uint64_t Node::OrdinalGE(uint64_t addr) const {
+  if (is_hc_) {
+    const uint64_t base = hc_present_base();
+    const uint64_t bit = bits_.FindNextOne(base + addr);
+    if (bit == BitBuffer::kNpos || bit >= base + hc_slots()) {
+      return kNoOrdinal;
+    }
+    return bit - base;
+  }
+  const uint64_t base = lhc_addrs_base();
+  uint64_t lo = 0;
+  uint64_t hi = num_entries_;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi) / 2;
+    if (bits_.ReadBits(base + mid * dim_, dim_) < addr) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < num_entries_ ? lo : kNoOrdinal;
+}
+
+uint64_t Node::NextOrdinal(uint64_t ord) const {
+  if (is_hc_) {
+    const uint64_t base = hc_present_base();
+    const uint64_t bit = bits_.FindNextOne(base + ord + 1);
+    if (bit == BitBuffer::kNpos || bit >= base + hc_slots()) {
+      return kNoOrdinal;
+    }
+    return bit - base;
+  }
+  return ord + 1 < num_entries_ ? ord + 1 : kNoOrdinal;
+}
+
+// ---- Mutation -------------------------------------------------------------
+
+void Node::WritePostfixRecord(uint64_t record_pos,
+                              std::span<const uint64_t> key) {
+  const uint32_t pl = postfix_len_;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    bits_.WriteBits(record_pos + static_cast<uint64_t>(d) * pl, pl,
+                    key[d] & LowMask(pl));
+  }
+}
+
+void Node::ZeroBits(uint64_t pos, uint64_t n) {
+  while (n > 0) {
+    const uint32_t chunk = n >= 64 ? 64 : static_cast<uint32_t>(n);
+    bits_.WriteBits(pos, chunk, 0);
+    pos += chunk;
+    n -= chunk;
+  }
+}
+
+void Node::LhcInsertEntry(uint64_t p, uint64_t addr, bool is_sub,
+                          uint64_t payload, const uint64_t* key) {
+  const uint64_t n = num_entries_;
+  const uint64_t np = num_postfixes();
+  const uint64_t ib = infix_bits();
+  const uint64_t st = stride();
+  const uint64_t rank = LhcPostfixRank(p);
+  const uint64_t has_rec = is_sub ? 0 : 1;
+  // Payload slots: one per entry in value mode, one per sub in key-only
+  // mode (indexed by sub rank).
+  const bool add_slot = store_values_ || is_sub;
+  const uint64_t o_pw = payload_words();
+  const uint64_t n_pw = o_pw + (add_slot ? 1 : 0);
+  const uint64_t slot = store_values_ ? p : PayloadSlot(p);
+  // Old region bases.
+  const uint64_t o_inf = o_pw * 64;
+  const uint64_t o_flg = o_inf + ib;
+  const uint64_t o_adr = o_flg + n;
+  const uint64_t o_rec = o_adr + n * dim_;
+  // New region bases (n+1 entries).
+  const uint64_t n_inf = n_pw * 64;
+  const uint64_t n_flg = n_inf + ib;
+  const uint64_t n_adr = n_flg + (n + 1);
+  const uint64_t n_rec = n_adr + (n + 1) * dim_;
+  bits_.Resize(n_rec + (np + has_rec) * st);
+  // Move each segment exactly once, highest source first (all displacements
+  // are rightward, so later (lower) sources are never clobbered).
+  bits_.MoveBits(o_rec + rank * st, n_rec + (rank + has_rec) * st,
+                 (np - rank) * st);
+  bits_.MoveBits(o_rec, n_rec, rank * st);
+  bits_.MoveBits(o_adr + p * dim_, n_adr + (p + 1) * dim_, (n - p) * dim_);
+  bits_.MoveBits(o_adr, n_adr, p * dim_);
+  bits_.MoveBits(o_flg + p, n_flg + p + 1, n - p);
+  bits_.MoveBits(o_flg, n_flg, p);
+  bits_.MoveBits(o_inf, n_inf, ib);
+  if (add_slot) {
+    bits_.MoveBits(slot * 64, (slot + 1) * 64, (o_pw - slot) * 64);
+    bits_.WriteBits(slot * 64, 64, payload);
+  }
+  // Write the new entry (every field is fully overwritten).
+  bits_.SetBit(n_flg + p, is_sub ? 1 : 0);
+  bits_.WriteBits(n_adr + p * dim_, dim_, addr);
+  ++num_entries_;
+  if (is_sub) {
+    ++num_subs_;
+  } else {
+    WritePostfixRecord(lhc_records_base() + rank * st,
+                       {key, static_cast<size_t>(dim_)});
+  }
+}
+
+void Node::LhcRemoveEntry(uint64_t p) {
+  const uint64_t n = num_entries_;
+  const uint64_t np = num_postfixes();
+  const uint64_t ib = infix_bits();
+  const uint64_t st = stride();
+  const bool was_sub = OrdinalIsSub(p);
+  const uint64_t rank = LhcPostfixRank(p);
+  const uint64_t has_rec = was_sub ? 0 : 1;
+  const bool drop_slot = store_values_ || was_sub;
+  const uint64_t o_pw = payload_words();
+  const uint64_t n_pw = o_pw - (drop_slot ? 1 : 0);
+  const uint64_t slot = store_values_ ? p : PayloadSlot(p);
+  const uint64_t o_inf = o_pw * 64;
+  const uint64_t o_flg = o_inf + ib;
+  const uint64_t o_adr = o_flg + n;
+  const uint64_t o_rec = o_adr + n * dim_;
+  const uint64_t n_inf = n_pw * 64;
+  const uint64_t n_flg = n_inf + ib;
+  const uint64_t n_adr = n_flg + (n - 1);
+  const uint64_t n_rec = n_adr + (n - 1) * dim_;
+  // Leftward displacements: process lowest source first.
+  if (drop_slot) {
+    bits_.MoveBits((slot + 1) * 64, slot * 64, (o_pw - 1 - slot) * 64);
+  }
+  bits_.MoveBits(o_inf, n_inf, ib);
+  bits_.MoveBits(o_flg, n_flg, p);
+  bits_.MoveBits(o_flg + p + 1, n_flg + p, n - 1 - p);
+  bits_.MoveBits(o_adr, n_adr, p * dim_);
+  bits_.MoveBits(o_adr + (p + 1) * dim_, n_adr + p * dim_,
+                 (n - 1 - p) * dim_);
+  bits_.MoveBits(o_rec, n_rec, rank * st);
+  bits_.MoveBits(o_rec + (rank + has_rec) * st, n_rec + rank * st,
+                 (np - rank - has_rec) * st);
+  bits_.Resize(n_rec + (np - has_rec) * st);
+  --num_entries_;
+  if (was_sub) {
+    --num_subs_;
+  }
+}
+
+void Node::InsertPostfix(uint64_t addr, std::span<const uint64_t> key,
+                         uint64_t value, const PhTreeConfig& cfg) {
+  assert(FindOrdinal(addr) == kNoOrdinal);
+  if (is_hc_) {
+    if (store_values_) {
+      bits_.WriteBits(addr * 64, 64, value);
+    } else if (payload_words() > 0) {
+      bits_.WriteBits(addr * 64, 64, 0);  // unused slot: keep deterministic
+    }
+    bits_.SetBit(hc_present_base() + addr, 1);
+    bits_.SetBit(hc_sub_base() + addr, 0);
+    WritePostfixRecord(hc_records_base() + addr * stride(), key);
+    ++num_entries_;
+  } else {
+    const uint64_t ge = OrdinalGE(addr);
+    const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
+    LhcInsertEntry(p, addr, /*is_sub=*/false, value, key.data());
+  }
+  MaybeSwitchRepresentation(cfg);
+}
+
+void Node::InsertSub(uint64_t addr, Node* child, const PhTreeConfig& cfg) {
+  assert(FindOrdinal(addr) == kNoOrdinal);
+  if (is_hc_) {
+    if (!store_values_ && num_subs_ == 0) {
+      // Key-only mode: the first sub-node materialises the payload region.
+      bits_.InsertBits(0, hc_slots() * 64);
+    }
+    ++num_subs_;
+    bits_.WriteBits(addr * 64, 64, PtrToPayload(child));
+    bits_.SetBit(hc_present_base() + addr, 1);
+    bits_.SetBit(hc_sub_base() + addr, 1);
+    ++num_entries_;
+  } else {
+    const uint64_t ge = OrdinalGE(addr);
+    const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
+    LhcInsertEntry(p, addr, /*is_sub=*/true, PtrToPayload(child), nullptr);
+  }
+  MaybeSwitchRepresentation(cfg);
+}
+
+void Node::RemoveEntry(uint64_t addr, const PhTreeConfig& cfg) {
+  const uint64_t ord = FindOrdinal(addr);
+  assert(ord != kNoOrdinal);
+  if (is_hc_) {
+    const bool was_sub = OrdinalIsSub(ord);
+    if (!was_sub) {
+      ZeroBits(hc_records_base() + addr * stride(), stride());
+    }
+    bits_.SetBit(hc_present_base() + addr, 0);
+    bits_.SetBit(hc_sub_base() + addr, 0);
+    if (payload_words() > 0) {
+      bits_.WriteBits(addr * 64, 64, 0);
+    }
+    --num_entries_;
+    if (was_sub) {
+      --num_subs_;
+      if (!store_values_ && num_subs_ == 0) {
+        // Key-only mode: the last sub-node left, drop the payload region.
+        bits_.RemoveBits(0, hc_slots() * 64);
+      }
+    }
+  } else {
+    LhcRemoveEntry(ord);
+  }
+  MaybeSwitchRepresentation(cfg);
+}
+
+void Node::ReplaceEntryWithSub(uint64_t addr, Node* child,
+                               const PhTreeConfig& cfg) {
+  const uint64_t ord = FindOrdinal(addr);
+  assert(ord != kNoOrdinal && !OrdinalIsSub(ord));
+  if (is_hc_) {
+    ZeroBits(hc_records_base() + addr * stride(), stride());
+    if (!store_values_ && num_subs_ == 0) {
+      bits_.InsertBits(0, hc_slots() * 64);
+    }
+    ++num_subs_;
+    bits_.SetBit(hc_sub_base() + addr, 1);
+    bits_.WriteBits(addr * 64, 64, PtrToPayload(child));
+  } else {
+    // Remove + reinsert keeps the region bookkeeping in one place (this
+    // path runs once per sub-node creation, so the second pass is cheap).
+    LhcRemoveEntry(ord);
+    const uint64_t ge = OrdinalGE(addr);
+    const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
+    LhcInsertEntry(p, addr, /*is_sub=*/true, PtrToPayload(child), nullptr);
+  }
+  MaybeSwitchRepresentation(cfg);
+}
+
+void Node::ReplaceSubWithPostfix(uint64_t addr, std::span<const uint64_t> key,
+                                 uint64_t value, const PhTreeConfig& cfg) {
+  const uint64_t ord = FindOrdinal(addr);
+  assert(ord != kNoOrdinal && OrdinalIsSub(ord));
+  if (is_hc_) {
+    bits_.SetBit(hc_sub_base() + addr, 0);
+    WritePostfixRecord(hc_records_base() + addr * stride(), key);
+    if (payload_words() > 0) {
+      bits_.WriteBits(addr * 64, 64, store_values_ ? value : 0);
+    }
+    --num_subs_;
+    if (!store_values_ && num_subs_ == 0) {
+      bits_.RemoveBits(0, hc_slots() * 64);
+    }
+  } else {
+    LhcRemoveEntry(ord);
+    const uint64_t ge = OrdinalGE(addr);
+    const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
+    uint64_t keybuf[kMaxDims];
+    for (uint32_t d = 0; d < dim_; ++d) {
+      keybuf[d] = key[d];
+    }
+    LhcInsertEntry(p, addr, /*is_sub=*/false, value, keybuf);
+  }
+  MaybeSwitchRepresentation(cfg);
+}
+
+void Node::SetSubAt(uint64_t ord, Node* child) {
+  assert(OrdinalIsSub(ord));
+  bits_.WriteBits(PayloadSlot(ord) * 64, 64, PtrToPayload(child));
+}
+
+void Node::SetPayloadAt(uint64_t ord, uint64_t value) {
+  assert(!OrdinalIsSub(ord));
+  if (store_values_) {
+    bits_.WriteBits(PayloadSlot(ord) * 64, 64, value);
+  }
+}
+
+// ---- Representation switching ------------------------------------------
+
+// Size comparisons use exact bit counts: any coarser rounding would hide
+// the HC advantage at low dimensionality (k-1 bits per slot at full
+// occupancy), and the switching decision must be a deterministic pure
+// function of the node contents.
+uint64_t Node::HcBitsFor(uint64_t n_postfixes) const {
+  const uint64_t s = hc_slots();
+  uint64_t payload_bits = s * 64;
+  if (!store_values_) {
+    payload_bits = num_entries_ - n_postfixes > 0 ? s * 64 : 0;
+  }
+  return payload_bits + infix_bits() + 2 * s + s * stride();
+}
+
+uint64_t Node::LhcBitsFor(uint64_t n_entries, uint64_t n_postfixes) const {
+  const uint64_t payload_bits =
+      (store_values_ ? n_entries : n_entries - n_postfixes) * 64;
+  return payload_bits + infix_bits() + n_entries + n_entries * dim_ +
+         n_postfixes * stride();
+}
+
+void Node::MaybeSwitchRepresentation(const PhTreeConfig& cfg) {
+  const bool hc_allowed = dim_ <= cfg.hc_max_dim;
+  switch (cfg.repr) {
+    case NodeRepr::kLhcOnly:
+      if (is_hc_) {
+        ConvertToLhc();
+      }
+      return;
+    case NodeRepr::kHcOnly:
+      if (!is_hc_ && hc_allowed) {
+        ConvertToHc();
+      }
+      return;
+    case NodeRepr::kAdaptive:
+      break;
+  }
+  if (!hc_allowed) {
+    if (is_hc_) {
+      ConvertToLhc();
+    }
+    return;
+  }
+  const uint64_t hc = HcBits();
+  const uint64_t lhc = LhcBits();
+  if (cfg.hysteresis >= 1.0) {
+    // Strict rule (paper Sect. 3.2): HC iff strictly smaller; ties stay
+    // LHC. Representation is a pure function of current occupancy.
+    const bool want_hc = hc < lhc;
+    if (want_hc != is_hc_) {
+      if (want_hc) {
+        ConvertToHc();
+      } else {
+        ConvertToLhc();
+      }
+    }
+    return;
+  }
+  if (is_hc_) {
+    if (static_cast<double>(lhc) < static_cast<double>(hc) * cfg.hysteresis) {
+      ConvertToLhc();
+    }
+  } else {
+    if (static_cast<double>(hc) < static_cast<double>(lhc) * cfg.hysteresis) {
+      ConvertToHc();
+    }
+  }
+}
+
+void Node::ConvertToHc() {
+  assert(!is_hc_);
+  const uint64_t s = hc_slots();
+  const uint64_t ib = infix_bits();
+  // New-layout bases.
+  const uint64_t pay_words =
+      store_values_ ? s : (num_subs_ > 0 ? s : 0);
+  const uint64_t n_infix = pay_words * 64;
+  const uint64_t n_present = n_infix + ib;
+  const uint64_t n_sub = n_present + s;
+  const uint64_t n_records = n_sub + s;
+  BitBuffer nb(n_records + s * stride());
+  nb.CopyFrom(bits_, infix_base(), n_infix, ib);
+  uint64_t rank = 0;
+  for (uint64_t i = 0; i < num_entries_; ++i) {
+    const uint64_t addr = OrdinalAddr(i);
+    const bool is_sub = OrdinalIsSub(i);
+    if (store_values_ || is_sub) {
+      nb.WriteBits(addr * 64, 64, OrdinalPayload(i));
+    }
+    nb.SetBit(n_present + addr, 1);
+    if (is_sub) {
+      nb.SetBit(n_sub + addr, 1);
+    } else {
+      nb.CopyFrom(bits_, lhc_records_base() + rank * stride(),
+                  n_records + addr * stride(), stride());
+      ++rank;
+    }
+  }
+  bits_ = std::move(nb);
+  is_hc_ = true;
+}
+
+void Node::ConvertToLhc() {
+  assert(is_hc_);
+  const uint64_t n = num_entries_;
+  const uint64_t np = num_postfixes();
+  const uint64_t ib = infix_bits();
+  // New-layout bases.
+  const uint64_t pay_words = store_values_ ? n : num_subs_;
+  const uint64_t n_infix = pay_words * 64;
+  const uint64_t n_flags = n_infix + ib;
+  const uint64_t n_addrs = n_flags + n;
+  const uint64_t n_records = n_addrs + n * dim_;
+  BitBuffer nb(n_records + np * stride());
+  nb.CopyFrom(bits_, infix_base(), n_infix, ib);
+  uint64_t i = 0;
+  uint64_t rank = 0;
+  uint64_t sub_rank = 0;
+  for (uint64_t ord = FirstOrdinal(); ord != kNoOrdinal;
+       ord = NextOrdinal(ord)) {
+    const bool is_sub = OrdinalIsSub(ord);
+    if (store_values_) {
+      nb.WriteBits(i * 64, 64, OrdinalPayload(ord));
+    } else if (is_sub) {
+      nb.WriteBits(sub_rank * 64, 64, OrdinalPayload(ord));
+      ++sub_rank;
+    }
+    nb.WriteBits(n_addrs + i * dim_, dim_, ord);
+    if (is_sub) {
+      nb.SetBit(n_flags + i, 1);
+    } else {
+      nb.CopyFrom(bits_, hc_records_base() + ord * stride(),
+                  n_records + rank * stride(), stride());
+      ++rank;
+    }
+    ++i;
+  }
+  bits_ = std::move(nb);
+  is_hc_ = false;
+}
+
+// ---- Accounting ---------------------------------------------------------
+
+uint64_t Node::MemoryBytes() const {
+  return sizeof(Node) + kAllocOverhead + BufferBytes(bits_);
+}
+
+}  // namespace phtree

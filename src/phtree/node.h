@@ -1,0 +1,248 @@
+// A PH-tree node (paper Sect. 3.1-3.2). Each node sits at one bit level of
+// the k-dimensional key space and stores:
+//   * an infix: the prefix bits shared by everything below it (PATRICIA
+//     prefix sharing),
+//   * an entry table keyed by k-bit hypercube addresses, where each entry is
+//     either a postfix (the remaining bits of one key, bit-packed) plus a
+//     64-bit payload, or a pointer to a sub-node.
+// The entry table has two interchangeable representations, HC (dense array,
+// O(1) access, O(2^k) space) and LHC (address-sorted compact table, O(k)
+// binary-search access, O(entries) space); the node switches automatically
+// to whichever needs fewer bytes (Sect. 3.2).
+#ifndef PHTREE_PHTREE_NODE_H_
+#define PHTREE_PHTREE_NODE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bit_buffer.h"
+#include "common/bits.h"
+#include "phtree/config.h"
+
+namespace phtree {
+
+class Node {
+ public:
+  /// Sentinel ordinal meaning "no entry".
+  static constexpr uint64_t kNoOrdinal = ~uint64_t{0};
+
+  /// Creates an empty node. `infix_len` bits per dimension are shared by all
+  /// entries below this node; `postfix_len` bits per dimension remain below
+  /// this node's address bit. Invariant vs the parent:
+  ///   parent.postfix_len == infix_len + 1 + postfix_len.
+  Node(uint32_t dim, uint32_t infix_len, uint32_t postfix_len,
+       bool store_values = true);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  uint32_t dim() const { return dim_; }
+  uint32_t infix_len() const { return infix_len_; }
+  uint32_t postfix_len() const { return postfix_len_; }
+  bool is_hc() const { return is_hc_; }
+  uint32_t num_entries() const { return num_entries_; }
+  uint32_t num_subs() const { return num_subs_; }
+  uint32_t num_postfixes() const { return num_entries_ - num_subs_; }
+
+  // ---- Infix (prefix sharing) ----------------------------------------
+
+  /// Stores bits [postfix_len+1, postfix_len+infix_len] of each dimension of
+  /// `key` as this node's infix.
+  void SetInfixFromKey(std::span<const uint64_t> key);
+
+  /// Overwrites bits [postfix_len+1, postfix_len+infix_len] of each
+  /// dimension of `key` with this node's infix.
+  void ReadInfixInto(std::span<uint64_t> key) const;
+
+  /// Compares the infix with the corresponding bits of `key`. Returns the
+  /// key-space bit index (LSB = 0) of the highest mismatching bit, or -1 if
+  /// the infix matches.
+  int MatchInfix(std::span<const uint64_t> key) const;
+
+  /// Shortens the infix to its lowest `new_infix_len` bits per dimension
+  /// (used when a node is split: the upper infix bits move to the new
+  /// parent). Adjusts infix_len(); postfix_len() is unchanged.
+  void TrimInfixToLow(uint32_t new_infix_len, const PhTreeConfig& cfg);
+
+  /// Extends the infix upwards by absorbing the infix of `parent` plus this
+  /// node's address bit `addr_in_parent` (used when `parent` is spliced out
+  /// after a deletion left it with a single sub-node). Adjusts infix_len().
+  void AbsorbParentInfix(const Node& parent, uint64_t addr_in_parent,
+                         const PhTreeConfig& cfg);
+
+  // ---- Entry lookup ----------------------------------------------------
+
+  /// Finds the entry with hypercube address `addr`. Returns an ordinal
+  /// handle or kNoOrdinal. Ordinals are invalidated by any mutation.
+  uint64_t FindOrdinal(uint64_t addr) const;
+
+  bool OrdinalIsSub(uint64_t ord) const;
+  uint64_t OrdinalAddr(uint64_t ord) const;
+  uint64_t OrdinalPayload(uint64_t ord) const;
+  Node* OrdinalSub(uint64_t ord) const;
+
+  /// Overwrites bits [0, postfix_len) of each dimension of `key` with the
+  /// postfix record of entry `ord` (which must be a postfix entry).
+  void ReadPostfixInto(uint64_t ord, std::span<uint64_t> key) const;
+
+  /// Compares the postfix record of `ord` with bits [0, postfix_len) of
+  /// `key`. Returns the key-space bit index of the highest differing bit, or
+  /// -1 if equal.
+  int PostfixDivergence(uint64_t ord, std::span<const uint64_t> key) const;
+
+  // ---- Ordinal iteration (ascending hypercube address) ------------------
+
+  /// First ordinal whose address is >= addr, or kNoOrdinal.
+  uint64_t OrdinalGE(uint64_t addr) const;
+
+  /// Next ordinal after `ord`, or kNoOrdinal.
+  uint64_t NextOrdinal(uint64_t ord) const;
+
+  /// First ordinal, or kNoOrdinal if the node is empty.
+  uint64_t FirstOrdinal() const { return OrdinalGE(0); }
+
+  // ---- Mutation ----------------------------------------------------------
+
+  /// Inserts a postfix entry (no entry with `addr` may exist).
+  void InsertPostfix(uint64_t addr, std::span<const uint64_t> key,
+                     uint64_t value, const PhTreeConfig& cfg);
+
+  /// Inserts a sub-node entry (no entry with `addr` may exist).
+  void InsertSub(uint64_t addr, Node* child, const PhTreeConfig& cfg);
+
+  /// Removes the entry with address `addr` (which must exist).
+  void RemoveEntry(uint64_t addr, const PhTreeConfig& cfg);
+
+  /// Replaces the postfix entry at `addr` with the sub-node `child`.
+  void ReplaceEntryWithSub(uint64_t addr, Node* child, const PhTreeConfig& cfg);
+
+  /// Replaces the sub-node entry at `addr` with a postfix entry.
+  void ReplaceSubWithPostfix(uint64_t addr, std::span<const uint64_t> key,
+                             uint64_t value, const PhTreeConfig& cfg);
+
+  /// Updates the child pointer of the sub-node entry at ordinal `ord`.
+  void SetSubAt(uint64_t ord, Node* child);
+
+  /// Updates the payload of the postfix entry at ordinal `ord`.
+  void SetPayloadAt(uint64_t ord, uint64_t value);
+
+  // ---- Accounting ---------------------------------------------------------
+
+  /// Heap bytes owned by this node, including the node object itself and an
+  /// estimated per-allocation overhead (see DESIGN.md, space accounting).
+  uint64_t MemoryBytes() const;
+
+  /// Exact bit sizes both representations would need for the current
+  /// occupancy (used by the switching rule and exposed for tests). Bit
+  /// precision matters: at k=2 the HC advantage is a single bit per slot.
+  uint64_t HcBits() const { return HcBitsFor(num_postfixes()); }
+  uint64_t LhcBits() const {
+    return LhcBitsFor(num_entries_, num_postfixes());
+  }
+
+ private:
+  // ---- Single-bit-stream node layout (paper Sect. 3.4, ref [9]) ----------
+  //
+  // The whole node is serialised into one bit buffer `bits_`:
+  //
+  // LHC (n = num_entries, np = num_postfixes):
+  //   [payloads: n x 64] [infix: dim*il] [is_sub flags: n]
+  //   [addresses: n x dim, sorted ascending] [postfix records: np x stride]
+  // HC (S = 2^dim slots):
+  //   [payloads: S x 64] [infix: dim*il] [present bitmap: S]
+  //   [is_sub bitmap: S] [postfix records: S x stride, slot-addressed]
+  //
+  // In key-only mode (store_values == false) the payload region holds only
+  // sub-node pointers: LHC keeps num_subs slots indexed by sub rank; HC
+  // keeps its S slot-addressed payload words only while the node has at
+  // least one sub-node, and drops the region entirely otherwise.
+  //
+  // Payload slots are 64-bit aligned at offset 0 (single-word reads); all
+  // other fields use exactly the bits they need. LHC mutations shift the
+  // stream (the paper's shift-left/right costs); HC mutations write in
+  // place.
+
+  uint64_t stride() const {
+    return static_cast<uint64_t>(dim_) * postfix_len_;
+  }
+  uint64_t hc_slots() const { return uint64_t{1} << dim_; }
+  uint64_t infix_bits() const {
+    return static_cast<uint64_t>(dim_) * infix_len_;
+  }
+  /// Number of 64-bit payload slots in the current layout.
+  uint64_t payload_words() const {
+    if (store_values_) {
+      return is_hc_ ? hc_slots() : num_entries_;
+    }
+    if (is_hc_) {
+      return num_subs_ > 0 ? hc_slots() : 0;
+    }
+    return num_subs_;
+  }
+  uint64_t infix_base() const { return payload_words() * 64; }
+  /// Payload slot index of entry `ord`, which must have one (any entry in
+  /// value mode; sub-node entries in key-only mode).
+  uint64_t PayloadSlot(uint64_t ord) const {
+    if (store_values_ || is_hc_) {
+      return ord;
+    }
+    // Key-only LHC: slots are indexed by rank among sub-node entries.
+    const uint64_t base = lhc_flags_base();
+    return bits_.CountOnesInRange(base, base + ord);
+  }
+  // LHC region bases.
+  uint64_t lhc_flags_base() const { return infix_base() + infix_bits(); }
+  uint64_t lhc_addrs_base() const { return lhc_flags_base() + num_entries_; }
+  uint64_t lhc_records_base() const {
+    return lhc_addrs_base() + static_cast<uint64_t>(num_entries_) * dim_;
+  }
+  // HC region bases.
+  uint64_t hc_present_base() const { return infix_base() + infix_bits(); }
+  uint64_t hc_sub_base() const { return hc_present_base() + hc_slots(); }
+  uint64_t hc_records_base() const { return hc_sub_base() + hc_slots(); }
+
+  uint64_t HcBitsFor(uint64_t n_postfixes) const;
+  uint64_t LhcBitsFor(uint64_t n_entries, uint64_t n_postfixes) const;
+
+  /// Number of postfix entries among LHC entries [0, ord).
+  uint64_t LhcPostfixRank(uint64_t ord) const {
+    const uint64_t base = lhc_flags_base();
+    return ord - bits_.CountOnesInRange(base, base + ord);
+  }
+
+  /// Applies the representation policy after a mutation.
+  void MaybeSwitchRepresentation(const PhTreeConfig& cfg);
+  void ConvertToHc();
+  void ConvertToLhc();
+
+  void WritePostfixRecord(uint64_t record_pos, std::span<const uint64_t> key);
+  void ZeroBits(uint64_t pos, uint64_t n);
+
+  /// Single-pass LHC entry insertion at entry position `p`: grows the
+  /// stream once and moves each region segment exactly once (instead of
+  /// shifting the tail once per region). `key` is null for sub-node
+  /// entries.
+  void LhcInsertEntry(uint64_t p, uint64_t addr, bool is_sub,
+                      uint64_t payload, const uint64_t* key);
+
+  /// Single-pass LHC entry removal at entry position `p`.
+  void LhcRemoveEntry(uint64_t p);
+  /// Replaces the infix region with `new_infix_len` bits per dimension taken
+  /// from `segments` (one right-aligned segment per dimension).
+  void ReplaceInfix(uint32_t new_infix_len,
+                    std::span<const uint64_t> segments);
+
+  uint16_t dim_;
+  uint8_t infix_len_;
+  uint8_t postfix_len_;
+  bool store_values_ = true;
+  bool is_hc_ = false;
+  uint32_t num_entries_ = 0;
+  uint32_t num_subs_ = 0;
+  BitBuffer bits_;
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_NODE_H_

@@ -1,0 +1,337 @@
+#include "phtree/phtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace phtree {
+namespace {
+
+/// Stack scratch space for one key; the tree never exceeds kMaxDims.
+struct KeyBuf {
+  uint64_t data[kMaxDims];
+  std::span<uint64_t> span(uint32_t dim) { return {data, dim}; }
+};
+
+void CopyKey(std::span<const uint64_t> src, std::span<uint64_t> dst) {
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i] = src[i];
+  }
+}
+
+}  // namespace
+
+PhTree::PhTree(uint32_t dim, const PhTreeConfig& config)
+    : dim_(dim), config_(config) {
+  assert(dim >= 1 && dim <= kMaxDims);
+}
+
+PhTree::~PhTree() { Clear(); }
+
+PhTree::PhTree(PhTree&& other) noexcept
+    : dim_(other.dim_),
+      config_(other.config_),
+      size_(other.size_),
+      root_(other.root_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+PhTree& PhTree::operator=(PhTree&& other) noexcept {
+  if (this != &other) {
+    Clear();
+    dim_ = other.dim_;
+    config_ = other.config_;
+    size_ = other.size_;
+    root_ = other.root_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void PhTree::Clear() {
+  if (root_ != nullptr) {
+    DeleteSubtree(root_);
+    root_ = nullptr;
+  }
+  size_ = 0;
+}
+
+void PhTree::DeleteSubtree(Node* node) {
+  for (uint64_t ord = node->FirstOrdinal(); ord != Node::kNoOrdinal;
+       ord = node->NextOrdinal(ord)) {
+    if (node->OrdinalIsSub(ord)) {
+      DeleteSubtree(node->OrdinalSub(ord));
+    }
+  }
+  delete node;
+}
+
+bool PhTree::Insert(std::span<const uint64_t> key, uint64_t value) {
+  assert(key.size() == dim_);
+  if (root_ == nullptr) {
+    root_ = new Node(dim_, /*infix_len=*/0, /*postfix_len=*/kBitWidth - 1,
+                     config_.store_values);
+    root_->InsertPostfix(HcAddressAt(key, kBitWidth - 1), key, value, config_);
+    size_ = 1;
+    return true;
+  }
+  bool inserted = false;
+  Node* new_root = InsertRec(root_, key, value, &inserted, /*assign=*/false);
+  assert(new_root == root_);  // the root has no infix, it never splits
+  root_ = new_root;
+  if (inserted) {
+    ++size_;
+  }
+  return inserted;
+}
+
+bool PhTree::InsertOrAssign(std::span<const uint64_t> key, uint64_t value) {
+  assert(key.size() == dim_);
+  if (root_ == nullptr) {
+    return Insert(key, value);
+  }
+  bool inserted = false;
+  root_ = InsertRec(root_, key, value, &inserted, /*assign=*/true);
+  if (inserted) {
+    ++size_;
+  }
+  return inserted;
+}
+
+Node* PhTree::InsertRec(Node* node, std::span<const uint64_t> key,
+                        uint64_t value, bool* inserted, bool assign) {
+  const int mis = node->MatchInfix(key);
+  if (mis >= 0) {
+    // The key diverges from this node's infix at key bit `mis`: split the
+    // node by inserting a new parent at that depth (paper Sect. 3.6; this
+    // plus the entry insertion below are the "at most two nodes" touched).
+    const uint32_t pl = node->postfix_len();
+    const uint32_t il = node->infix_len();
+    KeyBuf rep;
+    CopyKey(key, rep.span(dim_));
+    node->ReadInfixInto(rep.span(dim_));
+    const uint64_t addr_node = HcAddressAt(rep.span(dim_), mis);
+    const uint64_t addr_key = HcAddressAt(key, mis);
+    assert(addr_node != addr_key);
+
+    Node* parent = new Node(dim_, pl + il - static_cast<uint32_t>(mis),
+                            static_cast<uint32_t>(mis), config_.store_values);
+    parent->SetInfixFromKey(key);
+    node->TrimInfixToLow(static_cast<uint32_t>(mis) - 1 - pl, config_);
+    parent->InsertSub(addr_node, node, config_);
+    parent->InsertPostfix(addr_key, key, value, config_);
+    *inserted = true;
+    return parent;
+  }
+
+  const uint64_t addr = HcAddressAt(key, node->postfix_len());
+  const uint64_t ord = node->FindOrdinal(addr);
+  if (ord == Node::kNoOrdinal) {
+    node->InsertPostfix(addr, key, value, config_);
+    *inserted = true;
+    return node;
+  }
+  if (node->OrdinalIsSub(ord)) {
+    Node* child = node->OrdinalSub(ord);
+    Node* replacement = InsertRec(child, key, value, inserted, assign);
+    if (replacement != child) {
+      // `node` was not mutated since FindOrdinal, so `ord` is still valid.
+      node->SetSubAt(ord, replacement);
+    }
+    return node;
+  }
+  // Postfix collision.
+  const int div = node->PostfixDivergence(ord, key);
+  if (div < 0) {
+    // Exact duplicate.
+    if (assign) {
+      node->SetPayloadAt(ord, value);
+    }
+    *inserted = false;
+    return node;
+  }
+  // Both keys share bits (div, postfix_len) below this node; create a child
+  // at depth `div` holding the two postfixes.
+  const uint32_t pl = node->postfix_len();
+  KeyBuf old_key;
+  CopyKey(key, old_key.span(dim_));
+  node->ReadPostfixInto(ord, old_key.span(dim_));
+  const uint64_t old_value = node->OrdinalPayload(ord);
+
+  Node* child = new Node(dim_, pl - 1 - static_cast<uint32_t>(div),
+                         static_cast<uint32_t>(div), config_.store_values);
+  child->SetInfixFromKey(key);
+  child->InsertPostfix(HcAddressAt(old_key.span(dim_), div),
+                       old_key.span(dim_), old_value, config_);
+  child->InsertPostfix(HcAddressAt(key, div), key, value, config_);
+  node->ReplaceEntryWithSub(addr, child, config_);
+  *inserted = true;
+  return node;
+}
+
+std::optional<uint64_t> PhTree::Find(std::span<const uint64_t> key) const {
+  assert(key.size() == dim_);
+  const Node* node = root_;
+  while (node != nullptr) {
+    if (node->MatchInfix(key) >= 0) {
+      return std::nullopt;
+    }
+    const uint64_t addr = HcAddressAt(key, node->postfix_len());
+    const uint64_t ord = node->FindOrdinal(addr);
+    if (ord == Node::kNoOrdinal) {
+      return std::nullopt;
+    }
+    if (node->OrdinalIsSub(ord)) {
+      node = node->OrdinalSub(ord);
+      continue;
+    }
+    if (node->PostfixDivergence(ord, key) < 0) {
+      return node->OrdinalPayload(ord);
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool PhTree::Erase(std::span<const uint64_t> key) {
+  assert(key.size() == dim_);
+  if (root_ == nullptr) {
+    return false;
+  }
+  bool erased = false;
+  EraseRec(root_, key, &erased);
+  if (erased) {
+    --size_;
+    if (root_->num_entries() == 0) {
+      delete root_;
+      root_ = nullptr;
+    }
+  }
+  return erased;
+}
+
+void PhTree::EraseRec(Node* node, std::span<const uint64_t> key,
+                      bool* erased) {
+  if (node->MatchInfix(key) >= 0) {
+    return;
+  }
+  const uint64_t addr = HcAddressAt(key, node->postfix_len());
+  const uint64_t ord = node->FindOrdinal(addr);
+  if (ord == Node::kNoOrdinal) {
+    return;
+  }
+  if (node->OrdinalIsSub(ord)) {
+    Node* child = node->OrdinalSub(ord);
+    EraseRec(child, key, erased);
+    if (*erased && child->num_entries() == 1) {
+      // The child is no longer justified as a separate node: merge its last
+      // postfix into `node`, or splice the child out in favour of its single
+      // remaining sub-node (paper Sect. 3.6: the second affected node).
+      MergeSingleEntryChild(node, addr, child);
+    }
+    return;
+  }
+  if (node->PostfixDivergence(ord, key) < 0) {
+    node->RemoveEntry(addr, config_);
+    *erased = true;
+  }
+}
+
+void PhTree::MergeSingleEntryChild(Node* parent, uint64_t addr, Node* child) {
+  assert(child->num_entries() == 1);
+  const uint64_t cord = child->FirstOrdinal();
+  const uint64_t caddr = child->OrdinalAddr(cord);
+  if (child->OrdinalIsSub(cord)) {
+    // Splice: the grandchild absorbs the child's infix and address bit.
+    Node* grand = child->OrdinalSub(cord);
+    grand->AbsorbParentInfix(*child, caddr, config_);
+    const uint64_t pord = parent->FindOrdinal(addr);
+    parent->SetSubAt(pord, grand);
+    delete child;
+    return;
+  }
+  // Merge: rebuild the entry's bits below `parent` (child infix + child
+  // address bit + child postfix) and store them as a postfix of `parent`.
+  KeyBuf buf;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    buf.data[d] = 0;
+  }
+  child->ReadPostfixInto(cord, buf.span(dim_));
+  ApplyHcAddress(caddr, child->postfix_len(), buf.span(dim_));
+  child->ReadInfixInto(buf.span(dim_));
+  const uint64_t value = child->OrdinalPayload(cord);
+  parent->ReplaceSubWithPostfix(addr, buf.span(dim_), value, config_);
+  delete child;
+}
+
+void PhTree::ForEach(
+    const std::function<void(const PhKey&, uint64_t)>& fn) const {
+  if (root_ == nullptr) {
+    return;
+  }
+  PhKey key(dim_, 0);
+  // Iterative depth-first traversal with an explicit stack of (node,
+  // ordinal) frames; the shared `key` buffer always holds the bits of the
+  // current path (ancestors own the bits above each node's region).
+  struct Frame {
+    const Node* node;
+    uint64_t ord;
+  };
+  std::vector<Frame> stack;
+  root_->ReadInfixInto(key);
+  stack.push_back({root_, root_->FirstOrdinal()});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.ord == Node::kNoOrdinal) {
+      stack.pop_back();
+      continue;
+    }
+    const Node* node = f.node;
+    const uint64_t ord = f.ord;
+    f.ord = node->NextOrdinal(ord);
+    const uint64_t addr = node->OrdinalAddr(ord);
+    ApplyHcAddress(addr, node->postfix_len(), key);
+    if (node->OrdinalIsSub(ord)) {
+      const Node* child = node->OrdinalSub(ord);
+      child->ReadInfixInto(key);
+      stack.push_back({child, child->FirstOrdinal()});
+    } else {
+      node->ReadPostfixInto(ord, key);
+      fn(key, node->OrdinalPayload(ord));
+    }
+  }
+}
+
+PhTreeStats PhTree::ComputeStats() const {
+  PhTreeStats stats;
+  stats.n_entries = size_;
+  if (root_ != nullptr) {
+    StatsRec(root_, 1, &stats);
+  }
+  return stats;
+}
+
+void PhTree::StatsRec(const Node* node, size_t depth,
+                      PhTreeStats* stats) const {
+  ++stats->n_nodes;
+  if (node->is_hc()) {
+    ++stats->n_hc_nodes;
+  } else {
+    ++stats->n_lhc_nodes;
+  }
+  stats->memory_bytes += node->MemoryBytes();
+  stats->max_depth = std::max(stats->max_depth, depth);
+  stats->sum_node_depth += depth;
+  stats->infix_bits += static_cast<uint64_t>(node->infix_len()) * dim_;
+  stats->n_postfix_entries += node->num_postfixes();
+  for (uint64_t ord = node->FirstOrdinal(); ord != Node::kNoOrdinal;
+       ord = node->NextOrdinal(ord)) {
+    if (node->OrdinalIsSub(ord)) {
+      StatsRec(node->OrdinalSub(ord), depth + 1, stats);
+    }
+  }
+}
+
+}  // namespace phtree

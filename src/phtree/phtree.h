@@ -1,0 +1,111 @@
+// The PH-tree (PATRICIA-hypercube-tree), the primary contribution of
+// T. Zäschke, C. Zimmerli, M. C. Norrie: "The PH-Tree - A Space-Efficient
+// Storage Structure and Multi-Dimensional Index", SIGMOD 2014.
+//
+// This class indexes k-dimensional points of k x 64-bit unsigned integer
+// coordinates and maps each point to one 64-bit payload. Floating-point
+// coordinates are supported through the order-preserving conversion of
+// Sect. 3.3 (see PhTreeD in phtree_d.h).
+//
+// Complexity (paper Sect. 3.5/3.6, w = 64 bits, k dimensions, n entries):
+//   * point query / insert / erase: O(w*k), independent of n,
+//   * window query: O(w*k) per returned entry in the best case,
+//   * structure is independent of insertion order; updates touch at most
+//     two nodes.
+#ifndef PHTREE_PHTREE_PHTREE_H_
+#define PHTREE_PHTREE_PHTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "phtree/config.h"
+#include "phtree/node.h"
+#include "phtree/stats.h"
+
+namespace phtree {
+
+/// A k-dimensional point key. Dimensionality is fixed per tree.
+using PhKey = std::vector<uint64_t>;
+
+class PhTree {
+ public:
+  /// Creates an empty tree for `dim`-dimensional keys (1 <= dim <= 63).
+  explicit PhTree(uint32_t dim, const PhTreeConfig& config = PhTreeConfig{});
+  ~PhTree();
+
+  PhTree(PhTree&& other) noexcept;
+  PhTree& operator=(PhTree&& other) noexcept;
+  PhTree(const PhTree&) = delete;
+  PhTree& operator=(const PhTree&) = delete;
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const PhTreeConfig& config() const { return config_; }
+
+  /// Inserts `key` -> `value`. Returns false (and stores nothing) if the key
+  /// already exists — the PH-tree stores no duplicates (paper Sect. 3.6).
+  bool Insert(std::span<const uint64_t> key, uint64_t value);
+
+  /// Inserts or overwrites. Returns true if the key was newly inserted.
+  bool InsertOrAssign(std::span<const uint64_t> key, uint64_t value);
+
+  /// Point query (paper Sect. 3.5): returns the payload if `key` is stored.
+  std::optional<uint64_t> Find(std::span<const uint64_t> key) const;
+
+  /// Point query without payload retrieval.
+  bool Contains(std::span<const uint64_t> key) const {
+    return Find(key).has_value();
+  }
+
+  /// Removes `key`. Returns false if it was not present. Modifies at most
+  /// two nodes (paper Sect. 3.6).
+  bool Erase(std::span<const uint64_t> key);
+
+  /// Removes all entries.
+  void Clear();
+
+  /// Calls `fn(key, value)` for every stored entry, in z-order (ascending
+  /// hypercube-address order at every node).
+  void ForEach(
+      const std::function<void(const PhKey&, uint64_t)>& fn) const;
+
+  /// Collects all entries inside the axis-aligned box [min, max] (inclusive
+  /// on both corners, per dimension). Convenience eager form of the window
+  /// query; see PhTreeWindowIterator in query.h for the lazy iterator.
+  std::vector<std::pair<PhKey, uint64_t>> QueryWindow(
+      std::span<const uint64_t> min, std::span<const uint64_t> max) const;
+
+  /// Number of entries inside the box [min, max] without materialising them.
+  size_t CountWindow(std::span<const uint64_t> min,
+                     std::span<const uint64_t> max) const;
+
+  /// Walks the tree and computes structural statistics (node counts, memory
+  /// bytes, depths). O(nodes).
+  PhTreeStats ComputeStats() const;
+
+  /// Root node accessor for iterators/tests; nullptr when empty.
+  const Node* root() const { return root_; }
+
+ private:
+  friend class PhTreeValidator;
+
+  Node* InsertRec(Node* node, std::span<const uint64_t> key, uint64_t value,
+                  bool* inserted, bool assign);
+  void EraseRec(Node* node, std::span<const uint64_t> key, bool* erased);
+  void MergeSingleEntryChild(Node* parent, uint64_t addr, Node* child);
+  void DeleteSubtree(Node* node);
+  void StatsRec(const Node* node, size_t depth, PhTreeStats* stats) const;
+
+  uint32_t dim_;
+  PhTreeConfig config_;
+  size_t size_ = 0;
+  Node* root_ = nullptr;
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_PHTREE_H_

@@ -1,0 +1,97 @@
+// Thread-safe PH-tree wrapper (paper Sect. 5, third outlook item: "the fact
+// that at most two nodes are modified with each update makes the PH-tree
+// suitable for concurrent access and updates").
+//
+// This wrapper provides the coarse-grained variant: a reader/writer lock
+// over the whole tree — many concurrent readers, exclusive writers. The
+// two-node update property keeps writer critical sections short and
+// bounded (O(w*k) plus at most one node allocation), which is what makes
+// even this simple scheme practical; a fine-grained scheme would lock the
+// at-most-two affected nodes instead.
+#ifndef PHTREE_PHTREE_PHTREE_SYNC_H_
+#define PHTREE_PHTREE_PHTREE_SYNC_H_
+
+#include <cstdint>
+#include <optional>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "phtree/knn.h"
+#include "phtree/phtree.h"
+#include "phtree/query.h"
+
+namespace phtree {
+
+/// Thread-safe facade over PhTree. All methods are safe to call from any
+/// number of threads concurrently.
+class PhTreeSync {
+ public:
+  explicit PhTreeSync(uint32_t dim, const PhTreeConfig& config = PhTreeConfig{})
+      : tree_(dim, config) {}
+
+  uint32_t dim() const { return tree_.dim(); }
+
+  size_t size() const {
+    std::shared_lock lock(mutex_);
+    return tree_.size();
+  }
+
+  bool Insert(std::span<const uint64_t> key, uint64_t value) {
+    std::unique_lock lock(mutex_);
+    return tree_.Insert(key, value);
+  }
+
+  bool InsertOrAssign(std::span<const uint64_t> key, uint64_t value) {
+    std::unique_lock lock(mutex_);
+    return tree_.InsertOrAssign(key, value);
+  }
+
+  bool Erase(std::span<const uint64_t> key) {
+    std::unique_lock lock(mutex_);
+    return tree_.Erase(key);
+  }
+
+  std::optional<uint64_t> Find(std::span<const uint64_t> key) const {
+    std::shared_lock lock(mutex_);
+    return tree_.Find(key);
+  }
+
+  bool Contains(std::span<const uint64_t> key) const {
+    std::shared_lock lock(mutex_);
+    return tree_.Contains(key);
+  }
+
+  std::vector<std::pair<PhKey, uint64_t>> QueryWindow(
+      std::span<const uint64_t> min, std::span<const uint64_t> max) const {
+    std::shared_lock lock(mutex_);
+    return tree_.QueryWindow(min, max);
+  }
+
+  size_t CountWindow(std::span<const uint64_t> min,
+                     std::span<const uint64_t> max) const {
+    std::shared_lock lock(mutex_);
+    return tree_.CountWindow(min, max);
+  }
+
+  std::vector<KnnResult> KnnSearch(std::span<const uint64_t> center, size_t n,
+                                   KnnMetric metric = KnnMetric::kL2Integer)
+      const {
+    std::shared_lock lock(mutex_);
+    return phtree::KnnSearch(tree_, center, n, metric);
+  }
+
+  PhTreeStats ComputeStats() const {
+    std::shared_lock lock(mutex_);
+    return tree_.ComputeStats();
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  PhTree tree_;
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_PHTREE_SYNC_H_

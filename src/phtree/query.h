@@ -1,0 +1,75 @@
+// Window (range) queries over a PH-tree (paper Sect. 3.5). The iterator
+// navigates each visited node with the two bit masks m_lower / m_upper that
+// bound the hypercube addresses possibly intersecting the query box, checks
+// address validity with the single-operation test
+//     (a | m_lower) == a  &&  (a & m_upper) == a,
+// and enumerates valid addresses with the carry-propagation successor
+//     a' = (((a | ~m_upper) + 1) & m_upper) | m_lower.
+#ifndef PHTREE_PHTREE_QUERY_H_
+#define PHTREE_PHTREE_QUERY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phtree/phtree.h"
+
+namespace phtree {
+
+/// Lazy iterator over all entries of a PhTree inside the axis-aligned box
+/// [min, max] (inclusive). The tree must outlive the iterator and must not
+/// be modified while iterating.
+///
+/// Usage:
+///   for (PhTreeWindowIterator it(tree, min, max); it.Valid(); it.Next()) {
+///     use(it.key(), it.value());
+///   }
+class PhTreeWindowIterator {
+ public:
+  PhTreeWindowIterator(const PhTree& tree, std::span<const uint64_t> min,
+                       std::span<const uint64_t> max);
+
+  /// True while the iterator points at a result.
+  bool Valid() const { return valid_; }
+
+  /// Advances to the next matching entry.
+  void Next();
+
+  /// Key of the current entry (valid while Valid()).
+  const PhKey& key() const { return key_; }
+
+  /// Payload of the current entry.
+  uint64_t value() const { return value_; }
+
+ private:
+  struct Frame {
+    const Node* node;
+    uint64_t mask_lower;  // m_L: address bits that must be 1
+    uint64_t mask_upper;  // m_U: address bits that may be 1
+    // LHC: ordinal of the next entry to inspect; HC: next address candidate.
+    uint64_t cursor;
+    bool done;
+  };
+
+  /// Computes the masks for `node` (whose infix has already been written
+  /// into key_) and pushes a frame; returns false if no address can match.
+  bool PushNode(const Node* node);
+
+  /// Resumes the top frame; sets valid_/key_/value_ when a result is found.
+  void Advance();
+
+  bool KeyInWindow() const;
+  bool SubtreeOverlapsWindow(const Node* child) const;
+
+  const PhTree* tree_;
+  std::vector<uint64_t> min_;
+  std::vector<uint64_t> max_;
+  PhKey key_;
+  uint64_t value_ = 0;
+  bool valid_ = false;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_QUERY_H_

@@ -1,0 +1,190 @@
+#include "phtree/serialize.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+// GCC 12 emits a false-positive stringop-overflow for std::vector<uint8_t>
+// growth under -O3 (PR 106199); the code below only appends within bounds.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
+
+namespace phtree {
+namespace {
+
+constexpr uint8_t kMagic[4] = {'P', 'H', 'T', '1'};
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Length-prefixed big-endian with leading zero bytes stripped. Entries are
+/// emitted in z-order, so consecutive keys share long prefixes and their
+/// XOR deltas are numerically small — the same prefix-sharing effect the
+/// tree itself exploits (Sect. 3.4) applied to the wire format.
+void PutDelta(std::vector<uint8_t>* out, uint64_t delta) {
+  const uint32_t bytes = delta == 0 ? 0 : (71 - std::countl_zero(delta)) / 8;
+  out->push_back(static_cast<uint8_t>(bytes));
+  for (uint32_t i = bytes; i > 0; --i) {
+    out->push_back(static_cast<uint8_t>(delta >> (8 * (i - 1))));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  uint8_t GetU8() {
+    if (pos_ + 1 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return bytes_[pos_++];
+  }
+
+  uint32_t GetU32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(GetU8()) << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t GetU64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(GetU8()) << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t GetDelta() {
+    const uint8_t bytes = GetU8();
+    if (bytes > 8) {
+      ok_ = false;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (uint32_t i = 0; i < bytes; ++i) {
+      v = (v << 8) | GetU8();
+    }
+    return v;
+  }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializePhTree(const PhTree& tree) {
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  PutU32(&out, tree.dim());
+  PutU8(&out, static_cast<uint8_t>(tree.config().repr));
+  PutU64(&out, std::bit_cast<uint64_t>(tree.config().hysteresis));
+  PutU32(&out, tree.config().hc_max_dim);
+  PutU8(&out, tree.config().store_values ? 1 : 0);
+  PutU64(&out, tree.size());
+  // Entries in z-order with per-dimension XOR deltas vs the previous key.
+  PhKey prev(tree.dim(), 0);
+  tree.ForEach([&](const PhKey& key, uint64_t value) {
+    for (uint32_t d = 0; d < tree.dim(); ++d) {
+      PutDelta(&out, key[d] ^ prev[d]);
+    }
+    PutU64(&out, value);
+    prev = key;
+  });
+  return out;
+}
+
+std::optional<PhTree> DeserializePhTree(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  uint8_t magic[4];
+  for (auto& m : magic) {
+    m = reader.GetU8();
+  }
+  if (!reader.ok() || std::memcmp(magic, kMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  const uint32_t dim = reader.GetU32();
+  if (!reader.ok() || dim < 1 || dim > kMaxDims) {
+    return std::nullopt;
+  }
+  PhTreeConfig config;
+  const uint8_t repr = reader.GetU8();
+  if (repr > static_cast<uint8_t>(NodeRepr::kHcOnly)) {
+    return std::nullopt;
+  }
+  config.repr = static_cast<NodeRepr>(repr);
+  config.hysteresis = std::bit_cast<double>(reader.GetU64());
+  config.hc_max_dim = reader.GetU32();
+  config.store_values = reader.GetU8() != 0;
+  const uint64_t n = reader.GetU64();
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  // The PH-tree shape is a pure function of the stored entries (Sect. 3),
+  // so re-inserting the entries reproduces the identical structure.
+  PhTree tree(dim, config);
+  PhKey key(dim, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint32_t d = 0; d < dim; ++d) {
+      key[d] ^= reader.GetDelta();
+    }
+    const uint64_t value = reader.GetU64();
+    if (!reader.ok() || !tree.Insert(key, value)) {
+      return std::nullopt;  // truncated or duplicate => corrupt stream
+    }
+  }
+  if (!reader.AtEnd()) {
+    return std::nullopt;  // trailing garbage
+  }
+  return tree;
+}
+
+bool SavePhTree(const PhTree& tree, const std::string& path) {
+  const std::vector<uint8_t> bytes = SerializePhTree(tree);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == bytes.size();
+  return ok;
+}
+
+std::optional<PhTree> LoadPhTree(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(size > 0 ? static_cast<size_t>(size) : 0);
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return std::nullopt;
+  }
+  return DeserializePhTree(bytes);
+}
+
+}  // namespace phtree

@@ -1,0 +1,33 @@
+// Serialisation of a PH-tree to/from a flat byte stream. The paper argues
+// the PH-tree suits persistent storage (Sect. 1: nodes are large enough to
+// map to disk pages; Sect. 3.4: nodes are already bit-stream serialised).
+// This module writes the tree in pre-order as a self-describing stream of
+// node records; loading rebuilds the identical structure (shape is a pure
+// function of the data, so a round trip is bit-identical in stats).
+#ifndef PHTREE_PHTREE_SERIALIZE_H_
+#define PHTREE_PHTREE_SERIALIZE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "phtree/phtree.h"
+
+namespace phtree {
+
+/// Serialises `tree` into a byte buffer.
+std::vector<uint8_t> SerializePhTree(const PhTree& tree);
+
+/// Reconstructs a tree from SerializePhTree output. Returns std::nullopt on
+/// malformed input (truncation, bad magic, corrupt counts). The
+/// configuration of the returned tree is taken from the stream.
+std::optional<PhTree> DeserializePhTree(const std::vector<uint8_t>& bytes);
+
+/// Convenience file helpers; return false on I/O failure.
+bool SavePhTree(const PhTree& tree, const std::string& path);
+std::optional<PhTree> LoadPhTree(const std::string& path);
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_SERIALIZE_H_

@@ -1,0 +1,46 @@
+// Structural statistics of a PH-tree, used by the space experiments
+// (paper Tables 1-3, Figs. 10/14/15) and by tests.
+#ifndef PHTREE_PHTREE_STATS_H_
+#define PHTREE_PHTREE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace phtree {
+
+struct PhTreeStats {
+  /// Number of stored entries.
+  size_t n_entries = 0;
+  /// Total number of nodes (paper Table 3).
+  size_t n_nodes = 0;
+  /// Nodes currently in HC (hypercube array) representation.
+  size_t n_hc_nodes = 0;
+  /// Nodes currently in LHC (linearised) representation.
+  size_t n_lhc_nodes = 0;
+  /// Total heap bytes of the structure (paper Tables 1-2, "bytes per entry"
+  /// = memory_bytes / n_entries).
+  uint64_t memory_bytes = 0;
+  /// Maximum node depth (paper: bounded by w = 64).
+  size_t max_depth = 0;
+  /// Sum of the depths of all nodes (for average depth).
+  size_t sum_node_depth = 0;
+  /// Total infix bits stored across all nodes (prefix-sharing volume).
+  uint64_t infix_bits = 0;
+  /// Total postfix entry count across all nodes (== n_entries).
+  size_t n_postfix_entries = 0;
+
+  double BytesPerEntry() const {
+    return n_entries == 0 ? 0.0
+                          : static_cast<double>(memory_bytes) /
+                                static_cast<double>(n_entries);
+  }
+  double EntryToNodeRatio() const {
+    return n_nodes == 0 ? 0.0
+                        : static_cast<double>(n_entries) /
+                              static_cast<double>(n_nodes);
+  }
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_STATS_H_

@@ -1,0 +1,137 @@
+#include "phtree/validate.h"
+
+#include <sstream>
+
+#include "phtree/node.h"
+
+namespace phtree {
+namespace {
+
+struct ValidateState {
+  const PhTree* tree;
+  size_t postfix_entries = 0;
+  std::ostringstream error;
+  bool failed = false;
+
+  void Fail(const std::string& msg) {
+    if (!failed) {
+      error << msg;
+      failed = true;
+    }
+  }
+};
+
+void ValidateNode(const Node* node, const Node* parent, ValidateState* state) {
+  if (state->failed) {
+    return;
+  }
+  std::ostringstream ctx;
+  ctx << "node(pl=" << node->postfix_len() << ",il=" << node->infix_len()
+      << ",n=" << node->num_entries() << "): ";
+
+  if (parent != nullptr && node->num_entries() < 2) {
+    state->Fail(ctx.str() + "non-root node with < 2 entries");
+    return;
+  }
+  if (parent != nullptr &&
+      parent->postfix_len() !=
+          node->infix_len() + 1 + node->postfix_len()) {
+    state->Fail(ctx.str() + "parent/child postfix_len mismatch");
+    return;
+  }
+  if (node->dim() != state->tree->dim()) {
+    state->Fail(ctx.str() + "dimension mismatch");
+    return;
+  }
+
+  uint32_t entries = 0;
+  uint32_t subs = 0;
+  uint64_t prev_addr = 0;
+  bool first = true;
+  for (uint64_t ord = node->FirstOrdinal(); ord != Node::kNoOrdinal;
+       ord = node->NextOrdinal(ord)) {
+    const uint64_t addr = node->OrdinalAddr(ord);
+    if (!first && addr <= prev_addr) {
+      state->Fail(ctx.str() + "addresses not strictly ascending");
+      return;
+    }
+    if (addr >= (uint64_t{1} << node->dim())) {
+      state->Fail(ctx.str() + "address out of range");
+      return;
+    }
+    first = false;
+    prev_addr = addr;
+    ++entries;
+    if (node->OrdinalIsSub(ord)) {
+      ++subs;
+      ValidateNode(node->OrdinalSub(ord), node, state);
+    } else {
+      ++state->postfix_entries;
+    }
+  }
+  if (entries != node->num_entries() || subs != node->num_subs()) {
+    state->Fail(ctx.str() + "entry/sub counts inconsistent with tables");
+    return;
+  }
+
+  const PhTreeConfig& cfg = state->tree->config();
+  const bool hc_allowed = node->dim() <= cfg.hc_max_dim;
+  if (cfg.repr == NodeRepr::kLhcOnly && node->is_hc()) {
+    state->Fail(ctx.str() + "HC node under kLhcOnly policy");
+    return;
+  }
+  if (cfg.repr == NodeRepr::kHcOnly && hc_allowed && !node->is_hc() &&
+      node->num_entries() > 0) {
+    state->Fail(ctx.str() + "LHC node under kHcOnly policy");
+    return;
+  }
+  if (cfg.repr == NodeRepr::kAdaptive) {
+    if (node->is_hc() && !hc_allowed) {
+      state->Fail(ctx.str() + "HC node above hc_max_dim");
+      return;
+    }
+    if (hc_allowed) {
+      const uint64_t hc = node->HcBits();
+      const uint64_t lhc = node->LhcBits();
+      bool should_switch;
+      if (cfg.hysteresis >= 1.0) {
+        should_switch = node->is_hc() != (hc < lhc);
+      } else {
+        should_switch = node->is_hc()
+                            ? static_cast<double>(lhc) <
+                                  static_cast<double>(hc) * cfg.hysteresis
+                            : static_cast<double>(hc) <
+                                  static_cast<double>(lhc) * cfg.hysteresis;
+      }
+      if (should_switch) {
+        state->Fail(ctx.str() + "representation violates switching rule");
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string ValidatePhTree(const PhTree& tree) {
+  ValidateState state;
+  state.tree = &tree;
+  if (tree.root() != nullptr) {
+    if (tree.root()->infix_len() != 0) {
+      return "root node has a non-empty infix";
+    }
+    if (tree.root()->postfix_len() != kBitWidth - 1) {
+      return "root node postfix_len != 63";
+    }
+    ValidateNode(tree.root(), nullptr, &state);
+  }
+  if (!state.failed && state.postfix_entries != tree.size()) {
+    std::ostringstream os;
+    os << "postfix entry count " << state.postfix_entries
+       << " != tree size " << tree.size();
+    return os.str();
+  }
+  return state.failed ? state.error.str() : std::string();
+}
+
+}  // namespace phtree

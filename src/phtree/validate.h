@@ -1,0 +1,25 @@
+// Structural invariant checker for the PH-tree, used by tests and debugging.
+#ifndef PHTREE_PHTREE_VALIDATE_H_
+#define PHTREE_PHTREE_VALIDATE_H_
+
+#include <string>
+
+#include "phtree/phtree.h"
+
+namespace phtree {
+
+/// Walks the whole tree and verifies its structural invariants:
+///  1. every non-root node has >= 2 entries,
+///  2. parent.postfix_len == child.infix_len + 1 + child.postfix_len,
+///  3. node entry counts and sub-node counts match the stored tables,
+///  4. LHC address tables are strictly sorted,
+///  5. the total number of postfix entries equals tree.size(),
+///  6. under the adaptive policy, no node could shrink by switching its
+///     representation beyond the hysteresis band.
+/// Returns an empty string if all invariants hold, else a description of the
+/// first violation.
+std::string ValidatePhTree(const PhTree& tree);
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_VALIDATE_H_

@@ -1,0 +1,59 @@
+#include "baseline/array_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace phtree {
+namespace {
+
+using PointD = std::vector<double>;
+
+template <typename Store>
+class ArrayStoreTest : public testing::Test {};
+
+using StoreTypes = testing::Types<FlatArrayStore, ObjectArrayStore>;
+TYPED_TEST_SUITE(ArrayStoreTest, StoreTypes);
+
+TYPED_TEST(ArrayStoreTest, AddAndFind) {
+  TypeParam store(3);
+  store.Add(PointD{1, 2, 3});
+  store.Add(PointD{4, 5, 6});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Find(PointD{4, 5, 6}), std::optional<size_t>(1));
+  EXPECT_FALSE(store.Find(PointD{4, 5, 7}).has_value());
+}
+
+TYPED_TEST(ArrayStoreTest, WindowScan) {
+  TypeParam store(2);
+  Rng rng(1);
+  size_t expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const PointD p{rng.NextDouble(), rng.NextDouble()};
+    store.Add(p);
+    if (p[0] >= 0.25 && p[0] <= 0.75 && p[1] >= 0.25 && p[1] <= 0.75) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(store.CountWindow(PointD{0.25, 0.25}, PointD{0.75, 0.75}),
+            expected);
+}
+
+TEST(ArrayStoreSpace, MatchesPaperFormulas) {
+  // Paper Sect. 4.3.5: double[] = k*8*n bytes; object[] = (k*8+16+4)*n on
+  // the JVM — here with 8-byte pointers: (k*8+16+8)*n.
+  FlatArrayStore flat(2);
+  ObjectArrayStore obj(2);
+  for (int i = 0; i < 100; ++i) {
+    const PointD p{1.0 * i, 2.0 * i};
+    flat.Add(p);
+    obj.Add(p);
+  }
+  EXPECT_EQ(flat.MemoryBytes(), 100u * 2 * 8);
+  EXPECT_EQ(obj.MemoryBytes(), 100u * (2 * 8 + 16 + 8));
+}
+
+}  // namespace
+}  // namespace phtree

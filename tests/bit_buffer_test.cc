@@ -1,0 +1,236 @@
+#include "common/bit_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bits.h"
+#include "common/rng.h"
+
+namespace phtree {
+namespace {
+
+// Reference model: a plain vector<bool>.
+class BitModel {
+ public:
+  void Resize(size_t n) { bits_.resize(n, false); }
+  size_t size() const { return bits_.size(); }
+
+  uint64_t Read(size_t pos, uint32_t n) const {
+    uint64_t v = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      v = (v << 1) | (bits_[pos + i] ? 1 : 0);
+    }
+    return v;
+  }
+
+  void Write(size_t pos, uint32_t n, uint64_t value) {
+    for (uint32_t i = 0; i < n; ++i) {
+      bits_[pos + i] = ((value >> (n - 1 - i)) & 1) != 0;
+    }
+  }
+
+  void Insert(size_t pos, size_t n) {
+    bits_.insert(bits_.begin() + static_cast<ptrdiff_t>(pos), n, false);
+  }
+
+  void Remove(size_t pos, size_t n) {
+    bits_.erase(bits_.begin() + static_cast<ptrdiff_t>(pos),
+                bits_.begin() + static_cast<ptrdiff_t>(pos + n));
+  }
+
+  uint64_t CountOnes(size_t pos) const {
+    uint64_t c = 0;
+    for (size_t i = 0; i < pos; ++i) {
+      c += bits_[i] ? 1 : 0;
+    }
+    return c;
+  }
+
+  uint64_t FindNextOne(size_t pos) const {
+    for (size_t i = pos; i < bits_.size(); ++i) {
+      if (bits_[i]) {
+        return i;
+      }
+    }
+    return BitBuffer::kNpos;
+  }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+TEST(BitBuffer, ReadWriteSingleWord) {
+  BitBuffer b(64);
+  b.WriteBits(0, 64, 0x0123456789abcdefULL);
+  EXPECT_EQ(b.ReadBits(0, 64), 0x0123456789abcdefULL);
+  EXPECT_EQ(b.ReadBits(0, 4), 0x0u);
+  EXPECT_EQ(b.ReadBits(4, 4), 0x1u);
+  EXPECT_EQ(b.ReadBits(60, 4), 0xfu);
+  EXPECT_EQ(b.ReadBits(8, 16), 0x2345u);
+}
+
+TEST(BitBuffer, ReadWriteAcrossWordBoundary) {
+  BitBuffer b(128);
+  b.WriteBits(60, 8, 0xA5);
+  EXPECT_EQ(b.ReadBits(60, 8), 0xA5u);
+  EXPECT_EQ(b.ReadBits(56, 16), 0x0A50u);
+  b.WriteBits(32, 64, ~uint64_t{0});
+  EXPECT_EQ(b.ReadBits(32, 64), ~uint64_t{0});
+  EXPECT_EQ(b.ReadBits(0, 32), 0u);
+  EXPECT_EQ(b.ReadBits(96, 32), 0u);
+}
+
+TEST(BitBuffer, ZeroWidthOperationsAreNoops) {
+  BitBuffer b(10);
+  b.WriteBits(3, 0, 0xffff);
+  EXPECT_EQ(b.ReadBits(3, 0), 0u);
+  b.InsertBits(5, 0);
+  b.RemoveBits(5, 0);
+  EXPECT_EQ(b.size_bits(), 10u);
+}
+
+TEST(BitBuffer, InsertShiftsTailRight) {
+  BitBuffer b(8);
+  b.WriteBits(0, 8, 0b10110001);
+  b.InsertBits(4, 4);
+  EXPECT_EQ(b.size_bits(), 12u);
+  EXPECT_EQ(b.ReadBits(0, 12), 0b101100000001u);
+}
+
+TEST(BitBuffer, RemoveShiftsTailLeft) {
+  BitBuffer b(12);
+  b.WriteBits(0, 12, 0b101100000001);
+  b.RemoveBits(4, 4);
+  EXPECT_EQ(b.size_bits(), 8u);
+  EXPECT_EQ(b.ReadBits(0, 8), 0b10110001u);
+}
+
+TEST(BitBuffer, ShrinkClearsTailBits) {
+  BitBuffer b(64);
+  b.WriteBits(0, 64, ~uint64_t{0});
+  b.Resize(10);
+  b.Resize(64);
+  EXPECT_EQ(b.ReadBits(0, 10), 0x3FFu);
+  EXPECT_EQ(b.ReadBits(10, 54), 0u);
+}
+
+TEST(BitBuffer, CountOnesAndFindNextOne) {
+  BitBuffer b(200);
+  b.SetBit(0, 1);
+  b.SetBit(63, 1);
+  b.SetBit(64, 1);
+  b.SetBit(130, 1);
+  b.SetBit(199, 1);
+  EXPECT_EQ(b.CountOnes(), 5u);
+  EXPECT_EQ(b.CountOnes(64), 2u);
+  EXPECT_EQ(b.CountOnes(65), 3u);
+  EXPECT_EQ(b.FindNextOne(0), 0u);
+  EXPECT_EQ(b.FindNextOne(1), 63u);
+  EXPECT_EQ(b.FindNextOne(65), 130u);
+  EXPECT_EQ(b.FindNextOne(131), 199u);
+  EXPECT_EQ(b.FindNextOne(200), BitBuffer::kNpos);
+}
+
+TEST(BitBuffer, CountOnesInRangeMatchesPrefixDifference) {
+  Rng rng(21);
+  BitBuffer b(1000);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    b.SetBit(i, rng.NextU64() & 1);
+  }
+  for (int iter = 0; iter < 2000; ++iter) {
+    uint64_t x = rng.NextBounded(1001);
+    uint64_t y = rng.NextBounded(1001);
+    if (x > y) {
+      std::swap(x, y);
+    }
+    ASSERT_EQ(b.CountOnesInRange(x, y), b.CountOnes(y) - b.CountOnes(x))
+        << x << ".." << y;
+  }
+  EXPECT_EQ(b.CountOnesInRange(0, 0), 0u);
+  EXPECT_EQ(b.CountOnesInRange(1000, 1000), 0u);
+  EXPECT_EQ(b.CountOnesInRange(0, 1000), b.CountOnes());
+}
+
+TEST(BitBuffer, CopyFromCopiesArbitraryRanges) {
+  Rng rng(3);
+  BitBuffer src(777);
+  for (uint64_t i = 0; i < 777; ++i) {
+    src.SetBit(i, rng.NextU64() & 1);
+  }
+  BitBuffer dst(900);
+  dst.CopyFrom(src, 5, 123, 700);
+  for (uint64_t i = 0; i < 700; ++i) {
+    ASSERT_EQ(dst.GetBit(123 + i), src.GetBit(5 + i)) << i;
+  }
+}
+
+// Property test: a long random sequence of operations matches the model.
+TEST(BitBuffer, RandomOpsMatchModel) {
+  Rng rng(1234);
+  BitBuffer buf;
+  BitModel model;
+  for (int iter = 0; iter < 20000; ++iter) {
+    const uint64_t op = rng.NextBounded(6);
+    const uint64_t size = buf.size_bits();
+    switch (op) {
+      case 0: {  // write
+        if (size == 0) {
+          break;
+        }
+        const uint32_t n = static_cast<uint32_t>(
+            1 + rng.NextBounded(std::min<uint64_t>(64, size)));
+        const uint64_t pos = rng.NextBounded(size - n + 1);
+        const uint64_t v = rng.NextU64();
+        buf.WriteBits(pos, n, v);
+        model.Write(pos, n, v & LowMask(n));
+        break;
+      }
+      case 1: {  // insert
+        const uint64_t n = rng.NextBounded(130);
+        const uint64_t pos = rng.NextBounded(size + 1);
+        buf.InsertBits(pos, n);
+        model.Insert(pos, n);
+        break;
+      }
+      case 2: {  // remove
+        if (size == 0) {
+          break;
+        }
+        const uint64_t pos = rng.NextBounded(size);
+        const uint64_t n = rng.NextBounded(size - pos + 1);
+        buf.RemoveBits(pos, n);
+        model.Remove(pos, n);
+        break;
+      }
+      case 3: {  // read + compare
+        if (size == 0) {
+          break;
+        }
+        const uint32_t n = static_cast<uint32_t>(
+            1 + rng.NextBounded(std::min<uint64_t>(64, size)));
+        const uint64_t pos = rng.NextBounded(size - n + 1);
+        ASSERT_EQ(buf.ReadBits(pos, n), model.Read(pos, n));
+        break;
+      }
+      case 4: {  // popcount prefix
+        const uint64_t pos = rng.NextBounded(size + 1);
+        ASSERT_EQ(buf.CountOnes(pos), model.CountOnes(pos));
+        break;
+      }
+      case 5: {  // find next one
+        const uint64_t pos = rng.NextBounded(size + 2);
+        ASSERT_EQ(buf.FindNextOne(pos), model.FindNextOne(pos));
+        break;
+      }
+    }
+    ASSERT_EQ(buf.size_bits(), model.size());
+  }
+  // Final full comparison.
+  for (uint64_t i = 0; i < buf.size_bits(); ++i) {
+    ASSERT_EQ(buf.GetBit(i), model.Read(i, 1));
+  }
+}
+
+}  // namespace
+}  // namespace phtree

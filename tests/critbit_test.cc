@@ -1,0 +1,168 @@
+// Correctness of the two crit-bit baselines (binary PATRICIA tries over
+// z-order interleaved keys).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "critbit/critbit1.h"
+#include "critbit/critbit2.h"
+#include "datasets/datasets.h"
+
+namespace phtree {
+namespace {
+
+using PointD = std::vector<double>;
+
+template <typename Tree>
+class CritBitTest : public testing::Test {};
+
+using CritBitTypes = testing::Types<CritBit1, CritBit2>;
+
+TYPED_TEST_SUITE(CritBitTest, CritBitTypes);
+
+PointD RandomPoint(Rng& rng, uint32_t dim, double granularity = 0.0) {
+  PointD p(dim);
+  for (auto& v : p) {
+    v = rng.NextDouble(-100.0, 100.0);
+    if (granularity > 0) {
+      v = std::round(v / granularity) * granularity;
+    }
+  }
+  return p;
+}
+
+TYPED_TEST(CritBitTest, EmptyTree) {
+  TypeParam tree(3);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Contains(PointD{1, 2, 3}));
+  EXPECT_FALSE(tree.Erase(PointD{1, 2, 3}));
+}
+
+TYPED_TEST(CritBitTest, InsertFindEraseSingle) {
+  TypeParam tree(2);
+  EXPECT_TRUE(tree.Insert(PointD{1.5, -2.5}, 7));
+  EXPECT_FALSE(tree.Insert(PointD{1.5, -2.5}, 8));
+  EXPECT_EQ(tree.Find(PointD{1.5, -2.5}), std::optional<uint64_t>(7));
+  EXPECT_FALSE(tree.Contains(PointD{-1.5, -2.5}));
+  EXPECT_TRUE(tree.Erase(PointD{1.5, -2.5}));
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TYPED_TEST(CritBitTest, NegativeZeroEqualsZero) {
+  TypeParam tree(1);
+  EXPECT_TRUE(tree.Insert(PointD{0.0}, 1));
+  EXPECT_FALSE(tree.Insert(PointD{-0.0}, 2));  // Sect. 3.3 conversion
+  EXPECT_TRUE(tree.Contains(PointD{-0.0}));
+}
+
+TYPED_TEST(CritBitTest, ModelBasedRandomOps) {
+  for (uint32_t dim : {1u, 2u, 3u, 8u}) {
+    TypeParam tree(dim);
+    std::map<PointD, uint64_t> model;
+    Rng rng(0xEF ^ dim);
+    for (int iter = 0; iter < 4000; ++iter) {
+      PointD p = RandomPoint(rng, dim, 1.0);
+      const uint64_t op = rng.NextBounded(10);
+      if (op < 5) {
+        const bool expect_new = model.find(p) == model.end();
+        ASSERT_EQ(tree.Insert(p, iter), expect_new);
+        if (expect_new) {
+          model[p] = iter;
+        }
+      } else if (op < 8) {
+        if (!model.empty() && rng.NextBool(0.5)) {
+          auto it = model.begin();
+          std::advance(it, static_cast<long>(rng.NextBounded(model.size())));
+          p = it->first;
+        }
+        ASSERT_EQ(tree.Erase(p), model.erase(p) > 0);
+      } else {
+        const auto got = tree.Find(p);
+        const auto it = model.find(p);
+        if (it == model.end()) {
+          ASSERT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          ASSERT_EQ(*got, it->second);
+        }
+      }
+      ASSERT_EQ(tree.size(), model.size());
+    }
+    for (const auto& [key, value] : model) {
+      ASSERT_TRUE(tree.Erase(key));
+    }
+    EXPECT_EQ(tree.size(), 0u);
+  }
+}
+
+TYPED_TEST(CritBitTest, WindowQueryMatchesBruteForce) {
+  const uint32_t dim = 2;
+  TypeParam tree(dim);
+  Rng rng(0x11);
+  std::vector<PointD> points;
+  for (int i = 0; i < 1000; ++i) {
+    PointD p = RandomPoint(rng, dim);
+    if (tree.Insert(p, i)) {
+      points.push_back(p);
+    }
+  }
+  for (int q = 0; q < 30; ++q) {
+    PointD lo(dim), hi(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      double a = rng.NextDouble(-100, 100);
+      double b = rng.NextDouble(-100, 100);
+      if (a > b) {
+        std::swap(a, b);
+      }
+      lo[d] = a;
+      hi[d] = b;
+    }
+    std::set<PointD> expected;
+    for (const auto& p : points) {
+      if (p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1]) {
+        expected.insert(p);
+      }
+    }
+    std::set<PointD> got;
+    tree.QueryWindow(lo, hi, [&](std::span<const double> p, uint64_t) {
+      got.insert(PointD(p.begin(), p.end()));
+    });
+    ASSERT_EQ(got, expected) << "query " << q;
+  }
+}
+
+TYPED_TEST(CritBitTest, DepthBoundedByInterleavedWidth) {
+  TypeParam tree(3);
+  const Dataset ds = GenerateCluster(5000, 3, 0.5, 3);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    tree.Insert(ds.point(i), i);
+  }
+  // A binary PATRICIA over k*w bits can be up to k*w = 192 levels deep
+  // (paper Sect. 4.3.3: "up to k*w levels") — far deeper than the PH-tree's
+  // w = 64 bound.
+  EXPECT_LE(tree.MaxDepth(), 3u * 64u);
+  EXPECT_GT(tree.MaxDepth(), 10u);
+}
+
+TYPED_TEST(CritBitTest, MemoryGrowsLinearly) {
+  TypeParam tree(3);
+  Rng rng(0x13);
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(RandomPoint(rng, 3), i);
+  }
+  const uint64_t m1000 = tree.MemoryBytes();
+  for (int i = 1000; i < 2000; ++i) {
+    tree.Insert(RandomPoint(rng, 3), i);
+  }
+  const uint64_t m2000 = tree.MemoryBytes();
+  EXPECT_GT(m2000, m1000);
+  EXPECT_NEAR(static_cast<double>(m2000) / static_cast<double>(m1000), 2.0,
+              0.3);
+}
+
+}  // namespace
+}  // namespace phtree

@@ -1,0 +1,109 @@
+#include "datasets/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace phtree {
+namespace {
+
+TEST(CubeDataset, UniformInUnitCube) {
+  const Dataset ds = GenerateCube(10000, 3, 1);
+  ASSERT_EQ(ds.n(), 10000u);
+  ASSERT_EQ(ds.dim, 3u);
+  double sum = 0;
+  for (double v : ds.coords) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean of uniform [0,1) ~ 0.5.
+  EXPECT_NEAR(sum / static_cast<double>(ds.coords.size()), 0.5, 0.01);
+}
+
+TEST(CubeDataset, Deterministic) {
+  const Dataset a = GenerateCube(1000, 5, 42);
+  const Dataset b = GenerateCube(1000, 5, 42);
+  const Dataset c = GenerateCube(1000, 5, 43);
+  EXPECT_EQ(a.coords, b.coords);
+  EXPECT_NE(a.coords, c.coords);
+}
+
+TEST(ClusterDataset, PointsLieInClusters) {
+  const Dataset ds = GenerateCluster(20000, 3, 0.5, 2);
+  ASSERT_EQ(ds.n(), 20000u);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    const auto pt = ds.point(i);
+    // x within [0,1] plus half an extent of slack.
+    EXPECT_GE(pt[0], -kClusterExtent);
+    EXPECT_LE(pt[0], 1.0 + kClusterExtent);
+    // Other dims within the cluster band around the offset (paper: the 0.5
+    // clusters reach from 0.49995 to 0.50005).
+    for (int d = 1; d < 3; ++d) {
+      EXPECT_GE(pt[d], 0.5 - kClusterExtent);
+      EXPECT_LE(pt[d], 0.5 + kClusterExtent);
+    }
+    // x must be close to one of the kClusterCount evenly spaced centres.
+    const double scaled =
+        pt[0] * static_cast<double>(kClusterCount - 1);
+    EXPECT_LE(std::abs(scaled - std::round(scaled)),
+              kClusterExtent * static_cast<double>(kClusterCount));
+  }
+}
+
+TEST(ClusterDataset, OffsetMovesOtherDimensions) {
+  const Dataset ds = GenerateCluster(1000, 4, 0.4, 3);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    const auto pt = ds.point(i);
+    for (int d = 1; d < 4; ++d) {
+      EXPECT_GE(pt[d], 0.4 - kClusterExtent);
+      EXPECT_LE(pt[d], 0.4 + kClusterExtent);
+    }
+  }
+}
+
+TEST(ClusterDataset, UsesManyClusters) {
+  const Dataset ds = GenerateCluster(50000, 2, 0.5, 4);
+  std::set<long> clusters;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    clusters.insert(
+        std::lround(ds.point(i)[0] * static_cast<double>(kClusterCount - 1)));
+  }
+  EXPECT_GT(clusters.size(), 9000u);  // ~all 10000 clusters hit
+}
+
+TEST(TigerDataset, UniqueQuantisedPointsInBoundingBox) {
+  const Dataset ds = GenerateTigerLike(30000, 5);
+  ASSERT_EQ(ds.n(), 30000u);
+  std::set<std::pair<double, double>> unique;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    const auto pt = ds.point(i);
+    EXPECT_GE(pt[0], -125.0);
+    EXPECT_LE(pt[0], -65.0);
+    EXPECT_GE(pt[1], 24.0);
+    EXPECT_LE(pt[1], 50.0);
+    // Quantised to 1e-6 degrees.
+    EXPECT_NEAR(pt[0] * 1e6, std::round(pt[0] * 1e6), 1e-6);
+    unique.emplace(pt[0], pt[1]);
+  }
+  EXPECT_EQ(unique.size(), ds.n());  // all unique (paper: deduplicated)
+}
+
+TEST(TigerDataset, SpatiallyClustered) {
+  // Clustering proxy: consecutive chain points are close; the dataset's
+  // average nearest-neighbour distance must be far below uniform expectation.
+  const Dataset ds = GenerateTigerLike(20000, 6);
+  // Count points in a coarse grid; clustered data leaves most cells empty.
+  std::set<std::pair<long, long>> occupied;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    const auto pt = ds.point(i);
+    occupied.emplace(std::lround(pt[0] * 2), std::lround(pt[1] * 2));
+  }
+  // 60x26 degrees at half-degree cells = 6240 cells; clustered data must
+  // occupy well under half of them.
+  EXPECT_LT(occupied.size(), 3000u);
+}
+
+}  // namespace
+}  // namespace phtree

@@ -1,0 +1,173 @@
+// High-dimensional behaviour (paper Sect. 4.3.7, k > 3): correctness of all
+// operations at k = 8..40, the boolean-data regime the paper uses to argue
+// hypercube addressing (Sect. 2: locating a key in a 16-dimensional boolean
+// dataset), and cross-structure agreement at high k.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "critbit/critbit2.h"
+#include "datasets/datasets.h"
+#include "kdtree/kdtree2.h"
+#include "phtree/knn.h"
+#include "phtree/phtree.h"
+#include "phtree/phtree_d.h"
+#include "phtree/validate.h"
+
+namespace phtree {
+namespace {
+
+TEST(HighDim, BooleanDataset16D) {
+  // Paper Sect. 2: 16-dimensional boolean data — in a binary trie this
+  // costs up to 16 node visits; the PH-tree needs one node per bit layer,
+  // and here all keys live in a single 2-level structure.
+  PhTree tree(16);
+  Rng rng(1);
+  std::set<PhKey> model;
+  for (int i = 0; i < 3000; ++i) {
+    PhKey key(16);
+    for (auto& v : key) {
+      v = rng.NextBounded(2);
+    }
+    tree.InsertOrAssign(key, i);
+    model.insert(key);
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  const auto stats = tree.ComputeStats();
+  // Boolean values use exactly 1 bit: depth 2 (root + one dense node... the
+  // root covers bit 63; all boolean keys share bits 63..1) — the tree is a
+  // root chain into one node holding all distinct keys.
+  EXPECT_LE(stats.max_depth, 3u);
+  for (const auto& key : model) {
+    ASSERT_TRUE(tree.Contains(key));
+  }
+  EXPECT_EQ(ValidatePhTree(tree), "");
+  // Window restricted in 3 of 16 dimensions.
+  PhKey lo(16, 0), hi(16, 1);
+  lo[3] = 1;
+  lo[7] = 1;
+  hi[11] = 0;
+  size_t expected = 0;
+  for (const auto& key : model) {
+    expected += key[3] == 1 && key[7] == 1 && key[11] == 0;
+  }
+  EXPECT_EQ(tree.CountWindow(lo, hi), expected);
+}
+
+TEST(HighDim, ClusterDatasetsAcrossK) {
+  for (uint32_t k : {8u, 12u, 15u}) {
+    for (double offset : {0.4, 0.5}) {
+      const Dataset ds = GenerateCluster(5000, k, offset, 3);
+      PhTreeD tree(k);
+      size_t unique = 0;
+      for (size_t i = 0; i < ds.n(); ++i) {
+        unique += tree.Insert(ds.point(i), i) ? 1 : 0;
+      }
+      EXPECT_EQ(tree.size(), unique);
+      EXPECT_EQ(ValidatePhTree(tree.tree()), "");
+      for (size_t i = 0; i < ds.n(); i += 7) {
+        ASSERT_TRUE(tree.Contains(ds.point(i)));
+      }
+      // CLUSTER slab query at high k: must return every point in range.
+      std::vector<double> lo(k, 0.0), hi(k, 1.0);
+      lo[0] = 0.2;
+      hi[0] = 0.3;
+      size_t expected = 0;
+      std::set<std::vector<double>> seen;
+      for (size_t i = 0; i < ds.n(); ++i) {
+        const auto p = ds.point(i);
+        if (p[0] >= 0.2 && p[0] <= 0.3 &&
+            seen.insert(std::vector<double>(p.begin(), p.end())).second) {
+          ++expected;
+        }
+      }
+      EXPECT_EQ(tree.CountWindow(lo, hi), expected)
+          << "k=" << k << " offset=" << offset;
+    }
+  }
+}
+
+TEST(HighDim, CrossStructureAgreementAt10D) {
+  const Dataset ds = GenerateCube(3000, 10, 5);
+  PhTreeD ph(10);
+  KdTree2 kd(10);
+  CritBit2 cb(10);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    ph.Insert(ds.point(i), i);
+    kd.Insert(ds.point(i), i);
+    cb.Insert(ds.point(i), i);
+  }
+  Rng rng(6);
+  for (int q = 0; q < 500; ++q) {
+    std::vector<double> p(10);
+    if (rng.NextBool(0.5)) {
+      const auto pt = ds.point(rng.NextBounded(ds.n()));
+      p.assign(pt.begin(), pt.end());
+    } else {
+      for (auto& v : p) {
+        v = rng.NextDouble();
+      }
+    }
+    const bool e = kd.Contains(p);
+    ASSERT_EQ(ph.Contains(p), e);
+    ASSERT_EQ(cb.Contains(p), e);
+  }
+}
+
+TEST(HighDim, KnnAt10D) {
+  const Dataset ds = GenerateCube(2000, 10, 7);
+  PhTreeD tree(10);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    tree.Insert(ds.point(i), i);
+  }
+  Rng rng(8);
+  std::vector<double> center(10);
+  for (auto& v : center) {
+    v = rng.NextDouble();
+  }
+  const auto result = KnnSearchD(tree.tree(), center, 10);
+  ASSERT_EQ(result.size(), 10u);
+  // Verify against brute force.
+  std::vector<double> all;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    const auto p = ds.point(i);
+    double s = 0;
+    for (int d = 0; d < 10; ++d) {
+      s += (p[d] - center[d]) * (p[d] - center[d]);
+    }
+    all.push_back(s);
+  }
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(result[i].dist2, all[i], 1e-12);
+  }
+}
+
+TEST(HighDim, MaxSupportedDimensionality) {
+  PhTree tree(kMaxDims);  // 63 dimensions
+  Rng rng(9);
+  std::vector<PhKey> keys;
+  for (int i = 0; i < 200; ++i) {
+    PhKey key(kMaxDims);
+    for (auto& v : key) {
+      v = rng.NextU64();
+    }
+    keys.push_back(key);
+    ASSERT_TRUE(tree.Insert(key, i));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(*tree.Find(keys[i]), i);
+  }
+  EXPECT_EQ(ValidatePhTree(tree), "");
+  EXPECT_EQ(tree.CountWindow(PhKey(kMaxDims, 0), PhKey(kMaxDims, ~0ULL)),
+            keys.size());
+  for (const auto& key : keys) {
+    ASSERT_TRUE(tree.Erase(key));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+}  // namespace
+}  // namespace phtree

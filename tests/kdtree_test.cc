@@ -1,0 +1,222 @@
+// Correctness of the two kd-tree baselines: model-based insert/erase/find
+// against std::map and window queries against brute force, plus
+// balance-behaviour checks that distinguish KD1 (degenerates) from KD2
+// (scapegoat rebuilding).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/datasets.h"
+#include "kdtree/kdtree1.h"
+#include "kdtree/kdtree2.h"
+
+namespace phtree {
+namespace {
+
+using PointD = std::vector<double>;
+
+template <typename Tree>
+class KdTreeTest : public testing::Test {};
+
+using KdTreeTypes = testing::Types<KdTree1, KdTree2>;
+
+TYPED_TEST_SUITE(KdTreeTest, KdTreeTypes);
+
+PointD RandomPoint(Rng& rng, uint32_t dim, double granularity = 0.0) {
+  PointD p(dim);
+  for (auto& v : p) {
+    v = rng.NextDouble(-100.0, 100.0);
+    if (granularity > 0) {
+      v = std::round(v / granularity) * granularity;
+    }
+  }
+  return p;
+}
+
+TYPED_TEST(KdTreeTest, EmptyTree) {
+  TypeParam tree(3);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Contains(PointD{1, 2, 3}));
+  EXPECT_FALSE(tree.Erase(PointD{1, 2, 3}));
+  EXPECT_EQ(tree.CountWindow(PointD{-1e9, -1e9, -1e9},
+                             PointD{1e9, 1e9, 1e9}),
+            0u);
+}
+
+TYPED_TEST(KdTreeTest, InsertFindEraseSingle) {
+  TypeParam tree(2);
+  EXPECT_TRUE(tree.Insert(PointD{1.5, -2.5}, 7));
+  EXPECT_FALSE(tree.Insert(PointD{1.5, -2.5}, 8));  // duplicate
+  EXPECT_EQ(tree.Find(PointD{1.5, -2.5}), std::optional<uint64_t>(7));
+  EXPECT_FALSE(tree.Contains(PointD{1.5, 2.5}));
+  EXPECT_TRUE(tree.Erase(PointD{1.5, -2.5}));
+  EXPECT_FALSE(tree.Erase(PointD{1.5, -2.5}));
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TYPED_TEST(KdTreeTest, ModelBasedRandomOps) {
+  for (uint32_t dim : {1u, 2u, 3u, 5u}) {
+    TypeParam tree(dim);
+    std::map<PointD, uint64_t> model;
+    Rng rng(0xAB ^ dim);
+    for (int iter = 0; iter < 4000; ++iter) {
+      // Coarse granularity produces duplicates and coordinate ties.
+      PointD p = RandomPoint(rng, dim, 1.0);
+      const uint64_t op = rng.NextBounded(10);
+      if (op < 5) {
+        const bool expect_new = model.find(p) == model.end();
+        ASSERT_EQ(tree.Insert(p, iter), expect_new);
+        if (expect_new) {
+          model[p] = iter;
+        }
+      } else if (op < 8) {
+        if (!model.empty() && rng.NextBool(0.5)) {
+          auto it = model.begin();
+          std::advance(it, static_cast<long>(rng.NextBounded(model.size())));
+          p = it->first;
+        }
+        ASSERT_EQ(tree.Erase(p), model.erase(p) > 0);
+      } else {
+        const auto got = tree.Find(p);
+        const auto it = model.find(p);
+        if (it == model.end()) {
+          ASSERT_FALSE(got.has_value());
+        } else {
+          ASSERT_TRUE(got.has_value());
+          ASSERT_EQ(*got, it->second);
+        }
+      }
+      ASSERT_EQ(tree.size(), model.size());
+    }
+    // Every remaining key findable and erasable.
+    for (const auto& [key, value] : model) {
+      ASSERT_EQ(tree.Find(key), std::optional<uint64_t>(value));
+    }
+    for (const auto& [key, value] : model) {
+      ASSERT_TRUE(tree.Erase(key));
+    }
+    EXPECT_EQ(tree.size(), 0u);
+  }
+}
+
+TYPED_TEST(KdTreeTest, WindowQueryMatchesBruteForce) {
+  const uint32_t dim = 3;
+  TypeParam tree(dim);
+  Rng rng(0xCD);
+  std::vector<PointD> points;
+  for (int i = 0; i < 1500; ++i) {
+    PointD p = RandomPoint(rng, dim);
+    if (tree.Insert(p, i)) {
+      points.push_back(p);
+    }
+  }
+  for (int q = 0; q < 50; ++q) {
+    PointD lo(dim), hi(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      double a = rng.NextDouble(-100, 100);
+      double b = rng.NextDouble(-100, 100);
+      if (a > b) {
+        std::swap(a, b);
+      }
+      lo[d] = a;
+      hi[d] = b;
+    }
+    std::set<PointD> expected;
+    for (const auto& p : points) {
+      bool in = true;
+      for (uint32_t d = 0; d < dim; ++d) {
+        in = in && p[d] >= lo[d] && p[d] <= hi[d];
+      }
+      if (in) {
+        expected.insert(p);
+      }
+    }
+    std::set<PointD> got;
+    tree.QueryWindow(lo, hi, [&](std::span<const double> p, uint64_t) {
+      got.insert(PointD(p.begin(), p.end()));
+    });
+    ASSERT_EQ(got, expected) << "query " << q;
+    ASSERT_EQ(tree.CountWindow(lo, hi), expected.size());
+  }
+}
+
+TYPED_TEST(KdTreeTest, WorksOnPaperDatasets) {
+  const Dataset cube = GenerateCube(3000, 3, 1);
+  const Dataset cluster = GenerateCluster(3000, 3, 0.5, 2);
+  for (const Dataset* ds : {&cube, &cluster}) {
+    TypeParam tree(3);
+    size_t n = 0;
+    for (size_t i = 0; i < ds->n(); ++i) {
+      n += tree.Insert(ds->point(i), i) ? 1 : 0;
+    }
+    EXPECT_EQ(tree.size(), n);
+    for (size_t i = 0; i < ds->n(); ++i) {
+      EXPECT_TRUE(tree.Contains(ds->point(i)));
+    }
+    EXPECT_GT(tree.MemoryBytes(), 0u);
+  }
+}
+
+TEST(KdTreeBalance, Kd1DegeneratesOnSortedInsertKd2DoesNot) {
+  KdTree1 kd1(2);
+  KdTree2 kd2(2);
+  // Sorted insertion order: the classic kd-tree worst case.
+  for (int i = 0; i < 2000; ++i) {
+    const PointD p{static_cast<double>(i), static_cast<double>(i)};
+    kd1.Insert(p, i);
+    kd2.Insert(p, i);
+  }
+  EXPECT_EQ(kd1.MaxDepth(), 2000u);  // fully degenerate list
+  EXPECT_LE(kd2.MaxDepth(), 60u);    // scapegoat keeps it near log2(n)=11
+}
+
+TEST(KdTreeBalance, Kd2RebuildsAfterManyDeletions) {
+  KdTree2 tree(2);
+  Rng rng(7);
+  std::vector<PointD> points;
+  for (int i = 0; i < 4000; ++i) {
+    PointD p = RandomPoint(rng, 2);
+    if (tree.Insert(p, i)) {
+      points.push_back(p);
+    }
+  }
+  const uint64_t before = tree.MemoryBytes();
+  // Delete 90%: tombstone compaction must reclaim space.
+  for (size_t i = 0; i < points.size() * 9 / 10; ++i) {
+    ASSERT_TRUE(tree.Erase(points[i]));
+  }
+  EXPECT_LT(tree.MemoryBytes(), before / 2);
+  // Remaining points still intact.
+  for (size_t i = points.size() * 9 / 10; i < points.size(); ++i) {
+    EXPECT_TRUE(tree.Contains(points[i]));
+  }
+}
+
+TEST(KdTreeDeletion, RootDeletionKeepsInvariant) {
+  // Deleting internal nodes must preserve search correctness (classic
+  // kd-tree deletion bug territory: min-replacement across subtrees).
+  KdTree1 tree(2);
+  Rng rng(9);
+  std::vector<PointD> points;
+  for (int i = 0; i < 500; ++i) {
+    PointD p = RandomPoint(rng, 2, 1.0);  // coarse: many equal coordinates
+    if (tree.Insert(p, i)) {
+      points.push_back(p);
+    }
+  }
+  // Delete in insertion order (roots first), verifying the rest after each.
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(tree.Erase(points[i]));
+    for (size_t j = i + 1; j < points.size(); j += 7) {
+      ASSERT_TRUE(tree.Contains(points[j])) << "after deleting " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace phtree

@@ -1,0 +1,107 @@
+// Floating-point edge cases for the double front-end (paper Sect. 3.3):
+// the order-preserving conversion must make range and kNN queries behave
+// exactly as on the raw doubles, across sign boundaries, denormals and
+// infinities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "phtree/knn.h"
+#include "phtree/phtree_d.h"
+
+namespace phtree {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(PhTreeDoubleEdge, WindowAcrossSignBoundary) {
+  PhTreeD tree(1);
+  const std::vector<double> values = {-kInf, -1e300, -2.5, -1.0,
+                                      -std::numeric_limits<double>::denorm_min(),
+                                      0.0, std::numeric_limits<double>::denorm_min(),
+                                      1.0, 2.5, 1e300, kInf};
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(PhKeyD{values[i]}, i));
+  }
+  // Window straddling zero.
+  EXPECT_EQ(tree.CountWindow(PhKeyD{-1.5}, PhKeyD{1.5}), 5u);
+  // Everything.
+  EXPECT_EQ(tree.CountWindow(PhKeyD{-kInf}, PhKeyD{kInf}), values.size());
+  // Negative-only window.
+  EXPECT_EQ(tree.CountWindow(PhKeyD{-kInf}, PhKeyD{-1.0}), 4u);
+  // Degenerate window on an infinite corner.
+  EXPECT_EQ(tree.CountWindow(PhKeyD{kInf}, PhKeyD{kInf}), 1u);
+}
+
+TEST(PhTreeDoubleEdge, RandomWindowsOverMixedSigns) {
+  PhTreeD tree(2);
+  Rng rng(31);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> p{rng.NextDouble(-50, 50), rng.NextDouble(-50, 50)};
+    if (tree.Insert(p, i)) {
+      points.push_back(p);
+    }
+  }
+  for (int q = 0; q < 40; ++q) {
+    double x0 = rng.NextDouble(-60, 60), x1 = rng.NextDouble(-60, 60);
+    double y0 = rng.NextDouble(-60, 60), y1 = rng.NextDouble(-60, 60);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    size_t expected = 0;
+    for (const auto& p : points) {
+      expected += (p[0] >= x0 && p[0] <= x1 && p[1] >= y0 && p[1] <= y1);
+    }
+    ASSERT_EQ(tree.CountWindow(PhKeyD{x0, y0}, PhKeyD{x1, y1}), expected);
+  }
+}
+
+TEST(PhTreeDoubleEdge, KeysRoundTripExactly) {
+  PhTreeD tree(2);
+  Rng rng(33);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = (rng.NextDouble() - 0.5) *
+                     std::exp2(static_cast<double>(rng.NextBounded(600)) - 300);
+    const double b = (rng.NextDouble() - 0.5) *
+                     std::exp2(static_cast<double>(rng.NextBounded(600)) - 300);
+    tree.InsertOrAssign(PhKeyD{a, b}, i);
+    ASSERT_TRUE(tree.Contains(PhKeyD{a, b}));
+  }
+  // Decoded keys from a full-space window equal the originals bit-exactly.
+  const auto all = tree.QueryWindow(PhKeyD{-kInf, -kInf}, PhKeyD{kInf, kInf});
+  EXPECT_EQ(all.size(), tree.size());
+  for (const auto& [key, value] : all) {
+    ASSERT_TRUE(tree.Contains(key));
+  }
+}
+
+TEST(PhTreeDoubleEdge, KnnAcrossSignBoundary) {
+  PhTreeD tree(2);
+  tree.Insert(PhKeyD{-1.0, 0.0}, 1);
+  tree.Insert(PhKeyD{2.0, 0.0}, 2);
+  tree.Insert(PhKeyD{0.5, 0.0}, 3);
+  const auto res = KnnSearchD(tree.tree(), std::vector<double>{0.0, 0.0}, 3);
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].value, 3u);  // 0.5 closest
+  EXPECT_EQ(res[1].value, 1u);  // -1.0 next
+  EXPECT_EQ(res[2].value, 2u);  // 2.0 last
+}
+
+TEST(PhTreeDoubleEdge, ClusterBoundary0p5SplitsHighInTheTree) {
+  // Whitebox view of Sect. 4.3.6: keys just below/above 0.5 diverge at the
+  // exponent bit, keys around 0.4 share a much longer prefix.
+  const uint64_t below5 = SortableDoubleBits(0.4999999);
+  const uint64_t above5 = SortableDoubleBits(0.5000001);
+  const uint64_t below4 = SortableDoubleBits(0.3999999);
+  const uint64_t above4 = SortableDoubleBits(0.4000001);
+  const int div5 = 63 - std::countl_zero(below5 ^ above5);
+  const int div4 = 63 - std::countl_zero(below4 ^ above4);
+  EXPECT_GT(div5, div4 + 10);  // 0.5 diverges >10 bits higher
+}
+
+}  // namespace
+}  // namespace phtree

@@ -1,0 +1,230 @@
+// Node-level behaviour: HC/LHC representation choice and switching
+// (paper Sect. 3.2), space bookkeeping, and the paper's space cases
+// (Sect. 3.4).
+#include "phtree/node.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "phtree/phtree.h"
+#include "phtree/stats.h"
+#include "phtree/validate.h"
+
+namespace phtree {
+namespace {
+
+PhKey Key2(uint64_t x, uint64_t y) { return PhKey{x, y}; }
+
+TEST(NodeRepresentation, DenseLowDimNodesUseHc) {
+  // k=2: filling all 4 slots of a node must flip it to HC (paper: the
+  // bottom node of Fig. 2 "would be stored in HC representation").
+  PhTree tree(2);
+  for (uint64_t x = 0; x < 2; ++x) {
+    for (uint64_t y = 0; y < 2; ++y) {
+      tree.Insert(Key2(x, y), x * 2 + y);
+    }
+  }
+  const PhTreeStats stats = tree.ComputeStats();
+  EXPECT_GE(stats.n_hc_nodes, 1u);
+  EXPECT_EQ(ValidatePhTree(tree), "");
+}
+
+TEST(NodeRepresentation, SparseHighDimNodesUseLhc) {
+  // k=16 with 2 entries: HC would need 2^16 slots; must stay LHC.
+  PhTree tree(16);
+  PhKey a(16, 123456), b(16, 123456);
+  b[15] ^= 1;
+  tree.Insert(a, 1);
+  tree.Insert(b, 2);
+  const PhTreeStats stats = tree.ComputeStats();
+  EXPECT_EQ(stats.n_hc_nodes, 0u);
+  EXPECT_EQ(stats.n_lhc_nodes, stats.n_nodes);
+}
+
+TEST(NodeRepresentation, SwitchesBackToLhcOnDeletion) {
+  PhTreeConfig cfg;  // strict switching
+  PhTree tree(2, cfg);
+  // Build a dense subtree in [0,2)x[0,2) under a shared prefix.
+  for (uint64_t x = 0; x < 2; ++x) {
+    for (uint64_t y = 0; y < 2; ++y) {
+      tree.Insert(Key2(x, y), 0);
+    }
+  }
+  PhTreeStats stats = tree.ComputeStats();
+  ASSERT_GE(stats.n_hc_nodes, 1u);
+  // Erase until sparse: representation must follow the size rule again.
+  tree.Erase(Key2(0, 0));
+  tree.Erase(Key2(0, 1));
+  EXPECT_EQ(ValidatePhTree(tree), "");
+}
+
+TEST(NodeRepresentation, HcOnlyPolicyForcesHc) {
+  PhTreeConfig cfg;
+  cfg.repr = NodeRepr::kHcOnly;
+  PhTree tree(3, cfg);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(PhKey{rng.NextU64(), rng.NextU64(), rng.NextU64()}, i);
+  }
+  const PhTreeStats stats = tree.ComputeStats();
+  EXPECT_EQ(stats.n_hc_nodes, stats.n_nodes);
+  EXPECT_EQ(ValidatePhTree(tree), "");
+}
+
+TEST(NodeRepresentation, LhcOnlyPolicyForcesLhc) {
+  PhTreeConfig cfg;
+  cfg.repr = NodeRepr::kLhcOnly;
+  PhTree tree(2, cfg);
+  for (uint64_t x = 0; x < 4; ++x) {
+    for (uint64_t y = 0; y < 4; ++y) {
+      tree.Insert(Key2(x, y), 0);
+    }
+  }
+  const PhTreeStats stats = tree.ComputeStats();
+  EXPECT_EQ(stats.n_hc_nodes, 0u);
+  EXPECT_EQ(ValidatePhTree(tree), "");
+}
+
+TEST(NodeRepresentation, HcNeverUsedAboveMaxDim) {
+  PhTreeConfig cfg;
+  cfg.repr = NodeRepr::kHcOnly;  // even when forced
+  cfg.hc_max_dim = 10;
+  PhTree tree(24, cfg);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    PhKey key(24);
+    for (auto& v : key) {
+      v = rng.NextBounded(2);  // boolean data: maximally dense addresses
+    }
+    tree.InsertOrAssign(key, i);
+  }
+  const PhTreeStats stats = tree.ComputeStats();
+  EXPECT_EQ(stats.n_hc_nodes, 0u);
+}
+
+TEST(NodeSpace, HcBeatsLhcExactlyWhenSmaller) {
+  // Whitebox size check on a standalone node.
+  PhTreeConfig cfg;
+  Node node(2, 0, 3);  // k=2, postfix 3 bits -> stride 6 bits
+  PhKey key{0, 0};
+  // 1 entry: LHC (1 payload word + 1 flag + 2 addr + 6 postfix bits) is far
+  // below HC (4 slots x (64+2+6) bits) -> LHC.
+  node.InsertPostfix(0, key, 0, cfg);
+  EXPECT_FALSE(node.is_hc());
+  EXPECT_LT(node.LhcBits(), node.HcBits());
+  // Fill all 4 slots: LHC pays k=2 address bits per entry, HC does not ->
+  // HC is smaller by (k-1) bits per slot (paper Sect. 3.2).
+  key = PhKey{1, 0};
+  node.InsertPostfix(2, key, 0, cfg);
+  key = PhKey{0, 1};
+  node.InsertPostfix(1, key, 0, cfg);
+  key = PhKey{1, 1};
+  node.InsertPostfix(3, key, 0, cfg);
+  EXPECT_TRUE(node.is_hc());
+  EXPECT_LT(node.HcBits(), node.LhcBits());
+}
+
+TEST(NodeSpace, MemoryScalesWithPostfixLengthNotBitWidth) {
+  // Prefix sharing (Sect. 3.4): clustered keys must take fewer bytes per
+  // entry than scattered keys, because their postfixes are shorter.
+  Rng rng(8);
+  PhTree clustered(2);
+  PhTree scattered(2);
+  for (int i = 0; i < 2000; ++i) {
+    // Clustered: all keys share the top ~48 bits.
+    clustered.Insert(
+        Key2(0xABCDEF0000ULL << 24 | (rng.NextU64() & 0xFFFF),
+             0x123456789AULL << 24 | (rng.NextU64() & 0xFFFF)),
+        i);
+    scattered.Insert(Key2(rng.NextU64(), rng.NextU64()), i);
+  }
+  const auto cs = clustered.ComputeStats();
+  const auto ss = scattered.ComputeStats();
+  EXPECT_LT(cs.BytesPerEntry(), ss.BytesPerEntry());
+}
+
+TEST(NodeSpace, PowersOfTwoWorstCaseStillBounded) {
+  // Paper Fig. 4b: powers of two create one node per entry (bad
+  // entry-to-node ratio), but the ratio stays > 1 and depth <= w.
+  PhTree tree(1);
+  tree.Insert(PhKey{0}, 0);
+  for (uint32_t b = 0; b < 64; ++b) {
+    tree.Insert(PhKey{uint64_t{1} << b}, b);
+  }
+  const PhTreeStats stats = tree.ComputeStats();
+  // 65 entries, 64 nodes: one node per entry except the root holding two
+  // (paper Fig. 4b: n / n_node = 5/4 for {0,1,2,4,8}).
+  EXPECT_EQ(stats.n_nodes, 64u);
+  EXPECT_GT(stats.EntryToNodeRatio(), 1.0);
+  EXPECT_LE(stats.max_depth, 64u);
+}
+
+TEST(NodeSpace, StatsCountsAreConsistent) {
+  Rng rng(10);
+  PhTree tree(3);
+  size_t n = 0;
+  for (int i = 0; i < 3000; ++i) {
+    n += tree.Insert(PhKey{rng.NextU64() & 0xFFFFF, rng.NextU64() & 0xFFFFF,
+                           rng.NextU64() & 0xFFFFF},
+                     i)
+             ? 1
+             : 0;
+  }
+  const PhTreeStats stats = tree.ComputeStats();
+  EXPECT_EQ(stats.n_entries, n);
+  EXPECT_EQ(stats.n_postfix_entries, n);
+  EXPECT_EQ(stats.n_hc_nodes + stats.n_lhc_nodes, stats.n_nodes);
+  EXPECT_GT(stats.memory_bytes, 0u);
+  EXPECT_GE(stats.max_depth, 1u);
+  EXPECT_LE(stats.max_depth, 64u);
+}
+
+TEST(NodeWhitebox, InfixRoundTrip) {
+  Node node(3, 7, 20);
+  PhKey key{0x0ABCDEF012345678ULL, 0x1122334455667788ULL,
+            0xFEDCBA9876543210ULL};
+  node.SetInfixFromKey(key);
+  EXPECT_EQ(node.MatchInfix(key), -1);
+  PhKey out{0, 0, 0};
+  node.ReadInfixInto(out);
+  for (int d = 0; d < 3; ++d) {
+    const uint64_t mask = LowMask(7) << 21;  // bits [21,27]
+    EXPECT_EQ(out[d] & mask, key[d] & mask);
+  }
+  // A mismatch in the highest infix bit reports bit index pl+il = 27.
+  PhKey bad = key;
+  bad[1] ^= uint64_t{1} << 27;
+  EXPECT_EQ(node.MatchInfix(bad), 27);
+  // A mismatch in the lowest infix bit reports bit index pl+1 = 21.
+  bad = key;
+  bad[2] ^= uint64_t{1} << 21;
+  EXPECT_EQ(node.MatchInfix(bad), 21);
+  // Bits outside the infix range are ignored.
+  bad = key;
+  bad[0] ^= uint64_t{1} << 20;
+  bad[0] ^= uint64_t{1} << 28;
+  EXPECT_EQ(node.MatchInfix(bad), -1);
+}
+
+TEST(NodeWhitebox, PostfixDivergenceFindsHighestBit) {
+  PhTreeConfig cfg;
+  Node node(2, 0, 33);
+  PhKey key{0x1ABCDEF55ULL & LowMask(33), 0x012345678ULL & LowMask(33)};
+  node.InsertPostfix(HcAddressAt(key, 33), key, 7, cfg);
+  const uint64_t ord = node.FindOrdinal(HcAddressAt(key, 33));
+  ASSERT_NE(ord, Node::kNoOrdinal);
+  EXPECT_EQ(node.PostfixDivergence(ord, key), -1);
+  PhKey other = key;
+  other[1] ^= uint64_t{1} << 30;
+  other[0] ^= uint64_t{1} << 5;
+  EXPECT_EQ(node.PostfixDivergence(ord, other), 30);
+  PhKey read{0, 0};
+  node.ReadPostfixInto(ord, read);
+  EXPECT_EQ(read[0], key[0] & LowMask(33));
+  EXPECT_EQ(read[1], key[1] & LowMask(33));
+}
+
+}  // namespace
+}  // namespace phtree

@@ -1,0 +1,170 @@
+// Tests for the key-only set mode (paper Sect. 3.1 storage model) and the
+// serialisation module.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "datasets/datasets.h"
+#include "phtree/phtree_d.h"
+#include "phtree/phtree_set.h"
+#include "phtree/serialize.h"
+#include "phtree/validate.h"
+
+namespace phtree {
+namespace {
+
+TEST(PhTreeSet, BasicSetSemantics) {
+  PhTreeSet set(2);
+  EXPECT_TRUE(set.Insert(PhKey{1, 2}));
+  EXPECT_FALSE(set.Insert(PhKey{1, 2}));
+  EXPECT_TRUE(set.Contains(PhKey{1, 2}));
+  EXPECT_FALSE(set.Contains(PhKey{2, 1}));
+  EXPECT_EQ(set.CountWindow(PhKey{0, 0}, PhKey{9, 9}), 1u);
+  EXPECT_TRUE(set.Erase(PhKey{1, 2}));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(PhTreeSet, SavesSpaceVsValueTree) {
+  // The whole point of set mode: strictly fewer bytes per entry, same shape
+  // of all other statistics.
+  const Dataset ds = GenerateCube(50000, 3, 42);
+  PhTreeD map_tree(3);
+  PhTreeConfig set_cfg;
+  set_cfg.store_values = false;
+  PhTreeD set_tree(3, set_cfg);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    map_tree.Insert(ds.point(i), i);
+    set_tree.Insert(ds.point(i), 0);
+  }
+  const auto ms = map_tree.ComputeStats();
+  const auto ss = set_tree.ComputeStats();
+  EXPECT_EQ(ms.n_entries, ss.n_entries);
+  EXPECT_EQ(ms.n_nodes, ss.n_nodes);
+  EXPECT_EQ(ms.max_depth, ss.max_depth);
+  // At least 7 bytes/entry cheaper (one payload word minus bookkeeping).
+  EXPECT_LT(ss.BytesPerEntry() + 7.0, ms.BytesPerEntry());
+  EXPECT_EQ(ValidatePhTree(set_tree.tree()), "");
+}
+
+TEST(PhTreeSet, WindowQueriesMatchValueTree) {
+  const Dataset ds = GenerateCluster(20000, 3, 0.5, 7);
+  PhTreeD map_tree(3);
+  PhTreeConfig set_cfg;
+  set_cfg.store_values = false;
+  PhTreeD set_tree(3, set_cfg);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    map_tree.InsertOrAssign(ds.point(i), i);
+    set_tree.InsertOrAssign(ds.point(i), 0);
+  }
+  Rng rng(8);
+  for (int q = 0; q < 20; ++q) {
+    const double x = rng.NextDouble(0.0, 0.9);
+    const PhKeyD lo{x, 0.0, 0.0};
+    const PhKeyD hi{x + 0.05, 1.0, 1.0};
+    ASSERT_EQ(map_tree.CountWindow(lo, hi), set_tree.CountWindow(lo, hi));
+  }
+}
+
+TEST(Serialize, EmptyTreeRoundTrips) {
+  PhTree tree(4);
+  const auto bytes = SerializePhTree(tree);
+  const auto back = DeserializePhTree(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 0u);
+  EXPECT_EQ(back->dim(), 4u);
+}
+
+TEST(Serialize, RoundTripPreservesEntriesAndShape) {
+  Rng rng(9);
+  PhTree tree(3);
+  for (int i = 0; i < 5000; ++i) {
+    tree.InsertOrAssign(PhKey{rng.NextU64() & 0xFFFFFF, rng.NextU64(),
+                              rng.NextU64() & 0xFF},
+                        i);
+  }
+  const auto bytes = SerializePhTree(tree);
+  const auto back = DeserializePhTree(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), tree.size());
+  const auto a = tree.ComputeStats();
+  const auto b = back->ComputeStats();
+  EXPECT_EQ(a.n_nodes, b.n_nodes);
+  EXPECT_EQ(a.memory_bytes, b.memory_bytes);
+  // Contents identical.
+  tree.ForEach([&](const PhKey& k, uint64_t v) {
+    const auto found = back->Find(k);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, v);
+  });
+  EXPECT_EQ(ValidatePhTree(*back), "");
+}
+
+TEST(Serialize, ZOrderDeltaCompressionBeatsRawDump) {
+  // Clustered data yields long shared prefixes -> small deltas.
+  const Dataset ds = GenerateCluster(20000, 3, 0.4, 11);
+  PhTreeD tree(3);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    tree.InsertOrAssign(ds.point(i), 0);
+  }
+  const auto bytes = SerializePhTree(tree.tree());
+  const size_t raw = tree.size() * (3 * 8 + 8);  // keys + values
+  EXPECT_LT(bytes.size(), raw);
+}
+
+TEST(Serialize, RejectsCorruptStreams) {
+  PhTree tree(2);
+  tree.Insert(PhKey{1, 2}, 3);
+  auto bytes = SerializePhTree(tree);
+  // Truncation.
+  for (size_t cut : {size_t{0}, size_t{3}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::vector<uint8_t> trunc(bytes.begin(),
+                               bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DeserializePhTree(trunc).has_value()) << cut;
+  }
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] = 'X';
+  EXPECT_FALSE(DeserializePhTree(bad).has_value());
+  // Trailing garbage.
+  auto long_stream = bytes;
+  long_stream.push_back(0);
+  EXPECT_FALSE(DeserializePhTree(long_stream).has_value());
+  // Absurd dimension.
+  auto bad_dim = bytes;
+  bad_dim[4] = 200;
+  EXPECT_FALSE(DeserializePhTree(bad_dim).has_value());
+}
+
+TEST(Serialize, FileRoundTrip) {
+  PhTree tree(2);
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) {
+    tree.InsertOrAssign(PhKey{rng.NextU64(), rng.NextU64()}, i);
+  }
+  const std::string path = "/tmp/phtree_serialize_test.bin";
+  ASSERT_TRUE(SavePhTree(tree, path));
+  const auto back = LoadPhTree(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), tree.size());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadPhTree("/tmp/does_not_exist_phtree.bin").has_value());
+}
+
+TEST(Serialize, PreservesConfig) {
+  PhTreeConfig cfg;
+  cfg.repr = NodeRepr::kLhcOnly;
+  cfg.store_values = false;
+  cfg.hysteresis = 0.9;
+  PhTree tree(2, cfg);
+  tree.Insert(PhKey{1, 1}, 0);
+  const auto back = DeserializePhTree(SerializePhTree(tree));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->config().repr, NodeRepr::kLhcOnly);
+  EXPECT_EQ(back->config().store_values, false);
+  EXPECT_EQ(back->config().hysteresis, 0.9);
+}
+
+}  // namespace
+}  // namespace phtree

@@ -1,0 +1,100 @@
+// Concurrency tests for the thread-safe wrapper (paper Sect. 5 extension).
+#include "phtree/phtree_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace phtree {
+namespace {
+
+TEST(PhTreeSync, BasicOperations) {
+  PhTreeSync tree(2);
+  EXPECT_TRUE(tree.Insert(PhKey{1, 2}, 3));
+  EXPECT_FALSE(tree.Insert(PhKey{1, 2}, 4));
+  EXPECT_EQ(tree.Find(PhKey{1, 2}), std::optional<uint64_t>(3));
+  EXPECT_EQ(tree.CountWindow(PhKey{0, 0}, PhKey{5, 5}), 1u);
+  EXPECT_TRUE(tree.Erase(PhKey{1, 2}));
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(PhTreeSync, ConcurrentDisjointWriters) {
+  PhTreeSync tree(2);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        // Disjoint key ranges per thread.
+        const PhKey key{(static_cast<uint64_t>(t) << 32) | rng.NextU64() %
+                            0xFFFFFFFF,
+                        rng.NextU64()};
+        tree.InsertOrAssign(key, t);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_GT(tree.size(), 0u);
+  EXPECT_LE(tree.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+TEST(PhTreeSync, ReadersDuringWrites) {
+  PhTreeSync tree(2);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    tree.Insert(PhKey{i, i}, i);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> reads{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      Rng rng(7);
+      // Bounded iterations: unbounded spinning readers starve the writer
+      // through the shared lock on single-core machines.
+      for (int iter = 0; iter < 3000 && !stop.load(); ++iter) {
+        const uint64_t i = rng.NextBounded(1000);
+        // Keys 0..999 are never removed; they must always be visible.
+        if (!tree.Contains(PhKey{i, i})) {
+          failed = true;
+        }
+        if (iter % 64 == 0 &&
+            tree.CountWindow(PhKey{0, 0}, PhKey{~0ULL, ~0ULL}) < 1000) {
+          failed = true;
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    });
+  }
+  // Writer churns extra keys above the protected range.
+  std::thread writer([&] {
+    Rng rng(8);
+    for (int i = 0; i < 5000; ++i) {
+      const PhKey key{1000 + rng.NextBounded(500), rng.NextBounded(500)};
+      if (rng.NextBool(0.5)) {
+        tree.InsertOrAssign(key, i);
+      } else {
+        tree.Erase(key);
+      }
+    }
+  });
+  writer.join();
+  stop = true;
+  for (auto& th : readers) {
+    th.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(reads.load(), 0u);
+}
+
+}  // namespace
+}  // namespace phtree

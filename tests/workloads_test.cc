@@ -1,0 +1,105 @@
+#include "benchlib/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "datasets/datasets.h"
+
+namespace phtree::bench {
+namespace {
+
+TEST(PointQueries, RoughlyHalfHitExistingPoints) {
+  const Dataset ds = GenerateCube(20000, 3, 1);
+  const auto queries = MakePointQueries(ds, 10000, 7);
+  ASSERT_EQ(queries.size(), 10000u);
+  size_t hits = 0;
+  // Existing points are copied verbatim; random misses almost surely do not
+  // collide, so exact-match counting approximates the hit fraction.
+  std::set<std::vector<double>> points;
+  for (size_t i = 0; i < ds.n(); ++i) {
+    const auto p = ds.point(i);
+    points.insert(std::vector<double>(p.begin(), p.end()));
+  }
+  for (const auto& q : queries) {
+    hits += points.count(q);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.5, 0.03);
+}
+
+TEST(PointQueries, StayWithinDataBounds) {
+  const Dataset ds = GenerateTigerLike(5000, 2);
+  const auto queries = MakePointQueries(ds, 2000, 9);
+  for (const auto& q : queries) {
+    EXPECT_GE(q[0], -125.0);
+    EXPECT_LE(q[0], -65.0);
+    EXPECT_GE(q[1], 24.0);
+    EXPECT_LE(q[1], 50.0);
+  }
+}
+
+TEST(VolumeQueries, CoverRequestedFraction) {
+  const Dataset ds = GenerateCube(5000, 3, 2);
+  for (const double coverage : {0.001, 0.01, 0.1}) {
+    const auto boxes = MakeVolumeQueries(ds, 300, coverage, 11);
+    double sum = 0;
+    for (const auto& b : boxes) {
+      double vol = 1.0;
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_LE(b.lo[d], b.hi[d]);
+        vol *= (b.hi[d] - b.lo[d]);
+      }
+      sum += vol;
+    }
+    // Domain is ~[0,1]^3; average box volume must match the coverage.
+    EXPECT_NEAR(sum / 300.0, coverage, coverage * 0.25);
+  }
+}
+
+TEST(VolumeQueries, EdgesHaveRandomLengths) {
+  const Dataset ds = GenerateCube(5000, 2, 2);
+  const auto boxes = MakeVolumeQueries(ds, 200, 0.01, 13);
+  // The boxes must not all be squares: the paper adjusts exactly one edge.
+  size_t non_square = 0;
+  for (const auto& b : boxes) {
+    const double w = b.hi[0] - b.lo[0];
+    const double h = b.hi[1] - b.lo[1];
+    if (std::abs(w - h) > 1e-6) {
+      ++non_square;
+    }
+  }
+  EXPECT_GT(non_square, 150u);
+}
+
+TEST(ClusterQueries, MatchPaperShape) {
+  const auto boxes = MakeClusterQueries(5, 100, 17);
+  for (const auto& b : boxes) {
+    // Full extent in every dimension but x.
+    for (int d = 1; d < 5; ++d) {
+      EXPECT_EQ(b.lo[d], 0.0);
+      EXPECT_EQ(b.hi[d], 1.0);
+    }
+    // x: length 0.0001, located in [0, 0.1].
+    EXPECT_NEAR(b.hi[0] - b.lo[0], 0.0001, 1e-12);
+    EXPECT_GE(b.lo[0], 0.0);
+    EXPECT_LE(b.lo[0], 0.1);
+  }
+}
+
+TEST(Workloads, DeterministicInSeed) {
+  const Dataset ds = GenerateCube(1000, 3, 3);
+  const auto a = MakeVolumeQueries(ds, 50, 0.01, 5);
+  const auto b = MakeVolumeQueries(ds, 50, 0.01, 5);
+  const auto c = MakeVolumeQueries(ds, 50, 0.01, 6);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lo, b[i].lo);
+    EXPECT_EQ(a[i].hi, b[i].hi);
+  }
+  EXPECT_NE(a[0].lo, c[0].lo);
+}
+
+}  // namespace
+}  // namespace phtree::bench
