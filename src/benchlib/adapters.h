@@ -60,6 +60,7 @@ class PhSetAdapter {
   }
   uint64_t MemoryBytes() const { return tree_.ComputeStats().memory_bytes; }
   size_t size() const { return tree_.size(); }
+  const PhTreeD& tree() const { return tree_; }
 
  private:
   static PhTreeConfig SetConfig() {

@@ -36,9 +36,20 @@ class Timer {
 /// (or more) to approach paper scale.
 inline double BenchScale() {
   if (const char* env = std::getenv("PHTREE_BENCH_SCALE")) {
-    const double v = std::atof(env);
-    if (v > 0) {
+    // strtod with an end-pointer check: atof returns 0.0 for garbage, which
+    // is indistinguishable from an explicit 0 and silently ignores typos
+    // like "1O" (letter O). Reject anything that is not a full number.
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && *end == '\0' && v > 0) {
       return v;
+    }
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "# warning: ignoring invalid PHTREE_BENCH_SCALE=\"%s\"\n",
+                   env);
     }
   }
   return 1.0;

@@ -1,20 +1,190 @@
 #include "common/bit_buffer.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "common/bits.h"
 
 namespace phtree {
+namespace {
+
+uint64_t* HeapAllocate(uint64_t words) { return new uint64_t[words]; }
+
+void HeapDeallocate(uint64_t* block) { delete[] block; }
+
+}  // namespace
+
+// ---- Storage management ---------------------------------------------------
+
+void BitBuffer::ReleaseStorage() {
+  if (words_ == nullptr) {
+    return;
+  }
+  if (pool_ != nullptr) {
+    pool_->DeallocateWords(words_, cap_words_);
+  } else {
+    HeapDeallocate(words_);
+  }
+  words_ = nullptr;
+  cap_words_ = 0;
+}
+
+void BitBuffer::Reallocate(uint64_t words) {
+  const uint64_t used = WordsFor(size_bits_);
+  assert(words >= used);
+  uint64_t* nw;
+  uint64_t ncap;
+  if (pool_ != nullptr) {
+    nw = pool_->AllocateWords(words, &ncap);
+  } else {
+    nw = HeapAllocate(words);
+    ncap = words;
+  }
+  if (used > 0) {
+    std::memcpy(nw, words_, used * sizeof(uint64_t));
+  }
+  if (ncap > used) {
+    std::memset(nw + used, 0, (ncap - used) * sizeof(uint64_t));
+  }
+  if (words_ != nullptr) {
+    if (pool_ != nullptr) {
+      pool_->DeallocateWords(words_, cap_words_);
+    } else {
+      HeapDeallocate(words_);
+    }
+  }
+  words_ = nw;
+  cap_words_ = ncap;
+}
+
+void BitBuffer::EnsureCapacity(uint64_t words) {
+  if (words <= cap_words_) {
+    return;
+  }
+  // Heap buffers grow geometrically (amortised O(1) append, like
+  // std::vector); pooled buffers get the pool's size-class rounding, which
+  // is itself geometric.
+  const uint64_t request =
+      pool_ != nullptr ? words : std::max(words, cap_words_ * 2);
+  Reallocate(request);
+}
 
 void BitBuffer::Resize(uint64_t size_bits) {
-  words_.resize(WordsFor(size_bits), 0);
+  const uint64_t new_words = WordsFor(size_bits);
+  const uint64_t old_words = WordsFor(size_bits_);
+  EnsureCapacity(new_words);
+  if (new_words < old_words) {
+    // Keep the invariant: words past the in-use region are zero.
+    std::memset(words_ + new_words, 0,
+                (old_words - new_words) * sizeof(uint64_t));
+  }
   size_bits_ = size_bits;
-  // Invariant: bits at positions >= size_bits_ are zero.
   const uint32_t off = size_bits_ & 63;
   if (off != 0) {
-    words_.back() &= ~LowMask(64 - off);
+    words_[new_words - 1] &= ~LowMask(64 - off);
+  }
+  // Pooled invariant: hold exactly the block the pool grants for the new
+  // size, so capacity — and therefore the measured footprint — is a pure
+  // function of the stored bits, never of the mutation history. Crossing a
+  // size-class boundary trades blocks through the freelists with a memcpy
+  // of the in-use words, the same order as the tail shift every LHC
+  // mutation already performs.
+  if (pool_ != nullptr) {
+    const uint64_t want = new_words == 0 ? 0 : pool_->GrantWords(new_words);
+    if (want == 0) {
+      ReleaseStorage();
+    } else if (want != cap_words_) {
+      Reallocate(new_words);
+    }
   }
 }
+
+void BitBuffer::Clear() {
+  size_bits_ = 0;
+  if (pool_ != nullptr) {
+    ReleaseStorage();
+  } else if (words_ != nullptr) {
+    std::memset(words_, 0, cap_words_ * sizeof(uint64_t));
+  }
+}
+
+void BitBuffer::ShrinkToFit() {
+  const uint64_t used = WordsFor(size_bits_);
+  if (used == 0) {
+    ReleaseStorage();
+    return;
+  }
+  // Pooled buffers already hold the minimal granted block (Resize invariant).
+  const uint64_t want = pool_ != nullptr ? pool_->GrantWords(used) : used;
+  if (want != cap_words_) {
+    Reallocate(used);
+  }
+}
+
+BitBuffer::BitBuffer(const BitBuffer& other) : pool_(other.pool_) {
+  const uint64_t used = WordsFor(other.size_bits_);
+  if (used > 0) {
+    Reallocate(used);
+    std::memcpy(words_, other.words_, used * sizeof(uint64_t));
+  }
+  size_bits_ = other.size_bits_;
+}
+
+BitBuffer& BitBuffer::operator=(const BitBuffer& other) {
+  if (this == &other) {
+    return *this;
+  }
+  // Keeps its own pool: assignment copies content, not provenance.
+  size_bits_ = 0;
+  const uint64_t used = WordsFor(other.size_bits_);
+  const uint64_t want =
+      used == 0 ? 0 : (pool_ != nullptr ? pool_->GrantWords(used) : used);
+  if (pool_ != nullptr && want != cap_words_) {
+    // Re-establish the pooled exact-grant invariant for the new size.
+    if (want == 0) {
+      ReleaseStorage();
+    } else {
+      Reallocate(used);
+    }
+  } else if (used > cap_words_) {
+    Reallocate(used);
+  } else if (words_ != nullptr) {
+    std::memset(words_, 0, cap_words_ * sizeof(uint64_t));
+  }
+  if (used > 0) {
+    std::memcpy(words_, other.words_, used * sizeof(uint64_t));
+  }
+  size_bits_ = other.size_bits_;
+  return *this;
+}
+
+BitBuffer::BitBuffer(BitBuffer&& other) noexcept
+    : words_(other.words_),
+      cap_words_(other.cap_words_),
+      size_bits_(other.size_bits_),
+      pool_(other.pool_) {
+  other.words_ = nullptr;
+  other.cap_words_ = 0;
+  other.size_bits_ = 0;
+}
+
+BitBuffer& BitBuffer::operator=(BitBuffer&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  ReleaseStorage();
+  words_ = other.words_;
+  cap_words_ = other.cap_words_;
+  size_bits_ = other.size_bits_;
+  pool_ = other.pool_;
+  other.words_ = nullptr;
+  other.cap_words_ = 0;
+  other.size_bits_ = 0;
+  return *this;
+}
+
+// ---- Bit access -----------------------------------------------------------
 
 uint64_t BitBuffer::ReadBits(uint64_t pos, uint32_t n) const {
   assert(pos + n <= size_bits_);
@@ -61,14 +231,14 @@ void BitBuffer::InsertBits(uint64_t pos, uint64_t n) {
   if ((pos & 63) == 0 && (n & 63) == 0) {
     // Word-aligned fast path (the PH-tree node's 64-bit payload region):
     // whole-word insertion is a single memmove.
-    words_.insert(words_.begin() + static_cast<ptrdiff_t>(pos >> 6), n >> 6,
-                  0);
+    const uint64_t wi = pos >> 6;
+    const uint64_t nw = n >> 6;
+    const uint64_t used = WordsFor(size_bits_);
+    EnsureCapacity(used + nw);
+    std::memmove(words_ + wi + nw, words_ + wi,
+                 (used - wi) * sizeof(uint64_t));
+    std::memset(words_ + wi, 0, nw * sizeof(uint64_t));
     size_bits_ += n;
-    const uint32_t off = size_bits_ & 63;
-    words_.resize(WordsFor(size_bits_));
-    if (off != 0) {
-      words_.back() &= ~LowMask(64 - off);
-    }
     return;
   }
   const uint64_t old_size = size_bits_;
@@ -106,14 +276,13 @@ void BitBuffer::RemoveBits(uint64_t pos, uint64_t n) {
   }
   if ((pos & 63) == 0 && (n & 63) == 0) {
     // Word-aligned fast path: whole-word removal is a single memmove.
-    const auto first = words_.begin() + static_cast<ptrdiff_t>(pos >> 6);
-    words_.erase(first, first + static_cast<ptrdiff_t>(n >> 6));
-    size_bits_ -= n;
-    words_.resize(WordsFor(size_bits_));
-    const uint32_t off = size_bits_ & 63;
-    if (off != 0 && !words_.empty()) {
-      words_.back() &= ~LowMask(64 - off);
-    }
+    const uint64_t wi = pos >> 6;
+    const uint64_t nw = n >> 6;
+    const uint64_t used = WordsFor(size_bits_);
+    std::memmove(words_ + wi, words_ + wi + nw,
+                 (used - wi - nw) * sizeof(uint64_t));
+    std::memset(words_ + used - nw, 0, nw * sizeof(uint64_t));
+    Resize(size_bits_ - n);  // applies the pooled shrink rule
     return;
   }
   // Shift the tail [pos+n, size) left by n bits, processing forward.
@@ -252,7 +421,12 @@ void BitBuffer::MoveBits(uint64_t src_pos, uint64_t dst_pos, uint64_t n) {
 }
 
 bool operator==(const BitBuffer& a, const BitBuffer& b) {
-  return a.size_bits_ == b.size_bits_ && a.words_ == b.words_;
+  if (a.size_bits_ != b.size_bits_) {
+    return false;
+  }
+  const uint64_t used = BitBuffer::WordsFor(a.size_bits_);
+  return used == 0 ||
+         std::memcmp(a.words_, b.words_, used * sizeof(uint64_t)) == 0;
 }
 
 }  // namespace phtree

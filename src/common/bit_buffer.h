@@ -8,9 +8,35 @@
 
 #include <cassert>
 #include <cstdint>
-#include <vector>
 
 namespace phtree {
+
+/// Backing store interface for BitBuffer word arrays. A pool hands out
+/// blocks of 64-bit words and takes them back for reuse; the PH-tree's
+/// NodeArena implements this with size-class freelists over bump-allocated
+/// slabs so that node growth/shrink never hits the global allocator. A
+/// BitBuffer without a pool falls back to operator new[]/delete[].
+class WordPool {
+ public:
+  virtual ~WordPool() = default;
+
+  /// Returns a block of at least `min_words` words; `*actual_words` receives
+  /// the granted block size (callers must pass it back to DeallocateWords
+  /// unchanged). Block contents are uninitialised.
+  virtual uint64_t* AllocateWords(uint64_t min_words,
+                                  uint64_t* actual_words) = 0;
+
+  /// Returns a block obtained from AllocateWords; `words` is the granted
+  /// size reported through `actual_words`.
+  virtual void DeallocateWords(uint64_t* block, uint64_t words) = 0;
+
+  /// The block size AllocateWords(min_words, ...) would grant, without
+  /// allocating. Must be a pure function of `min_words`: BitBuffer keeps
+  /// pooled capacity == GrantWords(used words), which makes the measured
+  /// footprint a pure function of the stored data (insertion-order
+  /// independent), like the paper's space accounting.
+  virtual uint64_t GrantWords(uint64_t min_words) const = 0;
+};
 
 /// A growable sequence of bits with random access to arbitrary [pos, pos+n)
 /// windows (n <= 64) and bit-granular insertion/removal.
@@ -19,26 +45,47 @@ namespace phtree {
 /// read returns its bits right-aligned in the returned word, i.e., reading n
 /// bits yields a value < 2^n whose MSB is the first (lowest-index) bit of
 /// the window. This matches the MSB-first orientation of PH-tree keys.
+///
+/// Storage invariant: every word in [WordsFor(size_bits_), cap_words_) is
+/// zero, and the unused low bits of the last in-use word are zero. Growth
+/// therefore exposes zero bits without touching memory.
 class BitBuffer {
  public:
   BitBuffer() = default;
 
+  /// Constructs an empty buffer whose storage comes from `pool` (nullptr =
+  /// global heap).
+  explicit BitBuffer(WordPool* pool) : pool_(pool) {}
+
   /// Constructs a buffer of `size_bits` zero bits.
-  explicit BitBuffer(uint64_t size_bits) { Resize(size_bits); }
+  explicit BitBuffer(uint64_t size_bits, WordPool* pool = nullptr)
+      : pool_(pool) {
+    Resize(size_bits);
+  }
+
+  BitBuffer(const BitBuffer& other);
+  BitBuffer& operator=(const BitBuffer& other);
+  BitBuffer(BitBuffer&& other) noexcept;
+  BitBuffer& operator=(BitBuffer&& other) noexcept;
+  ~BitBuffer() { ReleaseStorage(); }
+
+  /// The pool backing this buffer (nullptr = global heap).
+  WordPool* pool() const { return pool_; }
 
   /// Number of valid bits in the buffer.
   uint64_t size_bits() const { return size_bits_; }
 
   bool empty() const { return size_bits_ == 0; }
 
-  /// Grows or shrinks the buffer to `size_bits`; new bits are zero.
+  /// Grows or shrinks the buffer to `size_bits`; new bits are zero. Pooled
+  /// buffers always hold exactly the block GrantWords prescribes for the
+  /// new size, trading blocks through the pool's freelists at size-class
+  /// boundaries; the swap is a memcpy of the in-use words, the same order
+  /// as the tail shift every LHC mutation already performs.
   void Resize(uint64_t size_bits);
 
-  /// Removes all bits (capacity is kept).
-  void Clear() {
-    size_bits_ = 0;
-    words_.clear();
-  }
+  /// Removes all bits and releases pooled storage to the pool.
+  void Clear();
 
   /// Reads `n` bits (0 <= n <= 64) starting at bit `pos`, right-aligned.
   uint64_t ReadBits(uint64_t pos, uint32_t n) const;
@@ -86,19 +133,35 @@ class BitBuffer {
   /// ranges must lie within the buffer.
   void MoveBits(uint64_t src_pos, uint64_t dst_pos, uint64_t n);
 
-  /// Heap bytes owned by this buffer (for structural memory accounting).
-  uint64_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+  /// Bytes of the backing block actually held by this buffer. Exact: for
+  /// pooled buffers this is the granted size-class block, for heap buffers
+  /// the allocated array (the malloc header is accounted separately by the
+  /// owner's estimate).
+  uint64_t MemoryBytes() const { return cap_words_ * sizeof(uint64_t); }
 
-  /// Releases excess capacity.
-  void ShrinkToFit() { words_.shrink_to_fit(); }
+  /// Releases excess capacity (pooled buffers drop to the smallest
+  /// size class covering the current size).
+  void ShrinkToFit();
 
   friend bool operator==(const BitBuffer& a, const BitBuffer& b);
 
  private:
   static uint64_t WordsFor(uint64_t bits) { return (bits + 63) / 64; }
 
-  std::vector<uint64_t> words_;
+  /// Grows the backing block to hold at least `words` words, preserving
+  /// content and the zero-tail invariant.
+  void EnsureCapacity(uint64_t words);
+
+  /// Replaces the backing block with one of capacity >= `words` (which must
+  /// cover the current size), copying the in-use words.
+  void Reallocate(uint64_t words);
+
+  void ReleaseStorage();
+
+  uint64_t* words_ = nullptr;
+  uint64_t cap_words_ = 0;
   uint64_t size_bits_ = 0;
+  WordPool* pool_ = nullptr;
 };
 
 }  // namespace phtree

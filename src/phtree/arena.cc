@@ -1,0 +1,254 @@
+#include "phtree/arena.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace phtree {
+namespace {
+
+/// Smallest power-of-two word count >= n, as a class index (log2).
+uint32_t ClassFor(uint64_t words) {
+  assert(words >= 1);
+  return static_cast<uint32_t>(std::bit_width(words - 1));
+}
+
+}  // namespace
+
+// ---- SlabWordPool ---------------------------------------------------------
+
+SlabWordPool::~SlabWordPool() { FreeAllLarge(); }
+
+uint64_t SlabWordPool::GrantWords(uint64_t min_words) const {
+  assert(min_words >= 1);
+  if (min_words > kMaxClassWords) {
+    // Large blocks grow in kMaxClassWords granules: deterministic (the size
+    // tables must not depend on growth history) yet coarse enough that a
+    // giant HC buffer reallocates once per 32 KiB of growth, not per insert.
+    return (min_words + kMaxClassWords - 1) / kMaxClassWords * kMaxClassWords;
+  }
+  return uint64_t{1} << ClassFor(min_words);
+}
+
+uint64_t* SlabWordPool::AllocateWords(uint64_t min_words,
+                                      uint64_t* actual_words) {
+  assert(min_words >= 1);
+  if (min_words > kMaxClassWords) {
+    const uint64_t granted = GrantWords(min_words);
+    *actual_words = granted;
+    return AllocateLarge(granted);
+  }
+  const uint32_t cls = ClassFor(min_words);
+  const uint64_t words = uint64_t{1} << cls;
+  *actual_words = words;
+  live_bytes_ += words * sizeof(uint64_t);
+  if (free_[cls] != nullptr) {
+    uint64_t* block = free_[cls];
+    std::memcpy(&free_[cls], block, sizeof(uint64_t*));
+    free_bytes_ -= words * sizeof(uint64_t);
+    return block;
+  }
+  // Bump path. Classes are powers of two and slabs are a power-of-two
+  // multiple of the largest class, so a block never straddles a slab.
+  if (slabs_.empty() || slab_off_ + words > kSlabWords) {
+    if (!slabs_.empty()) {
+      ++cur_slab_;
+    }
+    if (cur_slab_ == slabs_.size()) {
+      slabs_.emplace_back(new uint64_t[kSlabWords]);
+    }
+    slab_off_ = 0;
+  }
+  uint64_t* block = slabs_[cur_slab_].get() + slab_off_;
+  slab_off_ += words;
+  return block;
+}
+
+void SlabWordPool::DeallocateWords(uint64_t* block, uint64_t words) {
+  if (words > kMaxClassWords) {
+    DeallocateLarge(block);
+    return;
+  }
+  assert(std::has_single_bit(words));
+  const uint32_t cls = ClassFor(words);
+  std::memcpy(block, &free_[cls], sizeof(uint64_t*));
+  free_[cls] = block;
+  live_bytes_ -= words * sizeof(uint64_t);
+  free_bytes_ += words * sizeof(uint64_t);
+}
+
+uint64_t* SlabWordPool::AllocateLarge(uint64_t words) {
+  auto* lb = static_cast<LargeBlock*>(
+      std::malloc(sizeof(LargeBlock) + words * sizeof(uint64_t)));
+  if (lb == nullptr) {
+    throw std::bad_alloc();
+  }
+  lb->prev = nullptr;
+  lb->next = large_head_;
+  lb->words = words;
+  if (large_head_ != nullptr) {
+    large_head_->prev = lb;
+  }
+  large_head_ = lb;
+  const uint64_t bytes = sizeof(LargeBlock) + words * sizeof(uint64_t);
+  large_bytes_ += bytes;
+  live_bytes_ += words * sizeof(uint64_t);
+  return reinterpret_cast<uint64_t*>(lb + 1);
+}
+
+void SlabWordPool::DeallocateLarge(uint64_t* block) {
+  auto* lb = reinterpret_cast<LargeBlock*>(block) - 1;
+  if (lb->prev != nullptr) {
+    lb->prev->next = lb->next;
+  } else {
+    large_head_ = lb->next;
+  }
+  if (lb->next != nullptr) {
+    lb->next->prev = lb->prev;
+  }
+  large_bytes_ -= sizeof(LargeBlock) + lb->words * sizeof(uint64_t);
+  live_bytes_ -= lb->words * sizeof(uint64_t);
+  std::free(lb);
+}
+
+void SlabWordPool::FreeAllLarge() {
+  while (large_head_ != nullptr) {
+    LargeBlock* next = large_head_->next;
+    std::free(large_head_);
+    large_head_ = next;
+  }
+  large_bytes_ = 0;
+}
+
+void SlabWordPool::Reset() {
+  std::memset(free_, 0, sizeof(free_));
+  FreeAllLarge();
+  cur_slab_ = 0;
+  slab_off_ = 0;
+  live_bytes_ = 0;
+  free_bytes_ = 0;
+}
+
+// ---- NodeArena ------------------------------------------------------------
+
+NodeArena::~NodeArena() {
+  // Pooled: slabs and the word pool free everything wholesale; skipping the
+  // Node destructors is safe because the only resource a Node owns is its
+  // BitBuffer block, which lives in word_pool_. Heap arenas own nothing —
+  // the tree must have deleted its nodes (PhTree::Clear walks the tree in
+  // heap mode).
+  assert(pooled_ || live_nodes_ == 0);
+}
+
+NodeArena::NodeSlot* NodeArena::TakeSlot() {
+  if (free_nodes_ != nullptr) {
+    auto* slot = static_cast<NodeSlot*>(free_nodes_);
+    std::memcpy(&free_nodes_, slot, sizeof(void*));
+    --free_node_count_;
+    return slot;
+  }
+  if (node_slabs_.empty() || node_slab_off_ == kNodesPerSlab) {
+    if (!node_slabs_.empty()) {
+      ++cur_node_slab_;
+    }
+    if (cur_node_slab_ == node_slabs_.size()) {
+      node_slabs_.emplace_back(new NodeSlot[kNodesPerSlab]);
+    }
+    node_slab_off_ = 0;
+  }
+  return &node_slabs_[cur_node_slab_][node_slab_off_++];
+}
+
+Node* NodeArena::NewNode(uint32_t dim, uint32_t infix_len,
+                         uint32_t postfix_len, bool store_values) {
+  ++live_nodes_;
+  if (!pooled_) {
+    return new Node(dim, infix_len, postfix_len, store_values,
+                    /*pool=*/nullptr);
+  }
+  NodeSlot* slot = TakeSlot();
+  return new (slot) Node(dim, infix_len, postfix_len, store_values,
+                         &word_pool_);
+}
+
+void NodeArena::DeleteNode(Node* node) {
+  assert(node != nullptr && live_nodes_ > 0);
+  assert(Owns(node));
+  --live_nodes_;
+  if (!pooled_) {
+    delete node;
+    return;
+  }
+  // Run the destructor so the BitBuffer block returns to the size-class
+  // freelist, then thread the slot onto the node freelist.
+  node->~Node();
+  void* slot = static_cast<void*>(node);
+  std::memcpy(slot, &free_nodes_, sizeof(void*));
+  free_nodes_ = slot;
+  ++free_node_count_;
+}
+
+void NodeArena::Reset() {
+  assert(pooled_);
+  word_pool_.Reset();
+  cur_node_slab_ = 0;
+  node_slab_off_ = 0;
+  free_nodes_ = nullptr;
+  free_node_count_ = 0;
+  live_nodes_ = 0;
+}
+
+void NodeArena::ReserveNodes(size_t n) {
+  if (!pooled_) {
+    return;
+  }
+  const size_t want_slabs =
+      (live_nodes_ + free_node_count_ + n + kNodesPerSlab - 1) / kNodesPerSlab;
+  while (node_slabs_.size() < want_slabs) {
+    node_slabs_.emplace_back(new NodeSlot[kNodesPerSlab]);
+  }
+}
+
+bool NodeArena::Owns(const Node* node) const {
+  if (node == nullptr) {
+    return false;
+  }
+  if (!pooled_) {
+    return true;  // provenance is unknowable for plain heap nodes
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(node);
+  for (const auto& slab : node_slabs_) {
+    const auto* base = reinterpret_cast<const unsigned char*>(slab.get());
+    const auto* end = base + kNodesPerSlab * sizeof(NodeSlot);
+    if (p >= base && p < end) {
+      return (p - base) % sizeof(NodeSlot) == 0;
+    }
+  }
+  return false;
+}
+
+uint64_t NodeArena::SlabBytes() const {
+  if (!pooled_) {
+    return 0;
+  }
+  return node_slabs_.size() * kNodesPerSlab * sizeof(NodeSlot) +
+         word_pool_.SlabBytes();
+}
+
+uint64_t NodeArena::LiveBytes() const {
+  if (!pooled_) {
+    return 0;
+  }
+  return live_nodes_ * sizeof(Node) + word_pool_.LiveBytes();
+}
+
+uint64_t NodeArena::FreeListBytes() const {
+  if (!pooled_) {
+    return 0;
+  }
+  return free_node_count_ * sizeof(NodeSlot) + word_pool_.FreeListBytes();
+}
+
+}  // namespace phtree

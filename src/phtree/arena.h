@@ -1,0 +1,171 @@
+// Per-tree slab allocator for PH-tree nodes and their bit-stream storage.
+//
+// The paper's headline claim is space efficiency, so the reproduction must
+// account for (and minimise) allocator overhead instead of estimating it:
+// every Node object is carved out of fixed-size slabs with a freelist for
+// recycling, and every node's BitBuffer words come from a bump-allocated
+// word pool with power-of-two size-class freelists. Consequences:
+//   * insert splits / erase splices never pay a malloc round-trip,
+//   * Clear() is an O(slabs) arena reset instead of a recursive delete,
+//   * ComputeStats() reports exact bytes (slab / live / freelist) — the
+//     space tables measure, rather than model, the allocator.
+//
+// A NodeArena in heap mode (pooled() == false) routes every request to the
+// global allocator; it exists so the arena-vs-new ablation and the
+// historical estimated accounting stay runnable from the same code path.
+#ifndef PHTREE_PHTREE_ARENA_H_
+#define PHTREE_PHTREE_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bit_buffer.h"
+#include "phtree/node.h"
+
+namespace phtree {
+
+/// WordPool over bump-allocated slabs with power-of-two size-class
+/// freelists. Blocks of up to kMaxClassWords words are rounded up to a
+/// power of two and recycled through per-class freelists (LHC shift
+/// grow/shrink churns these); larger blocks (huge HC nodes) fall back to
+/// individually tracked heap blocks so Reset() can release them in one
+/// sweep.
+class SlabWordPool final : public WordPool {
+ public:
+  /// 64 KiB slabs: large enough that typical nodes never straddle a malloc,
+  /// small enough that a mostly-empty tree does not pin megabytes.
+  static constexpr uint64_t kSlabWords = 8192;
+  /// Largest size-class block: half a slab.
+  static constexpr uint64_t kMaxClassWords = kSlabWords / 2;
+
+  SlabWordPool() = default;
+  SlabWordPool(const SlabWordPool&) = delete;
+  SlabWordPool& operator=(const SlabWordPool&) = delete;
+  ~SlabWordPool() override;
+
+  uint64_t* AllocateWords(uint64_t min_words, uint64_t* actual_words) override;
+  void DeallocateWords(uint64_t* block, uint64_t words) override;
+
+  /// Granted block size: next power of two up to kMaxClassWords, then the
+  /// next multiple of kMaxClassWords. A pure function of `min_words`, so a
+  /// buffer holding exactly its grant has insertion-order-independent size.
+  uint64_t GrantWords(uint64_t min_words) const override;
+
+  /// Drops every outstanding block in O(slabs): rewinds the bump cursor,
+  /// clears the freelists, frees the large-block list. All blocks handed
+  /// out before the call become invalid; slabs are retained for reuse.
+  void Reset();
+
+  /// Total bytes reserved from the system (slabs + large blocks).
+  uint64_t SlabBytes() const {
+    return slabs_.size() * kSlabWords * sizeof(uint64_t) + large_bytes_;
+  }
+  /// Bytes currently handed out to live buffers.
+  uint64_t LiveBytes() const { return live_bytes_; }
+  /// Bytes parked in size-class freelists, ready for reuse.
+  uint64_t FreeListBytes() const { return free_bytes_; }
+
+ private:
+  struct LargeBlock {
+    LargeBlock* prev;
+    LargeBlock* next;
+    uint64_t words;
+    // Block data follows the header.
+  };
+
+  static constexpr uint32_t kNumClasses = 13;  // 2^0 .. 2^12 words
+
+  uint64_t* AllocateLarge(uint64_t words);
+  void DeallocateLarge(uint64_t* block);
+  void FreeAllLarge();
+
+  std::vector<std::unique_ptr<uint64_t[]>> slabs_;
+  size_t cur_slab_ = 0;      // slab the bump cursor points into
+  uint64_t slab_off_ = 0;    // word offset of the bump cursor
+  uint64_t* free_[kNumClasses] = {};  // freelist heads; next ptr in word 0
+  LargeBlock* large_head_ = nullptr;
+  uint64_t large_bytes_ = 0;
+  uint64_t live_bytes_ = 0;
+  uint64_t free_bytes_ = 0;
+};
+
+/// Owner of every Node of one PhTree. Nodes are placement-constructed into
+/// slots of fixed-size slabs; deleted nodes go on a freelist whose links
+/// reuse the slot memory. The arena address is stable for the lifetime of
+/// the owning tree (PhTree holds it behind a unique_ptr), so Node pointers
+/// and the word-pool pointer baked into each BitBuffer never dangle across
+/// a PhTree move.
+class NodeArena {
+ public:
+  /// Nodes per slab; at ~56 bytes per Node one slab is ~14 KiB.
+  static constexpr size_t kNodesPerSlab = 256;
+
+  /// `pooled` = false creates a pass-through arena: plain new/delete, no
+  /// slabs, estimated (not exact) accounting. Used by the ablation bench.
+  explicit NodeArena(bool pooled = true) : pooled_(pooled) {}
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+  ~NodeArena();
+
+  bool pooled() const { return pooled_; }
+
+  /// Constructs a Node whose BitBuffer draws from this arena's word pool.
+  Node* NewNode(uint32_t dim, uint32_t infix_len, uint32_t postfix_len,
+                bool store_values);
+
+  /// Destroys `node` and recycles its slot (pooled) or frees it (heap).
+  void DeleteNode(Node* node);
+
+  /// Destroys every outstanding node in O(slabs), without walking the tree:
+  /// node destructors are skipped because the only resource a Node owns is
+  /// its BitBuffer block, and the word pool is reset wholesale. Slabs are
+  /// retained, so refilling the tree is allocation-free until it outgrows
+  /// its previous high-water mark. Pooled arenas only.
+  void Reset();
+
+  /// Pre-allocates node slabs for at least `n` additional nodes (pooled
+  /// arenas; no-op in heap mode).
+  void ReserveNodes(size_t n);
+
+  /// True iff `node` lives in one of this arena's slots. Heap arenas own
+  /// whatever they allocated but cannot prove it; they accept any non-null
+  /// pointer. Debug/validation only: O(slabs).
+  bool Owns(const Node* node) const;
+
+  /// Number of nodes currently allocated and not yet deleted.
+  size_t live_nodes() const { return live_nodes_; }
+
+  /// Exact bytes reserved from the system: node slabs + word slabs + large
+  /// word blocks. Zero in heap mode (unknowable there).
+  uint64_t SlabBytes() const;
+  /// Exact bytes in use by live nodes: live slots + their buffer blocks.
+  uint64_t LiveBytes() const;
+  /// Exact recyclable bytes: free node slots + word-pool freelists.
+  uint64_t FreeListBytes() const;
+
+  /// The word pool backing node BitBuffers (nullptr in heap mode).
+  WordPool* word_pool() { return pooled_ ? &word_pool_ : nullptr; }
+
+ private:
+  // A raw, Node-sized and Node-aligned slot. Free slots store the freelist
+  // link in their first bytes.
+  struct alignas(alignof(Node)) NodeSlot {
+    unsigned char bytes[sizeof(Node)];
+  };
+
+  NodeSlot* TakeSlot();
+
+  bool pooled_;
+  SlabWordPool word_pool_;
+  std::vector<std::unique_ptr<NodeSlot[]>> node_slabs_;
+  size_t cur_node_slab_ = 0;
+  size_t node_slab_off_ = 0;
+  void* free_nodes_ = nullptr;
+  size_t free_node_count_ = 0;
+  size_t live_nodes_ = 0;
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_ARENA_H_

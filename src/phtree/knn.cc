@@ -85,6 +85,9 @@ std::vector<KnnResult> KnnSearch(const PhTree& tree,
       ApplyHcAddress(node->OrdinalAddr(ord), pl, key);
       if (node->OrdinalIsSub(ord)) {
         const Node* child = node->OrdinalSub(ord);
+        // Pointer provenance: every reachable node must live in the tree's
+        // arena (catches stale pointers after Clear()/moves in debug).
+        assert(tree.arena()->Owns(child));
         child->ReadInfixInto(key);
         const double d2 =
             BoxDist2(center, key, child->postfix_len() + 1, metric);

@@ -7,8 +7,9 @@
 namespace phtree {
 namespace {
 
-// Estimated allocator overhead per heap block, used by the structural memory
-// accounting (glibc malloc: 8-16 bytes header + alignment).
+// Estimated allocator overhead per heap block, used for heap-backed nodes
+// only (glibc malloc: 8-16 bytes header + alignment). Arena-backed nodes
+// report exact bytes instead.
 constexpr uint64_t kAllocOverhead = 16;
 
 uint64_t PtrToPayload(Node* p) {
@@ -19,23 +20,15 @@ Node* PayloadToPtr(uint64_t v) {
   return reinterpret_cast<Node*>(static_cast<uintptr_t>(v));
 }
 
-// Memory accounting uses logical sizes: the reported footprint is a pure
-// function of the stored data (insertion-order independent), mirroring the
-// paper's "summing up the required bytes of all nodes". std::vector growth
-// slack is a C++-side amortisation detail.
-uint64_t BufferBytes(const BitBuffer& b) {
-  const uint64_t words = (b.size_bits() + 63) / 64;
-  return words == 0 ? 0 : words * 8 + kAllocOverhead;
-}
-
 }  // namespace
 
 Node::Node(uint32_t dim, uint32_t infix_len, uint32_t postfix_len,
-           bool store_values)
+           bool store_values, WordPool* pool)
     : dim_(static_cast<uint16_t>(dim)),
       infix_len_(static_cast<uint8_t>(infix_len)),
       postfix_len_(static_cast<uint8_t>(postfix_len)),
-      store_values_(store_values) {
+      store_values_(store_values),
+      bits_(pool) {
   assert(dim >= 1 && dim <= kMaxDims);
   assert(infix_len + 1 + postfix_len <= kBitWidth);
   bits_.Resize(infix_bits());  // empty LHC node: just the (zero) infix
@@ -588,7 +581,7 @@ void Node::ConvertToHc() {
   const uint64_t n_present = n_infix + ib;
   const uint64_t n_sub = n_present + s;
   const uint64_t n_records = n_sub + s;
-  BitBuffer nb(n_records + s * stride());
+  BitBuffer nb(n_records + s * stride(), bits_.pool());
   nb.CopyFrom(bits_, infix_base(), n_infix, ib);
   uint64_t rank = 0;
   for (uint64_t i = 0; i < num_entries_; ++i) {
@@ -621,7 +614,7 @@ void Node::ConvertToLhc() {
   const uint64_t n_flags = n_infix + ib;
   const uint64_t n_addrs = n_flags + n;
   const uint64_t n_records = n_addrs + n * dim_;
-  BitBuffer nb(n_records + np * stride());
+  BitBuffer nb(n_records + np * stride(), bits_.pool());
   nb.CopyFrom(bits_, infix_base(), n_infix, ib);
   uint64_t i = 0;
   uint64_t rank = 0;
@@ -652,7 +645,19 @@ void Node::ConvertToLhc() {
 // ---- Accounting ---------------------------------------------------------
 
 uint64_t Node::MemoryBytes() const {
-  return sizeof(Node) + kAllocOverhead + BufferBytes(bits_);
+  if (bits_.pool() != nullptr) {
+    // Exact: the arena slot plus the granted size-class block (a pure
+    // function of the stored bits — see BitBuffer::Resize). Summed over all
+    // nodes this equals NodeArena::LiveBytes() — the space tables measure
+    // the allocator instead of modelling it.
+    return sizeof(Node) + bits_.MemoryBytes();
+  }
+  // Heap mode (ablation): the historical estimate — logical buffer size
+  // plus a per-allocation overhead guess. Uses the logical size, not the
+  // heap block's capacity, because the latter depends on growth history.
+  const uint64_t words = (bits_.size_bits() + 63) / 64;
+  const uint64_t buf = words == 0 ? 0 : words * 8 + kAllocOverhead;
+  return sizeof(Node) + kAllocOverhead + buf;
 }
 
 }  // namespace phtree

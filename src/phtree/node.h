@@ -31,8 +31,10 @@ class Node {
   /// entries below this node; `postfix_len` bits per dimension remain below
   /// this node's address bit. Invariant vs the parent:
   ///   parent.postfix_len == infix_len + 1 + postfix_len.
+  /// `pool` backs the node's bit stream (nullptr = global heap); tree-owned
+  /// nodes are built by NodeArena::NewNode, which passes its word pool.
   Node(uint32_t dim, uint32_t infix_len, uint32_t postfix_len,
-       bool store_values = true);
+       bool store_values = true, WordPool* pool = nullptr);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -129,8 +131,10 @@ class Node {
 
   // ---- Accounting ---------------------------------------------------------
 
-  /// Heap bytes owned by this node, including the node object itself and an
-  /// estimated per-allocation overhead (see DESIGN.md, space accounting).
+  /// Bytes owned by this node. Arena-backed nodes (pool != nullptr) report
+  /// exact bytes: the slab slot plus the granted word-pool block. Heap
+  /// nodes fall back to the historical estimate with a per-allocation
+  /// overhead constant (see DESIGN.md, space accounting).
   uint64_t MemoryBytes() const;
 
   /// Exact bit sizes both representations would need for the current

@@ -22,7 +22,9 @@ void CopyKey(std::span<const uint64_t> src, std::span<uint64_t> dst) {
 }  // namespace
 
 PhTree::PhTree(uint32_t dim, const PhTreeConfig& config)
-    : dim_(dim), config_(config) {
+    : dim_(dim),
+      config_(config),
+      arena_(std::make_unique<NodeArena>(config.use_arena)) {
   assert(dim >= 1 && dim <= kMaxDims);
 }
 
@@ -32,7 +34,10 @@ PhTree::PhTree(PhTree&& other) noexcept
     : dim_(other.dim_),
       config_(other.config_),
       size_(other.size_),
-      root_(other.root_) {
+      root_(other.root_),
+      arena_(std::move(other.arena_)) {
+  // The arena object (and with it every node and word-pool block) changes
+  // owner but not address, so all internal pointers stay valid.
   other.root_ = nullptr;
   other.size_ = 0;
 }
@@ -44,6 +49,7 @@ PhTree& PhTree::operator=(PhTree&& other) noexcept {
     config_ = other.config_;
     size_ = other.size_;
     root_ = other.root_;
+    arena_ = std::move(other.arena_);
     other.root_ = nullptr;
     other.size_ = 0;
   }
@@ -51,11 +57,28 @@ PhTree& PhTree::operator=(PhTree&& other) noexcept {
 }
 
 void PhTree::Clear() {
-  if (root_ != nullptr) {
+  if (arena_ != nullptr && arena_->pooled()) {
+    // O(slabs): drop every node and word block wholesale; no tree walk.
+    arena_->Reset();
+  } else if (root_ != nullptr) {
     DeleteSubtree(root_);
-    root_ = nullptr;
   }
+  root_ = nullptr;
   size_ = 0;
+}
+
+void PhTree::ReserveNodes(size_t n) {
+  if (arena_ != nullptr) {
+    arena_->ReserveNodes(n);
+  }
+}
+
+Node* PhTree::NewNode(uint32_t infix_len, uint32_t postfix_len) {
+  if (arena_ == nullptr) {
+    // Moved-from tree being refilled: give it a fresh arena.
+    arena_ = std::make_unique<NodeArena>(config_.use_arena);
+  }
+  return arena_->NewNode(dim_, infix_len, postfix_len, config_.store_values);
 }
 
 void PhTree::DeleteSubtree(Node* node) {
@@ -65,14 +88,13 @@ void PhTree::DeleteSubtree(Node* node) {
       DeleteSubtree(node->OrdinalSub(ord));
     }
   }
-  delete node;
+  arena_->DeleteNode(node);
 }
 
 bool PhTree::Insert(std::span<const uint64_t> key, uint64_t value) {
   assert(key.size() == dim_);
   if (root_ == nullptr) {
-    root_ = new Node(dim_, /*infix_len=*/0, /*postfix_len=*/kBitWidth - 1,
-                     config_.store_values);
+    root_ = NewNode(/*infix_len=*/0, /*postfix_len=*/kBitWidth - 1);
     root_->InsertPostfix(HcAddressAt(key, kBitWidth - 1), key, value, config_);
     size_ = 1;
     return true;
@@ -116,8 +138,8 @@ Node* PhTree::InsertRec(Node* node, std::span<const uint64_t> key,
     const uint64_t addr_key = HcAddressAt(key, mis);
     assert(addr_node != addr_key);
 
-    Node* parent = new Node(dim_, pl + il - static_cast<uint32_t>(mis),
-                            static_cast<uint32_t>(mis), config_.store_values);
+    Node* parent = NewNode(pl + il - static_cast<uint32_t>(mis),
+                           static_cast<uint32_t>(mis));
     parent->SetInfixFromKey(key);
     node->TrimInfixToLow(static_cast<uint32_t>(mis) - 1 - pl, config_);
     parent->InsertSub(addr_node, node, config_);
@@ -160,8 +182,8 @@ Node* PhTree::InsertRec(Node* node, std::span<const uint64_t> key,
   node->ReadPostfixInto(ord, old_key.span(dim_));
   const uint64_t old_value = node->OrdinalPayload(ord);
 
-  Node* child = new Node(dim_, pl - 1 - static_cast<uint32_t>(div),
-                         static_cast<uint32_t>(div), config_.store_values);
+  Node* child = NewNode(pl - 1 - static_cast<uint32_t>(div),
+                        static_cast<uint32_t>(div));
   child->SetInfixFromKey(key);
   child->InsertPostfix(HcAddressAt(old_key.span(dim_), div),
                        old_key.span(dim_), old_value, config_);
@@ -205,7 +227,7 @@ bool PhTree::Erase(std::span<const uint64_t> key) {
   if (erased) {
     --size_;
     if (root_->num_entries() == 0) {
-      delete root_;
+      arena_->DeleteNode(root_);
       root_ = nullptr;
     }
   }
@@ -249,7 +271,7 @@ void PhTree::MergeSingleEntryChild(Node* parent, uint64_t addr, Node* child) {
     grand->AbsorbParentInfix(*child, caddr, config_);
     const uint64_t pord = parent->FindOrdinal(addr);
     parent->SetSubAt(pord, grand);
-    delete child;
+    arena_->DeleteNode(child);
     return;
   }
   // Merge: rebuild the entry's bits below `parent` (child infix + child
@@ -263,7 +285,7 @@ void PhTree::MergeSingleEntryChild(Node* parent, uint64_t addr, Node* child) {
   child->ReadInfixInto(buf.span(dim_));
   const uint64_t value = child->OrdinalPayload(cord);
   parent->ReplaceSubWithPostfix(addr, buf.span(dim_), value, config_);
-  delete child;
+  arena_->DeleteNode(child);
 }
 
 void PhTree::ForEach(
@@ -309,6 +331,13 @@ PhTreeStats PhTree::ComputeStats() const {
   stats.n_entries = size_;
   if (root_ != nullptr) {
     StatsRec(root_, 1, &stats);
+  }
+  if (arena_ != nullptr && arena_->pooled()) {
+    // Exact, measured allocator state. Invariant (checked by the arena
+    // tests): memory_bytes accumulated above == arena_live_bytes.
+    stats.arena_slab_bytes = arena_->SlabBytes();
+    stats.arena_live_bytes = arena_->LiveBytes();
+    stats.arena_freelist_bytes = arena_->FreeListBytes();
   }
   return stats;
 }

@@ -17,10 +17,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "phtree/arena.h"
 #include "phtree/config.h"
 #include "phtree/node.h"
 #include "phtree/stats.h"
@@ -65,8 +67,14 @@ class PhTree {
   /// two nodes (paper Sect. 3.6).
   bool Erase(std::span<const uint64_t> key);
 
-  /// Removes all entries.
+  /// Removes all entries. With the arena (default) this is an O(slabs)
+  /// arena reset — no tree walk, no per-node free — and the slabs are kept
+  /// warm for refilling.
   void Clear();
+
+  /// Pre-allocates arena capacity for about `n` additional nodes (a tree
+  /// holds at most one node per entry). No-op without the arena.
+  void ReserveNodes(size_t n);
 
   /// Calls `fn(key, value)` for every stored entry, in z-order (ascending
   /// hypercube-address order at every node).
@@ -90,9 +98,16 @@ class PhTree {
   /// Root node accessor for iterators/tests; nullptr when empty.
   const Node* root() const { return root_; }
 
+  /// The arena owning every node of this tree. Stable address for the
+  /// tree's lifetime (moves transfer ownership of the same arena object);
+  /// null only for a moved-from tree. Iterators and the validator use it
+  /// for pointer-provenance checks.
+  const NodeArena* arena() const { return arena_.get(); }
+
  private:
   friend class PhTreeValidator;
 
+  Node* NewNode(uint32_t infix_len, uint32_t postfix_len);
   Node* InsertRec(Node* node, std::span<const uint64_t> key, uint64_t value,
                   bool* inserted, bool assign);
   void EraseRec(Node* node, std::span<const uint64_t> key, bool* erased);
@@ -104,6 +119,9 @@ class PhTree {
   PhTreeConfig config_;
   size_t size_ = 0;
   Node* root_ = nullptr;
+  // unique_ptr, not by-value: nodes hold pointers into the arena's word
+  // pool, so the arena object must keep its address across PhTree moves.
+  std::unique_ptr<NodeArena> arena_;
 };
 
 }  // namespace phtree

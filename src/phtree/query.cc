@@ -112,6 +112,9 @@ void PhTreeWindowIterator::Advance() {
     ApplyHcAddress(addr, node->postfix_len(), key_);
     if (node->OrdinalIsSub(ord)) {
       const Node* child = node->OrdinalSub(ord);
+      // Pointer provenance: every node this iterator descends into must
+      // live in the tree's arena (catches stale pointers in debug builds).
+      assert(tree_->arena()->Owns(child));
       child->ReadInfixInto(key_);
       if (SubtreeOverlapsWindow(child)) {
         PushNode(child);

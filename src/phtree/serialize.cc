@@ -1,5 +1,6 @@
 #include "phtree/serialize.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstring>
@@ -141,8 +142,16 @@ std::optional<PhTree> DeserializePhTree(const std::vector<uint8_t>& bytes) {
     return std::nullopt;
   }
   // The PH-tree shape is a pure function of the stored entries (Sect. 3),
-  // so re-inserting the entries reproduces the identical structure.
+  // so re-inserting the entries reproduces the identical structure. The
+  // inserts build every node directly inside the destination tree's arena;
+  // pre-reserving slabs for the known entry count (a tree has at most one
+  // node per entry) makes the load phase allocation-quiet.
   PhTree tree(dim, config);
+  // Cap by the stream's physical capacity (each entry costs at least one
+  // delta byte per dimension plus 8 value bytes) so a corrupt header with
+  // an absurd n cannot trigger a huge reservation.
+  const uint64_t max_entries = bytes.size() / (dim + 8);
+  tree.ReserveNodes(static_cast<size_t>(std::min<uint64_t>(n, max_entries)));
   PhKey key(dim, 0);
   for (uint64_t i = 0; i < n; ++i) {
     for (uint32_t d = 0; d < dim; ++d) {

@@ -17,9 +17,20 @@ struct PhTreeStats {
   size_t n_hc_nodes = 0;
   /// Nodes currently in LHC (linearised) representation.
   size_t n_lhc_nodes = 0;
-  /// Total heap bytes of the structure (paper Tables 1-2, "bytes per entry"
-  /// = memory_bytes / n_entries).
+  /// Total bytes of the structure (paper Tables 1-2, "bytes per entry" =
+  /// memory_bytes / n_entries). With the node arena (config.use_arena,
+  /// default) this is *measured*: the sum of slab slots and granted
+  /// word-pool blocks of all live nodes, equal to arena_live_bytes.
+  /// Without the arena it is the historical estimate (logical bytes plus a
+  /// per-allocation overhead constant).
   uint64_t memory_bytes = 0;
+  /// Exact bytes the tree's arena reserved from the system: node slabs,
+  /// word slabs, and large word blocks. Zero when use_arena is false.
+  uint64_t arena_slab_bytes = 0;
+  /// Exact bytes in use by live nodes (slots + their bit-stream blocks).
+  uint64_t arena_live_bytes = 0;
+  /// Exact recyclable bytes parked in the arena freelists.
+  uint64_t arena_freelist_bytes = 0;
   /// Maximum node depth (paper: bounded by w = 64).
   size_t max_depth = 0;
   /// Sum of the depths of all nodes (for average depth).

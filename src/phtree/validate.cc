@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "phtree/arena.h"
 #include "phtree/node.h"
 
 namespace phtree {
@@ -10,6 +11,8 @@ namespace {
 struct ValidateState {
   const PhTree* tree;
   size_t postfix_entries = 0;
+  size_t nodes = 0;
+  uint64_t node_bytes = 0;
   std::ostringstream error;
   bool failed = false;
 
@@ -29,6 +32,15 @@ void ValidateNode(const Node* node, const Node* parent, ValidateState* state) {
   ctx << "node(pl=" << node->postfix_len() << ",il=" << node->infix_len()
       << ",n=" << node->num_entries() << "): ";
 
+  ++state->nodes;
+  state->node_bytes += node->MemoryBytes();
+  // Arena ownership: every reachable node must have been carved out of the
+  // tree's own arena (a foreign or stale pointer here means a splice or
+  // move transferred a node across trees).
+  if (!state->tree->arena()->Owns(node)) {
+    state->Fail(ctx.str() + "node not owned by the tree's arena");
+    return;
+  }
   if (parent != nullptr && node->num_entries() < 2) {
     state->Fail(ctx.str() + "non-root node with < 2 entries");
     return;
@@ -129,6 +141,24 @@ std::string ValidatePhTree(const PhTree& tree) {
     std::ostringstream os;
     os << "postfix entry count " << state.postfix_entries
        << " != tree size " << tree.size();
+    return os.str();
+  }
+  // Arena bookkeeping invariants: the arena must account exactly the
+  // reachable nodes (no leaked, no double-freed slots), and in pooled mode
+  // its live-byte meter must equal the sum of per-node exact sizes.
+  const NodeArena* arena = tree.arena();
+  if (!state.failed && arena != nullptr &&
+      arena->live_nodes() != state.nodes) {
+    std::ostringstream os;
+    os << "arena live node count " << arena->live_nodes()
+       << " != reachable node count " << state.nodes;
+    return os.str();
+  }
+  if (!state.failed && arena != nullptr && arena->pooled() &&
+      arena->LiveBytes() != state.node_bytes) {
+    std::ostringstream os;
+    os << "arena live bytes " << arena->LiveBytes()
+       << " != sum of node bytes " << state.node_bytes;
     return os.str();
   }
   return state.failed ? state.error.str() : std::string();
