@@ -1,0 +1,76 @@
+// Corruption fault-injection helpers for snapshot robustness testing
+// (tests/phtree_corruption_test.cc) and durability experiments. The
+// mutators produce systematically damaged copies of a valid snapshot —
+// truncations, bit flips, record splices — and CheckMutatedSnapshot
+// classifies the loader's reaction: the hardened loader must either reject
+// the mutation with a sensible error class or hand back a tree that passes
+// ValidatePhTree; anything else (a crash is caught by Asan/UBSan, a
+// silently broken tree by the validator) is a harness failure.
+#ifndef PHTREE_BENCHLIB_SNAPSHOT_FAULT_H_
+#define PHTREE_BENCHLIB_SNAPSHOT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "phtree/serialize.h"
+
+namespace phtree {
+
+/// The structural region of a v2 snapshot a byte offset falls into.
+enum class SnapshotRegion {
+  kHeader,         ///< magic, header fields, header CRC
+  kRecordLength,   ///< a record's u32 payload-length field
+  kRecordPayload,  ///< a record's entry payload
+  kRecordCrc,      ///< a record's u32 CRC field
+  kTrailer,        ///< trailer counts and stream CRC
+};
+
+/// Maps a byte offset of the snapshot `layout` describes to its region.
+/// Offsets past the end map to kTrailer.
+SnapshotRegion RegionOf(const SnapshotLayout& layout, size_t offset);
+
+const char* SnapshotRegionName(SnapshotRegion region);
+
+/// First `len` bytes of `bytes`.
+std::vector<uint8_t> TruncateSnapshot(const std::vector<uint8_t>& bytes,
+                                      size_t len);
+
+/// Copy of `bytes` with bit `bit` (LSB-first within each byte) flipped.
+std::vector<uint8_t> FlipBit(const std::vector<uint8_t>& bytes, size_t bit);
+
+/// Copy with records `i` and `j` (per `layout`) swapped in place — every
+/// per-record CRC still matches, so only the whole-stream trailer CRC (or
+/// the decoded-key checks) can catch it.
+std::vector<uint8_t> SwapRecords(const std::vector<uint8_t>& bytes,
+                                 const SnapshotLayout& layout, size_t i,
+                                 size_t j);
+
+/// Copy with record `i` removed (header/trailer counts left stale).
+std::vector<uint8_t> DropRecord(const std::vector<uint8_t>& bytes,
+                                const SnapshotLayout& layout, size_t i);
+
+/// Copy with record `i` appearing twice in sequence.
+std::vector<uint8_t> DuplicateRecord(const std::vector<uint8_t>& bytes,
+                                     const SnapshotLayout& layout, size_t i);
+
+/// Recomputes every CRC (header, per-record, stream trailer) of a framed
+/// v2 stream in place, so a test can patch semantic fields (counts, entry
+/// bytes) and still get past checksum verification — exercising the
+/// cross-checks that sit behind the CRCs. Returns false if the stream's
+/// framing is too broken to walk.
+bool RepairSnapshotChecksums(std::vector<uint8_t>* bytes);
+
+/// Loads `mutated` in paranoid mode (checksums + structure validation) and
+/// classifies the outcome. Returns the empty string when the loader
+/// behaved acceptably: a typed rejection, or an accepted tree that passes
+/// ValidatePhTree. Returns a failure description otherwise. When
+/// `code_out` is non-null it receives the rejection's StatusCode, or
+/// StatusCode::kOk if the mutation was accepted.
+std::string CheckMutatedSnapshot(const std::vector<uint8_t>& mutated,
+                                 StatusCode* code_out = nullptr);
+
+}  // namespace phtree
+
+#endif  // PHTREE_BENCHLIB_SNAPSHOT_FAULT_H_

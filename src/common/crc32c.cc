@@ -1,0 +1,126 @@
+#include "common/crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+namespace phtree {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-8 lookup tables: table[0] is the classic byte-at-a-time table,
+// table[k] advances a byte seen k positions earlier through k extra zero
+// bytes, letting the inner loop fold 8 input bytes per iteration.
+struct Crc32cTables {
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = t[0][t[k - 1][i] & 0xFF] ^ (t[k - 1][i] >> 8);
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PHTREE_CRC32C_HAS_HW 1
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(uint32_t crc,
+                                                          const uint8_t* p,
+                                                          size_t n) {
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+  while (n-- > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+  }
+  return ~crc;
+}
+#endif  // __x86_64__
+
+using Crc32cFn = uint32_t (*)(uint32_t, const uint8_t*, size_t);
+
+Crc32cFn PickImplementation() {
+#ifdef PHTREE_CRC32C_HAS_HW
+  if (__builtin_cpu_supports("sse4.2")) {
+    return &Crc32cHardware;
+  }
+#endif
+  return &internal::Crc32cSoftware;
+}
+
+Crc32cFn Implementation() {
+  static const Crc32cFn fn = PickImplementation();
+  return fn;
+}
+
+}  // namespace
+
+namespace internal {
+
+uint32_t Crc32cSoftware(uint32_t crc, const uint8_t* p, size_t n) {
+  const auto& t = Tables().t;
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      uint64_t word;
+      std::memcpy(&word, p, 8);
+      word ^= crc;
+      crc = t[7][word & 0xFF] ^ t[6][(word >> 8) & 0xFF] ^
+            t[5][(word >> 16) & 0xFF] ^ t[4][(word >> 24) & 0xFF] ^
+            t[3][(word >> 32) & 0xFF] ^ t[2][(word >> 40) & 0xFF] ^
+            t[1][(word >> 48) & 0xFF] ^ t[0][(word >> 56) & 0xFF];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace internal
+
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
+  return Implementation()(crc, data, n);
+}
+
+bool Crc32cUsesHardware() {
+#ifdef PHTREE_CRC32C_HAS_HW
+  return Implementation() == &Crc32cHardware;
+#else
+  return false;
+#endif
+}
+
+}  // namespace phtree

@@ -1,0 +1,41 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected form 0x82F63B78),
+// the checksum framing the snapshot format v2 (serialize.h) uses for its
+// header, per-record and whole-stream integrity checks. CRC32C detects all
+// single-bit errors and all burst errors up to 32 bits, which is exactly
+// the guarantee the corruption fault-injection harness asserts.
+//
+// On x86-64 the SSE4.2 CRC32 instruction is used when the CPU supports it
+// (runtime-dispatched); elsewhere a slice-by-8 table implementation runs.
+#ifndef PHTREE_COMMON_CRC32C_H_
+#define PHTREE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace phtree {
+
+/// Extends a running CRC32C over `data[0, n)`. `crc` is the value returned
+/// by a previous call (already finalised; pass 0 to start a new checksum),
+/// so chaining Extend calls over consecutive chunks equals one call over
+/// the concatenation.
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n);
+
+/// CRC32C of `data[0, n)` (standard init 0xFFFFFFFF / final xor-out).
+/// "123456789" -> 0xE3069283.
+inline uint32_t Crc32c(const uint8_t* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// True when the runtime dispatch selected the hardware (SSE4.2) path.
+/// Exposed so benchmarks can report which implementation they measured.
+bool Crc32cUsesHardware();
+
+namespace internal {
+/// Portable slice-by-8 path, always available; exposed so tests can check
+/// the hardware path against it on machines where both exist.
+uint32_t Crc32cSoftware(uint32_t crc, const uint8_t* data, size_t n);
+}  // namespace internal
+
+}  // namespace phtree
+
+#endif  // PHTREE_COMMON_CRC32C_H_

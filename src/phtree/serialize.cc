@@ -1,9 +1,16 @@
 #include "phtree/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+
+#include "common/crc32c.h"
+#include "phtree/validate.h"
 
 // GCC 12 emits a false-positive stringop-overflow for std::vector<uint8_t>
 // growth under -O3 (PR 106199); the code below only appends within bounds.
@@ -14,7 +21,16 @@
 namespace phtree {
 namespace {
 
-constexpr uint8_t kMagic[4] = {'P', 'H', 'T', '1'};
+constexpr uint8_t kMagicV1[4] = {'P', 'H', 'T', '1'};
+constexpr uint8_t kMagicV2[4] = {'P', 'H', 'T', '2'};
+
+// v2 header: magic(4) + payload_len(4) + payload + header CRC(4). The
+// payload is the fixed field block below; its length is stored so a reader
+// can tell "unknown header shape" from "corrupt header".
+constexpr uint32_t kHeaderPayloadLen = 30;  // dim4 repr1 hys8 hcmax4 sv1 n8 rc4
+constexpr size_t kHeaderEnd = 4 + 4 + kHeaderPayloadLen + 4;
+// v2 trailer: n(8) + record_count(4) + whole-stream CRC(4).
+constexpr size_t kTrailerLen = 16;
 
 void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
 
@@ -42,19 +58,25 @@ void PutDelta(std::vector<uint8_t>* out, uint64_t delta) {
   }
 }
 
+/// Bounds-checked little-endian reader over a byte span. Reads never run
+/// past `end`; a failed read trips `ok()` and freezes `pos()` at the spot
+/// the stream fell short, which becomes the reported error offset.
 class Reader {
  public:
-  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+  Reader(const uint8_t* data, size_t begin, size_t end)
+      : data_(data), pos_(begin), end_(end) {}
 
   bool ok() const { return ok_; }
-  bool AtEnd() const { return pos_ == bytes_.size(); }
+  bool AtEnd() const { return pos_ == end_; }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return end_ - pos_; }
 
   uint8_t GetU8() {
-    if (pos_ + 1 > bytes_.size()) {
+    if (!ok_ || pos_ + 1 > end_) {
       ok_ = false;
       return 0;
     }
-    return bytes_[pos_++];
+    return data_[pos_++];
   }
 
   uint32_t GetU32() {
@@ -73,6 +95,7 @@ class Reader {
     return v;
   }
 
+  /// Inverse of PutDelta; a length byte > 8 is malformed and trips ok().
   uint64_t GetDelta() {
     const uint8_t bytes = GetU8();
     if (bytes > 8) {
@@ -87,23 +110,388 @@ class Reader {
   }
 
  private:
-  const std::vector<uint8_t>& bytes_;
-  size_t pos_ = 0;
+  const uint8_t* data_;
+  size_t pos_;
+  size_t end_;
   bool ok_ = true;
 };
 
+Status Err(StatusCode code, size_t offset, std::string message) {
+  return Status(code, offset, std::move(message));
+}
+
+std::string HexU32(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08X", v);
+  return buf;
+}
+
+struct HeaderV2 {
+  PhTreeConfig config;
+  uint32_t dim;
+  uint64_t n;
+  uint32_t record_count;
+};
+
+/// Parses and (optionally) CRC-verifies the fixed v2 header. `bytes` is
+/// known to start with the v2 magic.
+StatusOr<HeaderV2> ParseHeaderV2(const std::vector<uint8_t>& bytes,
+                                 bool verify_checksums) {
+  if (bytes.size() < kHeaderEnd) {
+    return Err(StatusCode::kTruncated, bytes.size(),
+               "stream ends inside the header (need " +
+                   std::to_string(kHeaderEnd) + " bytes, have " +
+                   std::to_string(bytes.size()) + ")");
+  }
+  Reader r(bytes.data(), 4, kHeaderEnd);
+  const uint32_t payload_len = r.GetU32();
+  if (payload_len != kHeaderPayloadLen) {
+    return Err(StatusCode::kHeaderCorrupt, 4,
+               "header payload length is " + std::to_string(payload_len) +
+                   ", expected " + std::to_string(kHeaderPayloadLen));
+  }
+  if (verify_checksums) {
+    const size_t crc_offset = kHeaderEnd - 4;
+    const uint32_t stored =
+        static_cast<uint32_t>(bytes[crc_offset]) |
+        static_cast<uint32_t>(bytes[crc_offset + 1]) << 8 |
+        static_cast<uint32_t>(bytes[crc_offset + 2]) << 16 |
+        static_cast<uint32_t>(bytes[crc_offset + 3]) << 24;
+    const uint32_t computed = Crc32c(bytes.data(), crc_offset);
+    if (stored != computed) {
+      return Err(StatusCode::kHeaderCorrupt, crc_offset,
+                 "header CRC mismatch (stored " + HexU32(stored) +
+                     ", computed " + HexU32(computed) + ")");
+    }
+  }
+  HeaderV2 h;
+  const size_t dim_offset = r.pos();
+  h.dim = r.GetU32();
+  if (h.dim < 1 || h.dim > kMaxDims) {
+    return Err(StatusCode::kHeaderCorrupt, dim_offset,
+               "dimensionality " + std::to_string(h.dim) +
+                   " outside [1, " + std::to_string(kMaxDims) + "]");
+  }
+  const size_t repr_offset = r.pos();
+  const uint8_t repr = r.GetU8();
+  if (repr > static_cast<uint8_t>(NodeRepr::kHcOnly)) {
+    return Err(StatusCode::kHeaderCorrupt, repr_offset,
+               "unknown node representation " + std::to_string(repr));
+  }
+  h.config.repr = static_cast<NodeRepr>(repr);
+  h.config.hysteresis = std::bit_cast<double>(r.GetU64());
+  h.config.hc_max_dim = r.GetU32();
+  h.config.store_values = r.GetU8() != 0;
+  h.n = r.GetU64();
+  h.record_count = r.GetU32();
+  return h;
+}
+
+/// Rebuilds the tree from a v2 stream. See DESIGN.md "Snapshot format v2"
+/// for the layout this walks.
+Expected<PhTree, SnapshotError> DeserializeV2(
+    const std::vector<uint8_t>& bytes, const LoadOptions& options) {
+  auto header = ParseHeaderV2(bytes, options.verify_checksums);
+  if (!header) {
+    return header.error();
+  }
+  const HeaderV2& h = *header;
+
+  PhTree tree(h.dim, h.config);
+  // Cap the reservation by the stream's physical capacity (each entry costs
+  // at least one delta byte per dimension, plus 8 value bytes when values
+  // are stored) so a corrupt count cannot trigger a huge allocation.
+  const uint64_t min_entry_bytes = h.dim + (h.config.store_values ? 8 : 0);
+  const uint64_t max_entries = bytes.size() / std::max<uint64_t>(1, min_entry_bytes);
+  tree.ReserveNodes(static_cast<size_t>(std::min<uint64_t>(h.n, max_entries)));
+
+  PhKey key(h.dim, 0);
+  size_t pos = kHeaderEnd;
+  for (uint32_t rec = 0; rec < h.record_count; ++rec) {
+    if (pos + 4 > bytes.size()) {
+      return Err(StatusCode::kTruncated, pos,
+                 "stream ends before the length field of record " +
+                     std::to_string(rec));
+    }
+    Reader len_reader(bytes.data(), pos, bytes.size());
+    const uint32_t payload_len = len_reader.GetU32();
+    const size_t payload_begin = pos + 4;
+    if (payload_len < 4 || payload_len > bytes.size() - payload_begin ||
+        bytes.size() - payload_begin - payload_len < 4) {
+      // A length that cannot fit its payload + CRC before the end of the
+      // stream: either a flipped length field or a truncated stream.
+      return Err(StatusCode::kTruncated, pos,
+                 "record " + std::to_string(rec) + " claims " +
+                     std::to_string(payload_len) +
+                     " payload bytes but the stream cannot hold them");
+    }
+    const size_t crc_offset = payload_begin + payload_len;
+    if (options.verify_checksums) {
+      Reader crc_reader(bytes.data(), crc_offset, crc_offset + 4);
+      const uint32_t stored = crc_reader.GetU32();
+      const uint32_t computed =
+          Crc32c(bytes.data() + payload_begin, payload_len);
+      if (stored != computed) {
+        return Err(StatusCode::kRecordCorrupt, pos,
+                   "record " + std::to_string(rec) + " CRC mismatch (stored " +
+                       HexU32(stored) + ", computed " + HexU32(computed) + ")");
+      }
+    }
+    Reader r(bytes.data(), payload_begin, crc_offset);
+    const uint32_t entry_count = r.GetU32();
+    for (uint32_t i = 0; i < entry_count; ++i) {
+      const size_t entry_offset = r.pos();
+      for (uint32_t d = 0; d < h.dim; ++d) {
+        key[d] ^= r.GetDelta();
+      }
+      const uint64_t value = h.config.store_values ? r.GetU64() : 0;
+      if (!r.ok()) {
+        return Err(StatusCode::kRecordCorrupt, entry_offset,
+                   "record " + std::to_string(rec) + " entry " +
+                       std::to_string(i) + " is undecodable (runs past the "
+                       "record payload or has a delta length > 8)");
+      }
+      if (!tree.Insert(key, value)) {
+        return Err(StatusCode::kRecordCorrupt, entry_offset,
+                   "record " + std::to_string(rec) + " entry " +
+                       std::to_string(i) + " duplicates an earlier key");
+      }
+    }
+    if (!r.AtEnd()) {
+      return Err(StatusCode::kRecordCorrupt, r.pos(),
+                 "record " + std::to_string(rec) + " has " +
+                     std::to_string(r.remaining()) +
+                     " stray bytes after its last entry");
+    }
+    pos = crc_offset + 4;
+  }
+
+  if (tree.size() != h.n) {
+    return Err(StatusCode::kCountMismatch, pos,
+               "header declares " + std::to_string(h.n) +
+                   " entries but the records rebuilt " +
+                   std::to_string(tree.size()));
+  }
+
+  const size_t trailer_begin = pos;
+  if (bytes.size() - trailer_begin < kTrailerLen) {
+    return Err(StatusCode::kTruncated, trailer_begin,
+               "stream ends inside the trailer (need " +
+                   std::to_string(kTrailerLen) + " bytes, have " +
+                   std::to_string(bytes.size() - trailer_begin) + ")");
+  }
+  Reader t(bytes.data(), trailer_begin, bytes.size());
+  const uint64_t trailer_n = t.GetU64();
+  const uint32_t trailer_records = t.GetU32();
+  const uint32_t stored_stream_crc = t.GetU32();
+  if (trailer_n != h.n || trailer_records != h.record_count) {
+    return Err(StatusCode::kTrailerCorrupt, trailer_begin,
+               "trailer counts (" + std::to_string(trailer_n) + " entries, " +
+                   std::to_string(trailer_records) +
+                   " records) disagree with the header (" +
+                   std::to_string(h.n) + ", " +
+                   std::to_string(h.record_count) + ")");
+  }
+  if (options.verify_checksums) {
+    const uint32_t computed = Crc32c(bytes.data(), trailer_begin);
+    if (stored_stream_crc != computed) {
+      return Err(StatusCode::kTrailerCorrupt, trailer_begin + 12,
+                 "stream CRC mismatch (stored " + HexU32(stored_stream_crc) +
+                     ", computed " + HexU32(computed) + ")");
+    }
+  }
+  if (!t.AtEnd()) {
+    return Err(StatusCode::kTrailerCorrupt, t.pos(),
+               std::to_string(t.remaining()) +
+                   " trailing garbage bytes after the trailer");
+  }
+
+  if (options.validate_structure) {
+    const std::string violation = ValidatePhTree(tree);
+    if (!violation.empty()) {
+      return Err(StatusCode::kStructureInvalid, Status::kNoOffset,
+                 "rebuilt tree fails validation: " + violation);
+    }
+  }
+  return tree;
+}
+
+/// Rebuilds the tree from a legacy v1 stream (no framing, no checksums).
+Expected<PhTree, SnapshotError> DeserializeV1(
+    const std::vector<uint8_t>& bytes, const LoadOptions& options) {
+  Reader r(bytes.data(), 4, bytes.size());
+  const size_t dim_offset = r.pos();
+  const uint32_t dim = r.GetU32();
+  if (!r.ok()) {
+    return Err(StatusCode::kTruncated, dim_offset,
+               "v1 stream ends inside the header");
+  }
+  if (dim < 1 || dim > kMaxDims) {
+    return Err(StatusCode::kHeaderCorrupt, dim_offset,
+               "dimensionality " + std::to_string(dim) + " outside [1, " +
+                   std::to_string(kMaxDims) + "]");
+  }
+  PhTreeConfig config;
+  const size_t repr_offset = r.pos();
+  const uint8_t repr = r.GetU8();
+  if (r.ok() && repr > static_cast<uint8_t>(NodeRepr::kHcOnly)) {
+    return Err(StatusCode::kHeaderCorrupt, repr_offset,
+               "unknown node representation " + std::to_string(repr));
+  }
+  config.repr = static_cast<NodeRepr>(repr);
+  config.hysteresis = std::bit_cast<double>(r.GetU64());
+  config.hc_max_dim = r.GetU32();
+  config.store_values = r.GetU8() != 0;
+  const uint64_t n = r.GetU64();
+  if (!r.ok()) {
+    return Err(StatusCode::kTruncated, r.pos(),
+               "v1 stream ends inside the header");
+  }
+  PhTree tree(dim, config);
+  const uint64_t max_entries = bytes.size() / (dim + 8);
+  tree.ReserveNodes(static_cast<size_t>(std::min<uint64_t>(n, max_entries)));
+  PhKey key(dim, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    const size_t entry_offset = r.pos();
+    for (uint32_t d = 0; d < dim; ++d) {
+      key[d] ^= r.GetDelta();
+    }
+    const uint64_t value = r.GetU64();  // v1 stores values unconditionally
+    if (!r.ok()) {
+      return Err(StatusCode::kTruncated, entry_offset,
+                 "v1 stream ends inside entry " + std::to_string(i) + " of " +
+                     std::to_string(n));
+    }
+    if (!tree.Insert(key, value)) {
+      return Err(StatusCode::kRecordCorrupt, entry_offset,
+                 "entry " + std::to_string(i) + " duplicates an earlier key");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Err(StatusCode::kTrailerCorrupt, r.pos(),
+               std::to_string(r.remaining()) +
+                   " trailing garbage bytes after the last entry");
+  }
+  if (tree.size() != n) {
+    return Err(StatusCode::kCountMismatch, r.pos(),
+               "header declares " + std::to_string(n) +
+                   " entries but the stream rebuilt " +
+                   std::to_string(tree.size()));
+  }
+  if (options.validate_structure) {
+    const std::string violation = ValidatePhTree(tree);
+    if (!violation.empty()) {
+      return Err(StatusCode::kStructureInvalid, Status::kNoOffset,
+                 "rebuilt tree fails validation: " + violation);
+    }
+  }
+  if (options.legacy_warning != nullptr) {
+    *options.legacy_warning = Err(
+        StatusCode::kLegacyUnchecksummed, Status::kNoOffset,
+        "legacy v1 snapshot loaded without checksum protection; re-save to "
+        "upgrade to format v2");
+  }
+  return tree;
+}
+
+Status IoError(const std::string& what) {
+  return Status(StatusCode::kIoError, Status::kNoOffset,
+                what + ": " + std::strerror(errno));
+}
+
+/// fsyncs the directory containing `path` so a preceding rename is durable.
+/// Filesystems that cannot fsync a directory (EINVAL/ENOTSUP) are treated
+/// as success — there is nothing more userland can do there.
+Status FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return IoError("open directory " + dir);
+  }
+  if (::fsync(dfd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    const Status st = IoError("fsync directory " + dir);
+    ::close(dfd);
+    return st;
+  }
+  ::close(dfd);
+  return Status::Ok();
+}
+
 }  // namespace
 
-std::vector<uint8_t> SerializePhTree(const PhTree& tree) {
+std::vector<uint8_t> SerializePhTree(const PhTree& tree,
+                                     const SaveOptions& options) {
+  const uint32_t epr = std::max<uint32_t>(1, options.entries_per_record);
+  const uint64_t n = tree.size();
+  const uint32_t record_count = static_cast<uint32_t>((n + epr - 1) / epr);
+
   std::vector<uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + 4);
+  out.insert(out.end(), kMagicV2, kMagicV2 + 4);
+  PutU32(&out, kHeaderPayloadLen);
+  PutU32(&out, tree.dim());
+  PutU8(&out, static_cast<uint8_t>(tree.config().repr));
+  PutU64(&out, std::bit_cast<uint64_t>(tree.config().hysteresis));
+  PutU32(&out, tree.config().hc_max_dim);
+  PutU8(&out, tree.config().store_values ? 1 : 0);
+  PutU64(&out, n);
+  PutU32(&out, record_count);
+  PutU32(&out, Crc32c(out.data(), out.size()));  // header CRC
+
+  // Entries in z-order with per-dimension XOR deltas vs the previous key,
+  // chunked into `epr`-entry records. The delta chain runs across record
+  // boundaries (records are a framing unit, not a decoding restart point).
+  const bool store_values = tree.config().store_values;
+  std::vector<uint8_t> payload;
+  uint32_t in_record = 0;
+  auto flush_record = [&]() {
+    // Patch the entry count into the 4 placeholder bytes at the front.
+    for (int i = 0; i < 4; ++i) {
+      payload[i] = static_cast<uint8_t>(in_record >> (8 * i));
+    }
+    PutU32(&out, static_cast<uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    PutU32(&out, Crc32c(payload.data(), payload.size()));
+    payload.clear();
+    in_record = 0;
+  };
+  PhKey prev(tree.dim(), 0);
+  tree.ForEach([&](const PhKey& key, uint64_t value) {
+    if (in_record == 0) {
+      payload.assign(4, 0);  // entry-count placeholder
+    }
+    for (uint32_t d = 0; d < tree.dim(); ++d) {
+      PutDelta(&payload, key[d] ^ prev[d]);
+    }
+    if (store_values) {
+      PutU64(&payload, value);
+    }
+    prev = key;
+    if (++in_record == epr) {
+      flush_record();
+    }
+  });
+  if (in_record > 0) {
+    flush_record();
+  }
+
+  const uint32_t stream_crc = Crc32c(out.data(), out.size());
+  PutU64(&out, n);
+  PutU32(&out, record_count);
+  PutU32(&out, stream_crc);
+  return out;
+}
+
+std::vector<uint8_t> SerializePhTreeV1(const PhTree& tree) {
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagicV1, kMagicV1 + 4);
   PutU32(&out, tree.dim());
   PutU8(&out, static_cast<uint8_t>(tree.config().repr));
   PutU64(&out, std::bit_cast<uint64_t>(tree.config().hysteresis));
   PutU32(&out, tree.config().hc_max_dim);
   PutU8(&out, tree.config().store_values ? 1 : 0);
   PutU64(&out, tree.size());
-  // Entries in z-order with per-dimension XOR deltas vs the previous key.
   PhKey prev(tree.dim(), 0);
   tree.ForEach([&](const PhKey& key, uint64_t value) {
     for (uint32_t d = 0; d < tree.dim(); ++d) {
@@ -115,85 +503,174 @@ std::vector<uint8_t> SerializePhTree(const PhTree& tree) {
   return out;
 }
 
+Expected<PhTree, SnapshotError> DeserializePhTreeOr(
+    const std::vector<uint8_t>& bytes, const LoadOptions& options) {
+  if (bytes.size() < 4) {
+    return Err(StatusCode::kTruncated, bytes.size(),
+               "stream is shorter than the 4-byte magic");
+  }
+  if (std::memcmp(bytes.data(), kMagicV2, 4) == 0) {
+    return DeserializeV2(bytes, options);
+  }
+  if (std::memcmp(bytes.data(), kMagicV1, 4) == 0) {
+    if (!options.accept_legacy_v1) {
+      return Err(StatusCode::kUnsupportedVersion, 0,
+                 "legacy v1 snapshot rejected (accept_legacy_v1 is off)");
+    }
+    return DeserializeV1(bytes, options);
+  }
+  if (std::memcmp(bytes.data(), "PHT", 3) == 0) {
+    return Err(StatusCode::kUnsupportedVersion, 3,
+               "snapshot version '" +
+                   std::string(1, static_cast<char>(bytes[3])) +
+                   "' is not readable by this build (knows v1, v2)");
+  }
+  return Err(StatusCode::kBadMagic, 0, "not a PH-tree snapshot");
+}
+
 std::optional<PhTree> DeserializePhTree(const std::vector<uint8_t>& bytes) {
-  Reader reader(bytes);
-  uint8_t magic[4];
-  for (auto& m : magic) {
-    m = reader.GetU8();
+  return DeserializePhTreeOr(bytes).ToOptional();
+}
+
+Status SavePhTreeOr(const PhTree& tree, const std::string& path,
+                    const SaveOptions& options) {
+  const std::vector<uint8_t> bytes = SerializePhTree(tree, options);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return IoError("open " + tmp);
   }
-  if (!reader.ok() || std::memcmp(magic, kMagic, 4) != 0) {
-    return std::nullopt;
-  }
-  const uint32_t dim = reader.GetU32();
-  if (!reader.ok() || dim < 1 || dim > kMaxDims) {
-    return std::nullopt;
-  }
-  PhTreeConfig config;
-  const uint8_t repr = reader.GetU8();
-  if (repr > static_cast<uint8_t>(NodeRepr::kHcOnly)) {
-    return std::nullopt;
-  }
-  config.repr = static_cast<NodeRepr>(repr);
-  config.hysteresis = std::bit_cast<double>(reader.GetU64());
-  config.hc_max_dim = reader.GetU32();
-  config.store_values = reader.GetU8() != 0;
-  const uint64_t n = reader.GetU64();
-  if (!reader.ok()) {
-    return std::nullopt;
-  }
-  // The PH-tree shape is a pure function of the stored entries (Sect. 3),
-  // so re-inserting the entries reproduces the identical structure. The
-  // inserts build every node directly inside the destination tree's arena;
-  // pre-reserving slabs for the known entry count (a tree has at most one
-  // node per entry) makes the load phase allocation-quiet.
-  PhTree tree(dim, config);
-  // Cap by the stream's physical capacity (each entry costs at least one
-  // delta byte per dimension plus 8 value bytes) so a corrupt header with
-  // an absurd n cannot trigger a huge reservation.
-  const uint64_t max_entries = bytes.size() / (dim + 8);
-  tree.ReserveNodes(static_cast<size_t>(std::min<uint64_t>(n, max_entries)));
-  PhKey key(dim, 0);
-  for (uint64_t i = 0; i < n; ++i) {
-    for (uint32_t d = 0; d < dim; ++d) {
-      key[d] ^= reader.GetDelta();
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status st = IoError("write " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
     }
-    const uint64_t value = reader.GetU64();
-    if (!reader.ok() || !tree.Insert(key, value)) {
-      return std::nullopt;  // truncated or duplicate => corrupt stream
+    off += static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    const Status st = IoError("fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    const Status st = IoError("close " + tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = IoError("rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return FsyncParentDir(path);
+}
+
+Expected<PhTree, SnapshotError> LoadPhTreeOr(const std::string& path,
+                                             const LoadOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return IoError("open " + path);
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0 || ::lseek(fd, 0, SEEK_SET) != 0) {
+    const Status st = IoError("seek " + path);
+    ::close(fd);
+    return st;
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t r = ::read(fd, bytes.data() + off, bytes.size() - off);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status st = IoError("read " + path);
+      ::close(fd);
+      return st;
     }
+    if (r == 0) {
+      ::close(fd);
+      return Status(StatusCode::kIoError, Status::kNoOffset,
+                    "short read on " + path + ": got " + std::to_string(off) +
+                        " of " + std::to_string(bytes.size()) + " bytes");
+    }
+    off += static_cast<size_t>(r);
   }
-  if (!reader.AtEnd()) {
-    return std::nullopt;  // trailing garbage
-  }
-  return tree;
+  ::close(fd);
+  return DeserializePhTreeOr(bytes, options);
 }
 
 bool SavePhTree(const PhTree& tree, const std::string& path) {
-  const std::vector<uint8_t> bytes = SerializePhTree(tree);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return false;
-  }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool ok = std::fclose(f) == 0 && written == bytes.size();
-  return ok;
+  return SavePhTreeOr(tree, path).ok();
 }
 
 std::optional<PhTree> LoadPhTree(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return std::nullopt;
+  return LoadPhTreeOr(path).ToOptional();
+}
+
+StatusOr<SnapshotLayout> DescribeSnapshot(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4) {
+    return Err(StatusCode::kTruncated, bytes.size(),
+               "stream is shorter than the 4-byte magic");
   }
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(size > 0 ? static_cast<size_t>(size) : 0);
-  const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (read != bytes.size()) {
-    return std::nullopt;
+  if (std::memcmp(bytes.data(), kMagicV1, 4) == 0) {
+    return Err(StatusCode::kUnsupportedVersion, 0,
+               "v1 snapshots have no record framing to describe");
   }
-  return DeserializePhTree(bytes);
+  if (std::memcmp(bytes.data(), kMagicV2, 4) != 0) {
+    return Err(StatusCode::kBadMagic, 0, "not a PH-tree snapshot");
+  }
+  auto header = ParseHeaderV2(bytes, /*verify_checksums=*/false);
+  if (!header) {
+    return header.error();
+  }
+  SnapshotLayout layout;
+  layout.version = kSnapshotVersion;
+  layout.header_end = kHeaderEnd;
+  layout.entry_count = header->n;
+  size_t pos = kHeaderEnd;
+  for (uint32_t rec = 0; rec < header->record_count; ++rec) {
+    if (pos + 4 > bytes.size()) {
+      return Err(StatusCode::kTruncated, pos,
+                 "stream ends before the length field of record " +
+                     std::to_string(rec));
+    }
+    Reader r(bytes.data(), pos, bytes.size());
+    const uint32_t payload_len = r.GetU32();
+    const size_t payload_begin = pos + 4;
+    if (payload_len < 4 || payload_len > bytes.size() - payload_begin ||
+        bytes.size() - payload_begin - payload_len < 4) {
+      return Err(StatusCode::kTruncated, pos,
+                 "record " + std::to_string(rec) +
+                     " does not fit in the stream");
+    }
+    Reader pr(bytes.data(), payload_begin, payload_begin + 4);
+    SnapshotLayout::Record record;
+    record.begin = pos;
+    record.payload_begin = payload_begin;
+    record.crc_offset = payload_begin + payload_len;
+    record.end = record.crc_offset + 4;
+    record.entry_count = pr.GetU32();
+    layout.records.push_back(record);
+    pos = record.end;
+  }
+  if (bytes.size() - pos != kTrailerLen) {
+    return Err(StatusCode::kTruncated, pos,
+               "trailer region is " + std::to_string(bytes.size() - pos) +
+                   " bytes, expected " + std::to_string(kTrailerLen));
+  }
+  layout.trailer_begin = pos;
+  layout.trailer_end = bytes.size();
+  return layout;
 }
 
 }  // namespace phtree

@@ -2,8 +2,22 @@
 // the PH-tree suits persistent storage (Sect. 1: nodes are large enough to
 // map to disk pages; Sect. 3.4: nodes are already bit-stream serialised).
 // This module writes the tree in pre-order as a self-describing stream of
-// node records; loading rebuilds the identical structure (shape is a pure
+// entry records; loading rebuilds the identical structure (shape is a pure
 // function of the data, so a round trip is bit-identical in stats).
+//
+// Snapshot format v2 (magic "PHT2") hardens that stream for disk use:
+//   * versioned, CRC32C-protected header,
+//   * entries chunked into length-framed records, each with its own CRC32C,
+//   * a trailer repeating the entry/record counts plus a whole-stream CRC,
+// so truncation, bit flips and record splices are all detected instead of
+// silently deserialising into a broken tree. Loads report failures through
+// Status/Expected (common/status.h) with the error class and byte offset;
+// saves are atomic and durable (tmp file + fsync + rename + dir fsync).
+// Full byte layout: DESIGN.md, "Snapshot format v2".
+//
+// Legacy v1 streams (magic "PHT1", no checksums) still load by default but
+// surface a kLegacyUnchecksummed warning through LoadOptions::legacy_warning;
+// set LoadOptions::accept_legacy_v1 = false to reject them outright.
 #ifndef PHTREE_PHTREE_SERIALIZE_H_
 #define PHTREE_PHTREE_SERIALIZE_H_
 
@@ -12,21 +26,109 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "phtree/phtree.h"
 
 namespace phtree {
 
-/// Serialises `tree` into a byte buffer.
-std::vector<uint8_t> SerializePhTree(const PhTree& tree);
+/// Snapshot failures are plain Status values; the alias marks APIs whose
+/// codes follow the snapshot error-class contract (see StatusCode).
+using SnapshotError = Status;
 
-/// Reconstructs a tree from SerializePhTree output. Returns std::nullopt on
-/// malformed input (truncation, bad magic, corrupt counts). The
-/// configuration of the returned tree is taken from the stream.
+inline constexpr uint32_t kSnapshotVersionLegacy = 1;  ///< "PHT1", no CRCs
+inline constexpr uint32_t kSnapshotVersion = 2;        ///< "PHT2", current
+
+/// Writer knobs.
+struct SaveOptions {
+  /// Entries per length-framed record. Smaller records mean finer-grained
+  /// corruption localisation and more CRC overhead (8 bytes per record);
+  /// the default keeps overhead < 0.1% for typical trees. Must be >= 1.
+  uint32_t entries_per_record = 512;
+};
+
+/// Loader knobs ("paranoid load" = both verifications on).
+struct LoadOptions {
+  /// Verify header, per-record and whole-stream CRC32C checksums (v2 only;
+  /// v1 streams have none). Turning this off trades integrity for load
+  /// speed — see bench/snapshot_persistence.
+  bool verify_checksums = true;
+
+  /// Run ValidatePhTree on the rebuilt tree and fail with
+  /// kStructureInvalid if any structural invariant is violated.
+  bool validate_structure = false;
+
+  /// Accept legacy v1 streams. When false they fail with
+  /// kUnsupportedVersion instead of loading.
+  bool accept_legacy_v1 = true;
+
+  /// Optional out-parameter: set to a kLegacyUnchecksummed warning when a
+  /// v1 stream loads successfully (left untouched otherwise).
+  Status* legacy_warning = nullptr;
+};
+
+/// Serialises `tree` into a format-v2 byte buffer.
+std::vector<uint8_t> SerializePhTree(const PhTree& tree,
+                                     const SaveOptions& options = {});
+
+/// Legacy v1 writer, kept for migration tooling and v1->v2 compatibility
+/// tests. New snapshots should always be v2.
+std::vector<uint8_t> SerializePhTreeV1(const PhTree& tree);
+
+/// Reconstructs a tree from SerializePhTree / SerializePhTreeV1 output.
+/// On failure the error carries the class, the byte offset of the problem
+/// and a message naming what broke (e.g. a CRC mismatch with both values).
+/// The configuration of the returned tree is taken from the stream.
+Expected<PhTree, SnapshotError> DeserializePhTreeOr(
+    const std::vector<uint8_t>& bytes, const LoadOptions& options = {});
+
+/// Shim for the historical API: DeserializePhTreeOr with default options,
+/// with the diagnostics collapsed to std::nullopt.
 std::optional<PhTree> DeserializePhTree(const std::vector<uint8_t>& bytes);
 
-/// Convenience file helpers; return false on I/O failure.
+/// Atomically and durably writes `tree`'s v2 snapshot to `path`: the bytes
+/// go to `path + ".tmp"`, which is fsync'd, renamed over `path`, and the
+/// parent directory fsync'd — a crash at any point leaves either the old
+/// snapshot or the new one, never a torn file. Errors are kIoError with
+/// the failing syscall and errno text in the message.
+Status SavePhTreeOr(const PhTree& tree, const std::string& path,
+                    const SaveOptions& options = {});
+
+/// Reads and deserialises a snapshot file. I/O failures (missing file,
+/// short read) come back as kIoError; malformed contents keep their format
+/// error classes — callers can finally tell the two apart.
+Expected<PhTree, SnapshotError> LoadPhTreeOr(const std::string& path,
+                                             const LoadOptions& options = {});
+
+/// Shims for the historical bool/optional file API.
 bool SavePhTree(const PhTree& tree, const std::string& path);
 std::optional<PhTree> LoadPhTree(const std::string& path);
+
+/// Byte map of a v2 snapshot: where the header, each record and the
+/// trailer sit. Used by diagnostics and by the corruption fault-injection
+/// harness (src/benchlib/snapshot_fault.h) to aim mutations at specific
+/// structures. Only framing is walked — CRCs are not verified and no tree
+/// is rebuilt.
+struct SnapshotLayout {
+  struct Record {
+    size_t begin;          ///< offset of the u32 payload-length field
+    size_t payload_begin;  ///< offset of the record payload
+    size_t crc_offset;     ///< offset of the u32 record CRC
+    size_t end;            ///< one past the record CRC
+    uint32_t entry_count;  ///< entries framed in this record
+  };
+
+  uint32_t version;       ///< kSnapshotVersion
+  size_t header_end;      ///< header (incl. its CRC) is [0, header_end)
+  uint64_t entry_count;   ///< total entries declared by the header
+  std::vector<Record> records;
+  size_t trailer_begin;   ///< trailer is [trailer_begin, trailer_end)
+  size_t trailer_end;     ///< == total stream size
+};
+
+/// Walks a v2 stream's framing. Fails with the usual snapshot error
+/// classes on unframeable input; v1 streams yield kUnsupportedVersion
+/// (v1 has no record framing to describe).
+StatusOr<SnapshotLayout> DescribeSnapshot(const std::vector<uint8_t>& bytes);
 
 }  // namespace phtree
 

@@ -112,7 +112,7 @@ TEST(Serialize, ZOrderDeltaCompressionBeatsRawDump) {
   EXPECT_LT(bytes.size(), raw);
 }
 
-TEST(Serialize, RejectsCorruptStreams) {
+TEST(Serialize, RejectsCorruptStreamsWithTypedErrors) {
   PhTree tree(2);
   tree.Insert(PhKey{1, 2}, 3);
   auto bytes = SerializePhTree(tree);
@@ -122,19 +122,128 @@ TEST(Serialize, RejectsCorruptStreams) {
     std::vector<uint8_t> trunc(bytes.begin(),
                                bytes.begin() + static_cast<long>(cut));
     EXPECT_FALSE(DeserializePhTree(trunc).has_value()) << cut;
+    const auto result = DeserializePhTreeOr(trunc);
+    ASSERT_FALSE(result.has_value()) << cut;
+    EXPECT_EQ(result.error().code(), StatusCode::kTruncated)
+        << cut << ": " << result.error().ToString();
   }
   // Bad magic.
   auto bad = bytes;
   bad[0] = 'X';
   EXPECT_FALSE(DeserializePhTree(bad).has_value());
+  EXPECT_EQ(DeserializePhTreeOr(bad).error().code(), StatusCode::kBadMagic);
+  // Unknown version: known "PHT" prefix, unreadable version byte.
+  auto bad_version = bytes;
+  bad_version[3] = '9';
+  EXPECT_EQ(DeserializePhTreeOr(bad_version).error().code(),
+            StatusCode::kUnsupportedVersion);
   // Trailing garbage.
   auto long_stream = bytes;
   long_stream.push_back(0);
   EXPECT_FALSE(DeserializePhTree(long_stream).has_value());
-  // Absurd dimension.
+  EXPECT_EQ(DeserializePhTreeOr(long_stream).error().code(),
+            StatusCode::kTrailerCorrupt);
+  // Corrupted header field (the header-length byte) is caught by the
+  // header checks even before CRC verification would.
   auto bad_dim = bytes;
   bad_dim[4] = 200;
   EXPECT_FALSE(DeserializePhTree(bad_dim).has_value());
+  EXPECT_EQ(DeserializePhTreeOr(bad_dim).error().code(),
+            StatusCode::kHeaderCorrupt);
+}
+
+TEST(Serialize, RoundTripsUnderBothArenaModes) {
+  // use_arena changes allocation policy only — the serialised bytes and
+  // the round-tripped structure must be identical in both modes.
+  Rng rng(21);
+  PhTreeConfig arena_cfg;    // use_arena = true (default)
+  PhTreeConfig no_arena_cfg;
+  no_arena_cfg.use_arena = false;
+  PhTree with_arena(3, arena_cfg);
+  PhTree without_arena(3, no_arena_cfg);
+  for (int i = 0; i < 3000; ++i) {
+    const PhKey key{rng.NextU64() & 0xFFFFF, rng.NextU64(),
+                    rng.NextU64() & 0xFFF};
+    with_arena.InsertOrAssign(key, i);
+    without_arena.InsertOrAssign(key, i);
+  }
+  const auto bytes_arena = SerializePhTree(with_arena);
+  const auto bytes_no_arena = SerializePhTree(without_arena);
+  EXPECT_EQ(bytes_arena, bytes_no_arena);
+
+  LoadOptions paranoid;
+  paranoid.validate_structure = true;
+  auto back = DeserializePhTreeOr(bytes_no_arena, paranoid);
+  ASSERT_TRUE(back.has_value()) << back.error().ToString();
+  EXPECT_EQ(back->size(), with_arena.size());
+  const auto a = with_arena.ComputeStats();
+  const auto b = back->ComputeStats();
+  EXPECT_EQ(a.n_nodes, b.n_nodes);
+  EXPECT_EQ(ValidatePhTree(*back), "");
+  without_arena.ForEach([&](const PhKey& k, uint64_t v) {
+    const auto found = back->Find(k);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, v);
+  });
+}
+
+TEST(Serialize, LegacyV1StreamsLoadWithWarning) {
+  Rng rng(22);
+  PhTree tree(2);
+  for (int i = 0; i < 1000; ++i) {
+    tree.InsertOrAssign(PhKey{rng.NextU64(), rng.NextU64() & 0xFFFF}, i);
+  }
+  const auto v1 = SerializePhTreeV1(tree);
+  // The v2 writer produces a different (checksummed) stream.
+  EXPECT_NE(v1, SerializePhTree(tree));
+
+  Status warning;
+  LoadOptions opts;
+  opts.legacy_warning = &warning;
+  opts.validate_structure = true;
+  auto back = DeserializePhTreeOr(v1, opts);
+  ASSERT_TRUE(back.has_value()) << back.error().ToString();
+  EXPECT_EQ(back->size(), tree.size());
+  EXPECT_EQ(ValidatePhTree(*back), "");
+  EXPECT_EQ(warning.code(), StatusCode::kLegacyUnchecksummed);
+  EXPECT_NE(warning.message().find("re-save"), std::string::npos);
+  tree.ForEach([&](const PhKey& k, uint64_t v) {
+    const auto found = back->Find(k);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, v);
+  });
+
+  // The optional shim also still accepts v1 (silently).
+  EXPECT_TRUE(DeserializePhTree(v1).has_value());
+
+  // Strict mode rejects v1 outright.
+  LoadOptions strict;
+  strict.accept_legacy_v1 = false;
+  const auto rejected = DeserializePhTreeOr(v1, strict);
+  ASSERT_FALSE(rejected.has_value());
+  EXPECT_EQ(rejected.error().code(), StatusCode::kUnsupportedVersion);
+}
+
+TEST(Serialize, LegacyV1CorruptionGetsTypedErrors) {
+  PhTree tree(2);
+  tree.Insert(PhKey{1, 2}, 3);
+  tree.Insert(PhKey{9, 9}, 4);
+  const auto v1 = SerializePhTreeV1(tree);
+  // Forged entry count at byte offset 22 (the v1 header's u64 count).
+  auto forged = v1;
+  forged[22] = 200;
+  const auto too_many = DeserializePhTreeOr(forged);
+  ASSERT_FALSE(too_many.has_value());
+  EXPECT_EQ(too_many.error().code(), StatusCode::kTruncated);
+  forged[22] = 1;
+  const auto too_few = DeserializePhTreeOr(forged);
+  ASSERT_FALSE(too_few.has_value());
+  EXPECT_EQ(too_few.error().code(), StatusCode::kTrailerCorrupt);
+  // Truncation inside an entry.
+  std::vector<uint8_t> trunc(v1.begin(), v1.end() - 3);
+  const auto cut = DeserializePhTreeOr(trunc);
+  ASSERT_FALSE(cut.has_value());
+  EXPECT_EQ(cut.error().code(), StatusCode::kTruncated);
 }
 
 TEST(Serialize, FileRoundTrip) {
