@@ -3,8 +3,10 @@
 // complexity analysis of Sect. 3.5/3.6 builds on.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "benchlib/run_metadata.h"
 #include "common/bit_buffer.h"
 #include "common/bits.h"
 #include "common/rng.h"
@@ -218,3 +220,21 @@ BENCHMARK(BM_ZOrderInterleave)->Arg(2)->Arg(8)->Arg(16);
 
 }  // namespace
 }  // namespace phtree
+
+// Custom main (instead of benchmark_main) so run metadata lands in the
+// benchmark context: `--benchmark_format=json` artefacts then carry
+// cores/build/sha/scale and stay comparable across machines and revisions.
+int main(int argc, char** argv) {
+  const phtree::bench::RunMetadata meta = phtree::bench::CollectRunMetadata();
+  benchmark::AddCustomContext("cores", std::to_string(meta.cores));
+  benchmark::AddCustomContext("build_type", meta.build_type);
+  benchmark::AddCustomContext("git_sha", meta.git_sha);
+  benchmark::AddCustomContext("bench_scale", std::to_string(meta.bench_scale));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "benchlib/run_metadata.h"
+
+#include <cstdio>
+#include <thread>
+
+#include "benchlib/harness.h"
+
+#ifndef PHTREE_BUILD_TYPE
+#define PHTREE_BUILD_TYPE "unknown"
+#endif
+
+namespace phtree::bench {
+namespace {
+
+std::string GitShortSha() {
+  FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) {
+    return "unknown";
+  }
+  char buf[64] = {0};
+  std::string sha;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    sha = buf;
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+  }
+  ::pclose(pipe);
+  return sha.empty() ? "unknown" : sha;
+}
+
+}  // namespace
+
+RunMetadata CollectRunMetadata() {
+  RunMetadata m;
+  m.cores = std::thread::hardware_concurrency();
+  m.build_type = PHTREE_BUILD_TYPE;
+  m.git_sha = GitShortSha();
+  m.bench_scale = BenchScale();
+  return m;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetadataJson(const RunMetadata& m) {
+  char scale[32];
+  std::snprintf(scale, sizeof(scale), "%g", m.bench_scale);
+  return "{\"cores\": " + std::to_string(m.cores) + ", \"build_type\": \"" +
+         JsonEscape(m.build_type) + "\", \"git_sha\": \"" +
+         JsonEscape(m.git_sha) + "\", \"scale\": " + scale + "}";
+}
+
+}  // namespace phtree::bench

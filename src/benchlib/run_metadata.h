@@ -1,0 +1,32 @@
+// Run metadata for machine-readable benchmark output: every JSON artefact
+// a bench binary emits carries the core count, build type, git revision and
+// bench scale, so checked-in results (e.g. BENCH_concurrency.json) stay
+// comparable across machines and future PRs can track the perf trajectory.
+#ifndef PHTREE_BENCHLIB_RUN_METADATA_H_
+#define PHTREE_BENCHLIB_RUN_METADATA_H_
+
+#include <string>
+
+namespace phtree::bench {
+
+struct RunMetadata {
+  unsigned cores = 0;        ///< std::thread::hardware_concurrency()
+  std::string build_type;    ///< CMAKE_BUILD_TYPE the binary was built with
+  std::string git_sha;       ///< short HEAD sha, "unknown" outside a repo
+  double bench_scale = 1.0;  ///< PHTREE_BENCH_SCALE in effect
+};
+
+/// Gathers the metadata for this process/build. The git sha is read by
+/// running `git rev-parse` once (cwd-based); failures degrade to "unknown".
+RunMetadata CollectRunMetadata();
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+/// The metadata as a JSON object string, e.g.
+/// {"cores": 8, "build_type": "Release", "git_sha": "42086b3", "scale": 1.0}
+std::string MetadataJson(const RunMetadata& m);
+
+}  // namespace phtree::bench
+
+#endif  // PHTREE_BENCHLIB_RUN_METADATA_H_

@@ -67,6 +67,7 @@ std::vector<KnnResult> KnnSearch(const PhTree& tree,
   if (root == nullptr || n == 0) {
     return results;
   }
+  results.reserve(std::min(n, tree.size()));
   std::priority_queue<QueueItem, std::vector<QueueItem>, ItemGreater> queue;
   queue.push(QueueItem{0.0, root, PhKey(tree.dim(), 0), 0});
   while (!queue.empty() && results.size() < n) {

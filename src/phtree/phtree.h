@@ -87,6 +87,15 @@ class PhTree {
   std::vector<std::pair<PhKey, uint64_t>> QueryWindow(
       std::span<const uint64_t> min, std::span<const uint64_t> max) const;
 
+  /// Visitor form of the window query: calls `visitor(key, value)` for
+  /// every entry inside [min, max], in z-order. The PhKey reference points
+  /// at a buffer reused across calls — copy it to keep it. This is the
+  /// hot-loop form: no result vector, no per-result PhKey heap allocation;
+  /// CountWindow, the sharded fan-out and the benchmark adapters use it.
+  void QueryWindow(
+      std::span<const uint64_t> min, std::span<const uint64_t> max,
+      const std::function<void(const PhKey&, uint64_t)>& visitor) const;
+
   /// Number of entries inside the box [min, max] without materialising them.
   size_t CountWindow(std::span<const uint64_t> min,
                      std::span<const uint64_t> max) const;

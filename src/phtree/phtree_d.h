@@ -6,6 +6,7 @@
 #define PHTREE_PHTREE_PHTREE_D_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -79,6 +80,23 @@ class PhTreeD {
       out.emplace_back(DecodeKeyD(it.key()), it.value());
     }
     return out;
+  }
+
+  /// Visitor form: `visitor(key, value)` per matching entry, with the
+  /// decoded key in a buffer reused across calls (copy it to keep it) —
+  /// no result vector, no per-result key allocation.
+  void QueryWindow(
+      std::span<const double> min, std::span<const double> max,
+      const std::function<void(const PhKeyD&, uint64_t)>& visitor) const {
+    const PhKey lo = Encode(min);
+    const PhKey hi = Encode(max);
+    PhKeyD decoded(dim());
+    tree_.QueryWindow(lo, hi, [&](const PhKey& key, uint64_t value) {
+      for (size_t i = 0; i < decoded.size(); ++i) {
+        decoded[i] = SortableBitsToDouble(key[i]);
+      }
+      visitor(decoded, value);
+    });
   }
 
   size_t CountWindow(std::span<const double> min,

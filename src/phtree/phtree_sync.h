@@ -16,11 +16,15 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "phtree/knn.h"
 #include "phtree/phtree.h"
 #include "phtree/query.h"
+#include "phtree/serialize.h"
 
 namespace phtree {
 
@@ -85,6 +89,50 @@ class PhTreeSync {
   PhTreeStats ComputeStats() const {
     std::shared_lock lock(mutex_);
     return tree_.ComputeStats();
+  }
+
+  /// Visitor-form window query under the reader lock. The visitor runs
+  /// inside the critical section — keep it short and do not call back into
+  /// this tree from it (self-deadlock on the writer side, starvation on
+  /// the reader side).
+  void QueryWindow(
+      std::span<const uint64_t> min, std::span<const uint64_t> max,
+      const std::function<void(const PhKey&, uint64_t)>& visitor) const {
+    std::shared_lock lock(mutex_);
+    tree_.QueryWindow(min, max, visitor);
+  }
+
+  /// Saves a v2 snapshot (SavePhTreeOr: checksummed, atomic, durable).
+  /// Serialisation happens under the reader lock; the disk I/O does not —
+  /// writers are blocked only while the in-memory byte stream is built.
+  Status Save(const std::string& path, const SaveOptions& options = {}) const {
+    std::vector<uint8_t> bytes;
+    {
+      std::shared_lock lock(mutex_);
+      bytes = SerializePhTree(tree_, options);
+    }
+    return WriteSnapshotFileOr(bytes, path);
+  }
+
+  /// Replaces the tree's whole content from a snapshot (LoadPhTreeOr).
+  /// The file is read, verified and deserialised without any lock; only
+  /// the final swap takes the writer lock. The snapshot's dimensionality
+  /// must match (kInvalidArgument otherwise).
+  Status Load(const std::string& path, const LoadOptions& options = {}) {
+    Expected<PhTree, SnapshotError> loaded = LoadPhTreeOr(path, options);
+    if (!loaded) {
+      return loaded.error();
+    }
+    if (loaded->dim() != tree_.dim()) {
+      return Status::Error(
+          StatusCode::kInvalidArgument,
+          "snapshot dimensionality " + std::to_string(loaded->dim()) +
+              " does not match tree dimensionality " +
+              std::to_string(tree_.dim()));
+    }
+    std::unique_lock lock(mutex_);
+    tree_ = std::move(*loaded);
+    return Status::Ok();
   }
 
  private:

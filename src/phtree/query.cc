@@ -161,18 +161,24 @@ bool PhTreeWindowIterator::SubtreeOverlapsWindow(const Node* child) const {
 std::vector<std::pair<PhKey, uint64_t>> PhTree::QueryWindow(
     std::span<const uint64_t> min, std::span<const uint64_t> max) const {
   std::vector<std::pair<PhKey, uint64_t>> out;
-  for (PhTreeWindowIterator it(*this, min, max); it.Valid(); it.Next()) {
-    out.emplace_back(it.key(), it.value());
-  }
+  QueryWindow(min, max, [&out](const PhKey& key, uint64_t value) {
+    out.emplace_back(key, value);
+  });
   return out;
+}
+
+void PhTree::QueryWindow(
+    std::span<const uint64_t> min, std::span<const uint64_t> max,
+    const std::function<void(const PhKey&, uint64_t)>& visitor) const {
+  for (PhTreeWindowIterator it(*this, min, max); it.Valid(); it.Next()) {
+    visitor(it.key(), it.value());
+  }
 }
 
 size_t PhTree::CountWindow(std::span<const uint64_t> min,
                            std::span<const uint64_t> max) const {
   size_t n = 0;
-  for (PhTreeWindowIterator it(*this, min, max); it.Valid(); it.Next()) {
-    ++n;
-  }
+  QueryWindow(min, max, [&n](const PhKey&, uint64_t) { ++n; });
   return n;
 }
 

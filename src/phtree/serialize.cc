@@ -532,9 +532,8 @@ std::optional<PhTree> DeserializePhTree(const std::vector<uint8_t>& bytes) {
   return DeserializePhTreeOr(bytes).ToOptional();
 }
 
-Status SavePhTreeOr(const PhTree& tree, const std::string& path,
-                    const SaveOptions& options) {
-  const std::vector<uint8_t> bytes = SerializePhTree(tree, options);
+Status WriteSnapshotFileOr(const std::vector<uint8_t>& bytes,
+                           const std::string& path) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
@@ -571,6 +570,11 @@ Status SavePhTreeOr(const PhTree& tree, const std::string& path,
     return st;
   }
   return FsyncParentDir(path);
+}
+
+Status SavePhTreeOr(const PhTree& tree, const std::string& path,
+                    const SaveOptions& options) {
+  return WriteSnapshotFileOr(SerializePhTree(tree, options), path);
 }
 
 Expected<PhTree, SnapshotError> LoadPhTreeOr(const std::string& path,

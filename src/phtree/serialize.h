@@ -93,6 +93,13 @@ std::optional<PhTree> DeserializePhTree(const std::vector<uint8_t>& bytes);
 Status SavePhTreeOr(const PhTree& tree, const std::string& path,
                     const SaveOptions& options = {});
 
+/// The atomic-durable half of SavePhTreeOr on its own: writes an already
+/// serialised snapshot byte stream to `path` with the same tmp + fsync +
+/// rename + dir-fsync protocol. Lets callers that must serialise under a
+/// lock (PhTreeSync::Save) do the disk I/O outside their critical section.
+Status WriteSnapshotFileOr(const std::vector<uint8_t>& bytes,
+                           const std::string& path);
+
 /// Reads and deserialises a snapshot file. I/O failures (missing file,
 /// short read) come back as kIoError; malformed contents keep their format
 /// error classes — callers can finally tell the two apart.

@@ -1,0 +1,491 @@
+#include "phtree/sharded.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <mutex>
+#include <numeric>
+
+#include "common/bits.h"
+
+namespace phtree {
+namespace {
+
+double MetricCoordDelta(uint64_t a, uint64_t b, KnnMetric metric) {
+  if (metric == KnnMetric::kL2Double) {
+    return SortableBitsToDouble(a) - SortableBitsToDouble(b);
+  }
+  const uint64_t delta = a > b ? a - b : b - a;
+  return static_cast<double>(delta);
+}
+
+// SplitMix64 finaliser: full-avalanche 64-bit mix (same constants as
+// common/rng.h's seeding stage).
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+bool ZOrderLess(std::span<const uint64_t> a, std::span<const uint64_t> b) {
+  assert(a.size() == b.size());
+  // The z-address interleaves bit 63 of dim 0, bit 63 of dim 1, ..., bit 62
+  // of dim 0, ... — so the first differing z-bit lives in the dimension
+  // whose XOR has the highest set bit (ties break to the lowest dimension
+  // index). `m < x && m < (m ^ x)` is the branch-free "msb(m) < msb(x)"
+  // test, so the scan keeps the dimension holding the most significant
+  // difference without ever computing a bit index.
+  uint32_t msd = 0;
+  uint64_t best = 0;
+  for (uint32_t d = 0; d < a.size(); ++d) {
+    const uint64_t x = a[d] ^ b[d];
+    if (best < x && best < (best ^ x)) {
+      msd = d;
+      best = x;
+    }
+  }
+  return a[msd] < b[msd];
+}
+
+PhTreeSharded::PhTreeSharded(uint32_t dim, uint32_t num_shards,
+                             ShardRouting routing, const PhTreeConfig& config,
+                             ThreadPool* pool)
+    : dim_(dim),
+      routing_(routing),
+      config_(config),
+      pool_(pool != nullptr ? pool : &ThreadPool::Shared()) {
+  assert(dim >= 1);
+  assert(num_shards >= 1 && (num_shards & (num_shards - 1)) == 0 &&
+         "num_shards must be a power of two");
+  if (num_shards == 0) {
+    num_shards = 1;
+  }
+  shard_bits_ = static_cast<uint32_t>(std::countr_zero(num_shards));
+  // More shard bits than interleaved key bits would alias shards to empty
+  // regions; 64*dim bits is the whole key, far beyond any sane S anyway.
+  assert(shard_bits_ <= 64 * dim_);
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(dim, config));
+  }
+}
+
+uint32_t PhTreeSharded::ShardOf(std::span<const uint64_t> key) const {
+  assert(key.size() == dim_);
+  if (shard_bits_ == 0) {
+    return 0;  // single shard: skip the hash/prefix work entirely
+  }
+  if (routing_ == ShardRouting::kHash) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;  // golden-ratio seed
+    for (const uint64_t word : key) {
+      h = Mix64(h ^ word);
+    }
+    return static_cast<uint32_t>(h & (num_shards() - 1));
+  }
+  // Top shard_bits_ bits of the z-interleaved address: bit 63 of dim 0,
+  // bit 63 of dim 1, ..., then bit 62 of dim 0, ...
+  uint64_t s = 0;
+  uint32_t d = 0;
+  uint32_t bit = 63;
+  for (uint32_t j = 0; j < shard_bits_; ++j) {
+    s = (s << 1) | ((key[d] >> bit) & 1);
+    if (++d == dim_) {
+      d = 0;
+      --bit;
+    }
+  }
+  return static_cast<uint32_t>(s);
+}
+
+void PhTreeSharded::ShardRegion(uint32_t s, PhKey* lo, PhKey* hi) const {
+  assert(s < num_shards());
+  lo->assign(dim_, 0);
+  hi->assign(dim_, ~uint64_t{0});
+  if (routing_ == ShardRouting::kHash) {
+    return;  // hash shards are not spatial: every region is the full space
+  }
+  uint32_t d = 0;
+  uint32_t bit = 63;
+  for (uint32_t j = 0; j < shard_bits_; ++j) {
+    const uint64_t fixed = (s >> (shard_bits_ - 1 - j)) & 1;
+    if (fixed) {
+      (*lo)[d] |= uint64_t{1} << bit;
+    } else {
+      (*hi)[d] &= ~(uint64_t{1} << bit);
+    }
+    if (++d == dim_) {
+      d = 0;
+      --bit;
+    }
+  }
+}
+
+bool PhTreeSharded::ShardIntersects(uint32_t s, std::span<const uint64_t> min,
+                                    std::span<const uint64_t> max) const {
+  if (routing_ == ShardRouting::kHash) {
+    return true;  // any key may hash anywhere: no spatial pruning
+  }
+  PhKey lo;
+  PhKey hi;
+  ShardRegion(s, &lo, &hi);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    if (lo[d] > max[d] || hi[d] < min[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double PhTreeSharded::ShardMinDist2(uint32_t s,
+                                    std::span<const uint64_t> center,
+                                    KnnMetric metric) const {
+  if (routing_ == ShardRouting::kHash) {
+    return 0.0;  // no spatial bound: every shard must be searched
+  }
+  PhKey lo;
+  PhKey hi;
+  ShardRegion(s, &lo, &hi);
+  double sum = 0;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    // Clamping commutes with the order-preserving double encoding, so the
+    // nearest box point in encoded space is the nearest in metric space.
+    const uint64_t clamped = std::clamp(center[d], lo[d], hi[d]);
+    const double delta = MetricCoordDelta(center[d], clamped, metric);
+    sum += delta * delta;
+  }
+  return sum;
+}
+
+size_t PhTreeSharded::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    total += shard->tree.size();
+  }
+  return total;
+}
+
+bool PhTreeSharded::Insert(std::span<const uint64_t> key, uint64_t value) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::unique_lock lock(shard.mutex);
+  return shard.tree.Insert(key, value);
+}
+
+bool PhTreeSharded::InsertOrAssign(std::span<const uint64_t> key,
+                                   uint64_t value) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::unique_lock lock(shard.mutex);
+  return shard.tree.InsertOrAssign(key, value);
+}
+
+bool PhTreeSharded::Erase(std::span<const uint64_t> key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::unique_lock lock(shard.mutex);
+  return shard.tree.Erase(key);
+}
+
+std::optional<uint64_t> PhTreeSharded::Find(
+    std::span<const uint64_t> key) const {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::shared_lock lock(shard.mutex);
+  return shard.tree.Find(key);
+}
+
+void PhTreeSharded::Clear() {
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard->mutex);
+    shard->tree.Clear();
+  }
+}
+
+size_t PhTreeSharded::BulkLoad(std::span<const PhEntry> entries) {
+  const uint32_t S = num_shards();
+  // One partition pass: per-shard index lists into `entries`.
+  std::vector<std::vector<size_t>> part(S);
+  for (auto& p : part) {
+    p.reserve(entries.size() / S + 1);
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    assert(entries[i].key.size() == dim_);
+    part[ShardOf(entries[i].key)].push_back(i);
+  }
+  std::vector<size_t> inserted(S, 0);
+  pool_->ParallelFor(S, [&](size_t s) {
+    const std::vector<size_t>& idx = part[s];
+    if (idx.empty()) {
+      return;
+    }
+    Shard& shard = *shards_[s];
+    std::unique_lock lock(shard.mutex);
+    shard.tree.ReserveNodes(idx.size());
+    size_t ins = 0;
+    for (const size_t i : idx) {
+      ins += shard.tree.Insert(entries[i].key, entries[i].value) ? 1 : 0;
+    }
+    inserted[s] = ins;
+  });
+  return std::accumulate(inserted.begin(), inserted.end(), size_t{0});
+}
+
+std::vector<std::pair<PhKey, uint64_t>> PhTreeSharded::QueryWindow(
+    std::span<const uint64_t> min, std::span<const uint64_t> max) const {
+  assert(min.size() == dim_ && max.size() == dim_);
+  std::vector<uint32_t> hit;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (ShardIntersects(s, min, max)) {
+      hit.push_back(s);
+    }
+  }
+  std::vector<std::pair<PhKey, uint64_t>> out;
+  if (hit.empty()) {
+    return out;
+  }
+  if (hit.size() == 1) {
+    Shard& shard = *shards_[hit[0]];
+    std::shared_lock lock(shard.mutex);
+    return shard.tree.QueryWindow(min, max);
+  }
+  std::vector<std::vector<std::pair<PhKey, uint64_t>>> per(hit.size());
+  pool_->ParallelFor(hit.size(), [&](size_t i) {
+    Shard& shard = *shards_[hit[i]];
+    std::shared_lock lock(shard.mutex);
+    per[i] = shard.tree.QueryWindow(min, max);
+  });
+  size_t total = 0;
+  for (const auto& v : per) {
+    total += v.size();
+  }
+  out.reserve(total);
+  // With z-prefix routing, `hit` is ascending in z-order, so appending in
+  // order already yields the global z-order; hash shards interleave, so
+  // their concatenation needs an explicit z-sort to restore it.
+  for (auto& v : per) {
+    std::move(v.begin(), v.end(), std::back_inserter(out));
+  }
+  if (routing_ == ShardRouting::kHash) {
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return ZOrderLess(a.first, b.first);
+    });
+  }
+  return out;
+}
+
+void PhTreeSharded::QueryWindow(
+    std::span<const uint64_t> min, std::span<const uint64_t> max,
+    const std::function<void(const PhKey&, uint64_t)>& visitor) const {
+  assert(min.size() == dim_ && max.size() == dim_);
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (!ShardIntersects(s, min, max)) {
+      continue;
+    }
+    Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mutex);
+    shard.tree.QueryWindow(min, max, visitor);
+  }
+}
+
+size_t PhTreeSharded::CountWindow(std::span<const uint64_t> min,
+                                  std::span<const uint64_t> max) const {
+  assert(min.size() == dim_ && max.size() == dim_);
+  std::vector<uint32_t> hit;
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    if (ShardIntersects(s, min, max)) {
+      hit.push_back(s);
+    }
+  }
+  if (hit.empty()) {
+    return 0;
+  }
+  std::vector<size_t> counts(hit.size(), 0);
+  pool_->ParallelFor(hit.size(), [&](size_t i) {
+    Shard& shard = *shards_[hit[i]];
+    std::shared_lock lock(shard.mutex);
+    counts[i] = shard.tree.CountWindow(min, max);
+  });
+  return std::accumulate(counts.begin(), counts.end(), size_t{0});
+}
+
+std::vector<KnnResult> PhTreeSharded::KnnSearch(
+    std::span<const uint64_t> center, size_t n, KnnMetric metric) const {
+  assert(center.size() == dim_);
+  std::vector<KnnResult> merged;
+  if (n == 0) {
+    return merged;
+  }
+  const uint32_t S = num_shards();
+  auto search_shard = [&](uint32_t s) {
+    Shard& shard = *shards_[s];
+    std::shared_lock lock(shard.mutex);
+    return phtree::KnnSearch(shard.tree, center, n, metric);
+  };
+  if (S == 1) {
+    return search_shard(0);
+  }
+  // Shards ordered by the minimum distance of their region to the center.
+  struct ShardDist {
+    uint32_t s;
+    double min_dist2;
+  };
+  std::vector<ShardDist> order;
+  order.reserve(S);
+  for (uint32_t s = 0; s < S; ++s) {
+    order.push_back({s, ShardMinDist2(s, center, metric)});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const ShardDist& a, const ShardDist& b) {
+              return a.min_dist2 < b.min_dist2;
+            });
+  // The nearest shard is searched first to establish the global cut-off:
+  // once it yields n candidates, any shard whose region cannot beat the
+  // current n-th distance is pruned. Adding candidates never worsens the
+  // n-th distance, so pruning against this early bound stays correct.
+  merged = search_shard(order[0].s);
+  const double bound = merged.size() >= n
+                           ? merged.back().dist2
+                           : std::numeric_limits<double>::infinity();
+  std::vector<uint32_t> rest;
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (order[i].min_dist2 <= bound) {
+      rest.push_back(order[i].s);
+    }
+  }
+  if (!rest.empty()) {
+    std::vector<std::vector<KnnResult>> per(rest.size());
+    pool_->ParallelFor(rest.size(), [&](size_t i) {
+      per[i] = search_shard(rest[i]);
+    });
+    size_t extra = 0;
+    for (const auto& v : per) {
+      extra += v.size();
+    }
+    merged.reserve(merged.size() + extra);
+    for (auto& v : per) {
+      std::move(v.begin(), v.end(), std::back_inserter(merged));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const KnnResult& a, const KnnResult& b) {
+              return a.dist2 < b.dist2;
+            });
+  if (merged.size() > n) {
+    merged.resize(n);
+  }
+  return merged;
+}
+
+void PhTreeSharded::ForEach(
+    const std::function<void(const PhKey&, uint64_t)>& fn) const {
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    shard->tree.ForEach(fn);
+  }
+}
+
+PhTreeStats PhTreeSharded::ComputeStats() const {
+  PhTreeStats total;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mutex);
+    const PhTreeStats s = shard->tree.ComputeStats();
+    total.n_entries += s.n_entries;
+    total.n_nodes += s.n_nodes;
+    total.n_hc_nodes += s.n_hc_nodes;
+    total.n_lhc_nodes += s.n_lhc_nodes;
+    total.memory_bytes += s.memory_bytes;
+    total.arena_slab_bytes += s.arena_slab_bytes;
+    total.arena_live_bytes += s.arena_live_bytes;
+    total.arena_freelist_bytes += s.arena_freelist_bytes;
+    total.max_depth = std::max(total.max_depth, s.max_depth);
+    total.sum_node_depth += s.sum_node_depth;
+    total.infix_bits += s.infix_bits;
+    total.n_postfix_entries += s.n_postfix_entries;
+  }
+  return total;
+}
+
+std::vector<PhTree> PhTreeSharded::BuildShardTrees(
+    std::span<const PhEntry> entries, const PhTreeConfig& config) const {
+  const uint32_t S = num_shards();
+  std::vector<std::vector<size_t>> part(S);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    part[ShardOf(entries[i].key)].push_back(i);
+  }
+  std::vector<PhTree> trees;
+  trees.reserve(S);
+  for (uint32_t s = 0; s < S; ++s) {
+    trees.emplace_back(dim_, config);
+  }
+  pool_->ParallelFor(S, [&](size_t s) {
+    trees[s].ReserveNodes(part[s].size());
+    for (const size_t i : part[s]) {
+      trees[s].Insert(entries[i].key, entries[i].value);
+    }
+  });
+  return trees;
+}
+
+Status PhTreeSharded::Save(const std::string& path,
+                           const SaveOptions& options) const {
+  const uint32_t S = num_shards();
+  // All reader locks taken together (in index order, like every cross-shard
+  // path here) => the snapshot is the one cross-shard consistent view.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(S);
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mutex);
+  }
+  PhTree merged(dim_, config_);
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->tree.size();
+  }
+  merged.ReserveNodes(total);
+  for (const auto& shard : shards_) {
+    shard->tree.ForEach([&merged](const PhKey& key, uint64_t value) {
+      merged.Insert(key, value);
+    });
+  }
+  locks.clear();  // the merge is our snapshot; do the disk I/O unlocked
+  return SavePhTreeOr(merged, path, options);
+}
+
+Status PhTreeSharded::Load(const std::string& path,
+                           const LoadOptions& options) {
+  Expected<PhTree, SnapshotError> loaded = LoadPhTreeOr(path, options);
+  if (!loaded) {
+    return loaded.error();
+  }
+  if (loaded->dim() != dim_) {
+    return Status::Error(
+        StatusCode::kInvalidArgument,
+        "snapshot dimensionality " + std::to_string(loaded->dim()) +
+            " does not match sharded tree dimensionality " +
+            std::to_string(dim_));
+  }
+  std::vector<PhEntry> entries;
+  entries.reserve(loaded->size());
+  loaded->ForEach([&entries](const PhKey& key, uint64_t value) {
+    entries.push_back(PhEntry{key, value});
+  });
+  // Replacement shards are built in parallel while readers keep using the
+  // old ones; the swap below is the only all-shard exclusive section.
+  std::vector<PhTree> trees = BuildShardTrees(entries, loaded->config());
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(num_shards());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mutex);
+  }
+  config_ = loaded->config();
+  for (uint32_t s = 0; s < num_shards(); ++s) {
+    shards_[s]->tree = std::move(trees[s]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace phtree

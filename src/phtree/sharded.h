@@ -1,0 +1,245 @@
+// Sharded concurrent PH-tree (paper Sect. 5, third outlook item). Where
+// PhTreeSync serialises every writer behind one tree-wide lock, this class
+// partitions the key space by the top bits of the z-interleaved address
+// into S = 2^b shards. Each shard is an independent PhTree with its own
+// NodeArena and its own shared_mutex, so:
+//   * writers on different shards never contend (the paper's two-node
+//     update property keeps each per-shard critical section short),
+//   * readers and writers only synchronise within one shard,
+//   * bulk loads partition the input once and build all shards in
+//     parallel on a ThreadPool,
+//   * window/count/kNN queries clip the query against each shard's
+//     key-space region and fan out only to the shards that intersect.
+//
+// Shard routing. The PH-tree orders keys by their bit-interleaved
+// z-address: level 0 is the k-bit hypercube address formed from bit 63 of
+// every dimension, level 1 from bit 62, and so on. Shard index = the top b
+// bits of that z-address (bit 63 of dim 0, bit 63 of dim 1, ..., then bit
+// 62 of dim 0, ...). Consequences:
+//   * each shard owns a contiguous z-order range, i.e. an axis-aligned box
+//     of the key space (dimension d has its top ceil/floor(b/k) bits
+//     fixed), which is what makes query clipping exact;
+//   * ascending shard index == ascending z-address, so concatenating
+//     per-shard window results in shard order yields the same global
+//     z-order that a single PhTree's window iterator produces.
+// Routing modes. Z-prefix routing makes every shard an axis-aligned box,
+// which buys exact query clipping, kNN shard pruning and ordered merges —
+// but its balance is the balance of the top key bits. That is perfect for
+// keys spread over the full 64-bit space and terrible for IEEE-encoded
+// doubles in a narrow range (uniform [0,1)^k data shares its sign and
+// exponent bits, so EVERY point routes to one shard). For such workloads
+// ShardRouting::kHash routes by a mixed hash of the whole key: balance
+// becomes distribution-independent, at the price of fan-out — every shard
+// region is the whole space, so window/kNN queries visit all S shards and
+// window results are k-way z-merged instead of concatenated. DESIGN.md
+// quantifies the trade-off; pick kZPrefix for integer/full-range keys,
+// kHash for write-heavy double workloads.
+//
+// Consistency model: operations are linearisable per shard, not across
+// shards. A query that fans out over multiple shards sees each shard at a
+// (possibly different) consistent point in time; size() is a sum of
+// per-shard snapshots. Save() takes all shard locks together and is the
+// one cross-shard consistent snapshot primitive.
+#ifndef PHTREE_PHTREE_SHARDED_H_
+#define PHTREE_PHTREE_SHARDED_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "phtree/knn.h"
+#include "phtree/phtree.h"
+#include "phtree/serialize.h"
+
+namespace phtree {
+
+/// One key -> payload pair, the bulk-load input unit.
+struct PhEntry {
+  PhKey key;
+  uint64_t value = 0;
+};
+
+/// How keys are assigned to shards (see the file comment).
+enum class ShardRouting : uint8_t {
+  /// Top log2(S) bits of the z-interleaved address. Shards are axis-aligned
+  /// boxes: queries clip, kNN prunes, merges are ordered concatenation.
+  kZPrefix,
+  /// Mixed hash of all key words. Distribution-independent balance; every
+  /// query visits all shards and window results are z-merged.
+  kHash,
+};
+
+/// Compares two equal-dimension keys by their z-interleaved address (the
+/// global enumeration order of a PH-tree). Exposed for the sharded merge
+/// and for tests.
+bool ZOrderLess(std::span<const uint64_t> a, std::span<const uint64_t> b);
+
+/// Lock-striped sharded PH-tree. All public methods are safe to call from
+/// any number of threads concurrently.
+class PhTreeSharded {
+ public:
+  /// Creates `num_shards` (a power of two, >= 1) empty shards for
+  /// `dim`-dimensional keys. Parallel bulk loads and query fan-outs run on
+  /// `pool` (not owned; must outlive the tree); nullptr uses the
+  /// process-wide ThreadPool::Shared().
+  explicit PhTreeSharded(uint32_t dim, uint32_t num_shards = 8,
+                         ShardRouting routing = ShardRouting::kZPrefix,
+                         const PhTreeConfig& config = PhTreeConfig{},
+                         ThreadPool* pool = nullptr);
+
+  uint32_t dim() const { return dim_; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  ShardRouting routing() const { return routing_; }
+  const PhTreeConfig& config() const { return config_; }
+
+  /// Sum of per-shard sizes; each shard is read under its own lock, so the
+  /// total is not a single cross-shard snapshot.
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Shard index for `key`: its top `log2(num_shards)` z-interleaved bits
+  /// (kZPrefix) or a mixed hash of all its words (kHash).
+  uint32_t ShardOf(std::span<const uint64_t> key) const;
+
+  // ---- Point operations (single-shard critical sections) ---------------
+
+  bool Insert(std::span<const uint64_t> key, uint64_t value);
+  bool InsertOrAssign(std::span<const uint64_t> key, uint64_t value);
+  bool Erase(std::span<const uint64_t> key);
+  std::optional<uint64_t> Find(std::span<const uint64_t> key) const;
+  bool Contains(std::span<const uint64_t> key) const {
+    return Find(key).has_value();
+  }
+
+  /// Clears every shard (per-shard O(slabs) arena reset).
+  void Clear();
+
+  // ---- Bulk load --------------------------------------------------------
+
+  /// Inserts all `entries`, partitioning them by shard in one pass and
+  /// building every shard in parallel on the pool (each build task holds
+  /// only its own shard's writer lock). Duplicate keys follow Insert
+  /// semantics: first occurrence wins, later ones are dropped. Returns the
+  /// number of newly inserted entries.
+  size_t BulkLoad(std::span<const PhEntry> entries);
+
+  // ---- Window queries (clip + fan out + merge) --------------------------
+
+  /// Entries inside [min, max], globally z-ordered (the same sequence a
+  /// single PhTree would produce). Shards that intersect the box are
+  /// queried in parallel; with kZPrefix routing the per-shard z-ordered
+  /// results are simply concatenated in shard order (which IS z-order
+  /// across shards), with kHash they are z-merged.
+  std::vector<std::pair<PhKey, uint64_t>> QueryWindow(
+      std::span<const uint64_t> min, std::span<const uint64_t> max) const;
+
+  /// Visitor form: calls `visitor(key, value)` for every entry in the box
+  /// without materialising results, running serially shard by shard (the
+  /// visitor is user code — it is never called from pool threads). The
+  /// sequence is globally z-ordered with kZPrefix routing; with kHash it
+  /// is z-ordered only within each shard's run.
+  void QueryWindow(
+      std::span<const uint64_t> min, std::span<const uint64_t> max,
+      const std::function<void(const PhKey&, uint64_t)>& visitor) const;
+
+  /// Number of entries inside [min, max]; intersecting shards count in
+  /// parallel.
+  size_t CountWindow(std::span<const uint64_t> min,
+                     std::span<const uint64_t> max) const;
+
+  // ---- kNN (per-shard candidates + global distance cut-off) -------------
+
+  /// The `n` entries closest to `center`, ascending by distance. The shard
+  /// whose region is nearest to `center` is searched first to establish an
+  /// upper bound (the current n-th candidate distance); every other shard
+  /// whose region's minimum distance exceeds that bound is pruned, the
+  /// survivors are searched in parallel, and the per-shard top-n candidate
+  /// lists are merged under the global cut-off.
+  std::vector<KnnResult> KnnSearch(
+      std::span<const uint64_t> center, size_t n,
+      KnnMetric metric = KnnMetric::kL2Integer) const;
+
+  // ---- Introspection ----------------------------------------------------
+
+  /// Calls `fn(key, value)` for every entry, shards visited in index order
+  /// under their reader locks. Global z-order with kZPrefix routing;
+  /// per-shard z-order with kHash.
+  void ForEach(const std::function<void(const PhKey&, uint64_t)>& fn) const;
+
+  /// Aggregated stats: additive fields summed over shards, max_depth the
+  /// maximum. Per-shard locks only (no cross-shard snapshot).
+  PhTreeStats ComputeStats() const;
+
+  /// The axis-aligned key-space box owned by shard `s`: on return,
+  /// lo[d]/hi[d] are the smallest/largest coordinate of dimension d that
+  /// routes to `s`. Used by the clipper, tests and the design doc example.
+  /// With kHash routing every shard's region is the whole key space.
+  void ShardRegion(uint32_t s, PhKey* lo, PhKey* hi) const;
+
+  /// Direct access to shard `s`'s tree, WITHOUT locking — only valid while
+  /// no other thread mutates the tree (tests, validation, stats tooling).
+  const PhTree& UnsafeShard(uint32_t s) const { return shards_[s]->tree; }
+
+  // ---- Persistence (single-stream merge; see DESIGN.md) -----------------
+
+  /// Saves all shards as ONE format-v2 snapshot (SavePhTreeOr): every
+  /// shard's reader lock is taken (in index order) for the duration, the
+  /// entries are merged into a temporary single PhTree — the tree's shape
+  /// is a pure function of its entries, so the merge is canonical and the
+  /// snapshot is byte-identical to one from an unsharded tree with the
+  /// same content — and written atomically. Costs one transient unsharded
+  /// copy of the tree; the payoff is full reuse of the checksummed v2
+  /// format, its tooling and its fault-injection coverage.
+  Status Save(const std::string& path, const SaveOptions& options = {}) const;
+
+  /// Replaces the whole content from a v2 (or legacy v1) snapshot written
+  /// by Save() or by SavePhTreeOr on a plain tree: the stream is loaded
+  /// and verified (LoadPhTreeOr), its entries are re-partitioned and the
+  /// replacement shards built in parallel off-line, then all shard locks
+  /// are taken and the shards swapped in. The stream's dimensionality must
+  /// match (kInvalidArgument otherwise); the stream's stored config
+  /// replaces this tree's config, like LoadPhTreeOr.
+  Status Load(const std::string& path, const LoadOptions& options = {});
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    PhTree tree;
+    explicit Shard(uint32_t dim, const PhTreeConfig& config)
+        : tree(dim, config) {}
+  };
+
+  /// True iff shard `s`'s region intersects the box [min, max].
+  bool ShardIntersects(uint32_t s, std::span<const uint64_t> min,
+                       std::span<const uint64_t> max) const;
+
+  /// Minimum squared distance from `center` to shard `s`'s region, in the
+  /// metric's coordinate space.
+  double ShardMinDist2(uint32_t s, std::span<const uint64_t> center,
+                       KnnMetric metric) const;
+
+  /// Builds one PhTree per shard from `entries` in parallel (no locks —
+  /// the returned trees are private until swapped in).
+  std::vector<PhTree> BuildShardTrees(std::span<const PhEntry> entries,
+                                      const PhTreeConfig& config) const;
+
+  uint32_t dim_;
+  uint32_t shard_bits_;  // log2(num_shards)
+  ShardRouting routing_;
+  PhTreeConfig config_;
+  ThreadPool* pool_;
+  // unique_ptr: shared_mutex is neither movable nor copyable, and the
+  // indirection keeps shards on separate cache lines.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_SHARDED_H_

@@ -1,0 +1,501 @@
+// Functional tests for the lock-striped sharded PH-tree: shard routing,
+// region clipping, equivalence with a single PhTree on every query type,
+// bulk load, persistence, and per-shard structural invariants.
+#include "phtree/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "phtree/phtree_sync.h"
+#include "phtree/serialize.h"
+#include "phtree/validate.h"
+
+namespace phtree {
+namespace {
+
+std::vector<PhKey> RandomKeys(size_t n, uint32_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PhKey> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    PhKey key(dim);
+    for (auto& v : key) {
+      v = rng.NextU64();
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(PhTreeSharded, ShardRoutingMatchesShardRegions) {
+  for (const uint32_t dim : {1u, 2u, 3u, 5u}) {
+    for (const uint32_t shards : {1u, 2u, 4u, 8u, 16u}) {
+      PhTreeSharded tree(dim, shards);
+      PhKey lo;
+      PhKey hi;
+      for (uint32_t s = 0; s < shards; ++s) {
+        tree.ShardRegion(s, &lo, &hi);
+        // The region's corners route back to the shard, so the region is
+        // exactly the preimage of s (the routing is a prefix of z-order).
+        EXPECT_EQ(tree.ShardOf(lo), s);
+        EXPECT_EQ(tree.ShardOf(hi), s);
+      }
+      const auto keys = RandomKeys(200, dim, 7 + dim + shards);
+      for (const auto& key : keys) {
+        const uint32_t s = tree.ShardOf(key);
+        ASSERT_LT(s, shards);
+        tree.ShardRegion(s, &lo, &hi);
+        for (uint32_t d = 0; d < dim; ++d) {
+          EXPECT_GE(key[d], lo[d]);
+          EXPECT_LE(key[d], hi[d]);
+        }
+      }
+    }
+  }
+}
+
+TEST(PhTreeSharded, ShardRegionsAreOrderedAndDisjoint) {
+  PhTreeSharded tree(2, 8);
+  PhKey prev_hi;
+  for (uint32_t s = 0; s < 8; ++s) {
+    PhKey lo;
+    PhKey hi;
+    tree.ShardRegion(s, &lo, &hi);
+    for (uint32_t d = 0; d < 2; ++d) {
+      EXPECT_LE(lo[d], hi[d]);
+    }
+    if (s > 0) {
+      // Regions of consecutive shards are distinct boxes (routing is a
+      // partition; full disjointness is implied by the preimage property
+      // checked above).
+      EXPECT_NE(lo, prev_hi);
+    }
+    prev_hi = hi;
+  }
+}
+
+TEST(PhTreeSharded, BasicOperations) {
+  PhTreeSharded tree(2, 4);
+  EXPECT_EQ(tree.dim(), 2u);
+  EXPECT_EQ(tree.num_shards(), 4u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Insert(PhKey{1, 2}, 3));
+  EXPECT_FALSE(tree.Insert(PhKey{1, 2}, 4));  // duplicate
+  EXPECT_EQ(tree.Find(PhKey{1, 2}), std::optional<uint64_t>(3));
+  EXPECT_FALSE(tree.InsertOrAssign(PhKey{1, 2}, 9));  // assigned, not new
+  EXPECT_EQ(tree.Find(PhKey{1, 2}), std::optional<uint64_t>(9));
+  EXPECT_FALSE(tree.Contains(PhKey{2, 1}));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Erase(PhKey{1, 2}));
+  EXPECT_FALSE(tree.Erase(PhKey{1, 2}));
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(PhTreeSharded, MatchesPlainTreeOnEveryQueryType) {
+  const uint32_t dim = 3;
+  const auto keys = RandomKeys(4000, dim, 11);
+  PhTree plain(dim);
+  PhTreeSharded sharded(dim, 8);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(plain.Insert(keys[i], i), sharded.Insert(keys[i], i));
+  }
+  EXPECT_EQ(plain.size(), sharded.size());
+
+  for (const auto& key : keys) {
+    EXPECT_EQ(plain.Find(key), sharded.Find(key));
+  }
+
+  // Window queries: identical result *sequences* — the sharded fan-out
+  // must preserve global z-order when concatenating per-shard results.
+  Rng rng(12);
+  for (int q = 0; q < 40; ++q) {
+    PhKey lo(dim);
+    PhKey hi(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      uint64_t a = rng.NextU64();
+      uint64_t b = rng.NextU64();
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    const auto expect = plain.QueryWindow(lo, hi);
+    const auto got = sharded.QueryWindow(lo, hi);
+    EXPECT_EQ(expect, got) << "window query " << q;
+    EXPECT_EQ(plain.CountWindow(lo, hi), sharded.CountWindow(lo, hi));
+
+    // Visitor form agrees with the vector form.
+    std::vector<std::pair<PhKey, uint64_t>> visited;
+    sharded.QueryWindow(lo, hi, [&](const PhKey& k, uint64_t v) {
+      visited.emplace_back(k, v);
+    });
+    EXPECT_EQ(expect, visited);
+  }
+
+  // ForEach: same global z-order enumeration.
+  std::vector<std::pair<PhKey, uint64_t>> plain_all;
+  std::vector<std::pair<PhKey, uint64_t>> sharded_all;
+  plain.ForEach([&](const PhKey& k, uint64_t v) { plain_all.emplace_back(k, v); });
+  sharded.ForEach(
+      [&](const PhKey& k, uint64_t v) { sharded_all.emplace_back(k, v); });
+  EXPECT_EQ(plain_all, sharded_all);
+
+  // kNN: same distances for the same query (keys may differ on exact
+  // ties, so compare the distance sequences).
+  for (int q = 0; q < 20; ++q) {
+    PhKey center(dim);
+    for (auto& c : center) {
+      c = rng.NextU64();
+    }
+    for (const size_t n : {1u, 5u, 32u}) {
+      const auto expect = KnnSearch(plain, center, n);
+      const auto got = sharded.KnnSearch(center, n);
+      ASSERT_EQ(expect.size(), got.size());
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_DOUBLE_EQ(expect[i].dist2, got[i].dist2)
+            << "query " << q << " n " << n << " rank " << i;
+      }
+    }
+  }
+
+  // Aggregated stats count every entry exactly once.
+  const PhTreeStats stats = sharded.ComputeStats();
+  EXPECT_EQ(stats.n_entries, plain.size());
+  EXPECT_EQ(stats.n_postfix_entries, plain.size());
+
+  // Erase half and re-check equivalence plus per-shard invariants.
+  for (size_t i = 0; i < keys.size(); i += 2) {
+    EXPECT_EQ(plain.Erase(keys[i]), sharded.Erase(keys[i]));
+  }
+  EXPECT_EQ(plain.size(), sharded.size());
+  for (const auto& key : keys) {
+    EXPECT_EQ(plain.Find(key), sharded.Find(key));
+  }
+  for (uint32_t s = 0; s < sharded.num_shards(); ++s) {
+    EXPECT_EQ(ValidatePhTree(sharded.UnsafeShard(s)), "");
+  }
+}
+
+TEST(PhTreeSharded, ZOrderLessMatchesTreeEnumerationOrder) {
+  const uint32_t dim = 3;
+  const auto keys = RandomKeys(500, dim, 21);
+  PhTree plain(dim);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    plain.Insert(keys[i], i);
+  }
+  std::vector<PhKey> enumerated;
+  plain.ForEach([&](const PhKey& k, uint64_t) { enumerated.push_back(k); });
+  // Sorting by ZOrderLess reproduces the tree's own enumeration order.
+  std::vector<PhKey> sorted = keys;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PhKey& a, const PhKey& b) { return ZOrderLess(a, b); });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_EQ(enumerated, sorted);
+  // Strict weak ordering basics.
+  EXPECT_FALSE(ZOrderLess(keys[0], keys[0]));
+  EXPECT_NE(ZOrderLess(keys[0], keys[1]), ZOrderLess(keys[1], keys[0]));
+}
+
+TEST(PhTreeSharded, HashRoutingMatchesPlainTreeAndBalancesSkewedKeys) {
+  const uint32_t dim = 3;
+  // Keys confined to a narrow band: the top 16 bits of every word are
+  // identical, mimicking SortableDoubleBits-encoded uniform doubles (shared
+  // sign + exponent). Z-prefix routing sends ALL of them to one shard;
+  // hash routing must spread them evenly.
+  Rng rng(31);
+  auto band_word = [&rng]() {
+    return 0x3ff0000000000000ULL | (rng.NextU64() >> 16);
+  };
+  std::vector<PhKey> keys;
+  keys.reserve(4000);
+  for (size_t i = 0; i < 4000; ++i) {
+    PhKey key(dim);
+    for (auto& v : key) {
+      v = band_word();
+    }
+    keys.push_back(std::move(key));
+  }
+  PhTree plain(dim);
+  PhTreeSharded zp(dim, 8);  // control: demonstrates the skew
+  PhTreeSharded hashed(dim, 8, ShardRouting::kHash);
+  EXPECT_EQ(zp.routing(), ShardRouting::kZPrefix);
+  EXPECT_EQ(hashed.routing(), ShardRouting::kHash);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    plain.Insert(keys[i], i);
+    zp.Insert(keys[i], i);
+    hashed.Insert(keys[i], i);
+  }
+  uint32_t zp_nonempty = 0;
+  for (uint32_t s = 0; s < 8; ++s) {
+    zp_nonempty += zp.UnsafeShard(s).size() > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(zp_nonempty, 1u);  // the skew hash routing exists to fix
+  for (uint32_t s = 0; s < 8; ++s) {
+    // Every hash shard within [mean/2, 2*mean].
+    EXPECT_GT(hashed.UnsafeShard(s).size(), plain.size() / 16);
+    EXPECT_LT(hashed.UnsafeShard(s).size(), plain.size() / 4);
+  }
+
+  for (const auto& key : keys) {
+    EXPECT_EQ(plain.Find(key), hashed.Find(key));
+  }
+
+  // Vector window queries restore global z-order by sorting the fan-out.
+  for (int q = 0; q < 20; ++q) {
+    PhKey lo(dim);
+    PhKey hi(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      const uint64_t a = band_word();
+      const uint64_t b = band_word();
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    const auto expect = plain.QueryWindow(lo, hi);
+    EXPECT_EQ(expect, hashed.QueryWindow(lo, hi)) << "window query " << q;
+    EXPECT_EQ(plain.CountWindow(lo, hi), hashed.CountWindow(lo, hi));
+    // The visitor form is only per-shard z-ordered under kHash: compare
+    // after re-establishing the global order.
+    std::vector<std::pair<PhKey, uint64_t>> visited;
+    hashed.QueryWindow(lo, hi, [&](const PhKey& k, uint64_t v) {
+      visited.emplace_back(k, v);
+    });
+    std::sort(visited.begin(), visited.end(), [](const auto& a, const auto& b) {
+      return ZOrderLess(a.first, b.first);
+    });
+    EXPECT_EQ(expect, visited);
+  }
+
+  // kNN must search every shard (no spatial pruning) and still return the
+  // globally nearest distances.
+  for (int q = 0; q < 10; ++q) {
+    PhKey center(dim);
+    for (auto& c : center) {
+      c = band_word();
+    }
+    const auto expect = KnnSearch(plain, center, 10);
+    const auto got = hashed.KnnSearch(center, 10);
+    ASSERT_EQ(expect.size(), got.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_DOUBLE_EQ(expect[i].dist2, got[i].dist2)
+          << "query " << q << " rank " << i;
+    }
+  }
+
+  // Snapshots are canonical regardless of routing: a hash-routed tree
+  // round-trips through Save/Load (which re-partitions with ITS routing).
+  const std::string path = TempPath("sharded_hash.phtree");
+  ASSERT_TRUE(hashed.Save(path).ok());
+  PhTreeSharded reload(dim, 4, ShardRouting::kHash);
+  ASSERT_TRUE(reload.Load(path).ok());
+  EXPECT_EQ(reload.size(), plain.size());
+  std::vector<std::pair<PhKey, uint64_t>> plain_all;
+  std::vector<std::pair<PhKey, uint64_t>> reload_all;
+  plain.ForEach(
+      [&](const PhKey& k, uint64_t v) { plain_all.emplace_back(k, v); });
+  reload.ForEach(
+      [&](const PhKey& k, uint64_t v) { reload_all.emplace_back(k, v); });
+  std::sort(reload_all.begin(), reload_all.end(),
+            [](const auto& a, const auto& b) {
+              return ZOrderLess(a.first, b.first);
+            });
+  EXPECT_EQ(plain_all, reload_all);
+  for (uint32_t s = 0; s < reload.num_shards(); ++s) {
+    EXPECT_EQ(ValidatePhTree(reload.UnsafeShard(s)), "");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PhTreeSharded, KnnExceedingTreeSizeReturnsEverything) {
+  PhTreeSharded tree(2, 8);
+  const auto keys = RandomKeys(50, 2, 99);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], i);
+  }
+  const auto all = tree.KnnSearch(PhKey{0, 0}, 1000);
+  EXPECT_EQ(all.size(), tree.size());
+  EXPECT_TRUE(std::is_sorted(
+      all.begin(), all.end(),
+      [](const KnnResult& a, const KnnResult& b) { return a.dist2 < b.dist2; }));
+}
+
+TEST(PhTreeSharded, BulkLoadMatchesSequentialInsert) {
+  const uint32_t dim = 2;
+  const auto keys = RandomKeys(5000, dim, 21);
+  std::vector<PhEntry> entries;
+  entries.reserve(keys.size() + 100);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    entries.push_back(PhEntry{keys[i], i});
+  }
+  // Duplicates: first occurrence wins, later ones dropped (Insert
+  // semantics) — also across the bulk-load partition.
+  for (size_t i = 0; i < 100; ++i) {
+    entries.push_back(PhEntry{keys[i], 999999 + i});
+  }
+
+  PhTreeSharded bulk(dim, 8);
+  const size_t inserted = bulk.BulkLoad(entries);
+  EXPECT_EQ(inserted, keys.size());
+  EXPECT_EQ(bulk.size(), keys.size());
+
+  PhTreeSharded seq(dim, 8);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    seq.Insert(keys[i], i);
+  }
+  for (const auto& key : keys) {
+    EXPECT_EQ(bulk.Find(key), seq.Find(key));
+  }
+  // Structure is a pure function of the entries, so the shards are
+  // byte-identical in stats regardless of how they were built.
+  const PhTreeStats a = bulk.ComputeStats();
+  const PhTreeStats b = seq.ComputeStats();
+  EXPECT_EQ(a.n_nodes, b.n_nodes);
+  EXPECT_EQ(a.memory_bytes, b.memory_bytes);
+  for (uint32_t s = 0; s < bulk.num_shards(); ++s) {
+    EXPECT_EQ(ValidatePhTree(bulk.UnsafeShard(s)), "");
+  }
+}
+
+TEST(PhTreeSharded, ClearEmptiesEveryShard) {
+  PhTreeSharded tree(2, 4);
+  const auto keys = RandomKeys(500, 2, 31);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], i);
+  }
+  EXPECT_GT(tree.size(), 0u);
+  tree.Clear();
+  EXPECT_EQ(tree.size(), 0u);
+  for (const auto& key : keys) {
+    EXPECT_FALSE(tree.Contains(key));
+  }
+  // Still usable after Clear.
+  EXPECT_TRUE(tree.Insert(keys[0], 1));
+}
+
+TEST(PhTreeSharded, SingleShardDegeneratesToPlainTree) {
+  const auto keys = RandomKeys(1000, 2, 41);
+  PhTree plain(2);
+  PhTreeSharded sharded(2, 1);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    plain.Insert(keys[i], i);
+    sharded.Insert(keys[i], i);
+  }
+  const PhTreeStats a = plain.ComputeStats();
+  const PhTreeStats b = sharded.ComputeStats();
+  EXPECT_EQ(a.n_nodes, b.n_nodes);
+  EXPECT_EQ(a.memory_bytes, b.memory_bytes);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+}
+
+TEST(PhTreeSharded, SaveLoadRoundTripAcrossShardCounts) {
+  const uint32_t dim = 2;
+  const auto keys = RandomKeys(2000, dim, 51);
+  PhTreeSharded original(dim, 8);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    original.Insert(keys[i], i);
+  }
+  const std::string path = TempPath("sharded_snapshot.pht");
+  ASSERT_TRUE(original.Save(path).ok());
+
+  // Reload into a different shard count: content must be identical.
+  PhTreeSharded reloaded(dim, 2);
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  EXPECT_EQ(reloaded.size(), original.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(reloaded.Find(keys[i]), std::optional<uint64_t>(i));
+  }
+  for (uint32_t s = 0; s < reloaded.num_shards(); ++s) {
+    EXPECT_EQ(ValidatePhTree(reloaded.UnsafeShard(s)), "");
+  }
+
+  // The sharded snapshot is a plain v2 stream: a single tree loads it too,
+  // byte-identically to a tree built from the same entries.
+  auto plain = LoadPhTreeOr(path);
+  ASSERT_TRUE(plain.has_value()) << plain.error().ToString();
+  EXPECT_EQ(plain->size(), original.size());
+  PhTree rebuilt(dim);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    rebuilt.Insert(keys[i], i);
+  }
+  EXPECT_EQ(SerializePhTree(*plain), SerializePhTree(rebuilt));
+
+  // And the other direction: a plain SavePhTreeOr snapshot loads sharded.
+  const std::string plain_path = TempPath("plain_snapshot.pht");
+  ASSERT_TRUE(SavePhTreeOr(rebuilt, plain_path).ok());
+  PhTreeSharded from_plain(dim, 16);
+  ASSERT_TRUE(from_plain.Load(plain_path).ok());
+  EXPECT_EQ(from_plain.size(), rebuilt.size());
+
+  std::remove(path.c_str());
+  std::remove(plain_path.c_str());
+}
+
+TEST(PhTreeSharded, LoadRejectsDimensionMismatch) {
+  PhTree tree3(3);
+  tree3.Insert(PhKey{1, 2, 3}, 4);
+  const std::string path = TempPath("dim3_snapshot.pht");
+  ASSERT_TRUE(SavePhTreeOr(tree3, path).ok());
+  PhTreeSharded tree2(2, 4);
+  tree2.Insert(PhKey{7, 7}, 1);
+  const Status st = tree2.Load(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Failed load leaves the tree untouched.
+  EXPECT_EQ(tree2.size(), 1u);
+  EXPECT_TRUE(tree2.Contains(PhKey{7, 7}));
+  std::remove(path.c_str());
+}
+
+TEST(PhTreeSharded, LoadReportsIoErrorForMissingFile) {
+  PhTreeSharded tree(2, 4);
+  const Status st = tree.Load(TempPath("does_not_exist.pht"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+}
+
+TEST(PhTreeSync, SaveLoadRoundTrip) {
+  PhTreeSync tree(2);
+  const auto keys = RandomKeys(1000, 2, 61);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], i);
+  }
+  const std::string path = TempPath("sync_snapshot.pht");
+  ASSERT_TRUE(tree.Save(path).ok());
+
+  PhTreeSync reloaded(2);
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  EXPECT_EQ(reloaded.size(), tree.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(reloaded.Find(keys[i]), std::optional<uint64_t>(i));
+  }
+
+  PhTreeSync wrong_dim(3);
+  const Status st = wrong_dim.Load(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(PhTreeSync, VisitorWindowQueryMatchesVector) {
+  PhTreeSync tree(2);
+  for (uint64_t i = 0; i < 100; ++i) {
+    tree.Insert(PhKey{i, i * 2}, i);
+  }
+  const PhKey lo{10, 0};
+  const PhKey hi{50, ~uint64_t{0}};
+  const auto expect = tree.QueryWindow(lo, hi);
+  std::vector<std::pair<PhKey, uint64_t>> visited;
+  tree.QueryWindow(lo, hi, [&](const PhKey& k, uint64_t v) {
+    visited.emplace_back(k, v);
+  });
+  EXPECT_EQ(expect, visited);
+}
+
+}  // namespace
+}  // namespace phtree
