@@ -1,0 +1,122 @@
+// Fuzz target for the snapshot loader, reusing the corruption
+// fault-injection harness (benchlib/snapshot_fault). Two modes, selected
+// by the first input byte:
+//
+//   even  — raw-stream mode: the remaining bytes ARE the snapshot. The
+//           paranoid loader must either reject them with a typed error or
+//           produce a tree that passes ValidatePhTree; crashes are caught
+//           by the sanitizers, silent acceptance of garbage by
+//           CheckMutatedSnapshot.
+//   odd   — mutation-program mode: the remaining bytes drive a sequence
+//           of structured mutations (bit flips, truncations, record
+//           swaps/drops/duplications, checksum re-repair) against a
+//           canned valid v2 snapshot, steering the loader into the deep
+//           cross-checks that sit *behind* the CRCs.
+//
+// Any harness failure abort()s.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "benchlib/snapshot_fault.h"
+#include "common/rng.h"
+#include "phtree/phtree.h"
+#include "phtree/serialize.h"
+
+namespace {
+
+/// A deterministic, non-trivial v2 snapshot: 512 clustered 3-d entries,
+/// several records (entries_per_record = 64), built once per process.
+const std::vector<uint8_t>& CannedSnapshot() {
+  static const std::vector<uint8_t> bytes = [] {
+    phtree::PhTree tree(3);
+    phtree::Rng rng(0xC0FFEE);
+    phtree::PhKey key(3);
+    for (int i = 0; i < 512; ++i) {
+      for (uint64_t& w : key) {
+        w = rng.NextU64() & 0xFFFF;  // dense low-bit cluster
+      }
+      tree.Insert(key, rng.NextU64());
+    }
+    phtree::SaveOptions options;
+    options.entries_per_record = 64;
+    return phtree::SerializePhTree(tree, options);
+  }();
+  return bytes;
+}
+
+void CheckOrAbort(const std::vector<uint8_t>& mutated, const char* mode) {
+  const std::string failure = phtree::CheckMutatedSnapshot(mutated);
+  if (!failure.empty()) {
+    std::fprintf(stderr, "fuzz_snapshot (%s): %s\n", mode, failure.c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  if ((data[0] & 1) == 0) {
+    CheckOrAbort(std::vector<uint8_t>(data + 1, data + size), "raw");
+    return 0;
+  }
+
+  std::vector<uint8_t> bytes = CannedSnapshot();
+  size_t pos = 1;
+  const auto next_byte = [&]() -> uint8_t {
+    return pos < size ? data[pos++] : 0;
+  };
+  const auto next_u32 = [&]() -> uint64_t {
+    uint64_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint64_t>(next_byte()) << (8 * i);
+    }
+    return v;
+  };
+
+  // Up to 16 mutations per input keeps single runs fast while still
+  // composing faults (e.g. swap records, then truncate mid-record).
+  for (int op = 0; op < 16 && pos < size && !bytes.empty(); ++op) {
+    switch (next_byte() % 6) {
+      case 0:
+        bytes = phtree::FlipBit(bytes, next_u32() % (bytes.size() * 8));
+        break;
+      case 1:
+        bytes = phtree::TruncateSnapshot(bytes,
+                                         next_u32() % (bytes.size() + 1));
+        break;
+      case 2:
+      case 3:
+      case 4: {
+        const phtree::StatusOr<phtree::SnapshotLayout> layout =
+            phtree::DescribeSnapshot(bytes);
+        if (!layout || layout->records.empty()) {
+          break;  // framing already too broken for record surgery
+        }
+        const size_t n = layout->records.size();
+        const size_t i = next_u32() % n;
+        const uint8_t which = next_byte() % 3;
+        if (which == 0) {
+          bytes = phtree::SwapRecords(bytes, *layout, i, next_u32() % n);
+        } else if (which == 1) {
+          bytes = phtree::DropRecord(bytes, *layout, i);
+        } else {
+          bytes = phtree::DuplicateRecord(bytes, *layout, i);
+        }
+        break;
+      }
+      case 5:
+        // Re-validating the CRCs after semantic damage is the interesting
+        // half: it forces the loader past checksum verification into the
+        // count/structure cross-checks.
+        phtree::RepairSnapshotChecksums(&bytes);
+        break;
+    }
+  }
+  CheckOrAbort(bytes, "program");
+  return 0;
+}

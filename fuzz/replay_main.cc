@@ -1,0 +1,103 @@
+// Fallback driver that turns a libFuzzer-style target into a plain
+// deterministic replay binary for toolchains without a fuzzing engine
+// (this repo's default gcc build). Each fuzz target defines
+// LLVMFuzzerTestOneInput; when the build links against a real engine
+// (-DPHTREE_LIBFUZZER=ON with clang) this file is simply not compiled in
+// and libFuzzer provides main().
+//
+// Usage: <target> [corpus-file | corpus-dir]... [--rand N SEED MAXLEN]
+//   * every file argument is fed to the target once,
+//   * every directory argument is walked (sorted, for determinism) and
+//     each regular file inside is fed once,
+//   * --rand N SEED MAXLEN feeds N pseudo-random byte strings of length
+//     1..MAXLEN drawn from the seeded generator — a bounded smoke run for
+//     CI without an engine.
+// Exit status 0 means every input was processed without the target
+// aborting; the target itself abort()s on any harness failure.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+void RunBytes(const std::vector<uint8_t>& bytes) {
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+}
+
+bool RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::vector<uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  RunBytes(bytes);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t runs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rand") {
+      if (i + 3 >= argc) {
+        std::fprintf(stderr, "--rand needs N SEED MAXLEN\n");
+        return 2;
+      }
+      const uint64_t n = std::strtoull(argv[++i], nullptr, 0);
+      const uint64_t seed = std::strtoull(argv[++i], nullptr, 0);
+      const uint64_t maxlen = std::strtoull(argv[++i], nullptr, 0);
+      if (maxlen == 0) {
+        std::fprintf(stderr, "--rand MAXLEN must be > 0\n");
+        return 2;
+      }
+      phtree::Rng rng(seed);
+      std::vector<uint8_t> bytes;
+      for (uint64_t k = 0; k < n; ++k) {
+        bytes.resize(1 + rng.NextBounded(maxlen));
+        for (uint8_t& b : bytes) {
+          b = static_cast<uint8_t>(rng.NextU64());
+        }
+        RunBytes(bytes);
+        ++runs;
+      }
+      continue;
+    }
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) {
+          files.push_back(entry.path());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& path : files) {
+        if (!RunFile(path)) {
+          return 2;
+        }
+        ++runs;
+      }
+    } else {
+      if (!RunFile(arg)) {
+        return 2;
+      }
+      ++runs;
+    }
+  }
+  std::printf("replayed %zu inputs, no failures\n", runs);
+  return 0;
+}

@@ -61,6 +61,9 @@ std::vector<uint8_t> FlipBit(const std::vector<uint8_t>& bytes, size_t bit) {
 std::vector<uint8_t> SwapRecords(const std::vector<uint8_t>& bytes,
                                  const SnapshotLayout& layout, size_t i,
                                  size_t j) {
+  if (i == j) {
+    return bytes;  // swapping a record with itself is the identity
+  }
   if (i > j) {
     std::swap(i, j);
   }

@@ -98,6 +98,12 @@ inline void ApplyHcAddress(uint64_t addr, uint32_t postfix_len,
   }
 }
 
+/// Compares two equal-dimension keys by their z-interleaved address — the
+/// global enumeration order of a PH-tree (ascending hypercube-address order
+/// at every node). Used by the sharded merge, the deterministic kNN
+/// tie-break and the reference oracle of the differential test harness.
+bool ZOrderLess(std::span<const uint64_t> a, std::span<const uint64_t> b);
+
 /// Interleaves the k w-bit values of `key` into a single z-order (Morton)
 /// bit string of k*w bits, most significant bits first: output bit 0 is bit
 /// 63 of key[0], output bit 1 is bit 63 of key[1], ... This is the classic

@@ -50,9 +50,23 @@ struct QueueItem {
   uint64_t value;    // point items only
 };
 
+// Min-heap order: ascending distance; on exact distance ties, nodes pop
+// before points (so every tied point is enqueued before any is emitted)
+// and tied points pop in z-order of their keys. This makes the result
+// sequence a pure function of the tree contents — sharded fan-out merges
+// (sharded.cc) sort with the same (dist2, z-order) key and therefore
+// reproduce it exactly.
 struct ItemGreater {
   bool operator()(const QueueItem& a, const QueueItem& b) const {
-    return a.dist2 > b.dist2;
+    if (a.dist2 != b.dist2) {
+      return a.dist2 > b.dist2;
+    }
+    const bool a_point = a.node == nullptr;
+    const bool b_point = b.node == nullptr;
+    if (a_point != b_point) {
+      return a_point;  // the node sorts first: it may hold more tied points
+    }
+    return ZOrderLess(b.key, a.key);
   }
 };
 

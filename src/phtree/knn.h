@@ -33,8 +33,10 @@ enum class KnnMetric {
 };
 
 /// Returns the `n` entries of `tree` closest to `center`, ordered by
-/// ascending distance (ties broken arbitrarily). Returns fewer than `n`
-/// results iff the tree holds fewer entries.
+/// ascending distance; exact distance ties are broken deterministically by
+/// the z-order of the keys, so the result sequence is a pure function of
+/// the tree contents (the sharded fan-out reproduces it exactly). Returns
+/// fewer than `n` results iff the tree holds fewer entries.
 std::vector<KnnResult> KnnSearch(const PhTree& tree,
                                  std::span<const uint64_t> center, size_t n,
                                  KnnMetric metric = KnnMetric::kL2Integer);

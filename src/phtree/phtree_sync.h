@@ -102,6 +102,11 @@ class PhTreeSync {
     tree_.QueryWindow(min, max, visitor);
   }
 
+  /// Direct access to the wrapped tree, WITHOUT locking — only valid while
+  /// no other thread mutates it (tests, the structural validator and the
+  /// differential harness). Mirrors PhTreeSharded::UnsafeShard.
+  const PhTree& UnsafeTree() const { return tree_; }
+
   /// Saves a v2 snapshot (SavePhTreeOr: checksummed, atomic, durable).
   /// Serialisation happens under the reader lock; the disk I/O does not —
   /// writers are blocked only while the in-memory byte stream is built.

@@ -34,26 +34,6 @@ uint64_t Mix64(uint64_t x) {
 
 }  // namespace
 
-bool ZOrderLess(std::span<const uint64_t> a, std::span<const uint64_t> b) {
-  assert(a.size() == b.size());
-  // The z-address interleaves bit 63 of dim 0, bit 63 of dim 1, ..., bit 62
-  // of dim 0, ... — so the first differing z-bit lives in the dimension
-  // whose XOR has the highest set bit (ties break to the lowest dimension
-  // index). `m < x && m < (m ^ x)` is the branch-free "msb(m) < msb(x)"
-  // test, so the scan keeps the dimension holding the most significant
-  // difference without ever computing a bit index.
-  uint32_t msd = 0;
-  uint64_t best = 0;
-  for (uint32_t d = 0; d < a.size(); ++d) {
-    const uint64_t x = a[d] ^ b[d];
-    if (best < x && best < (best ^ x)) {
-      msd = d;
-      best = x;
-    }
-  }
-  return a[msd] < b[msd];
-}
-
 PhTreeSharded::PhTreeSharded(uint32_t dim, uint32_t num_shards,
                              ShardRouting routing, const PhTreeConfig& config,
                              ThreadPool* pool)
@@ -370,9 +350,16 @@ std::vector<KnnResult> PhTreeSharded::KnnSearch(
       std::move(v.begin(), v.end(), std::back_inserter(merged));
     }
   }
+  // Same total order as the single-tree search: distance first, z-order of
+  // the key on exact ties. Without the tie-break std::sort (unstable) and
+  // the per-shard heaps would order equal-distance candidates arbitrarily
+  // and the sharded result could diverge from the single-tree oracle.
   std::sort(merged.begin(), merged.end(),
             [](const KnnResult& a, const KnnResult& b) {
-              return a.dist2 < b.dist2;
+              if (a.dist2 != b.dist2) {
+                return a.dist2 < b.dist2;
+              }
+              return ZOrderLess(a.key, b.key);
             });
   if (merged.size() > n) {
     merged.resize(n);

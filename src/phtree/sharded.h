@@ -76,10 +76,8 @@ enum class ShardRouting : uint8_t {
   kHash,
 };
 
-/// Compares two equal-dimension keys by their z-interleaved address (the
-/// global enumeration order of a PH-tree). Exposed for the sharded merge
-/// and for tests.
-bool ZOrderLess(std::span<const uint64_t> a, std::span<const uint64_t> b);
+// ZOrderLess (the z-interleaved comparison the sharded merge is built on)
+// lives in common/bits.h, next to the other z-order primitives.
 
 /// Lock-striped sharded PH-tree. All public methods are safe to call from
 /// any number of threads concurrently.

@@ -1,18 +1,32 @@
 #include "phtree/validate.h"
 
+#include <optional>
 #include <sstream>
 
+#include "common/bits.h"
 #include "phtree/arena.h"
 #include "phtree/node.h"
+#include "phtree/stats.h"
 
 namespace phtree {
 namespace {
 
 struct ValidateState {
   const PhTree* tree;
+  const DeepValidateOptions* deep = nullptr;  // nullptr = structural only
   size_t postfix_entries = 0;
   size_t nodes = 0;
+  size_t hc_nodes = 0;
+  size_t lhc_nodes = 0;
   uint64_t node_bytes = 0;
+  uint64_t infix_bits = 0;
+  size_t max_depth = 0;
+  size_t sum_node_depth = 0;
+  // Deep mode: the key bits accumulated along the current root-to-node path
+  // (address bits + infixes), and the previously emitted full key.
+  PhKey path;
+  PhKey prev_key;
+  bool have_prev = false;
   std::ostringstream error;
   bool failed = false;
 
@@ -24,7 +38,8 @@ struct ValidateState {
   }
 };
 
-void ValidateNode(const Node* node, const Node* parent, ValidateState* state) {
+void ValidateNode(const Node* node, const Node* parent, size_t depth,
+                  ValidateState* state) {
   if (state->failed) {
     return;
   }
@@ -34,6 +49,16 @@ void ValidateNode(const Node* node, const Node* parent, ValidateState* state) {
 
   ++state->nodes;
   state->node_bytes += node->MemoryBytes();
+  state->infix_bits +=
+      static_cast<uint64_t>(node->infix_len()) * node->dim();
+  // Depth convention matches StatsRec: the root counts as depth 1.
+  state->max_depth = std::max(state->max_depth, depth + 1);
+  state->sum_node_depth += depth + 1;
+  if (node->is_hc()) {
+    ++state->hc_nodes;
+  } else {
+    ++state->lhc_nodes;
+  }
   // Arena ownership: every reachable node must have been carved out of the
   // tree's own arena (a foreign or stale pointer here means a splice or
   // move transferred a node across trees).
@@ -43,6 +68,11 @@ void ValidateNode(const Node* node, const Node* parent, ValidateState* state) {
   }
   if (parent != nullptr && node->num_entries() < 2) {
     state->Fail(ctx.str() + "non-root node with < 2 entries");
+    return;
+  }
+  if (node->dim() < 64 &&
+      node->num_entries() > (uint64_t{1} << node->dim())) {
+    state->Fail(ctx.str() + "more entries than hypercube slots");
     return;
   }
   if (parent != nullptr &&
@@ -74,11 +104,53 @@ void ValidateNode(const Node* node, const Node* parent, ValidateState* state) {
     first = false;
     prev_addr = addr;
     ++entries;
+    if (state->deep != nullptr) {
+      // Like the window iterator, the walk keeps one shared key buffer:
+      // entries rewrite exactly the bits at or below this node's level, so
+      // bits above stay the accumulated prefix.
+      ApplyHcAddress(addr, node->postfix_len(), state->path);
+    }
     if (node->OrdinalIsSub(ord)) {
       ++subs;
-      ValidateNode(node->OrdinalSub(ord), node, state);
+      Node* child = node->OrdinalSub(ord);
+      if (state->deep != nullptr) {
+        child->ReadInfixInto(state->path);
+      }
+      ValidateNode(child, node, depth + 1, state);
+      if (state->failed) {
+        return;
+      }
     } else {
       ++state->postfix_entries;
+      if (state->deep != nullptr) {
+        node->ReadPostfixInto(ord, state->path);
+        // Prefix consistency: enumerating the tree in address order must
+        // produce the reconstructed keys in strictly ascending z-order.
+        // Any corrupted infix, address or postfix record either breaks
+        // this monotonicity or the self-lookup below.
+        if (state->have_prev &&
+            !ZOrderLess(state->prev_key, state->path)) {
+          state->Fail(ctx.str() +
+                      "reconstructed keys not strictly z-ascending");
+          return;
+        }
+        state->prev_key = state->path;
+        state->have_prev = true;
+        if (state->deep->check_self_lookup) {
+          const std::optional<uint64_t> found =
+              state->tree->Find(state->path);
+          if (!found.has_value()) {
+            state->Fail(ctx.str() +
+                        "reconstructed key not found by point query");
+            return;
+          }
+          if (*found != node->OrdinalPayload(ord)) {
+            state->Fail(ctx.str() +
+                        "point query payload != enumerated payload");
+            return;
+          }
+        }
+      }
     }
   }
   if (entries != node->num_entries() || subs != node->num_subs()) {
@@ -123,11 +195,13 @@ void ValidateNode(const Node* node, const Node* parent, ValidateState* state) {
   }
 }
 
-}  // namespace
-
-std::string ValidatePhTree(const PhTree& tree) {
+std::string Validate(const PhTree& tree, const DeepValidateOptions* deep) {
   ValidateState state;
   state.tree = &tree;
+  state.deep = deep;
+  if (deep != nullptr) {
+    state.path.assign(tree.dim(), 0);
+  }
   if (tree.root() != nullptr) {
     if (tree.root()->infix_len() != 0) {
       return "root node has a non-empty infix";
@@ -135,9 +209,12 @@ std::string ValidatePhTree(const PhTree& tree) {
     if (tree.root()->postfix_len() != kBitWidth - 1) {
       return "root node postfix_len != 63";
     }
-    ValidateNode(tree.root(), nullptr, &state);
+    ValidateNode(tree.root(), nullptr, 0, &state);
   }
-  if (!state.failed && state.postfix_entries != tree.size()) {
+  if (state.failed) {
+    return state.error.str();
+  }
+  if (state.postfix_entries != tree.size()) {
     std::ostringstream os;
     os << "postfix entry count " << state.postfix_entries
        << " != tree size " << tree.size();
@@ -147,21 +224,87 @@ std::string ValidatePhTree(const PhTree& tree) {
   // reachable nodes (no leaked, no double-freed slots), and in pooled mode
   // its live-byte meter must equal the sum of per-node exact sizes.
   const NodeArena* arena = tree.arena();
-  if (!state.failed && arena != nullptr &&
-      arena->live_nodes() != state.nodes) {
+  if (arena != nullptr && arena->live_nodes() != state.nodes) {
     std::ostringstream os;
     os << "arena live node count " << arena->live_nodes()
        << " != reachable node count " << state.nodes;
     return os.str();
   }
-  if (!state.failed && arena != nullptr && arena->pooled() &&
+  if (arena != nullptr && arena->pooled() &&
       arena->LiveBytes() != state.node_bytes) {
     std::ostringstream os;
     os << "arena live bytes " << arena->LiveBytes()
        << " != sum of node bytes " << state.node_bytes;
     return os.str();
   }
-  return state.failed ? state.error.str() : std::string();
+
+  if (deep != nullptr && deep->check_stats) {
+    const PhTreeStats stats = tree.ComputeStats();
+    std::ostringstream os;
+    if (stats.n_entries != tree.size()) {
+      os << "stats n_entries " << stats.n_entries << " != size "
+         << tree.size();
+    } else if (stats.n_nodes != state.nodes) {
+      os << "stats n_nodes " << stats.n_nodes << " != walked "
+         << state.nodes;
+    } else if (stats.n_hc_nodes != state.hc_nodes ||
+               stats.n_lhc_nodes != state.lhc_nodes) {
+      os << "stats HC/LHC split " << stats.n_hc_nodes << "/"
+         << stats.n_lhc_nodes << " != walked " << state.hc_nodes << "/"
+         << state.lhc_nodes;
+    } else if (stats.n_postfix_entries != state.postfix_entries) {
+      os << "stats n_postfix_entries " << stats.n_postfix_entries
+         << " != walked " << state.postfix_entries;
+    } else if (stats.memory_bytes != state.node_bytes) {
+      os << "stats memory_bytes " << stats.memory_bytes
+         << " != walked node byte sum " << state.node_bytes;
+    } else if (stats.infix_bits != state.infix_bits) {
+      os << "stats infix_bits " << stats.infix_bits << " != walked "
+         << state.infix_bits;
+    } else if (stats.max_depth != state.max_depth) {
+      os << "stats max_depth " << stats.max_depth << " != walked "
+         << state.max_depth;
+    } else if (stats.sum_node_depth != state.sum_node_depth) {
+      os << "stats sum_node_depth " << stats.sum_node_depth
+         << " != walked " << state.sum_node_depth;
+    } else if (arena != nullptr && arena->pooled()) {
+      // Arena accounting cross-checks: the stats snapshot must restate the
+      // arena meters exactly, and the meters must satisfy the slab
+      // conservation law (live + parked-for-reuse never exceeds what was
+      // reserved; the remainder is the unused bump region + block headers).
+      if (stats.arena_live_bytes != arena->LiveBytes()) {
+        os << "stats arena_live_bytes " << stats.arena_live_bytes
+           << " != arena " << arena->LiveBytes();
+      } else if (stats.arena_slab_bytes != arena->SlabBytes()) {
+        os << "stats arena_slab_bytes " << stats.arena_slab_bytes
+           << " != arena " << arena->SlabBytes();
+      } else if (stats.arena_freelist_bytes != arena->FreeListBytes()) {
+        os << "stats arena_freelist_bytes " << stats.arena_freelist_bytes
+           << " != arena " << arena->FreeListBytes();
+      } else if (arena->SlabBytes() <
+                 arena->LiveBytes() + arena->FreeListBytes()) {
+        os << "arena slab bytes " << arena->SlabBytes()
+           << " < live " << arena->LiveBytes() << " + freelist "
+           << arena->FreeListBytes();
+      }
+    }
+    const std::string msg = os.str();
+    if (!msg.empty()) {
+      return msg;
+    }
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string ValidatePhTree(const PhTree& tree) {
+  return Validate(tree, nullptr);
+}
+
+std::string ValidatePhTreeDeep(const PhTree& tree,
+                               const DeepValidateOptions& options) {
+  return Validate(tree, &options);
 }
 
 }  // namespace phtree

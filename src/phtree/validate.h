@@ -1,4 +1,5 @@
-// Structural invariant checker for the PH-tree, used by tests and debugging.
+// Structural invariant checker for the PH-tree, used by tests, the
+// differential harness (src/testlib) and debugging.
 #ifndef PHTREE_PHTREE_VALIDATE_H_
 #define PHTREE_PHTREE_VALIDATE_H_
 
@@ -9,16 +10,45 @@
 namespace phtree {
 
 /// Walks the whole tree and verifies its structural invariants:
-///  1. every non-root node has >= 2 entries,
+///  1. every non-root node has >= 2 entries (and never more than 2^k),
 ///  2. parent.postfix_len == child.infix_len + 1 + child.postfix_len,
 ///  3. node entry counts and sub-node counts match the stored tables,
 ///  4. LHC address tables are strictly sorted,
 ///  5. the total number of postfix entries equals tree.size(),
 ///  6. under the adaptive policy, no node could shrink by switching its
-///     representation beyond the hysteresis band.
+///     representation beyond the hysteresis band (and HC never appears
+///     above hc_max_dim or under kLhcOnly),
+///  7. every reachable node is owned by the tree's arena, the arena's live
+///     node count equals the reachable node count, and (pooled mode) its
+///     live-byte meter equals the sum of per-node exact sizes.
 /// Returns an empty string if all invariants hold, else a description of the
 /// first violation.
 std::string ValidatePhTree(const PhTree& tree);
+
+/// Knobs for the deep audit (everything defaults to on).
+struct DeepValidateOptions {
+  /// Cross-check ComputeStats() against an independent walk: node/entry/
+  /// HC/LHC counts, depths, infix bit volume, memory bytes — and the arena
+  /// meters against PhTreeStats::arena_{slab,live,freelist}_bytes, plus the
+  /// accounting identity slab >= live + freelist (pooled mode).
+  bool check_stats = true;
+
+  /// Reconstruct every stored key from the walk (prefix path + infix +
+  /// postfix) and verify that a point query finds it with the same payload.
+  /// Catches any divergence between the enumeration view and the lookup
+  /// view of the same node bits. O(n * w * k).
+  bool check_self_lookup = true;
+};
+
+/// Everything ValidatePhTree checks, plus the prefix-consistency audit:
+/// keys are reconstructed along every root-to-postfix path and must come
+/// out in strictly ascending z-order (a corrupted infix, address table or
+/// postfix record breaks the ordering or the self-lookup), and the stats /
+/// arena accounting cross-checks of DeepValidateOptions. This is the
+/// validator the differential runner and the fuzz drivers call; it is
+/// O(n * w * k) instead of O(nodes).
+std::string ValidatePhTreeDeep(const PhTree& tree,
+                               const DeepValidateOptions& options = {});
 
 }  // namespace phtree
 

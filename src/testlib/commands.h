@@ -1,0 +1,144 @@
+// Command streams for the differential harness: one Command is one
+// observable operation replayed against the oracle and every tree variant.
+// Two sources produce the same Command type:
+//   * RandomCommandSource — a seeded, weighted generator (the workload of
+//     the differential runner, the soak binary and the tier-1 tests),
+//   * BytesCommandSource — a decoder turning an arbitrary byte string into
+//     a command stream (the libFuzzer-style fuzz_ops entry point), so any
+//     fuzzer-found input replays deterministically.
+//
+// Keys live on an integer grid of doubles: coordinate = g - 2^(bits-1) for
+// g uniform in [0, 2^bits). Every grid value is an exact double, so the
+// double-keyed baselines (KD1/KD2/CB1) and the integer trees (via the
+// order-preserving Sect. 3.3 encoding) index the *same* mathematical
+// points; small grids force the key collisions and dense nodes that stress
+// splits, splices and representation switches.
+#ifndef PHTREE_TESTLIB_COMMANDS_H_
+#define PHTREE_TESTLIB_COMMANDS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "phtree/phtree_d.h"
+#include "phtree/sharded.h"
+
+namespace phtree {
+namespace testlib {
+
+enum class OpKind : uint8_t {
+  kInsert,         ///< Insert(key, value): false on duplicate
+  kInsertOrAssign, ///< upsert; observable: was the key new?
+  kErase,          ///< Erase(key)
+  kFind,           ///< Find(key)
+  kWindow,         ///< eager QueryWindow([key, key2])
+  kCountWindow,    ///< CountWindow([key, key2])
+  kKnn,            ///< KnnSearch(key, knn_n) — trees that support it
+  kClear,          ///< Clear()
+  kSaveLoad,       ///< snapshot round-trip; content must be unchanged
+  kBulkLoad,       ///< batch insert (PhTreeSharded::BulkLoad path)
+};
+
+inline constexpr uint32_t kNumOpKinds = 10;
+
+const char* OpKindName(OpKind kind);
+
+struct Command {
+  OpKind kind = OpKind::kFind;
+  PhKeyD key_d;   ///< point ops: the key; window ops: the min corner
+  PhKeyD key2_d;  ///< window ops: the max corner
+  PhKey key;      ///< encoded form of key_d
+  PhKey key2;     ///< encoded form of key2_d
+  uint64_t value = 0;
+  size_t knn_n = 0;
+  std::vector<PhEntry> bulk;    ///< encoded bulk entries
+  std::vector<PhKeyD> bulk_d;   ///< double form, same order as `bulk`
+};
+
+/// Workload shape. Weights are relative (0 disables an op kind).
+struct CommandOptions {
+  uint32_t dim = 2;
+  /// Coordinates are drawn from a 2^grid_bits-point integer grid centred
+  /// at 0 (1 <= grid_bits <= 32). Small values force collisions.
+  uint32_t grid_bits = 10;
+
+  uint32_t w_insert = 28;
+  uint32_t w_assign = 8;
+  uint32_t w_erase = 26;
+  uint32_t w_find = 14;
+  uint32_t w_window = 8;
+  uint32_t w_count = 4;
+  uint32_t w_knn = 6;
+  uint32_t w_clear = 1;
+  uint32_t w_saveload = 1;
+  uint32_t w_bulk = 4;
+
+  size_t max_bulk = 128;   ///< entries per kBulkLoad command
+  size_t max_knn = 12;     ///< upper bound for knn_n (0..max_knn)
+  /// Probability that a point op re-targets a recently used key (drives
+  /// erase/find hit rates and duplicate inserts).
+  double reuse_p = 0.6;
+  /// Probability a window command is left degenerate (min > max on at
+  /// least one axis, as generated) instead of per-axis sorted.
+  double degenerate_window_p = 0.05;
+  /// Probability a non-degenerate window collapses to one point
+  /// (min == max).
+  double point_window_p = 0.1;
+};
+
+/// Abstract producer of the next command. Returns false when exhausted
+/// (the random source never is).
+class CommandSource {
+ public:
+  virtual ~CommandSource() = default;
+  virtual bool Next(Command* cmd) = 0;
+};
+
+/// Seeded weighted generator with a bounded pool of recently used keys.
+class RandomCommandSource : public CommandSource {
+ public:
+  RandomCommandSource(const CommandOptions& options, uint64_t seed);
+
+  bool Next(Command* cmd) override;
+
+ private:
+  PhKeyD RandomPoint();
+  PhKeyD PickPoint();  ///< fresh or reused, per reuse_p
+  void Remember(const PhKeyD& key);
+
+  CommandOptions options_;
+  Rng rng_;
+  uint64_t total_weight_;
+  std::vector<PhKeyD> recent_;
+};
+
+/// Decodes raw bytes into a command stream; exhausts when the bytes do.
+/// Every byte consumed is significant, so coverage-guided fuzzers can
+/// mutate their way to any op sequence; truncated trailing fields decode
+/// as zero instead of rejecting the input.
+class BytesCommandSource : public CommandSource {
+ public:
+  BytesCommandSource(const CommandOptions& options,
+                     std::span<const uint8_t> bytes);
+
+  bool Next(Command* cmd) override;
+
+ private:
+  uint8_t NextByte();
+  uint64_t NextU32();  ///< up to 4 bytes, little-endian, zero-padded
+  PhKeyD DecodePoint();
+
+  CommandOptions options_;
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  std::vector<PhKeyD> recent_;
+};
+
+/// Encodes a double key with the tree's order-preserving conversion.
+inline PhKey EncodePoint(const PhKeyD& key) { return EncodeKeyD(key); }
+
+}  // namespace testlib
+}  // namespace phtree
+
+#endif  // PHTREE_TESTLIB_COMMANDS_H_

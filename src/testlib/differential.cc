@@ -1,0 +1,694 @@
+#include "testlib/differential.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+
+#include "critbit/critbit1.h"
+#include "kdtree/kdtree1.h"
+#include "kdtree/kdtree2.h"
+#include "phtree/phtree.h"
+#include "phtree/phtree_sync.h"
+#include "phtree/serialize.h"
+#include "phtree/sharded.h"
+#include "phtree/validate.h"
+#include "testlib/reference_model.h"
+
+namespace phtree {
+namespace testlib {
+namespace {
+
+using Entries = std::vector<std::pair<PhKey, uint64_t>>;
+
+void SortByZ(Entries* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const auto& a, const auto& b) {
+              return ZOrderLess(a.first, b.first);
+            });
+}
+
+/// One tree variant under differential test. Results are reported in the
+/// encoded (uint64) key space regardless of the variant's native keys.
+class VariantAdapter {
+ public:
+  virtual ~VariantAdapter() = default;
+
+  virtual const char* name() const = 0;
+  virtual size_t Size() const = 0;
+  virtual bool Insert(const Command& cmd) = 0;
+  /// Returns true iff the key was newly inserted.
+  virtual bool InsertOrAssign(const Command& cmd) = 0;
+  virtual bool Erase(const Command& cmd) = 0;
+  virtual std::optional<uint64_t> Find(const Command& cmd) const = 0;
+  /// Eager window query. `ordered` reports whether the sequence is the
+  /// global z-order (PH family) or an arbitrary traversal order (KD/CB).
+  virtual Entries Window(const Command& cmd, bool* ordered) const = 0;
+  virtual size_t CountWindow(const Command& cmd) const = 0;
+  /// nullopt = variant has no kNN.
+  virtual std::optional<std::vector<KnnResult>> Knn(
+      const Command& cmd) const = 0;
+  virtual void Clear() = 0;
+  /// Snapshot round-trip. nullopt = unsupported (skipped); "" = success;
+  /// anything else = the error. `tmp_dir` may be empty (see DiffOptions).
+  virtual std::optional<std::string> SaveLoad(const std::string& tmp_dir) = 0;
+  /// Returns the number of newly inserted entries.
+  virtual size_t BulkLoad(const Command& cmd) = 0;
+  /// Full dump, z-sorted.
+  virtual Entries Content() const = 0;
+  /// Deep structural validation; "" = OK, unsupported variants return "".
+  virtual std::string Validate() const { return std::string(); }
+};
+
+// ---- PH family ----------------------------------------------------------
+
+class PlainAdapter : public VariantAdapter {
+ public:
+  explicit PlainAdapter(uint32_t dim) : tree_(dim) {}
+
+  const char* name() const override { return "PhTree"; }
+  size_t Size() const override { return tree_.size(); }
+  bool Insert(const Command& cmd) override {
+    return tree_.Insert(cmd.key, cmd.value);
+  }
+  bool InsertOrAssign(const Command& cmd) override {
+    return tree_.InsertOrAssign(cmd.key, cmd.value);
+  }
+  bool Erase(const Command& cmd) override { return tree_.Erase(cmd.key); }
+  std::optional<uint64_t> Find(const Command& cmd) const override {
+    return tree_.Find(cmd.key);
+  }
+  Entries Window(const Command& cmd, bool* ordered) const override {
+    *ordered = true;
+    return tree_.QueryWindow(cmd.key, cmd.key2);
+  }
+  size_t CountWindow(const Command& cmd) const override {
+    return tree_.CountWindow(cmd.key, cmd.key2);
+  }
+  std::optional<std::vector<KnnResult>> Knn(
+      const Command& cmd) const override {
+    return phtree::KnnSearch(tree_, cmd.key, cmd.knn_n,
+                             KnnMetric::kL2Double);
+  }
+  void Clear() override { tree_.Clear(); }
+  std::optional<std::string> SaveLoad(const std::string&) override {
+    // In-memory round-trip through the v2 stream, paranoid load options.
+    const std::vector<uint8_t> bytes = SerializePhTree(tree_);
+    LoadOptions load;
+    load.verify_checksums = true;
+    load.validate_structure = true;
+    Expected<PhTree, SnapshotError> rebuilt =
+        DeserializePhTreeOr(bytes, load);
+    if (!rebuilt) {
+      return rebuilt.error().ToString();
+    }
+    tree_ = std::move(*rebuilt);
+    return std::string();
+  }
+  size_t BulkLoad(const Command& cmd) override {
+    size_t inserted = 0;
+    for (const PhEntry& e : cmd.bulk) {
+      inserted += tree_.Insert(e.key, e.value) ? 1 : 0;
+    }
+    return inserted;
+  }
+  Entries Content() const override {
+    Entries out;
+    out.reserve(tree_.size());
+    tree_.ForEach(
+        [&out](const PhKey& k, uint64_t v) { out.emplace_back(k, v); });
+    return out;  // ForEach is z-ordered already
+  }
+  std::string Validate() const override {
+    return ValidatePhTreeDeep(tree_);
+  }
+
+ private:
+  PhTree tree_;
+};
+
+class SyncAdapter : public VariantAdapter {
+ public:
+  explicit SyncAdapter(uint32_t dim) : tree_(dim) {}
+
+  const char* name() const override { return "PhTreeSync"; }
+  size_t Size() const override { return tree_.size(); }
+  bool Insert(const Command& cmd) override {
+    return tree_.Insert(cmd.key, cmd.value);
+  }
+  bool InsertOrAssign(const Command& cmd) override {
+    return tree_.InsertOrAssign(cmd.key, cmd.value);
+  }
+  bool Erase(const Command& cmd) override { return tree_.Erase(cmd.key); }
+  std::optional<uint64_t> Find(const Command& cmd) const override {
+    return tree_.Find(cmd.key);
+  }
+  Entries Window(const Command& cmd, bool* ordered) const override {
+    *ordered = true;
+    return tree_.QueryWindow(cmd.key, cmd.key2);
+  }
+  size_t CountWindow(const Command& cmd) const override {
+    return tree_.CountWindow(cmd.key, cmd.key2);
+  }
+  std::optional<std::vector<KnnResult>> Knn(
+      const Command& cmd) const override {
+    return tree_.KnnSearch(cmd.key, cmd.knn_n, KnnMetric::kL2Double);
+  }
+  void Clear() override {
+    // PhTreeSync has no Clear(); drain through the public API (also
+    // exercises the erase path under the writer lock).
+    Entries all = Content();
+    for (const auto& [key, value] : all) {
+      tree_.Erase(key);
+    }
+  }
+  std::optional<std::string> SaveLoad(const std::string& tmp_dir) override {
+    if (tmp_dir.empty()) {
+      return std::nullopt;
+    }
+    const std::string path = tmp_dir + "/diff_sync.snapshot";
+    if (Status s = tree_.Save(path); !s.ok()) {
+      return s.ToString();
+    }
+    LoadOptions load;
+    load.validate_structure = true;
+    if (Status s = tree_.Load(path, load); !s.ok()) {
+      return s.ToString();
+    }
+    return std::string();
+  }
+  size_t BulkLoad(const Command& cmd) override {
+    size_t inserted = 0;
+    for (const PhEntry& e : cmd.bulk) {
+      inserted += tree_.Insert(e.key, e.value) ? 1 : 0;
+    }
+    return inserted;
+  }
+  Entries Content() const override {
+    Entries out;
+    out.reserve(tree_.size());
+    tree_.UnsafeTree().ForEach(
+        [&out](const PhKey& k, uint64_t v) { out.emplace_back(k, v); });
+    return out;
+  }
+  std::string Validate() const override {
+    return ValidatePhTreeDeep(tree_.UnsafeTree());
+  }
+
+ private:
+  PhTreeSync tree_;
+};
+
+class ShardedAdapter : public VariantAdapter {
+ public:
+  ShardedAdapter(uint32_t dim, uint32_t shards, ShardRouting routing)
+      : tree_(dim, shards, routing) {
+    const std::string tag = std::string(1, routing == ShardRouting::kZPrefix
+                                               ? 'z'
+                                               : 'h') +
+                            std::to_string(shards);
+    name_ = "PhTreeSharded/" + tag;
+    file_tag_ = "sharded_" + tag;
+  }
+
+  const char* name() const override { return name_.c_str(); }
+  size_t Size() const override { return tree_.size(); }
+  bool Insert(const Command& cmd) override {
+    return tree_.Insert(cmd.key, cmd.value);
+  }
+  bool InsertOrAssign(const Command& cmd) override {
+    return tree_.InsertOrAssign(cmd.key, cmd.value);
+  }
+  bool Erase(const Command& cmd) override { return tree_.Erase(cmd.key); }
+  std::optional<uint64_t> Find(const Command& cmd) const override {
+    return tree_.Find(cmd.key);
+  }
+  Entries Window(const Command& cmd, bool* ordered) const override {
+    // Eager form is globally z-ordered for both routing modes (z-prefix
+    // concatenates in shard order; hash z-merges).
+    *ordered = true;
+    return tree_.QueryWindow(cmd.key, cmd.key2);
+  }
+  size_t CountWindow(const Command& cmd) const override {
+    return tree_.CountWindow(cmd.key, cmd.key2);
+  }
+  std::optional<std::vector<KnnResult>> Knn(
+      const Command& cmd) const override {
+    return tree_.KnnSearch(cmd.key, cmd.knn_n, KnnMetric::kL2Double);
+  }
+  void Clear() override { tree_.Clear(); }
+  std::optional<std::string> SaveLoad(const std::string& tmp_dir) override {
+    if (tmp_dir.empty()) {
+      return std::nullopt;
+    }
+    const std::string path = tmp_dir + "/diff_" + file_tag_ + ".snapshot";
+    if (Status s = tree_.Save(path); !s.ok()) {
+      return s.ToString();
+    }
+    LoadOptions load;
+    load.validate_structure = true;
+    if (Status s = tree_.Load(path, load); !s.ok()) {
+      return s.ToString();
+    }
+    return std::string();
+  }
+  size_t BulkLoad(const Command& cmd) override {
+    return tree_.BulkLoad(cmd.bulk);
+  }
+  Entries Content() const override {
+    Entries out;
+    out.reserve(tree_.size());
+    tree_.ForEach(
+        [&out](const PhKey& k, uint64_t v) { out.emplace_back(k, v); });
+    SortByZ(&out);  // hash routing enumerates per-shard, not globally
+    return out;
+  }
+  std::string Validate() const override {
+    for (uint32_t s = 0; s < tree_.num_shards(); ++s) {
+      const PhTree& shard = tree_.UnsafeShard(s);
+      if (std::string err = ValidatePhTreeDeep(shard); !err.empty()) {
+        return std::string(name_) + " shard " + std::to_string(s) + ": " +
+               err;
+      }
+      // Routing ownership: every key stored in shard s must route to s.
+      std::string misrouted;
+      shard.ForEach([&](const PhKey& key, uint64_t) {
+        if (misrouted.empty() && tree_.ShardOf(key) != s) {
+          misrouted = std::string(name_) + " shard " + std::to_string(s) +
+                      ": stored key routes to shard " +
+                      std::to_string(tree_.ShardOf(key));
+        }
+      });
+      if (!misrouted.empty()) {
+        return misrouted;
+      }
+    }
+    return std::string();
+  }
+
+ private:
+  std::string name_;
+  std::string file_tag_;  // name_ without the '/', safe in snapshot paths
+  PhTreeSharded tree_;
+};
+
+// ---- Double-keyed baselines --------------------------------------------
+
+/// Shared implementation for KD1/KD2/CB1: native double keys, results
+/// re-encoded; no kNN, no persistence; Clear() recreates the tree.
+template <typename Tree>
+class BaselineAdapter : public VariantAdapter {
+ public:
+  BaselineAdapter(uint32_t dim, const char* name)
+      : dim_(dim), name_(name), tree_(std::make_unique<Tree>(dim)) {}
+
+  const char* name() const override { return name_; }
+  size_t Size() const override { return tree_->size(); }
+  bool Insert(const Command& cmd) override {
+    return tree_->Insert(cmd.key_d, cmd.value);
+  }
+  bool InsertOrAssign(const Command& cmd) override {
+    // Emulated upsert: the observable contract (true iff newly inserted)
+    // matches PhTree::InsertOrAssign.
+    if (tree_->Contains(cmd.key_d)) {
+      tree_->Erase(cmd.key_d);
+      tree_->Insert(cmd.key_d, cmd.value);
+      return false;
+    }
+    return tree_->Insert(cmd.key_d, cmd.value);
+  }
+  bool Erase(const Command& cmd) override { return tree_->Erase(cmd.key_d); }
+  std::optional<uint64_t> Find(const Command& cmd) const override {
+    return tree_->Find(cmd.key_d);
+  }
+  Entries Window(const Command& cmd, bool* ordered) const override {
+    *ordered = false;
+    return CollectWindow(cmd.key_d, cmd.key2_d);
+  }
+  size_t CountWindow(const Command& cmd) const override {
+    return tree_->CountWindow(cmd.key_d, cmd.key2_d);
+  }
+  std::optional<std::vector<KnnResult>> Knn(const Command&) const override {
+    return std::nullopt;
+  }
+  void Clear() override { tree_ = std::make_unique<Tree>(dim_); }
+  std::optional<std::string> SaveLoad(const std::string&) override {
+    return std::nullopt;
+  }
+  size_t BulkLoad(const Command& cmd) override {
+    size_t inserted = 0;
+    for (size_t i = 0; i < cmd.bulk_d.size(); ++i) {
+      inserted += tree_->Insert(cmd.bulk_d[i], cmd.bulk[i].value) ? 1 : 0;
+    }
+    return inserted;
+  }
+  Entries Content() const override {
+    const PhKeyD lo(dim_, std::numeric_limits<double>::lowest());
+    const PhKeyD hi(dim_, std::numeric_limits<double>::max());
+    Entries out = CollectWindow(lo, hi);
+    SortByZ(&out);
+    return out;
+  }
+
+ private:
+  Entries CollectWindow(const PhKeyD& lo, const PhKeyD& hi) const {
+    Entries out;
+    tree_->QueryWindow(lo, hi,
+                       [&out](std::span<const double> key, uint64_t value) {
+                         out.emplace_back(EncodeKeyD(key), value);
+                       });
+    return out;
+  }
+
+  uint32_t dim_;
+  const char* name_;
+  std::unique_ptr<Tree> tree_;
+};
+
+// ---- Result formatting / comparison ------------------------------------
+
+std::string KeyToString(const PhKey& key) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t d = 0; d < key.size(); ++d) {
+    os << (d == 0 ? "" : ",") << key[d];
+  }
+  os << ")";
+  return os.str();
+}
+
+struct Diverged {
+  std::ostringstream os;
+  bool set = false;
+};
+
+class Runner {
+ public:
+  Runner(const DiffOptions& opts, CommandSource& source)
+      : opts_(opts), source_(source), model_(opts.commands.dim) {
+    const uint32_t dim = opts.commands.dim;
+    adapters_.push_back(std::make_unique<PlainAdapter>(dim));
+    if (opts.include_concurrent) {
+      adapters_.push_back(std::make_unique<SyncAdapter>(dim));
+      for (const uint32_t shards : opts.shard_counts) {
+        adapters_.push_back(std::make_unique<ShardedAdapter>(
+            dim, shards, ShardRouting::kZPrefix));
+        adapters_.push_back(std::make_unique<ShardedAdapter>(
+            dim, shards, ShardRouting::kHash));
+      }
+    }
+    if (opts.include_baselines) {
+      adapters_.push_back(
+          std::make_unique<BaselineAdapter<KdTree1>>(dim, "KD1"));
+      adapters_.push_back(
+          std::make_unique<BaselineAdapter<KdTree2>>(dim, "KD2"));
+      adapters_.push_back(
+          std::make_unique<BaselineAdapter<CritBit1>>(dim, "CB1"));
+    }
+  }
+
+  DiffReport Run() {
+    DiffReport report;
+    report.variants = adapters_.size();
+    Command cmd;
+    while (report.ops_run < opts_.ops && source_.Next(&cmd)) {
+      Apply(cmd, &report);
+      ++report.ops_run;
+      report.max_size = std::max(report.max_size, model_.size());
+      if (!report.divergence.empty()) {
+        return report;
+      }
+      if (opts_.validate_every != 0 &&
+          report.ops_run % opts_.validate_every == 0) {
+        Audit(report.ops_run, &report);
+        if (!report.divergence.empty()) {
+          return report;
+        }
+      }
+    }
+    Audit(report.ops_run, &report);
+    report.final_size = model_.size();
+    return report;
+  }
+
+ private:
+  /// Prefix every divergence with the op index / kind / variant.
+  std::string Where(size_t op_index, const Command& cmd,
+                    const VariantAdapter& v) const {
+    std::ostringstream os;
+    os << "op " << op_index << " " << OpKindName(cmd.kind) << " key "
+       << KeyToString(cmd.key) << " variant " << v.name() << ": ";
+    return os.str();
+  }
+
+  void Apply(const Command& cmd, DiffReport* report) {
+    const size_t op_index = report->ops_run;
+    switch (cmd.kind) {
+      case OpKind::kInsert: {
+        const bool expect = model_.Insert(cmd.key, cmd.value);
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          const bool got = v->Insert(cmd);
+          if (got != expect) {
+            report->divergence = Where(op_index, cmd, *v) + "Insert " +
+                                 (expect ? "true" : "false") + " != " +
+                                 (got ? "true" : "false");
+            return;
+          }
+        }
+        break;
+      }
+      case OpKind::kInsertOrAssign: {
+        const bool expect = model_.InsertOrAssign(cmd.key, cmd.value);
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          const bool got = v->InsertOrAssign(cmd);
+          if (got != expect) {
+            report->divergence = Where(op_index, cmd, *v) +
+                                 "InsertOrAssign newly-inserted mismatch";
+            return;
+          }
+        }
+        break;
+      }
+      case OpKind::kErase: {
+        const bool expect = model_.Erase(cmd.key);
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          if (v->Erase(cmd) != expect) {
+            report->divergence =
+                Where(op_index, cmd, *v) + "Erase hit/miss mismatch";
+            return;
+          }
+        }
+        break;
+      }
+      case OpKind::kFind: {
+        const std::optional<uint64_t> expect = model_.Find(cmd.key);
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          const std::optional<uint64_t> got = v->Find(cmd);
+          if (got != expect) {
+            report->divergence =
+                Where(op_index, cmd, *v) + "Find result mismatch";
+            return;
+          }
+        }
+        break;
+      }
+      case OpKind::kWindow: {
+        const Entries expect = model_.QueryWindow(cmd.key, cmd.key2);
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          bool ordered = false;
+          Entries got = v->Window(cmd, &ordered);
+          if (!ordered) {
+            SortByZ(&got);
+          }
+          if (got != expect) {
+            std::ostringstream os;
+            os << Where(op_index, cmd, *v) << "window ["
+               << KeyToString(cmd.key) << ", " << KeyToString(cmd.key2)
+               << "] returned " << got.size() << " entries, oracle "
+               << expect.size()
+               << (got.size() == expect.size() ? " (same count, different "
+                                                 "entries or order)"
+                                               : "");
+            report->divergence = os.str();
+            return;
+          }
+        }
+        break;
+      }
+      case OpKind::kCountWindow: {
+        const size_t expect = model_.CountWindow(cmd.key, cmd.key2);
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          const size_t got = v->CountWindow(cmd);
+          if (got != expect) {
+            std::ostringstream os;
+            os << Where(op_index, cmd, *v) << "CountWindow " << got
+               << " != " << expect;
+            report->divergence = os.str();
+            return;
+          }
+        }
+        break;
+      }
+      case OpKind::kKnn: {
+        const std::vector<KnnResult> expect =
+            model_.KnnSearch(cmd.key, cmd.knn_n, KnnMetric::kL2Double);
+        for (auto& v : adapters_) {
+          const std::optional<std::vector<KnnResult>> got = v->Knn(cmd);
+          if (!got.has_value()) {
+            continue;  // variant has no kNN
+          }
+          ++report->replayed;
+          std::string err;
+          if (got->size() != expect.size()) {
+            err = "result count mismatch";
+          } else {
+            for (size_t i = 0; i < expect.size(); ++i) {
+              if ((*got)[i].key != expect[i].key ||
+                  (*got)[i].value != expect[i].value ||
+                  (*got)[i].dist2 != expect[i].dist2) {
+                err = "result " + std::to_string(i) + " mismatch (key " +
+                      KeyToString((*got)[i].key) + " vs oracle " +
+                      KeyToString(expect[i].key) + ")";
+                break;
+              }
+            }
+          }
+          if (!err.empty()) {
+            report->divergence = Where(op_index, cmd, *v) + "kNN n=" +
+                                 std::to_string(cmd.knn_n) + ": " + err;
+            return;
+          }
+        }
+        break;
+      }
+      case OpKind::kClear: {
+        model_.Clear();
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          v->Clear();
+        }
+        break;
+      }
+      case OpKind::kSaveLoad: {
+        for (auto& v : adapters_) {
+          const std::optional<std::string> status =
+              v->SaveLoad(opts_.tmp_dir);
+          if (!status.has_value()) {
+            continue;  // variant has no persistence
+          }
+          ++report->replayed;
+          if (!status->empty()) {
+            report->divergence = Where(op_index, cmd, *v) +
+                                 "snapshot round-trip failed: " + *status;
+            return;
+          }
+          if (std::string err = CompareContent(*v); !err.empty()) {
+            report->divergence = Where(op_index, cmd, *v) +
+                                 "content changed by round-trip: " + err;
+            return;
+          }
+        }
+        break;
+      }
+      case OpKind::kBulkLoad: {
+        size_t expect = 0;
+        for (const PhEntry& e : cmd.bulk) {
+          expect += model_.Insert(e.key, e.value) ? 1 : 0;
+        }
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          const size_t got = v->BulkLoad(cmd);
+          if (got != expect) {
+            std::ostringstream os;
+            os << Where(op_index, cmd, *v) << "BulkLoad of "
+               << cmd.bulk.size() << " entries inserted " << got
+               << ", oracle " << expect;
+            report->divergence = os.str();
+            return;
+          }
+        }
+        break;
+      }
+    }
+    // Size must agree after every operation.
+    for (auto& v : adapters_) {
+      if (v->Size() != model_.size()) {
+        std::ostringstream os;
+        os << Where(op_index, cmd, *v) << "size " << v->Size()
+           << " != oracle " << model_.size();
+        report->divergence = os.str();
+        return;
+      }
+    }
+  }
+
+  /// "" or a description of the first content mismatch for one variant.
+  std::string CompareContent(const VariantAdapter& v) const {
+    Entries expect;
+    expect.reserve(model_.size());
+    model_.ForEach([&expect](const PhKey& k, uint64_t val) {
+      expect.emplace_back(k, val);
+    });
+    const Entries got = v.Content();
+    if (got == expect) {
+      return std::string();
+    }
+    std::ostringstream os;
+    os << "variant holds " << got.size() << " entries, oracle "
+       << expect.size();
+    const size_t n = std::min(got.size(), expect.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (got[i] != expect[i]) {
+        os << "; first mismatch at z-rank " << i << ": "
+           << KeyToString(got[i].first) << " vs "
+           << KeyToString(expect[i].first);
+        break;
+      }
+    }
+    return os.str();
+  }
+
+  /// Full-content comparison + deep validation across every variant.
+  void Audit(size_t op_index, DiffReport* report) {
+    for (auto& v : adapters_) {
+      if (std::string err = CompareContent(*v); !err.empty()) {
+        report->divergence = "audit after op " + std::to_string(op_index) +
+                             " variant " + v->name() + ": " + err;
+        return;
+      }
+      if (std::string err = v->Validate(); !err.empty()) {
+        report->divergence = "audit after op " + std::to_string(op_index) +
+                             " variant " + v->name() +
+                             ": validator: " + err;
+        return;
+      }
+    }
+  }
+
+  const DiffOptions& opts_;
+  CommandSource& source_;
+  ReferenceModel model_;
+  std::vector<std::unique_ptr<VariantAdapter>> adapters_;
+};
+
+}  // namespace
+
+DiffReport RunDifferential(const DiffOptions& opts, CommandSource& source) {
+  Runner runner(opts, source);
+  return runner.Run();
+}
+
+DiffReport RunDifferential(const DiffOptions& opts) {
+  RandomCommandSource source(opts.commands, opts.seed);
+  return RunDifferential(opts, source);
+}
+
+}  // namespace testlib
+}  // namespace phtree

@@ -1,0 +1,77 @@
+// Model-based differential runner: replays one command stream against the
+// ReferenceModel oracle and every tree variant of the repository at once —
+// PhTree, PhTreeSync, PhTreeSharded (both routing modes, several shard
+// counts), KD1, KD2 and CB1 — asserting identical observable results after
+// every operation, with periodic full-content comparison and the deepened
+// structural validator (ValidatePhTreeDeep) on every PH-tree involved.
+//
+// This is the machine-checked form of the paper's Sect. 4 claim that all
+// index variants answer the same workload with the same result sets; every
+// future performance PR regresses against it (tests/differential_test.cc
+// for the tier-1 bounded run, fuzz/diff_soak for the >= 1M-op soak, and
+// fuzz/fuzz_ops for coverage-guided byte streams through the same runner).
+#ifndef PHTREE_TESTLIB_DIFFERENTIAL_H_
+#define PHTREE_TESTLIB_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testlib/commands.h"
+
+namespace phtree {
+namespace testlib {
+
+/// What to replay and against which variants.
+struct DiffOptions {
+  /// Workload shape (dim, grid, op weights). dim/grid_bits live here.
+  CommandOptions commands;
+  uint64_t seed = 1;
+  size_t ops = 10000;
+
+  /// Every `validate_every` ops (and once at the end): full content
+  /// comparison of every variant against the oracle plus
+  /// ValidatePhTreeDeep on every PH-tree (each shard separately, with a
+  /// shard-routing ownership check). 0 disables the periodic audits (the
+  /// final one always runs).
+  size_t validate_every = 2000;
+
+  /// Include the double-keyed baselines KD1 / KD2 / CB1.
+  bool include_baselines = true;
+  /// Include PhTreeSync and the PhTreeSharded configurations.
+  bool include_concurrent = true;
+  /// Shard counts instantiated per routing mode (powers of two).
+  std::vector<uint32_t> shard_counts = {2, 8};
+
+  /// Directory for the file-based snapshot round-trips (PhTreeSync /
+  /// PhTreeSharded Save+Load). Empty: those variants skip kSaveLoad; the
+  /// plain PhTree always round-trips in memory through
+  /// SerializePhTree / DeserializePhTreeOr (paranoid options).
+  std::string tmp_dir;
+};
+
+/// Outcome of a differential run.
+struct DiffReport {
+  size_t ops_run = 0;      ///< commands consumed from the source
+  size_t replayed = 0;     ///< op applications summed over all variants
+  size_t variants = 0;     ///< tree configurations replayed against
+  size_t max_size = 0;     ///< largest oracle size observed
+  size_t final_size = 0;   ///< oracle size at the end
+  /// Empty = zero divergence. Otherwise a description of the first
+  /// divergence: op index, op kind, variant name, expected vs actual.
+  std::string divergence;
+
+  bool ok() const { return divergence.empty(); }
+};
+
+/// Replays `opts.ops` commands from a seeded RandomCommandSource.
+DiffReport RunDifferential(const DiffOptions& opts);
+
+/// Replays an arbitrary source (the fuzz_ops entry point) until it is
+/// exhausted or `opts.ops` commands ran, whichever comes first.
+DiffReport RunDifferential(const DiffOptions& opts, CommandSource& source);
+
+}  // namespace testlib
+}  // namespace phtree
+
+#endif  // PHTREE_TESTLIB_DIFFERENTIAL_H_

@@ -1,7 +1,8 @@
 // Model-based property tests: a PhTree under random insert / erase / find
 // sequences must behave exactly like a std::map over the same keys, under
-// every node-representation policy and across dimensionalities; the
-// structural validator must hold after every batch.
+// every node-representation policy and across dimensionalities; the deep
+// structural validator (prefix reconstruction, self-lookup, stats and arena
+// accounting cross-checks) must hold after every batch.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -91,7 +92,7 @@ TEST_P(PhTreeModelTest, MatchesStdMapUnderRandomOps) {
     }
     ASSERT_EQ(tree.size(), model.size());
     if (iter % 500 == 499) {
-      ASSERT_EQ(ValidatePhTree(tree), "") << "iteration " << iter;
+      ASSERT_EQ(ValidatePhTreeDeep(tree), "") << "iteration " << iter;
     }
   }
 
@@ -168,17 +169,17 @@ TEST_P(PhTreeHysteresisTest, ValidatorHoldsUnderChurn) {
   for (const auto& k : keys) {
     tree.Insert(k, 1);
   }
-  ASSERT_EQ(ValidatePhTree(tree), "");
+  ASSERT_EQ(ValidatePhTreeDeep(tree), "");
   // Churn: alternate erase/insert of the same keys (oscillation trigger).
   for (int round = 0; round < 3; ++round) {
     for (size_t i = 0; i < keys.size(); i += 2) {
       tree.Erase(keys[i]);
     }
-    ASSERT_EQ(ValidatePhTree(tree), "") << "round " << round;
+    ASSERT_EQ(ValidatePhTreeDeep(tree), "") << "round " << round;
     for (size_t i = 0; i < keys.size(); i += 2) {
       tree.Insert(keys[i], 2);
     }
-    ASSERT_EQ(ValidatePhTree(tree), "") << "round " << round;
+    ASSERT_EQ(ValidatePhTreeDeep(tree), "") << "round " << round;
   }
 }
 

@@ -1,0 +1,138 @@
+// Tests for the deepened structural validator (ValidatePhTreeDeep):
+// path-key reconstruction with strict z-order monotonicity, self-lookup of
+// every reconstructed key, and the ComputeStats / arena accounting
+// cross-checks — across representations, dimensionalities, churn,
+// serialisation round-trips and moves.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "phtree/phtree.h"
+#include "phtree/serialize.h"
+#include "phtree/validate.h"
+
+namespace phtree {
+namespace {
+
+PhKey RandomKey(Rng& rng, uint32_t dim, uint32_t key_bits) {
+  PhKey key(dim);
+  for (auto& v : key) {
+    v = rng.NextU64() & LowMask(key_bits);
+  }
+  return key;
+}
+
+TEST(ValidateDeepTest, EmptyAndSingleEntry) {
+  PhTree tree(3);
+  EXPECT_EQ(ValidatePhTreeDeep(tree), "");
+  ASSERT_TRUE(tree.Insert(PhKey{1, 2, 3}, 42));
+  EXPECT_EQ(ValidatePhTreeDeep(tree), "");
+  ASSERT_TRUE(tree.Erase(PhKey{1, 2, 3}));
+  EXPECT_EQ(ValidatePhTreeDeep(tree), "");
+}
+
+TEST(ValidateDeepTest, HoldsAcrossReprsAndDims) {
+  for (const NodeRepr repr :
+       {NodeRepr::kAdaptive, NodeRepr::kLhcOnly, NodeRepr::kHcOnly}) {
+    for (const uint32_t dim : {1u, 2u, 3u, 8u, 16u}) {
+      PhTreeConfig cfg;
+      cfg.repr = repr;
+      PhTree tree(dim);
+      Rng rng(dim * 31 + static_cast<uint32_t>(repr));
+      for (int i = 0; i < 1500; ++i) {
+        tree.Insert(RandomKey(rng, dim, dim <= 3 ? 8 : 2), rng.NextU64());
+      }
+      ASSERT_EQ(ValidatePhTreeDeep(tree), "")
+          << "dim " << dim << " repr " << static_cast<int>(repr);
+    }
+  }
+}
+
+TEST(ValidateDeepTest, HoldsUnderChurn) {
+  PhTree tree(2);
+  Rng rng(7);
+  std::vector<PhKey> keys;
+  for (int i = 0; i < 3000; ++i) {
+    keys.push_back(RandomKey(rng, 2, 6));
+    tree.Insert(keys.back(), i);
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (size_t i = round; i < keys.size(); i += 3) {
+      tree.Erase(keys[i]);
+    }
+    ASSERT_EQ(ValidatePhTreeDeep(tree), "") << "round " << round;
+    for (size_t i = round; i < keys.size(); i += 3) {
+      tree.Insert(keys[i], round);
+    }
+    ASSERT_EQ(ValidatePhTreeDeep(tree), "") << "round " << round;
+  }
+}
+
+TEST(ValidateDeepTest, HoldsInKeyOnlyMode) {
+  PhTreeConfig cfg;
+  cfg.store_values = false;
+  PhTree tree(3, cfg);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    tree.Insert(RandomKey(rng, 3, 5), rng.NextU64());
+  }
+  // Key-only postfix entries report payload 0; the self-lookup comparison
+  // must treat that consistently on both sides.
+  EXPECT_EQ(ValidatePhTreeDeep(tree), "");
+}
+
+TEST(ValidateDeepTest, HoldsAfterSerializeRoundTripAndMove) {
+  PhTree tree(4);
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    tree.Insert(RandomKey(rng, 4, 4), rng.NextU64());
+  }
+  const std::vector<uint8_t> bytes = SerializePhTree(tree);
+  Expected<PhTree, SnapshotError> loaded = DeserializePhTreeOr(bytes);
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().ToString();
+  EXPECT_EQ(ValidatePhTreeDeep(*loaded), "");
+
+  PhTree moved = std::move(*loaded);
+  EXPECT_EQ(ValidatePhTreeDeep(moved), "");
+}
+
+TEST(ValidateDeepTest, HoldsAfterClearAndRefill) {
+  PhTree tree(2);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(RandomKey(rng, 2, 10), i);
+  }
+  tree.Clear();
+  EXPECT_EQ(ValidatePhTreeDeep(tree), "");
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(RandomKey(rng, 2, 10), i);
+  }
+  EXPECT_EQ(ValidatePhTreeDeep(tree), "");
+}
+
+TEST(ValidateDeepTest, OptionsDisableIndividualChecks) {
+  PhTree tree(2);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(RandomKey(rng, 2, 8), i);
+  }
+  DeepValidateOptions no_stats;
+  no_stats.check_stats = false;
+  EXPECT_EQ(ValidatePhTreeDeep(tree, no_stats), "");
+  DeepValidateOptions no_lookup;
+  no_lookup.check_self_lookup = false;
+  EXPECT_EQ(ValidatePhTreeDeep(tree, no_lookup), "");
+}
+
+TEST(ValidateDeepTest, ShallowValidatorStillWorks) {
+  PhTree tree(2);
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(RandomKey(rng, 2, 8), i);
+  }
+  EXPECT_EQ(ValidatePhTree(tree), "");
+}
+
+}  // namespace
+}  // namespace phtree
