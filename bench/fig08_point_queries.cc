@@ -5,17 +5,33 @@
 // Expected shape: the PH-tree is consistently fastest (on TIGER by ~10x,
 // hence the paper's extra "PH*10" series) and nearly flat in n; kd-trees
 // degrade with n; CB-trees sit between.
+//
+// Besides the human-readable table, the run lands as the "point_queries"
+// section of the shared BENCH_queries.json artefact (argv[1] overrides the
+// path), stamped with the same run metadata as BENCH_concurrency.json.
 #include <functional>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "benchlib/json_artifact.h"
 #include "benchlib/measure.h"
+#include "benchlib/run_metadata.h"
 
 namespace phtree::bench {
 namespace {
 
+struct ResultRow {
+  std::string dataset;
+  std::string structure;
+  uint64_t n = 0;
+  double us_per_query = 0;
+};
+
 void RunDataset(const char* name, const char* figure,
                 const std::vector<size_t>& sizes,
-                const std::function<Dataset(size_t)>& make) {
+                const std::function<Dataset(size_t)>& make,
+                std::vector<ResultRow>* rows) {
   std::printf("\n## %s (%s)\n", figure, name);
   Table table({"dataset", "struct", "n", "us/query"});
   const size_t n_queries = ScaledN(100000);
@@ -27,6 +43,7 @@ void RunDataset(const char* name, const char* figure,
       table.Cell(std::string(sname));
       table.Cell(static_cast<uint64_t>(ds.n()));
       table.Cell(us);
+      rows->push_back(ResultRow{name, sname, ds.n(), us});
     };
     row(PhAdapter::kName, MeasurePointQueryUs<PhAdapter>(ds, queries));
     row(Kd1Adapter::kName, MeasurePointQueryUs<Kd1Adapter>(ds, queries));
@@ -36,23 +53,54 @@ void RunDataset(const char* name, const char* figure,
   }
 }
 
-void Main() {
+std::string SectionJson(const RunMetadata& meta,
+                        const std::vector<ResultRow>& rows) {
+  std::ostringstream os;
+  os << "{\n  \"figure\": \"Fig. 8 (a,b,c), Sect. 4.3.2\",\n  \"metadata\": "
+     << MetadataJson(meta) << ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"dataset\": \"%s\", \"struct\": \"%s\", "
+                  "\"n\": %llu, \"us_per_query\": %.4f}",
+                  JsonEscape(rows[i].dataset).c_str(),
+                  JsonEscape(rows[i].structure).c_str(),
+                  static_cast<unsigned long long>(rows[i].n),
+                  rows[i].us_per_query);
+    os << buf << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}";
+  return os.str();
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : std::string("BENCH_queries.json");
   PrintHeader("fig08_point_queries", "Figure 8 (a,b,c), Sect. 4.3.2",
               "Average point query time vs n, 50% hit rate");
+  const RunMetadata meta = CollectRunMetadata();
+  std::printf("# %s\n", MetadataJson(meta).c_str());
   const std::vector<size_t> sizes = {ScaledN(50000), ScaledN(100000),
                                      ScaledN(200000), ScaledN(400000)};
+  std::vector<ResultRow> rows;
   RunDataset("2D TIGER/Line", "Fig. 8a", sizes,
-             [](size_t n) { return GenerateTigerLike(n, 42); });
+             [](size_t n) { return GenerateTigerLike(n, 42); }, &rows);
   RunDataset("3D CUBE", "Fig. 8b", sizes,
-             [](size_t n) { return GenerateCube(n, 3, 42); });
+             [](size_t n) { return GenerateCube(n, 3, 42); }, &rows);
   RunDataset("3D CLUSTER0.5", "Fig. 8c", sizes,
-             [](size_t n) { return GenerateCluster(n, 3, 0.5, 42); });
+             [](size_t n) { return GenerateCluster(n, 3, 0.5, 42); }, &rows);
+  if (!UpdateJsonArtifact(json_path, "queries", "point_queries",
+                          SectionJson(meta, rows))) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s (section point_queries)\n", json_path.c_str());
+  return 0;
 }
 
 }  // namespace
 }  // namespace phtree::bench
 
-int main() {
-  phtree::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return phtree::bench::Main(argc, argv);
 }

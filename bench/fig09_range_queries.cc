@@ -7,19 +7,38 @@
 // Expected shape: PH is ~an order of magnitude faster on TIGER, ~2.5x
 // faster on CUBE at large n, and on CLUSTER the kd-trees are orders of
 // magnitude slower while PH gets *faster* with growing n (super-constant).
+//
+// Besides the human-readable tables, the run lands as the "range_queries"
+// section of the shared BENCH_queries.json artefact (argv[1] overrides the
+// path). The section also carries an "hc_ablation" block: 6D CUBE range
+// queries with the traversal engine's HC successor stepping on vs off
+// (cursor.h CursorTuning) — the measured win of the mask-carry skip over
+// the legacy try-every-address probe loop.
 #include <functional>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "benchlib/json_artifact.h"
 #include "benchlib/measure.h"
+#include "benchlib/run_metadata.h"
+#include "phtree/cursor.h"
 
 namespace phtree::bench {
 namespace {
+
+struct ResultRow {
+  std::string dataset;
+  std::string structure;
+  uint64_t n = 0;
+  double us_per_result = 0;
+};
 
 void Run(const char* name, const char* figure,
          const std::vector<size_t>& sizes,
          const std::function<Dataset(size_t)>& make,
          const std::function<std::vector<QueryBox>(const Dataset&)>& queries,
-         bool kd_small_only) {
+         bool kd_small_only, std::vector<ResultRow>* rows) {
   std::printf("\n## %s (%s)\n", figure, name);
   Table table({"dataset", "struct", "n", "us/result"});
   for (size_t i = 0; i < sizes.size(); ++i) {
@@ -30,6 +49,7 @@ void Run(const char* name, const char* figure,
       table.Cell(std::string(sname));
       table.Cell(static_cast<uint64_t>(ds.n()));
       table.Cell(us);
+      rows->push_back(ResultRow{name, sname, ds.n(), us});
     };
     row(PhAdapter::kName, MeasureRangeQueryUsPerResult<PhAdapter>(ds, boxes));
     // The paper measured kd-trees on CLUSTER only up to n = 5e6 "because of
@@ -43,32 +63,104 @@ void Run(const char* name, const char* figure,
   }
 }
 
-void Main() {
+/// 6D CUBE ablation: with d >= 6 every dense node has 2^d addresses, so the
+/// per-node enumeration strategy dominates range-query cost — exactly the
+/// regime the HC successor formula (paper Sect. 3.5) targets. Returns
+/// {us/result with successor stepping, us/result with the legacy probe
+/// loop}; the tuning is process-wide, so restore it before returning.
+std::vector<ResultRow> RunHcAblation() {
+  std::printf("\n## 6D CUBE (0.1%% volume), HC successor ablation\n");
+  Table table({"dataset", "mode", "n", "us/result"});
+  const CursorTuning saved = GetCursorTuning();
+  std::vector<ResultRow> rows;
+  const size_t n = ScaledN(200000);
+  const Dataset ds = GenerateCube(n, 6, 42);
+  const auto boxes = MakeVolumeQueries(ds, 100, 0.001, 7);
+  // Interleave repetitions of the two modes so background load drifts hit
+  // both equally; consumers compare the per-mode minima.
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const bool skip : {true, false}) {
+      MutableCursorTuning().hc_successor_skip = skip;
+      const double us = MeasureRangeQueryUsPerResult<PhAdapter>(ds, boxes);
+      const char* mode = skip ? "hc_successor_skip" : "hc_probe_loop";
+      table.Cell(std::string("6D CUBE"));
+      table.Cell(std::string(mode));
+      table.Cell(static_cast<uint64_t>(ds.n()));
+      table.Cell(us);
+      rows.push_back(ResultRow{"6D CUBE (0.1% volume)", mode, ds.n(), us});
+    }
+  }
+  MutableCursorTuning() = saved;
+  return rows;
+}
+
+void AppendRows(const std::vector<ResultRow>& rows, const char* value_key,
+                std::ostringstream* os) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"dataset\": \"%s\", \"struct\": \"%s\", "
+                  "\"n\": %llu, \"%s\": %.4f}",
+                  JsonEscape(rows[i].dataset).c_str(),
+                  JsonEscape(rows[i].structure).c_str(),
+                  static_cast<unsigned long long>(rows[i].n), value_key,
+                  rows[i].us_per_result);
+    *os << buf << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+}
+
+std::string SectionJson(const RunMetadata& meta,
+                        const std::vector<ResultRow>& rows,
+                        const std::vector<ResultRow>& ablation) {
+  std::ostringstream os;
+  os << "{\n  \"figure\": \"Fig. 9 (a,b,c), Sect. 4.3.3\",\n  \"metadata\": "
+     << MetadataJson(meta) << ",\n  \"rows\": [\n";
+  AppendRows(rows, "us_per_result", &os);
+  os << "  ],\n  \"hc_ablation\": [\n";
+  AppendRows(ablation, "us_per_result", &os);
+  os << "  ]\n}";
+  return os.str();
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : std::string("BENCH_queries.json");
   PrintHeader("fig09_range_queries", "Figure 9 (a,b,c), Sect. 4.3.3",
               "Range query time per returned entry vs n");
+  const RunMetadata meta = CollectRunMetadata();
+  std::printf("# %s\n", MetadataJson(meta).c_str());
   const std::vector<size_t> sizes = {ScaledN(50000), ScaledN(100000),
                                      ScaledN(200000), ScaledN(400000)};
+  std::vector<ResultRow> rows;
   Run(
       "2D TIGER/Line (1% area)", "Fig. 9a", sizes,
       [](size_t n) { return GenerateTigerLike(n, 42); },
       [](const Dataset& ds) { return MakeVolumeQueries(ds, 200, 0.01, 7); },
-      /*kd_small_only=*/false);
+      /*kd_small_only=*/false, &rows);
   Run(
       "3D CUBE (0.1% volume)", "Fig. 9b", sizes,
       [](size_t n) { return GenerateCube(n, 3, 42); },
       [](const Dataset& ds) { return MakeVolumeQueries(ds, 200, 0.001, 7); },
-      /*kd_small_only=*/false);
+      /*kd_small_only=*/false, &rows);
   Run(
       "3D CLUSTER0.5 (x-slabs)", "Fig. 9c", sizes,
       [](size_t n) { return GenerateCluster(n, 3, 0.5, 42); },
       [](const Dataset& ds) { return MakeClusterQueries(ds.dim, 50, 7); },
-      /*kd_small_only=*/true);
+      /*kd_small_only=*/true, &rows);
+  const std::vector<ResultRow> ablation = RunHcAblation();
+  if (!UpdateJsonArtifact(json_path, "queries", "range_queries",
+                          SectionJson(meta, rows, ablation))) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s (section range_queries)\n", json_path.c_str());
+  return 0;
 }
 
 }  // namespace
 }  // namespace phtree::bench
 
-int main() {
-  phtree::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return phtree::bench::Main(argc, argv);
 }

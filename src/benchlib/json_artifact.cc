@@ -1,0 +1,162 @@
+#include "benchlib/json_artifact.h"
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+
+namespace phtree::bench {
+namespace {
+
+/// Index just past the JSON value starting at `start` (object, array,
+/// string, or scalar), skipping braces/brackets inside string literals.
+/// Returns std::string::npos on malformed input.
+size_t SkipValue(const std::string& s, size_t start) {
+  size_t i = start;
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+  if (i >= s.size()) {
+    return std::string::npos;
+  }
+  if (s[i] == '{' || s[i] == '[') {
+    int depth = 0;
+    bool in_string = false;
+    for (; i < s.size(); ++i) {
+      const char c = s[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (--depth == 0) {
+          return i + 1;
+        }
+      }
+    }
+    return std::string::npos;
+  }
+  if (s[i] == '"') {
+    for (++i; i < s.size(); ++i) {
+      if (s[i] == '\\') {
+        ++i;
+      } else if (s[i] == '"') {
+        return i + 1;
+      }
+    }
+    return std::string::npos;
+  }
+  // Scalar: runs until a structural character.
+  while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+         s[i] != '\n') {
+    ++i;
+  }
+  return i;
+}
+
+/// Position of `"key"` as an object key (not inside a string value) at
+/// nesting depth exactly `want_depth` relative to `from`, or npos.
+size_t FindKeyAtDepth(const std::string& s, size_t from, int want_depth,
+                      const std::string& key) {
+  const std::string quoted = "\"" + key + "\"";
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = from; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+    } else if (c == '"') {
+      if (depth == want_depth && s.compare(i, quoted.size(), quoted) == 0) {
+        // Must be a key: the next non-space character is ':'.
+        size_t j = i + quoted.size();
+        while (j < s.size() && (s[j] == ' ' || s[j] == '\t')) {
+          ++j;
+        }
+        if (j < s.size() && s[j] == ':') {
+          return i;
+        }
+      }
+      in_string = true;
+    }
+  }
+  return std::string::npos;
+}
+
+std::string FreshArtifact(const std::string& artifact,
+                          const std::string& section,
+                          const std::string& section_body) {
+  std::ostringstream os;
+  os << "{\n\"bench\": \"" << artifact << "\",\n\"sections\": {\n\""
+     << section << "\": " << section_body << "\n}\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+bool UpdateJsonArtifact(const std::string& path, const std::string& artifact,
+                        const std::string& section,
+                        const std::string& section_body) {
+  std::string merged;
+  std::ifstream in(path);
+  if (in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string existing = buf.str();
+    // Only merge into a file this artifact owns; anything else is replaced.
+    const bool ours =
+        existing.find("\"bench\": \"" + artifact + "\"") != std::string::npos;
+    const size_t sections_key =
+        ours ? FindKeyAtDepth(existing, 0, 1, "sections") : std::string::npos;
+    if (sections_key != std::string::npos) {
+      const size_t open = existing.find('{', sections_key);
+      if (open != std::string::npos) {
+        const size_t key = FindKeyAtDepth(existing, open, 2, section);
+        if (key != std::string::npos) {
+          // Replace this binary's previous section body.
+          const size_t colon = existing.find(':', key);
+          const size_t end = SkipValue(existing, colon + 1);
+          if (end != std::string::npos) {
+            merged = existing.substr(0, colon + 1) + " " + section_body +
+                     existing.substr(end);
+          }
+        } else {
+          // First run of this binary: prepend the section.
+          const size_t close = SkipValue(existing, open);
+          const bool empty_sections =
+              close != std::string::npos &&
+              existing.find('"', open) >= close - 1;
+          merged = existing.substr(0, open + 1) + "\n\"" + section +
+                   "\": " + section_body + (empty_sections ? "" : ",") +
+                   existing.substr(open + 1);
+        }
+      }
+    }
+  }
+  if (merged.empty()) {
+    merged = FreshArtifact(artifact, section, section_body);
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << merged;
+  return out.good();
+}
+
+}  // namespace phtree::bench

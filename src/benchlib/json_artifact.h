@@ -1,0 +1,30 @@
+// Section-merged JSON artefacts. Several bench binaries contribute to ONE
+// machine-readable file (e.g. fig08 and fig09 both land in
+// BENCH_queries.json): the file is a single object
+//
+//   {"bench": "<artifact>", "sections": {"<name>": {...}, ...}}
+//
+// and each binary owns exactly one entry of "sections". UpdateJsonArtifact
+// splices the caller's section into the existing file — replacing a
+// previous run of the same binary, preserving every other section — so
+// runs compose in any order instead of clobbering each other. The splice
+// is a string-level, JSON-string-aware brace matcher (no parser
+// dependency); a missing, foreign or malformed file is rewritten from
+// scratch with only the caller's section.
+#ifndef PHTREE_BENCHLIB_JSON_ARTIFACT_H_
+#define PHTREE_BENCHLIB_JSON_ARTIFACT_H_
+
+#include <string>
+
+namespace phtree::bench {
+
+/// Merges `section_body` (a complete JSON value, normally an object) into
+/// `path` under "sections"/`section` of the `artifact` file described
+/// above. Returns false only when the file cannot be written.
+bool UpdateJsonArtifact(const std::string& path, const std::string& artifact,
+                        const std::string& section,
+                        const std::string& section_body);
+
+}  // namespace phtree::bench
+
+#endif  // PHTREE_BENCHLIB_JSON_ARTIFACT_H_

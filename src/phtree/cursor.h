@@ -1,0 +1,410 @@
+// The unified traversal engine: every read path of the PH-tree (window
+// queries, point lookup, kNN child expansion, full scans for serialization
+// and validation, and the paginated query API) enumerates node entries
+// through the cursors defined here.
+//
+// Navigation follows paper Sect. 3.5: each visited node gets two bit masks
+// m_lower / m_upper bounding the hypercube addresses that can intersect the
+// query box, address validity is the two-operation test
+//     (a | m_lower) == a  &&  (a & m_upper) == a,
+// and valid addresses are enumerated with the carry-propagation successor
+//     a' = (((a | ~m_upper) + 1) & m_upper) | m_lower.
+//
+// NodeCursor specializes the walk per node layout:
+//   * HC nodes alternate present-bitmap skips (Node::OrdinalGE) with mask
+//     successor jumps, so neither absent slots nor masked-out address runs
+//     are visited one by one — there is no per-address rejection loop.
+//   * LHC nodes walk the sorted ordinal table with the mask filter and, on
+//     populous nodes, binary-search to the next mask-implied lower bound
+//     instead of filtering entry by entry.
+//
+// TreeCursor stacks NodeCursors into a full depth-first scan with window /
+// prefix restriction and suspend/resume: the key of the last delivered
+// entry is a stable pagination token (resuming enumerates exactly the
+// in-window entries strictly z-after the token, so mutations between pages
+// — including erasing the token's key — never skip or repeat survivors).
+#ifndef PHTREE_PHTREE_CURSOR_H_
+#define PHTREE_PHTREE_CURSOR_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "common/bits.h"
+#include "phtree/node.h"
+#include "phtree/phtree.h"
+
+namespace phtree {
+
+/// Sentinel for "no hypercube address" (addresses are < 2^dim <= 2^63).
+inline constexpr uint64_t kInvalidAddr = ~uint64_t{0};
+
+/// True iff `addr` intersects the query box in every dimension (paper
+/// Sect. 3.5): all fixed-one bits set, no bit outside the permitted set.
+inline bool WindowAddrValid(uint64_t addr, uint64_t mask_lower,
+                            uint64_t mask_upper) {
+  return (addr | mask_lower) == addr && (addr & mask_upper) == addr;
+}
+
+/// The next valid address after a valid `addr`. Sets all non-permitted bit
+/// positions to 1 so the +1 carry ripples through them, then restores the
+/// fixed-one positions. Only meaningful for addr < mask_upper.
+inline uint64_t WindowSuccessor(uint64_t addr, uint64_t mask_lower,
+                                uint64_t mask_upper) {
+  return (((addr | ~mask_upper) + 1) & mask_upper) | mask_lower;
+}
+
+/// The smallest valid address >= `addr` (which need not be valid), or
+/// kInvalidAddr if none exists. Because the fixed-one and free positions
+/// are disjoint, every valid address decomposes as mask_lower + w with w a
+/// submask of the free positions, and the sum is monotone in w — so the
+/// problem reduces to the smallest free-submask w >= addr - mask_lower.
+/// If that target is itself a free submask it embeds directly; otherwise
+/// let b be its highest non-free set bit: any admissible w is zero at b,
+/// so its free bits above b must exceed the target's, and the minimum is
+/// reached by carrying +1 through bit b into the free positions (the same
+/// ripple trick as WindowSuccessor), leaving everything below b clear.
+inline uint64_t WindowSuccessorGE(uint64_t addr, uint64_t mask_lower,
+                                  uint64_t mask_upper) {
+  if (addr <= mask_lower) {
+    return mask_lower;  // mask_lower is the minimum valid address
+  }
+  const uint64_t free = mask_upper & ~mask_lower;
+  const uint64_t target = addr - mask_lower;
+  const uint64_t bad = target & ~free;
+  if (bad == 0) {
+    return mask_lower + target;
+  }
+  const uint32_t high = 63 - static_cast<uint32_t>(std::countl_zero(bad));
+  const uint64_t filled = target | LowMask(high + 1) | ~free;
+  const uint64_t w = (filled + 1) & free;  // w == 0: carry ran off the top
+  return w == 0 ? kInvalidAddr : mask_lower + w;
+}
+
+/// The m_lower / m_upper address masks of one node (paper Sect. 3.5).
+struct WindowMasks {
+  uint64_t lower = 0;  // m_L: address bits that must be 1
+  uint64_t upper = 0;  // m_U: address bits that may be 1
+  /// False iff some dimension admits neither half: nothing can match.
+  bool Possible() const { return (lower & ~upper) == 0; }
+};
+
+/// Computes the address masks for a node at `postfix_len` whose region path
+/// bits (everything above the node's address bit) are already in
+/// `path_key`. Bit d of the address splits dimension d's region at the
+/// node's bit position: the lower half is admissible iff it reaches min[d],
+/// the upper half iff max[d] reaches it.
+inline WindowMasks ComputeWindowMasks(std::span<const uint64_t> path_key,
+                                      std::span<const uint64_t> min,
+                                      std::span<const uint64_t> max,
+                                      uint32_t postfix_len) {
+  WindowMasks m;
+  for (size_t d = 0; d < path_key.size(); ++d) {
+    const uint64_t region_base = path_key[d] & ~LowMask(postfix_len + 1);
+    const uint64_t lower_half_max = region_base | LowMask(postfix_len);
+    const uint64_t upper_half_min =
+        region_base | (uint64_t{1} << postfix_len);
+    m.lower = (m.lower << 1) | (min[d] > lower_half_max ? 1u : 0u);
+    m.upper = (m.upper << 1) | (max[d] >= upper_half_min ? 1u : 0u);
+  }
+  return m;
+}
+
+/// The coordinate interval [lo, hi] a node region covers along one
+/// dimension: every completion of the path word's bits above `low_bits`.
+inline void RegionBounds(uint64_t path_word, uint32_t low_bits, uint64_t* lo,
+                         uint64_t* hi) {
+  *lo = path_word & ~LowMask(low_bits);
+  *hi = *lo | LowMask(low_bits);
+}
+
+/// Three-way z-order comparison (same order as ZOrderLess): decided by the
+/// dimension holding the most significant differing bit, ties between
+/// dimensions at the same bit level going to the lowest dimension index —
+/// the interleave order of HcAddressAt.
+inline int ZOrderCompare(std::span<const uint64_t> a,
+                         std::span<const uint64_t> b) {
+  assert(a.size() == b.size());
+  uint32_t msd = 0;
+  uint64_t best = 0;
+  for (uint32_t d = 0; d < a.size(); ++d) {
+    const uint64_t x = a[d] ^ b[d];
+    if (best < x && best < (best ^ x)) {
+      msd = d;
+      best = x;
+    }
+  }
+  if (best == 0) {
+    return 0;
+  }
+  return a[msd] < b[msd] ? -1 : 1;
+}
+
+/// Ablation knobs for the traversal engine. Process-wide and not
+/// synchronized: flip only while no scans are running (benchmarks and
+/// equivalence tests only — both settings enumerate identical sequences).
+struct CursorTuning {
+  /// HC nodes: alternate present-bitmap skips with mask successor jumps.
+  /// false = probe every mask-valid candidate address individually (the
+  /// pre-cursor per-address rejection loop, kept as ablation reference).
+  bool hc_successor_skip = true;
+  /// LHC nodes: on a masked-out address in a populous node, binary-search
+  /// to the next mask-implied lower bound. false = linear filter walk.
+  bool lhc_binary_seek = true;
+};
+
+const CursorTuning& GetCursorTuning();
+CursorTuning& MutableCursorTuning();
+
+/// LHC nodes with fewer entries walk linearly even under lhc_binary_seek:
+/// below this, a binary search costs more address reads than it skips.
+inline constexpr uint64_t kLhcSeekMinEntries = 16;
+
+/// Consecutive mask-invalid entries tolerated before LhcScan escalates from
+/// linear stepping to a binary re-seek. Dense windows usually reach the next
+/// valid address within a step or two, where a per-miss binary search costs
+/// more than the walk it replaces; a run of misses is the signal that the
+/// gap to the successor address is genuinely wide.
+inline constexpr uint32_t kLhcSeekMissBudget = 4;
+
+/// Enumerates the entries of one node whose addresses intersect a window
+/// mask pair, in ascending address order. Plain-old-data and trivially
+/// default constructible so stacks of cursors cost nothing to create;
+/// Bind() establishes every field.
+class NodeCursor {
+ public:
+  /// Positions on the first masked-in entry of `node` (invalid if none).
+  void Bind(const Node* node, uint64_t mask_lower, uint64_t mask_upper) {
+    node_ = node;
+    lower_ = mask_lower;
+    upper_ = mask_upper;
+    hc_ = node->is_hc();
+    const CursorTuning& tuning = GetCursorTuning();
+    hc_skip_ = tuning.hc_successor_skip;
+    lhc_seek_ = tuning.lhc_binary_seek;
+    SeekGE(0);
+  }
+
+  /// Positions on the first entry with no window restriction.
+  void BindAll(const Node* node) { Bind(node, 0, LowMask(node->dim())); }
+
+  bool valid() const { return ord_ != Node::kNoOrdinal; }
+  const Node* node() const { return node_; }
+  /// Hypercube address of the current entry (valid() only).
+  uint64_t addr() const { return addr_; }
+  /// Ordinal of the current entry, for the Node::Ordinal* accessors.
+  uint64_t ordinal() const { return ord_; }
+
+  /// Repositions on the first masked-in entry with address >= `start`.
+  void SeekGE(uint64_t start) {
+    const uint64_t first = WindowSuccessorGE(start, lower_, upper_);
+    if (first == kInvalidAddr) {
+      ord_ = Node::kNoOrdinal;
+      return;
+    }
+    if (lower_ == upper_) {
+      // Fully constrained node (point lookups, innermost window levels):
+      // exactly one admissible address, so one probe decides.
+      addr_ = lower_;
+      ord_ = node_->FindOrdinal(lower_);
+      return;
+    }
+    if (hc_) {
+      HcScan(first);
+    } else {
+      LhcScan(node_->OrdinalGE(first));
+    }
+  }
+
+  /// Advances to the next masked-in entry.
+  void Next() {
+    assert(valid());
+    if (hc_) {
+      if (addr_ >= upper_) {
+        ord_ = Node::kNoOrdinal;
+        return;
+      }
+      HcScan(WindowSuccessor(addr_, lower_, upper_));
+    } else {
+      LhcScan(node_->NextOrdinal(ord_));
+    }
+  }
+
+ private:
+  /// HC walk from the mask-valid candidate `candidate` (kInvalidAddr = end).
+  void HcScan(uint64_t candidate) {
+    if (hc_skip_) {
+      while (candidate != kInvalidAddr) {
+        const uint64_t present = node_->OrdinalGE(candidate);
+        if (present == Node::kNoOrdinal) {
+          break;
+        }
+        if (WindowAddrValid(present, lower_, upper_)) {
+          ord_ = present;  // HC ordinals are the addresses themselves
+          addr_ = present;
+          return;
+        }
+        candidate = WindowSuccessorGE(present + 1, lower_, upper_);
+      }
+      ord_ = Node::kNoOrdinal;
+      return;
+    }
+    // Ablation reference: probe each mask-valid address individually.
+    while (candidate != kInvalidAddr) {
+      const uint64_t ord = node_->FindOrdinal(candidate);
+      if (ord != Node::kNoOrdinal) {
+        ord_ = ord;
+        addr_ = candidate;
+        return;
+      }
+      if (candidate >= upper_) {
+        break;
+      }
+      candidate = WindowSuccessor(candidate, lower_, upper_);
+    }
+    ord_ = Node::kNoOrdinal;
+  }
+
+  /// LHC walk from ordinal `ord` (kNoOrdinal = end).
+  void LhcScan(uint64_t ord) {
+    uint32_t misses = 0;
+    const bool may_seek =
+        lhc_seek_ && node_->num_entries() >= kLhcSeekMinEntries;
+    while (ord != Node::kNoOrdinal) {
+      const uint64_t addr = node_->OrdinalAddr(ord);
+      if (addr > upper_) {
+        break;  // table is sorted: nothing admissible remains
+      }
+      if (WindowAddrValid(addr, lower_, upper_)) {
+        ord_ = ord;
+        addr_ = addr;
+        return;
+      }
+      if (may_seek && ++misses >= kLhcSeekMissBudget) {
+        misses = 0;
+        const uint64_t next = WindowSuccessorGE(addr + 1, lower_, upper_);
+        if (next == kInvalidAddr) {
+          break;
+        }
+        ord = node_->OrdinalGE(next);
+      } else {
+        ord = node_->NextOrdinal(ord);
+      }
+    }
+    ord_ = Node::kNoOrdinal;
+  }
+
+  const Node* node_;
+  uint64_t lower_;
+  uint64_t upper_;
+  uint64_t ord_;
+  uint64_t addr_;
+  bool hc_;
+  bool hc_skip_;
+  bool lhc_seek_;
+};
+
+/// One level of a TreeCursor descent: the node cursor positioned inside
+/// that level's node. This is the tree's only traversal stack frame — all
+/// read paths share it.
+struct TraversalFrame {
+  NodeCursor cursor;
+};
+
+/// One page of a paginated window scan (PhTree::QueryWindowPage).
+struct WindowPage {
+  std::vector<std::pair<PhKey, uint64_t>> entries;
+  /// True iff at least one further in-window entry exists past this page.
+  bool more = false;
+  /// Pass as `resume_after` to continue (meaningful while `more`): the key
+  /// of the last delivered entry. The token stays stable under concurrent
+  /// mutation — resuming yields exactly the in-window entries strictly
+  /// z-greater than it at resume time, even if its key has been erased.
+  PhKey token;
+};
+
+/// Depth-first scan over a PhTree in z-order (ascending hypercube address
+/// at every node — the exact order ForEach and the window iterator have
+/// always produced). Supports full scans, window scans, prefix-restricted
+/// scans and resumption strictly after a token key. Storage is inline
+/// (~5 KB, no heap): descending one level consumes at least one key bit,
+/// so kBitWidth frames always suffice.
+///
+/// The tree must outlive the cursor and must not be modified while one is
+/// live (take a fresh cursor with a resume token to scan across mutations).
+class TreeCursor {
+ public:
+  /// An exhausted cursor; assign or construct over it to use it.
+  TreeCursor() = default;
+
+  /// Full scan over every entry of `tree`.
+  explicit TreeCursor(const PhTree& tree);
+
+  /// Scan of the axis-aligned box [min, max] (inclusive; empty if
+  /// min > max in any dimension).
+  TreeCursor(const PhTree& tree, std::span<const uint64_t> min,
+             std::span<const uint64_t> max);
+
+  /// Window scan resumed strictly after the key `resume_after` (which need
+  /// not be stored or inside the window).
+  TreeCursor(const PhTree& tree, std::span<const uint64_t> min,
+             std::span<const uint64_t> max,
+             std::span<const uint64_t> resume_after);
+
+  /// Scan of every entry whose top `prefix_bits` bit layers (per
+  /// dimension, MSB first) equal those of `prefix`. prefix_bits == 0 is a
+  /// full scan, prefix_bits == 64 a point lookup.
+  static TreeCursor Prefix(const PhTree& tree,
+                           std::span<const uint64_t> prefix,
+                           uint32_t prefix_bits);
+
+  bool Valid() const { return valid_; }
+
+  /// Advances to the next matching entry.
+  void Next() {
+    assert(valid_);
+    Advance();
+  }
+
+  /// Key of the current entry; points into the cursor's buffer, valid
+  /// until the next Next(). Doubles as the pagination resume token.
+  std::span<const uint64_t> key() const { return {key_, dim_}; }
+
+  /// Payload of the current entry.
+  uint64_t value() const { return value_; }
+
+ private:
+  void InitWindow(const PhTree& tree, std::span<const uint64_t> min,
+                  std::span<const uint64_t> max, const uint64_t* resume);
+  /// Computes the node's masks against the window (key_ already carries
+  /// its path bits) and pushes a bound frame; false if nothing can match.
+  bool PushNode(const Node* node);
+  /// Descends along `token`'s address path, leaving every stack cursor
+  /// positioned on the first entry of its node not strictly before the
+  /// token, then Advance()s to the first strictly-greater match.
+  void SeekPast(const uint64_t* token);
+  /// Resumes the stack; sets valid_/key_/value_ on the next match.
+  void Advance();
+  bool KeyInWindow() const;
+  bool SubtreeOverlapsWindow(const Node* child) const;
+
+  std::span<uint64_t> key_span() { return {key_, dim_}; }
+
+  const PhTree* tree_ = nullptr;
+  uint32_t dim_ = 0;
+  bool bounded_ = false;
+  bool valid_ = false;
+  uint64_t value_ = 0;
+  size_t depth_ = 0;
+  // Deliberately not value-initialized: constructors touch only the dim_
+  // words and frames actually used, keeping cursor setup O(dim + depth).
+  uint64_t key_[kMaxDims];
+  uint64_t min_[kMaxDims];
+  uint64_t max_[kMaxDims];
+  TraversalFrame stack_[kBitWidth];
+};
+
+}  // namespace phtree
+
+#endif  // PHTREE_PHTREE_CURSOR_H_

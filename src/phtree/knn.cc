@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/bits.h"
+#include "phtree/cursor.h"
 
 namespace phtree {
 namespace {
@@ -34,8 +35,9 @@ double BoxDist2(std::span<const uint64_t> center,
                 KnnMetric metric) {
   double sum = 0;
   for (size_t d = 0; d < center.size(); ++d) {
-    const uint64_t lo = path_key[d] & ~LowMask(low_bits);
-    const uint64_t hi = lo | LowMask(low_bits);
+    uint64_t lo;
+    uint64_t hi;
+    RegionBounds(path_key[d], low_bits, &lo, &hi);
     const uint64_t clamped = std::clamp(center[d], lo, hi);
     const double delta = CoordDelta(center[d], clamped, metric);
     sum += delta * delta;
@@ -94,10 +96,11 @@ std::vector<KnnResult> KnnSearch(const PhTree& tree,
     }
     const Node* node = item.node;
     const uint32_t pl = node->postfix_len();
-    for (uint64_t ord = node->FirstOrdinal(); ord != Node::kNoOrdinal;
-         ord = node->NextOrdinal(ord)) {
+    NodeCursor cursor;
+    for (cursor.BindAll(node); cursor.valid(); cursor.Next()) {
+      const uint64_t ord = cursor.ordinal();
       PhKey key = item.key;
-      ApplyHcAddress(node->OrdinalAddr(ord), pl, key);
+      ApplyHcAddress(cursor.addr(), pl, key);
       if (node->OrdinalIsSub(ord)) {
         const Node* child = node->OrdinalSub(ord);
         // Pointer provenance: every reachable node must live in the tree's

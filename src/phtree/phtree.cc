@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "phtree/cursor.h"
+
 namespace phtree {
 namespace {
 
@@ -195,26 +197,15 @@ Node* PhTree::InsertRec(Node* node, std::span<const uint64_t> key,
 
 std::optional<uint64_t> PhTree::Find(std::span<const uint64_t> key) const {
   assert(key.size() == dim_);
-  const Node* node = root_;
-  while (node != nullptr) {
-    if (node->MatchInfix(key) >= 0) {
-      return std::nullopt;
-    }
-    const uint64_t addr = HcAddressAt(key, node->postfix_len());
-    const uint64_t ord = node->FindOrdinal(addr);
-    if (ord == Node::kNoOrdinal) {
-      return std::nullopt;
-    }
-    if (node->OrdinalIsSub(ord)) {
-      node = node->OrdinalSub(ord);
-      continue;
-    }
-    if (node->PostfixDivergence(ord, key) < 0) {
-      return node->OrdinalPayload(ord);
-    }
+  // A point query is the degenerate window [key, key]: the cursor's masks
+  // collapse to m_lower == m_upper == the key's exact address at every
+  // node, so the engine descends the single matching path (one ordinal
+  // probe per level) — no separate lookup loop.
+  const TreeCursor cursor(*this, key, key);
+  if (!cursor.Valid()) {
     return std::nullopt;
   }
-  return std::nullopt;
+  return cursor.value();
 }
 
 bool PhTree::Erase(std::span<const uint64_t> key) {
@@ -290,39 +281,11 @@ void PhTree::MergeSingleEntryChild(Node* parent, uint64_t addr, Node* child) {
 
 void PhTree::ForEach(
     const std::function<void(const PhKey&, uint64_t)>& fn) const {
-  if (root_ == nullptr) {
-    return;
-  }
   PhKey key(dim_, 0);
-  // Iterative depth-first traversal with an explicit stack of (node,
-  // ordinal) frames; the shared `key` buffer always holds the bits of the
-  // current path (ancestors own the bits above each node's region).
-  struct Frame {
-    const Node* node;
-    uint64_t ord;
-  };
-  std::vector<Frame> stack;
-  root_->ReadInfixInto(key);
-  stack.push_back({root_, root_->FirstOrdinal()});
-  while (!stack.empty()) {
-    Frame& f = stack.back();
-    if (f.ord == Node::kNoOrdinal) {
-      stack.pop_back();
-      continue;
-    }
-    const Node* node = f.node;
-    const uint64_t ord = f.ord;
-    f.ord = node->NextOrdinal(ord);
-    const uint64_t addr = node->OrdinalAddr(ord);
-    ApplyHcAddress(addr, node->postfix_len(), key);
-    if (node->OrdinalIsSub(ord)) {
-      const Node* child = node->OrdinalSub(ord);
-      child->ReadInfixInto(key);
-      stack.push_back({child, child->FirstOrdinal()});
-    } else {
-      node->ReadPostfixInto(ord, key);
-      fn(key, node->OrdinalPayload(ord));
-    }
+  for (TreeCursor cursor(*this); cursor.Valid(); cursor.Next()) {
+    const std::span<const uint64_t> k = cursor.key();
+    std::copy(k.begin(), k.end(), key.begin());
+    fn(key, cursor.value());
   }
 }
 

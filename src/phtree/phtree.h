@@ -32,6 +32,8 @@ namespace phtree {
 /// A k-dimensional point key. Dimensionality is fixed per tree.
 using PhKey = std::vector<uint64_t>;
 
+struct WindowPage;  // one page of a paginated window scan (cursor.h)
+
 class PhTree {
  public:
   /// Creates an empty tree for `dim`-dimensional keys (1 <= dim <= 63).
@@ -99,6 +101,15 @@ class PhTree {
   /// Number of entries inside the box [min, max] without materialising them.
   size_t CountWindow(std::span<const uint64_t> min,
                      std::span<const uint64_t> max) const;
+
+  /// Paginated window query: up to `page_size` in-window entries strictly
+  /// z-after `resume_after` (empty span = from the start of the window),
+  /// plus an exact has-more flag and the resume token for the next page.
+  /// Tokens are plain keys and stay stable across mutations between pages;
+  /// see WindowPage / TreeCursor in cursor.h.
+  WindowPage QueryWindowPage(
+      std::span<const uint64_t> min, std::span<const uint64_t> max,
+      size_t page_size, std::span<const uint64_t> resume_after = {}) const;
 
   /// Walks the tree and computes structural statistics (node counts, memory
   /// bytes, depths). O(nodes).

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "phtree/cursor.h"
 #include "phtree/knn.h"
 #include "phtree/phtree.h"
 #include "phtree/query.h"
@@ -77,6 +78,17 @@ class PhTreeSync {
                      std::span<const uint64_t> max) const {
     std::shared_lock lock(mutex_);
     return tree_.CountWindow(min, max);
+  }
+
+  /// Paginated window query (see PhTree::QueryWindowPage). Each page takes
+  /// the reader lock once; between pages writers may proceed — the resume
+  /// token keeps the scan stable across such interleaved mutations.
+  WindowPage QueryWindowPage(std::span<const uint64_t> min,
+                             std::span<const uint64_t> max, size_t page_size,
+                             std::span<const uint64_t> resume_after = {})
+      const {
+    std::shared_lock lock(mutex_);
+    return tree_.QueryWindowPage(min, max, page_size, resume_after);
   }
 
   std::vector<KnnResult> KnnSearch(std::span<const uint64_t> center, size_t n,

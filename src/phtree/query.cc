@@ -1,184 +1,38 @@
 #include "phtree/query.h"
 
-#include <cassert>
+#include <algorithm>
+
+#include "phtree/cursor.h"
 
 namespace phtree {
-namespace {
-
-bool AddrValid(uint64_t addr, uint64_t mask_lower, uint64_t mask_upper) {
-  return (addr | mask_lower) == addr && (addr & mask_upper) == addr;
-}
-
-uint64_t SuccessorAddr(uint64_t addr, uint64_t mask_lower,
-                       uint64_t mask_upper) {
-  // Sets all non-permitted bit positions to 1 so the +1 carry ripples
-  // through them, then restores the fixed-one positions.
-  return (((addr | ~mask_upper) + 1) & mask_upper) | mask_lower;
-}
-
-}  // namespace
-
-PhTreeWindowIterator::PhTreeWindowIterator(const PhTree& tree,
-                                           std::span<const uint64_t> min,
-                                           std::span<const uint64_t> max)
-    : tree_(&tree),
-      min_(min.begin(), min.end()),
-      max_(max.begin(), max.end()),
-      key_(tree.dim(), 0) {
-  assert(min.size() == tree.dim() && max.size() == tree.dim());
-  for (uint32_t d = 0; d < tree.dim(); ++d) {
-    if (min_[d] > max_[d]) {
-      return;  // empty window
-    }
-  }
-  const Node* root = tree.root();
-  if (root == nullptr) {
-    return;
-  }
-  root->ReadInfixInto(key_);  // root infix is empty; kept for uniformity
-  if (PushNode(root)) {
-    Advance();
-  }
-}
-
-bool PhTreeWindowIterator::PushNode(const Node* node) {
-  const uint32_t dim = tree_->dim();
-  const uint32_t pl = node->postfix_len();
-  uint64_t mask_lower = 0;
-  uint64_t mask_upper = 0;
-  for (uint32_t d = 0; d < dim; ++d) {
-    const uint64_t region_base = key_[d] & ~LowMask(pl + 1);
-    const uint64_t lower_half_max = region_base | LowMask(pl);
-    const uint64_t upper_half_min = region_base | (uint64_t{1} << pl);
-    mask_lower = (mask_lower << 1) | (min_[d] > lower_half_max ? 1u : 0u);
-    mask_upper = (mask_upper << 1) | (max_[d] >= upper_half_min ? 1u : 0u);
-  }
-  if ((mask_lower & ~mask_upper) != 0) {
-    return false;  // some dimension admits neither half: nothing can match
-  }
-  Frame frame{node, mask_lower, mask_upper, 0, false};
-  if (node->is_hc()) {
-    frame.cursor = mask_lower;
-  } else {
-    frame.cursor = node->OrdinalGE(mask_lower);
-    frame.done = frame.cursor == Node::kNoOrdinal;
-  }
-  stack_.push_back(frame);
-  return true;
-}
-
-void PhTreeWindowIterator::Advance() {
-  valid_ = false;
-  while (!stack_.empty()) {
-    Frame& f = stack_.back();
-    if (f.done) {
-      stack_.pop_back();
-      continue;
-    }
-    const Node* node = f.node;
-    uint64_t addr;
-    uint64_t ord;
-    if (node->is_hc()) {
-      addr = f.cursor;
-      if (addr >= f.mask_upper) {
-        f.done = true;  // this was the last candidate address
-      } else {
-        f.cursor = SuccessorAddr(addr, f.mask_lower, f.mask_upper);
-      }
-      ord = node->FindOrdinal(addr);
-      if (ord == Node::kNoOrdinal) {
-        continue;
-      }
-    } else {
-      ord = f.cursor;
-      if (ord == Node::kNoOrdinal) {
-        stack_.pop_back();
-        continue;
-      }
-      addr = node->OrdinalAddr(ord);
-      if (addr > f.mask_upper) {
-        stack_.pop_back();
-        continue;
-      }
-      f.cursor = node->NextOrdinal(ord);
-      if (f.cursor == Node::kNoOrdinal) {
-        f.done = true;
-      }
-      if (!AddrValid(addr, f.mask_lower, f.mask_upper)) {
-        continue;
-      }
-    }
-    // `f` may dangle after a push below; copy what we still need first.
-    ApplyHcAddress(addr, node->postfix_len(), key_);
-    if (node->OrdinalIsSub(ord)) {
-      const Node* child = node->OrdinalSub(ord);
-      // Pointer provenance: every node this iterator descends into must
-      // live in the tree's arena (catches stale pointers in debug builds).
-      assert(tree_->arena()->Owns(child));
-      child->ReadInfixInto(key_);
-      if (SubtreeOverlapsWindow(child)) {
-        PushNode(child);
-      }
-      continue;
-    }
-    node->ReadPostfixInto(ord, key_);
-    if (KeyInWindow()) {
-      value_ = node->OrdinalPayload(ord);
-      valid_ = true;
-      return;
-    }
-  }
-}
-
-void PhTreeWindowIterator::Next() {
-  assert(valid_);
-  Advance();
-}
-
-bool PhTreeWindowIterator::KeyInWindow() const {
-  for (uint32_t d = 0; d < tree_->dim(); ++d) {
-    if (key_[d] < min_[d] || key_[d] > max_[d]) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool PhTreeWindowIterator::SubtreeOverlapsWindow(const Node* child) const {
-  // key_ already carries the child's path bits and infix; the child's region
-  // spans all completions of the bits below its address bit.
-  const uint32_t cpl = child->postfix_len();
-  for (uint32_t d = 0; d < tree_->dim(); ++d) {
-    const uint64_t lo = key_[d] & ~LowMask(cpl + 1);
-    const uint64_t hi = lo | LowMask(cpl + 1);
-    if (lo > max_[d] || hi < min_[d]) {
-      return false;
-    }
-  }
-  return true;
-}
 
 std::vector<std::pair<PhKey, uint64_t>> PhTree::QueryWindow(
     std::span<const uint64_t> min, std::span<const uint64_t> max) const {
   std::vector<std::pair<PhKey, uint64_t>> out;
-  QueryWindow(min, max, [&out](const PhKey& key, uint64_t value) {
-    out.emplace_back(key, value);
-  });
+  for (TreeCursor cursor(*this, min, max); cursor.Valid(); cursor.Next()) {
+    const std::span<const uint64_t> key = cursor.key();
+    out.emplace_back(PhKey(key.begin(), key.end()), cursor.value());
+  }
   return out;
 }
 
 void PhTree::QueryWindow(
     std::span<const uint64_t> min, std::span<const uint64_t> max,
     const std::function<void(const PhKey&, uint64_t)>& visitor) const {
-  for (PhTreeWindowIterator it(*this, min, max); it.Valid(); it.Next()) {
-    visitor(it.key(), it.value());
+  PhKey key(dim_, 0);
+  for (TreeCursor cursor(*this, min, max); cursor.Valid(); cursor.Next()) {
+    const std::span<const uint64_t> k = cursor.key();
+    std::copy(k.begin(), k.end(), key.begin());
+    visitor(key, cursor.value());
   }
 }
 
 size_t PhTree::CountWindow(std::span<const uint64_t> min,
                            std::span<const uint64_t> max) const {
   size_t n = 0;
-  QueryWindow(min, max, [&n](const PhKey&, uint64_t) { ++n; });
+  for (TreeCursor cursor(*this, min, max); cursor.Valid(); cursor.Next()) {
+    ++n;
+  }
   return n;
 }
 

@@ -1,24 +1,24 @@
-// Window (range) queries over a PH-tree (paper Sect. 3.5). The iterator
-// navigates each visited node with the two bit masks m_lower / m_upper that
-// bound the hypercube addresses possibly intersecting the query box, checks
-// address validity with the single-operation test
-//     (a | m_lower) == a  &&  (a & m_upper) == a,
-// and enumerates valid addresses with the carry-propagation successor
-//     a' = (((a | ~m_upper) + 1) & m_upper) | m_lower.
+// Window (range) queries over a PH-tree (paper Sect. 3.5). Navigation —
+// the m_lower / m_upper address masks, successor stepping and the
+// HC/LHC-specialized enumeration — lives in the unified traversal engine
+// (cursor.h); this header keeps the classic iterator facade on top of it.
 #ifndef PHTREE_PHTREE_QUERY_H_
 #define PHTREE_PHTREE_QUERY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
-#include <vector>
 
+#include "phtree/cursor.h"
 #include "phtree/phtree.h"
 
 namespace phtree {
 
 /// Lazy iterator over all entries of a PhTree inside the axis-aligned box
 /// [min, max] (inclusive). The tree must outlive the iterator and must not
-/// be modified while iterating.
+/// be modified while iterating. A thin wrapper over TreeCursor that
+/// materialises the key as a PhKey; use TreeCursor directly to avoid the
+/// per-entry key copy or to suspend/resume the scan.
 ///
 /// Usage:
 ///   for (PhTreeWindowIterator it(tree, min, max); it.Valid(); it.Next()) {
@@ -27,47 +27,36 @@ namespace phtree {
 class PhTreeWindowIterator {
  public:
   PhTreeWindowIterator(const PhTree& tree, std::span<const uint64_t> min,
-                       std::span<const uint64_t> max);
+                       std::span<const uint64_t> max)
+      : cursor_(tree, min, max), key_(tree.dim(), 0) {
+    SyncKey();
+  }
 
   /// True while the iterator points at a result.
-  bool Valid() const { return valid_; }
+  bool Valid() const { return cursor_.Valid(); }
 
   /// Advances to the next matching entry.
-  void Next();
+  void Next() {
+    cursor_.Next();
+    SyncKey();
+  }
 
   /// Key of the current entry (valid while Valid()).
   const PhKey& key() const { return key_; }
 
   /// Payload of the current entry.
-  uint64_t value() const { return value_; }
+  uint64_t value() const { return cursor_.value(); }
 
  private:
-  struct Frame {
-    const Node* node;
-    uint64_t mask_lower;  // m_L: address bits that must be 1
-    uint64_t mask_upper;  // m_U: address bits that may be 1
-    // LHC: ordinal of the next entry to inspect; HC: next address candidate.
-    uint64_t cursor;
-    bool done;
-  };
+  void SyncKey() {
+    if (cursor_.Valid()) {
+      const std::span<const uint64_t> k = cursor_.key();
+      std::copy(k.begin(), k.end(), key_.begin());
+    }
+  }
 
-  /// Computes the masks for `node` (whose infix has already been written
-  /// into key_) and pushes a frame; returns false if no address can match.
-  bool PushNode(const Node* node);
-
-  /// Resumes the top frame; sets valid_/key_/value_ when a result is found.
-  void Advance();
-
-  bool KeyInWindow() const;
-  bool SubtreeOverlapsWindow(const Node* child) const;
-
-  const PhTree* tree_;
-  std::vector<uint64_t> min_;
-  std::vector<uint64_t> max_;
+  TreeCursor cursor_;
   PhKey key_;
-  uint64_t value_ = 0;
-  bool valid_ = false;
-  std::vector<Frame> stack_;
 };
 
 }  // namespace phtree

@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "common/bits.h"
+#include "phtree/cursor.h"
 
 namespace phtree {
 namespace {
@@ -290,6 +291,62 @@ size_t PhTreeSharded::CountWindow(std::span<const uint64_t> min,
     counts[i] = shard.tree.CountWindow(min, max);
   });
   return std::accumulate(counts.begin(), counts.end(), size_t{0});
+}
+
+WindowPage PhTreeSharded::QueryWindowPage(
+    std::span<const uint64_t> min, std::span<const uint64_t> max,
+    size_t page_size, std::span<const uint64_t> resume_after) const {
+  assert(min.size() == dim_ && max.size() == dim_);
+  WindowPage page;
+  if (routing_ == ShardRouting::kZPrefix) {
+    // Ascending shard index is ascending z-order, so the page fills shard
+    // by shard: each intersecting shard is asked for the entries still
+    // missing (one beyond the page, so `more` stays exact) until the page
+    // overfills or the shards run out. Shards whose region precedes the
+    // token return nothing at O(depth) seek cost.
+    for (uint32_t s = 0;
+         s < num_shards() && page.entries.size() <= page_size; ++s) {
+      if (!ShardIntersects(s, min, max)) {
+        continue;
+      }
+      const size_t want = page_size + 1 - page.entries.size();
+      Shard& shard = *shards_[s];
+      WindowPage sub;
+      {
+        std::shared_lock lock(shard.mutex);
+        sub = shard.tree.QueryWindowPage(min, max, want, resume_after);
+      }
+      std::move(sub.entries.begin(), sub.entries.end(),
+                std::back_inserter(page.entries));
+    }
+  } else {
+    // Hash routing: the global first page after the token is contained in
+    // the union of every shard's first page_size + 1 entries after it —
+    // fetch those in parallel, z-merge, truncate below.
+    std::vector<WindowPage> per(num_shards());
+    pool_->ParallelFor(num_shards(), [&](size_t s) {
+      Shard& shard = *shards_[s];
+      std::shared_lock lock(shard.mutex);
+      per[s] =
+          shard.tree.QueryWindowPage(min, max, page_size + 1, resume_after);
+    });
+    for (auto& sub : per) {
+      std::move(sub.entries.begin(), sub.entries.end(),
+                std::back_inserter(page.entries));
+    }
+    std::sort(page.entries.begin(), page.entries.end(),
+              [](const auto& a, const auto& b) {
+                return ZOrderLess(a.first, b.first);
+              });
+  }
+  page.more = page.entries.size() > page_size;
+  if (page.more) {
+    page.entries.resize(page_size);
+    page.token = page.entries.empty()
+                     ? PhKey(resume_after.begin(), resume_after.end())
+                     : page.entries.back().first;
+  }
+  return page;
 }
 
 std::vector<KnnResult> PhTreeSharded::KnnSearch(

@@ -152,6 +152,18 @@ class PhTreeSharded {
   size_t CountWindow(std::span<const uint64_t> min,
                      std::span<const uint64_t> max) const;
 
+  /// Paginated window query with the same page/token semantics as
+  /// PhTree::QueryWindowPage, globally z-ordered across shards. With
+  /// kZPrefix routing the page fills shard by shard (ascending shard index
+  /// is ascending z-order); with kHash every shard contributes its first
+  /// candidates after the token and the union is z-merged and truncated.
+  /// Locks are per shard and per page — the token keeps the scan stable
+  /// across mutations between pages, exactly as in the single-tree case.
+  WindowPage QueryWindowPage(std::span<const uint64_t> min,
+                             std::span<const uint64_t> max, size_t page_size,
+                             std::span<const uint64_t> resume_after = {})
+      const;
+
   // ---- kNN (per-shard candidates + global distance cut-off) -------------
 
   /// The `n` entries closest to `center`, ascending by distance. The shard

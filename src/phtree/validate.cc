@@ -1,10 +1,12 @@
 #include "phtree/validate.h"
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 
 #include "common/bits.h"
 #include "phtree/arena.h"
+#include "phtree/cursor.h"
 #include "phtree/node.h"
 #include "phtree/stats.h"
 
@@ -27,6 +29,10 @@ struct ValidateState {
   PhKey path;
   PhKey prev_key;
   bool have_prev = false;
+  // Deep mode: a full-tree cursor advanced in lock-step with the recursive
+  // walk, cross-checking the unified traversal engine (enumeration order,
+  // suspend-free full scans) against the independent reconstruction here.
+  TreeCursor walker;
   std::ostringstream error;
   bool failed = false;
 
@@ -90,9 +96,10 @@ void ValidateNode(const Node* node, const Node* parent, size_t depth,
   uint32_t subs = 0;
   uint64_t prev_addr = 0;
   bool first = true;
-  for (uint64_t ord = node->FirstOrdinal(); ord != Node::kNoOrdinal;
-       ord = node->NextOrdinal(ord)) {
-    const uint64_t addr = node->OrdinalAddr(ord);
+  NodeCursor cursor;
+  for (cursor.BindAll(node); cursor.valid(); cursor.Next()) {
+    const uint64_t ord = cursor.ordinal();
+    const uint64_t addr = cursor.addr();
     if (!first && addr <= prev_addr) {
       state->Fail(ctx.str() + "addresses not strictly ascending");
       return;
@@ -136,6 +143,26 @@ void ValidateNode(const Node* node, const Node* parent, size_t depth,
         }
         state->prev_key = state->path;
         state->have_prev = true;
+        // Lock-step engine cross-check: the TreeCursor full scan must
+        // deliver exactly this entry now.
+        if (!state->walker.Valid()) {
+          state->Fail(ctx.str() +
+                      "tree cursor exhausted before the recursive walk");
+          return;
+        }
+        const std::span<const uint64_t> wkey = state->walker.key();
+        if (!std::equal(wkey.begin(), wkey.end(), state->path.begin(),
+                        state->path.end())) {
+          state->Fail(ctx.str() +
+                      "tree cursor key != recursively reconstructed key");
+          return;
+        }
+        if (state->walker.value() != node->OrdinalPayload(ord)) {
+          state->Fail(ctx.str() +
+                      "tree cursor payload != enumerated payload");
+          return;
+        }
+        state->walker.Next();
         if (state->deep->check_self_lookup) {
           const std::optional<uint64_t> found =
               state->tree->Find(state->path);
@@ -201,6 +228,7 @@ std::string Validate(const PhTree& tree, const DeepValidateOptions* deep) {
   state.deep = deep;
   if (deep != nullptr) {
     state.path.assign(tree.dim(), 0);
+    state.walker = TreeCursor(tree);
   }
   if (tree.root() != nullptr) {
     if (tree.root()->infix_len() != 0) {
@@ -213,6 +241,9 @@ std::string Validate(const PhTree& tree, const DeepValidateOptions* deep) {
   }
   if (state.failed) {
     return state.error.str();
+  }
+  if (deep != nullptr && state.walker.Valid()) {
+    return "tree cursor enumerates more entries than the recursive walk";
   }
   if (state.postfix_entries != tree.size()) {
     std::ostringstream os;

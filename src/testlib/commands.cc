@@ -26,6 +26,7 @@ void FillPointOp(Command* cmd, OpKind kind, const PhKeyD& key,
   cmd->key2.clear();
   cmd->value = value;
   cmd->knn_n = 0;
+  cmd->page_size = 0;
   cmd->bulk.clear();
   cmd->bulk_d.clear();
 }
@@ -38,6 +39,7 @@ void FillWindowOp(Command* cmd, OpKind kind, PhKeyD lo, PhKeyD hi) {
   cmd->key2 = EncodePoint(cmd->key2_d);
   cmd->value = 0;
   cmd->knn_n = 0;
+  cmd->page_size = 0;
   cmd->bulk.clear();
   cmd->bulk_d.clear();
 }
@@ -56,6 +58,7 @@ const char* OpKindName(OpKind kind) {
     case OpKind::kClear: return "Clear";
     case OpKind::kSaveLoad: return "SaveLoad";
     case OpKind::kBulkLoad: return "BulkLoad";
+    case OpKind::kWindowPage: return "WindowPage";
   }
   return "?";
 }
@@ -68,7 +71,8 @@ RandomCommandSource::RandomCommandSource(const CommandOptions& options,
   total_weight_ = uint64_t{0} + options_.w_insert + options_.w_assign +
                   options_.w_erase + options_.w_find + options_.w_window +
                   options_.w_count + options_.w_knn + options_.w_clear +
-                  options_.w_saveload + options_.w_bulk;
+                  options_.w_saveload + options_.w_bulk +
+                  options_.w_window_page;
   assert(total_weight_ > 0);
   recent_.reserve(kRecentCap);
 }
@@ -117,9 +121,14 @@ bool RandomCommandSource::Next(Command* cmd) {
     FillPointOp(cmd, OpKind::kErase, PickPoint(), 0);
   } else if (take(options_.w_find)) {
     FillPointOp(cmd, OpKind::kFind, PickPoint(), 0);
-  } else if (bool is_window = take(options_.w_window);
-             is_window || take(options_.w_count)) {
-    const OpKind kind = is_window ? OpKind::kWindow : OpKind::kCountWindow;
+  } else if (int window_sel = take(options_.w_window)        ? 1
+                              : take(options_.w_count)       ? 2
+                              : take(options_.w_window_page) ? 3
+                                                             : 0;
+             window_sel != 0) {
+    const OpKind kind = window_sel == 1   ? OpKind::kWindow
+                        : window_sel == 2 ? OpKind::kCountWindow
+                                          : OpKind::kWindowPage;
     PhKeyD lo = PickPoint();
     PhKeyD hi;
     if (rng_.NextBool(options_.point_window_p)) {
@@ -135,6 +144,9 @@ bool RandomCommandSource::Next(Command* cmd) {
       }
     }
     FillWindowOp(cmd, kind, std::move(lo), std::move(hi));
+    if (kind == OpKind::kWindowPage) {
+      cmd->page_size = 1 + rng_.NextBounded(options_.max_page);
+    }
   } else if (take(options_.w_knn)) {
     FillPointOp(cmd, OpKind::kKnn, PickPoint(), 0);
     cmd->knn_n = rng_.NextBounded(options_.max_knn + 1);
@@ -243,6 +255,15 @@ bool BytesCommandSource::Next(Command* cmd) {
       if (cmd->bulk.empty()) {
         return false;  // bytes ran out mid-command
       }
+      break;
+    }
+    case OpKind::kWindowPage: {
+      PhKeyD lo = DecodePoint();
+      PhKeyD hi = DecodePoint();
+      // Unsorted like the other fuzz windows: degenerate and point pages
+      // must drain identically everywhere too.
+      FillWindowOp(cmd, OpKind::kWindowPage, std::move(lo), std::move(hi));
+      cmd->page_size = 1 + NextByte() % std::max<size_t>(options_.max_page, 1);
       break;
     }
   }

@@ -38,9 +38,10 @@ enum class OpKind : uint8_t {
   kClear,          ///< Clear()
   kSaveLoad,       ///< snapshot round-trip; content must be unchanged
   kBulkLoad,       ///< batch insert (PhTreeSharded::BulkLoad path)
+  kWindowPage,     ///< full paginated drain of QueryWindowPage([key, key2])
 };
 
-inline constexpr uint32_t kNumOpKinds = 10;
+inline constexpr uint32_t kNumOpKinds = 11;
 
 const char* OpKindName(OpKind kind);
 
@@ -52,6 +53,7 @@ struct Command {
   PhKey key2;     ///< encoded form of key2_d
   uint64_t value = 0;
   size_t knn_n = 0;
+  size_t page_size = 0;         ///< kWindowPage: entries per page (>= 1)
   std::vector<PhEntry> bulk;    ///< encoded bulk entries
   std::vector<PhKeyD> bulk_d;   ///< double form, same order as `bulk`
 };
@@ -73,9 +75,11 @@ struct CommandOptions {
   uint32_t w_clear = 1;
   uint32_t w_saveload = 1;
   uint32_t w_bulk = 4;
+  uint32_t w_window_page = 4;
 
   size_t max_bulk = 128;   ///< entries per kBulkLoad command
   size_t max_knn = 12;     ///< upper bound for knn_n (0..max_knn)
+  size_t max_page = 8;     ///< upper bound for page_size (1..max_page)
   /// Probability that a point op re-targets a recently used key (drives
   /// erase/find hit rates and duplicate inserts).
   double reuse_p = 0.6;

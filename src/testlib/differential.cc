@@ -4,11 +4,13 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <sstream>
 
 #include "critbit/critbit1.h"
 #include "kdtree/kdtree1.h"
 #include "kdtree/kdtree2.h"
+#include "phtree/cursor.h"
 #include "phtree/phtree.h"
 #include "phtree/phtree_sync.h"
 #include "phtree/serialize.h"
@@ -46,6 +48,14 @@ class VariantAdapter {
   /// global z-order (PH family) or an arbitrary traversal order (KD/CB).
   virtual Entries Window(const Command& cmd, bool* ordered) const = 0;
   virtual size_t CountWindow(const Command& cmd) const = 0;
+  /// One page of the cursor-backed paginated window scan. nullopt =
+  /// variant has no pagination (the double-keyed baselines).
+  virtual std::optional<WindowPage> PageQuery(
+      const Command& cmd, std::span<const uint64_t> resume_after) const {
+    (void)cmd;
+    (void)resume_after;
+    return std::nullopt;
+  }
   /// nullopt = variant has no kNN.
   virtual std::optional<std::vector<KnnResult>> Knn(
       const Command& cmd) const = 0;
@@ -85,6 +95,12 @@ class PlainAdapter : public VariantAdapter {
   }
   size_t CountWindow(const Command& cmd) const override {
     return tree_.CountWindow(cmd.key, cmd.key2);
+  }
+  std::optional<WindowPage> PageQuery(
+      const Command& cmd,
+      std::span<const uint64_t> resume_after) const override {
+    return tree_.QueryWindowPage(cmd.key, cmd.key2, cmd.page_size,
+                                 resume_after);
   }
   std::optional<std::vector<KnnResult>> Knn(
       const Command& cmd) const override {
@@ -150,6 +166,12 @@ class SyncAdapter : public VariantAdapter {
   }
   size_t CountWindow(const Command& cmd) const override {
     return tree_.CountWindow(cmd.key, cmd.key2);
+  }
+  std::optional<WindowPage> PageQuery(
+      const Command& cmd,
+      std::span<const uint64_t> resume_after) const override {
+    return tree_.QueryWindowPage(cmd.key, cmd.key2, cmd.page_size,
+                                 resume_after);
   }
   std::optional<std::vector<KnnResult>> Knn(
       const Command& cmd) const override {
@@ -232,6 +254,12 @@ class ShardedAdapter : public VariantAdapter {
   }
   size_t CountWindow(const Command& cmd) const override {
     return tree_.CountWindow(cmd.key, cmd.key2);
+  }
+  std::optional<WindowPage> PageQuery(
+      const Command& cmd,
+      std::span<const uint64_t> resume_after) const override {
+    return tree_.QueryWindowPage(cmd.key, cmd.key2, cmd.page_size,
+                                 resume_after);
   }
   std::optional<std::vector<KnnResult>> Knn(
       const Command& cmd) const override {
@@ -593,6 +621,63 @@ class Runner {
             report->divergence = Where(op_index, cmd, *v) +
                                  "content changed by round-trip: " + err;
             return;
+          }
+        }
+        break;
+      }
+      case OpKind::kWindowPage: {
+        // Full paginated drain per variant, page-by-page against the
+        // oracle: entries, the exact `more` flag and the resume token must
+        // all agree on every page. The oracle is read-only here, so each
+        // variant drains independently from the window start.
+        for (auto& v : adapters_) {
+          PhKey token_buf;
+          std::span<const uint64_t> token;
+          const size_t max_pages =
+              model_.size() / std::max<size_t>(cmd.page_size, 1) + 2;
+          for (size_t page_no = 0;; ++page_no) {
+            const std::optional<WindowPage> got = v->PageQuery(cmd, token);
+            if (!got.has_value()) {
+              break;  // variant has no pagination
+            }
+            ++report->replayed;
+            const WindowPage expect = model_.QueryWindowPage(
+                cmd.key, cmd.key2, cmd.page_size, token);
+            std::string err;
+            if (got->entries != expect.entries) {
+              err = std::to_string(got->entries.size()) +
+                    " entries, oracle " +
+                    std::to_string(expect.entries.size()) +
+                    (got->entries.size() == expect.entries.size()
+                         ? " (same count, different entries or order)"
+                         : "");
+            } else if (got->more != expect.more) {
+              err = std::string("more flag ") +
+                    (got->more ? "true" : "false") + " != oracle " +
+                    (expect.more ? "true" : "false");
+            } else if (got->token != expect.token) {
+              err = "resume token " + KeyToString(got->token) +
+                    " != oracle " + KeyToString(expect.token);
+            }
+            if (!err.empty()) {
+              report->divergence = Where(op_index, cmd, *v) +
+                                   "QueryWindowPage page " +
+                                   std::to_string(page_no) + " (size " +
+                                   std::to_string(cmd.page_size) + "): " +
+                                   err;
+              return;
+            }
+            if (!expect.more) {
+              break;
+            }
+            if (page_no >= max_pages) {
+              report->divergence = Where(op_index, cmd, *v) +
+                                   "QueryWindowPage drain exceeded " +
+                                   std::to_string(max_pages) + " pages";
+              return;
+            }
+            token_buf = expect.token;
+            token = token_buf;
           }
         }
         break;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "phtree/cursor.h"
+
 namespace phtree {
 namespace testlib {
 namespace {
@@ -79,6 +81,41 @@ size_t ReferenceModel::CountWindow(std::span<const uint64_t> min,
     }
   }
   return n;
+}
+
+WindowPage ReferenceModel::QueryWindowPage(
+    std::span<const uint64_t> min, std::span<const uint64_t> max,
+    size_t page_size, std::span<const uint64_t> resume_after) const {
+  assert(min.size() == dim_ && max.size() == dim_);
+  WindowPage page;
+  const PhKey lo(min.begin(), min.end());
+  const PhKey hi(max.begin(), max.end());
+  auto it = map_.lower_bound(lo);
+  if (!resume_after.empty()) {
+    assert(resume_after.size() == dim_);
+    const PhKey token(resume_after.begin(), resume_after.end());
+    // Resume strictly z-after the token; a token before the window start
+    // (possible only with a caller-forged token) changes nothing.
+    if (!ZOrderLess(token, lo)) {
+      it = map_.upper_bound(token);
+    }
+  }
+  for (; it != map_.end() && !ZOrderLess(hi, it->first); ++it) {
+    if (!InBox(it->first, min, max)) {
+      continue;
+    }
+    if (page.entries.size() == page_size) {
+      page.more = true;  // exact: a further in-window entry exists
+      break;
+    }
+    page.entries.push_back(*it);
+  }
+  if (page.more) {  // final pages carry no token, like the trees'
+    page.token = page.entries.empty()
+                     ? PhKey(resume_after.begin(), resume_after.end())
+                     : page.entries.back().first;
+  }
+  return page;
 }
 
 std::vector<KnnResult> ReferenceModel::KnnSearch(

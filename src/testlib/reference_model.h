@@ -76,6 +76,14 @@ class ReferenceModel {
   size_t CountWindow(std::span<const uint64_t> min,
                      std::span<const uint64_t> max) const;
 
+  /// Paginated-window oracle: up to `page_size` in-window entries strictly
+  /// z-after `resume_after` (empty = from the window start), the exact
+  /// has-more flag, and the token — precisely the page every tree
+  /// variant's QueryWindowPage must produce.
+  WindowPage QueryWindowPage(std::span<const uint64_t> min,
+                             std::span<const uint64_t> max, size_t page_size,
+                             std::span<const uint64_t> resume_after) const;
+
   /// Brute-force kNN with the canonical total order (ascending dist2,
   /// z-order of the key on exact ties) — the sequence KnnSearch on any
   /// PH-tree variant must reproduce. Distances are accumulated dimension

@@ -1,0 +1,434 @@
+// Unit tests for the unified traversal engine (src/phtree/cursor.h): the
+// window-mask algebra against brute force, TreeCursor full / window /
+// prefix scans against filtered enumeration, and the suspend/resume
+// pagination contract (including resume after the token key was erased)
+// across PhTree, PhTreeSync and both PhTreeSharded routing modes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "phtree/cursor.h"
+#include "phtree/phtree.h"
+#include "phtree/phtree_sync.h"
+#include "phtree/sharded.h"
+
+namespace phtree {
+namespace {
+
+using Entries = std::vector<std::pair<PhKey, uint64_t>>;
+
+/// Restores the process-wide cursor tuning when a test body returns.
+struct TuningGuard {
+  CursorTuning saved = GetCursorTuning();
+  ~TuningGuard() { MutableCursorTuning() = saved; }
+};
+
+// ---- Mask algebra vs brute force ----------------------------------------
+
+TEST(WindowMaskTest, ValiditySuccessorAndSuccessorGeMatchBruteForce) {
+  Rng rng(0xC0FFEE);
+  constexpr uint32_t kBits = 10;  // 1024-address hypercube, exhaustive
+  const uint64_t space = uint64_t{1} << kBits;
+  for (int round = 0; round < 200; ++round) {
+    const uint64_t upper = rng.NextU64() & LowMask(kBits);
+    const uint64_t lower = rng.NextU64() & upper;  // guarantee m_L subset m_U
+    std::vector<uint64_t> valid;
+    for (uint64_t a = 0; a < space; ++a) {
+      const bool expect = (a | lower) == a && (a & upper) == a;
+      ASSERT_EQ(WindowAddrValid(a, lower, upper), expect)
+          << "addr " << a << " lower " << lower << " upper " << upper;
+      if (expect) {
+        valid.push_back(a);
+      }
+    }
+    ASSERT_FALSE(valid.empty());  // m_L itself is always valid
+    for (uint64_t a = 0; a < space; ++a) {
+      // Successor: smallest valid address strictly greater than a. The
+      // paper formula is only defined for a valid current address (that is
+      // how the cursor steps); invalid addresses go through SuccessorGE.
+      const auto next = std::upper_bound(valid.begin(), valid.end(), a);
+      if (WindowAddrValid(a, lower, upper) && next != valid.end()) {
+        ASSERT_EQ(WindowSuccessor(a, lower, upper), *next)
+            << "addr " << a << " lower " << lower << " upper " << upper;
+      }
+      // SuccessorGE: smallest valid address >= a, kInvalidAddr if none.
+      const auto ge = std::lower_bound(valid.begin(), valid.end(), a);
+      const uint64_t expect_ge = ge == valid.end() ? kInvalidAddr : *ge;
+      ASSERT_EQ(WindowSuccessorGE(a, lower, upper), expect_ge)
+          << "addr " << a << " lower " << lower << " upper " << upper;
+    }
+  }
+}
+
+TEST(WindowMaskTest, SuccessorGeKnownValues) {
+  // The counterexample that broke the naive `addr | m_L` derivation:
+  // lower == upper == 0b100, addr 0b011 -> 0b100 (not "no successor").
+  EXPECT_EQ(WindowSuccessorGE(0b011, 0b100, 0b100), 0b100u);
+  EXPECT_EQ(WindowSuccessorGE(0b011, 0b001, 0b101), 0b101u);
+  EXPECT_EQ(WindowSuccessorGE(0b110, 0b001, 0b101), kInvalidAddr);
+  EXPECT_EQ(WindowSuccessorGE(0b101, 0b010, 0b111), 0b110u);
+  EXPECT_EQ(WindowSuccessorGE(0, 0, 0), 0u);
+  EXPECT_EQ(WindowSuccessorGE(1, 0, 0), kInvalidAddr);
+}
+
+TEST(WindowMaskTest, ComputeWindowMasksMatchesQuadrantIntersection) {
+  // Under the descent invariant (the node's own region intersects the
+  // window in every dimension — the parent established that before
+  // descending), an address is mask-valid iff its quadrant box intersects
+  // the window, checked per dimension with RegionBounds.
+  Rng rng(0xFACADE);
+  for (int round = 0; round < 500; ++round) {
+    const uint32_t dim = 1 + rng.NextBounded(4);
+    const uint32_t postfix_len = rng.NextBounded(kBitWidth);
+    PhKey path(dim), min(dim), max(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      path[d] = rng.NextU64();
+      // min[d] <= region_hi and max[d] >= region_lo: the invariant above.
+      uint64_t region_lo, region_hi;
+      RegionBounds(path[d], postfix_len + 1, &region_lo, &region_hi);
+      min[d] = region_hi == ~uint64_t{0} ? rng.NextU64()
+                                         : rng.NextBounded(region_hi + 1);
+      const uint64_t floor = std::max(min[d], region_lo);
+      max[d] = floor == 0 ? rng.NextU64()
+                          : floor + rng.NextU64() % (uint64_t{0} - floor);
+    }
+    const WindowMasks masks = ComputeWindowMasks(path, min, max, postfix_len);
+    for (uint64_t addr = 0; addr < (uint64_t{1} << dim); ++addr) {
+      bool intersects = true;
+      for (uint32_t d = 0; d < dim; ++d) {
+        // Child quadrant of dimension d: the node region's bit
+        // `postfix_len` set from the address, lower bits free.
+        const uint64_t base = path[d] & ~LowMask(postfix_len + 1);
+        const uint64_t bit = (addr >> (dim - 1 - d)) & 1;
+        uint64_t lo, hi;
+        RegionBounds(base | (bit << postfix_len), postfix_len, &lo, &hi);
+        if (hi < min[d] || lo > max[d]) {
+          intersects = false;
+          break;
+        }
+      }
+      ASSERT_EQ(WindowAddrValid(addr, masks.lower, masks.upper), intersects)
+          << "round " << round << " addr " << addr;
+    }
+  }
+}
+
+TEST(ZOrderCompareTest, AgreesWithZOrderLess) {
+  Rng rng(0x2ED0);
+  for (int round = 0; round < 2000; ++round) {
+    const uint32_t dim = 1 + rng.NextBounded(5);
+    PhKey a(dim), b(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      a[d] = rng.NextU64() & LowMask(1 + rng.NextBounded(8));
+      // Bias towards equal / near-equal keys so ties are actually hit.
+      b[d] = rng.NextBool(0.5) ? a[d] : rng.NextU64() & LowMask(8);
+    }
+    const int cmp = ZOrderCompare(a, b);
+    EXPECT_EQ(cmp < 0, ZOrderLess(a, b));
+    EXPECT_EQ(cmp > 0, ZOrderLess(b, a));
+    EXPECT_EQ(cmp == 0, a == b);
+    EXPECT_EQ(ZOrderCompare(b, a), -cmp);
+  }
+}
+
+// ---- TreeCursor scans vs brute force ------------------------------------
+
+struct CursorParam {
+  uint32_t dim;
+  uint32_t key_bits;
+  NodeRepr repr;
+};
+
+std::string CursorParamName(const testing::TestParamInfo<CursorParam>& info) {
+  const char* repr = info.param.repr == NodeRepr::kAdaptive ? "Adaptive"
+                     : info.param.repr == NodeRepr::kLhcOnly ? "LhcOnly"
+                                                             : "HcOnly";
+  return "dim" + std::to_string(info.param.dim) + "bits" +
+         std::to_string(info.param.key_bits) + repr;
+}
+
+class TreeCursorTest : public testing::TestWithParam<CursorParam> {
+ protected:
+  void BuildTree(size_t n, Rng* rng) {
+    const CursorParam p = GetParam();
+    PhTreeConfig cfg;
+    cfg.repr = p.repr;
+    tree_ = std::make_unique<PhTree>(p.dim, cfg);
+    for (size_t i = 0; i < n; ++i) {
+      PhKey key(p.dim);
+      for (auto& v : key) {
+        v = rng->NextU64() & LowMask(p.key_bits);
+      }
+      if (tree_->Insert(key, i)) {
+        entries_.emplace_back(std::move(key), i);
+      }
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const auto& a, const auto& b) {
+                return ZOrderLess(a.first, b.first);
+              });
+  }
+
+  Entries BruteWindow(const PhKey& lo, const PhKey& hi) const {
+    Entries out;
+    for (const auto& e : entries_) {
+      bool in = true;
+      for (size_t d = 0; d < e.first.size(); ++d) {
+        in = in && e.first[d] >= lo[d] && e.first[d] <= hi[d];
+      }
+      if (in) {
+        out.push_back(e);
+      }
+    }
+    return out;  // entries_ is z-sorted, so this is the expected sequence
+  }
+
+  static Entries Drain(TreeCursor cursor) {
+    Entries out;
+    for (; cursor.Valid(); cursor.Next()) {
+      const auto key = cursor.key();
+      out.emplace_back(PhKey(key.begin(), key.end()), cursor.value());
+    }
+    return out;
+  }
+
+  std::unique_ptr<PhTree> tree_;
+  Entries entries_;  // z-sorted ground truth
+};
+
+TEST_P(TreeCursorTest, FullScanIsZOrderedAndComplete) {
+  Rng rng(0xF001 ^ GetParam().dim);
+  BuildTree(900, &rng);
+  EXPECT_EQ(Drain(TreeCursor(*tree_)), entries_);
+}
+
+TEST_P(TreeCursorTest, WindowScanMatchesBruteForceUnderAllTunings) {
+  const CursorParam p = GetParam();
+  Rng rng(0xAB5E ^ p.dim ^ (p.key_bits << 8));
+  BuildTree(900, &rng);
+  TuningGuard guard;
+  for (const bool hc_skip : {true, false}) {
+    for (const bool lhc_seek : {true, false}) {
+      MutableCursorTuning() = CursorTuning{hc_skip, lhc_seek};
+      for (int q = 0; q < 40; ++q) {
+        PhKey lo(p.dim), hi(p.dim);
+        for (uint32_t d = 0; d < p.dim; ++d) {
+          uint64_t a = rng.NextU64() & LowMask(p.key_bits);
+          uint64_t b = rng.NextU64() & LowMask(p.key_bits);
+          lo[d] = std::min(a, b);
+          hi[d] = std::max(a, b);
+        }
+        ASSERT_EQ(Drain(TreeCursor(*tree_, lo, hi)), BruteWindow(lo, hi))
+            << "hc_skip " << hc_skip << " lhc_seek " << lhc_seek;
+      }
+    }
+  }
+}
+
+TEST_P(TreeCursorTest, PointWindowFindsExactlyTheStoredKey) {
+  Rng rng(0x90127 ^ GetParam().dim);
+  BuildTree(500, &rng);
+  for (size_t i = 0; i < entries_.size(); i += 7) {
+    const PhKey& key = entries_[i].first;
+    TreeCursor cursor(*tree_, key, key);
+    ASSERT_TRUE(cursor.Valid());
+    EXPECT_TRUE(std::equal(key.begin(), key.end(), cursor.key().begin()));
+    EXPECT_EQ(cursor.value(), entries_[i].second);
+    cursor.Next();
+    EXPECT_FALSE(cursor.Valid());
+  }
+  // A key that is not stored yields an immediately-exhausted cursor.
+  PhKey missing(GetParam().dim, LowMask(GetParam().key_bits));
+  if (!tree_->Contains(missing)) {
+    EXPECT_FALSE(TreeCursor(*tree_, missing, missing).Valid());
+  }
+}
+
+TEST_P(TreeCursorTest, PrefixScanMatchesBruteForce) {
+  const CursorParam p = GetParam();
+  Rng rng(0x9FE1 ^ p.dim);
+  BuildTree(700, &rng);
+  for (const uint32_t prefix_bits :
+       {uint32_t{0}, kBitWidth - p.key_bits, kBitWidth - p.key_bits + 2,
+        kBitWidth - 1, kBitWidth}) {
+    const PhKey& probe = entries_[entries_.size() / 2].first;
+    uint64_t lo_word, hi_word;
+    Entries expect;
+    for (const auto& e : entries_) {
+      bool match = true;
+      for (uint32_t d = 0; d < p.dim && match; ++d) {
+        RegionBounds(probe[d], kBitWidth - prefix_bits, &lo_word, &hi_word);
+        match = e.first[d] >= lo_word && e.first[d] <= hi_word;
+      }
+      if (match) {
+        expect.push_back(e);
+      }
+    }
+    EXPECT_EQ(Drain(TreeCursor::Prefix(*tree_, probe, prefix_bits)), expect)
+        << "prefix_bits " << prefix_bits;
+  }
+}
+
+TEST_P(TreeCursorTest, PaginationConcatenatesToTheOneShotScan) {
+  const CursorParam p = GetParam();
+  Rng rng(0x7A6E ^ p.dim);
+  BuildTree(600, &rng);
+  PhKey lo(p.dim, 0), hi(p.dim, LowMask(p.key_bits));
+  const Entries oneshot = tree_->QueryWindow(lo, hi);
+  for (const size_t page_size : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+    Entries paged;
+    std::optional<PhKey> token;
+    size_t pages = 0;
+    for (;;) {
+      const WindowPage page =
+          token.has_value()
+              ? tree_->QueryWindowPage(lo, hi, page_size, *token)
+              : tree_->QueryWindowPage(lo, hi, page_size);
+      ASSERT_LE(page.entries.size(), page_size);
+      paged.insert(paged.end(), page.entries.begin(), page.entries.end());
+      ASSERT_LE(++pages, oneshot.size() / page_size + 2);
+      if (!page.more) {
+        // The exact-more contract: the final page is the first page that
+        // could not be filled OR the scan ended precisely at a boundary.
+        EXPECT_TRUE(page.token.empty());
+        break;
+      }
+      token = page.token;
+    }
+    EXPECT_EQ(paged, oneshot) << "page_size " << page_size;
+  }
+}
+
+TEST_P(TreeCursorTest, ResumeSurvivesEraseOfTheTokenKey) {
+  const CursorParam p = GetParam();
+  Rng rng(0xDEAD ^ p.dim);
+  BuildTree(400, &rng);
+  PhKey lo(p.dim, 0), hi(p.dim, LowMask(p.key_bits));
+  const Entries oneshot = tree_->QueryWindow(lo, hi);
+  ASSERT_GE(oneshot.size(), 8u);
+  const size_t page_size = 3;
+  const WindowPage first = tree_->QueryWindowPage(lo, hi, page_size);
+  ASSERT_TRUE(first.more);
+  // Erase the resume key itself, then resume: the scan continues at the
+  // first surviving entry strictly z-after the token.
+  ASSERT_TRUE(tree_->Erase(first.token));
+  Entries rest;
+  std::optional<PhKey> token = first.token;
+  while (token.has_value()) {
+    const WindowPage page = tree_->QueryWindowPage(lo, hi, page_size, *token);
+    rest.insert(rest.end(), page.entries.begin(), page.entries.end());
+    token = page.more ? std::optional<PhKey>(page.token) : std::nullopt;
+  }
+  Entries expect(oneshot.begin() + page_size, oneshot.end());
+  EXPECT_EQ(rest, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cursor, TreeCursorTest,
+    testing::Values(CursorParam{2, 8, NodeRepr::kAdaptive},
+                    CursorParam{2, 16, NodeRepr::kHcOnly},
+                    CursorParam{2, 16, NodeRepr::kLhcOnly},
+                    CursorParam{3, 10, NodeRepr::kAdaptive},
+                    CursorParam{3, 10, NodeRepr::kHcOnly},
+                    CursorParam{6, 6, NodeRepr::kAdaptive},
+                    CursorParam{6, 6, NodeRepr::kLhcOnly},
+                    CursorParam{6, 62, NodeRepr::kAdaptive}),
+    CursorParamName);
+
+// ---- Resume mid-node (dense single node) --------------------------------
+
+TEST(TreeCursorResumeTest, ResumesMidNodeInADenseHcNode) {
+  // 2-D keys differing only in their lowest bit layer: all 4 children of
+  // one maximally dense node. Page size 1 forces a resume inside it.
+  PhTreeConfig cfg;
+  cfg.repr = NodeRepr::kHcOnly;
+  PhTree tree(2, cfg);
+  Entries expect;
+  for (uint64_t a = 0; a < 2; ++a) {
+    for (uint64_t b = 0; b < 2; ++b) {
+      const PhKey key{a, b};
+      tree.Insert(key, (a << 1) | b);
+    }
+  }
+  for (TreeCursor c(tree); c.Valid(); c.Next()) {
+    expect.emplace_back(PhKey(c.key().begin(), c.key().end()), c.value());
+  }
+  ASSERT_EQ(expect.size(), 4u);
+  const PhKey lo{0, 0}, hi{1, 1};
+  Entries paged;
+  std::optional<PhKey> token;
+  for (;;) {
+    const WindowPage page = token.has_value()
+                                ? tree.QueryWindowPage(lo, hi, 1, *token)
+                                : tree.QueryWindowPage(lo, hi, 1);
+    paged.insert(paged.end(), page.entries.begin(), page.entries.end());
+    if (!page.more) {
+      break;
+    }
+    token = page.token;
+  }
+  EXPECT_EQ(paged, expect);
+}
+
+// ---- Pagination across the concurrent wrappers --------------------------
+
+template <typename Tree>
+Entries DrainPages(const Tree& tree, const PhKey& lo, const PhKey& hi,
+                   size_t page_size) {
+  Entries out;
+  std::optional<PhKey> token;
+  for (;;) {
+    const WindowPage page = token.has_value()
+                                ? tree.QueryWindowPage(lo, hi, page_size,
+                                                       *token)
+                                : tree.QueryWindowPage(lo, hi, page_size);
+    out.insert(out.end(), page.entries.begin(), page.entries.end());
+    if (!page.more) {
+      return out;
+    }
+    token = page.token;
+  }
+}
+
+TEST(PaginationVariantsTest, SyncAndShardedAgreeWithPlainTree) {
+  constexpr uint32_t kDim = 3;
+  constexpr uint32_t kKeyBits = 9;
+  Rng rng(0x5ADED);
+  PhTree plain(kDim);
+  PhTreeSync sync(kDim);
+  PhTreeSharded sharded_z(kDim, 4, ShardRouting::kZPrefix);
+  PhTreeSharded sharded_h(kDim, 4, ShardRouting::kHash);
+  for (size_t i = 0; i < 800; ++i) {
+    PhKey key(kDim);
+    for (auto& v : key) {
+      v = rng.NextU64() & LowMask(kKeyBits);
+    }
+    plain.Insert(key, i);
+    sync.Insert(key, i);
+    sharded_z.Insert(key, i);
+    sharded_h.Insert(key, i);
+  }
+  for (int q = 0; q < 25; ++q) {
+    PhKey lo(kDim), hi(kDim);
+    for (uint32_t d = 0; d < kDim; ++d) {
+      uint64_t a = rng.NextU64() & LowMask(kKeyBits);
+      uint64_t b = rng.NextU64() & LowMask(kKeyBits);
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    const size_t page_size = 1 + rng.NextBounded(6);
+    const Entries expect = plain.QueryWindow(lo, hi);
+    EXPECT_EQ(DrainPages(plain, lo, hi, page_size), expect);
+    EXPECT_EQ(DrainPages(sync, lo, hi, page_size), expect);
+    EXPECT_EQ(DrainPages(sharded_z, lo, hi, page_size), expect);
+    EXPECT_EQ(DrainPages(sharded_h, lo, hi, page_size), expect);
+  }
+}
+
+}  // namespace
+}  // namespace phtree

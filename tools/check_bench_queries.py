@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI gate for the BENCH_queries.json artefact.
+
+Validates that the file fig08_point_queries and fig09_range_queries wrote is
+well-formed and sane:
+
+  * parses as JSON with "bench": "queries" and both expected sections,
+  * every section carries the run-metadata stamp (cores/build_type/
+    git_sha/scale),
+  * every row has the required fields with positive n and a positive,
+    finite timing value (zero or negative throughput means the measured
+    loop was optimised away or the clock misbehaved),
+  * the range_queries section includes the 6D CUBE hc_ablation rows with
+    both tuning modes present.
+
+Exit code 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_SECTIONS = {
+    "point_queries": "us_per_query",
+    "range_queries": "us_per_result",
+}
+METADATA_KEYS = ("cores", "build_type", "git_sha", "scale")
+ABLATION_MODES = {"hc_successor_skip", "hc_probe_loop"}
+
+
+def fail(msg):
+    print(f"check_bench_queries: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_rows(section, rows, value_key):
+    if not isinstance(rows, list) or not rows:
+        fail(f"section {section}: empty or non-list rows")
+    for i, row in enumerate(rows):
+        for key in ("dataset", "struct", "n", value_key):
+            if key not in row:
+                fail(f"section {section} row {i}: missing {key!r}")
+        if not isinstance(row["n"], int) or row["n"] <= 0:
+            fail(f"section {section} row {i}: non-positive n {row['n']!r}")
+        us = row[value_key]
+        if not isinstance(us, (int, float)) or not math.isfinite(us) or us <= 0:
+            fail(
+                f"section {section} row {i}: {value_key} {us!r} is not a "
+                "positive finite number"
+            )
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_queries.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if doc.get("bench") != "queries":
+        fail(f"top-level bench is {doc.get('bench')!r}, expected 'queries'")
+    sections = doc.get("sections")
+    if not isinstance(sections, dict):
+        fail("missing or non-object 'sections'")
+
+    for name, value_key in REQUIRED_SECTIONS.items():
+        section = sections.get(name)
+        if not isinstance(section, dict):
+            fail(f"missing section {name!r}")
+        metadata = section.get("metadata")
+        if not isinstance(metadata, dict):
+            fail(f"section {name}: missing metadata stamp")
+        for key in METADATA_KEYS:
+            if key not in metadata:
+                fail(f"section {name}: metadata missing {key!r}")
+        check_rows(name, section.get("rows"), value_key)
+
+    ablation = sections["range_queries"].get("hc_ablation")
+    check_rows("range_queries.hc_ablation", ablation, "us_per_result")
+    modes = {row["struct"] for row in ablation}
+    if not ABLATION_MODES <= modes:
+        fail(
+            f"hc_ablation modes {sorted(modes)} missing "
+            f"{sorted(ABLATION_MODES - modes)}"
+        )
+    skip = min(
+        r["us_per_result"] for r in ablation
+        if r["struct"] == "hc_successor_skip"
+    )
+    probe = min(
+        r["us_per_result"] for r in ablation if r["struct"] == "hc_probe_loop"
+    )
+    print(
+        f"check_bench_queries: OK ({path}: "
+        f"{len(sections['point_queries']['rows'])} point rows, "
+        f"{len(sections['range_queries']['rows'])} range rows, "
+        f"hc ablation skip {skip:.3f} vs probe {probe:.3f} us/result)"
+    )
+
+
+if __name__ == "__main__":
+    main()
