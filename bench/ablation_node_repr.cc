@@ -1,7 +1,7 @@
 // Ablation (ours, motivated by DESIGN.md): how much do the PH-tree's two
 // node-layout mechanisms matter?
-//  1. Adaptive HC/LHC switching (paper Sect. 3.2) vs forcing either
-//     representation everywhere.
+//  1. Adaptive HC/LHC/BHC switching (paper Sect. 3.2, plus our packed-leaf
+//     BHC refinement) vs forcing a representation everywhere.
 //  2. The strict smaller-wins switch rule vs the paper's proposed "relaxed
 //     switching condition" (hysteresis) under insert/delete churn.
 #include <cstdio>
@@ -22,6 +22,7 @@ struct ReprResult {
   double query_us;
   double bytes_per_entry;
   size_t hc_nodes;
+  size_t bhc_nodes;
   size_t nodes;
 };
 
@@ -45,6 +46,7 @@ ReprResult RunConfig(const Dataset& ds, NodeRepr repr) {
   const auto stats = tree.ComputeStats();
   r.bytes_per_entry = stats.BytesPerEntry();
   r.hc_nodes = stats.n_hc_nodes;
+  r.bhc_nodes = stats.n_bhc_nodes;
   r.nodes = stats.n_nodes;
   return r;
 }
@@ -53,18 +55,20 @@ void RunRepr(const char* name, const Dataset& ds) {
   std::printf("\n## Node representation ablation: %s, k=%u, n=%zu\n", name,
               ds.dim, ds.n());
   Table table({"policy", "insert us/e", "query us", "bytes/e", "HC nodes",
-               "nodes"});
+               "BHC nodes", "nodes"});
   const auto row = [&](const char* pname, const ReprResult& r) {
     table.Cell(std::string(pname));
     table.Cell(r.insert_us);
     table.Cell(r.query_us);
     table.Cell(r.bytes_per_entry);
     table.Cell(static_cast<uint64_t>(r.hc_nodes));
+    table.Cell(static_cast<uint64_t>(r.bhc_nodes));
     table.Cell(static_cast<uint64_t>(r.nodes));
   };
   row("adaptive", RunConfig(ds, NodeRepr::kAdaptive));
   row("lhc-only", RunConfig(ds, NodeRepr::kLhcOnly));
   row("hc-only", RunConfig(ds, NodeRepr::kHcOnly));
+  row("bhc-only", RunConfig(ds, NodeRepr::kBhcOnly));
 }
 
 void RunHysteresis() {

@@ -123,7 +123,17 @@ int Main(int argc, char** argv) {
               "shards, CUBE data");
   const RunMetadata meta = CollectRunMetadata();
   std::printf("# %s\n", MetadataJson(meta).c_str());
-  if (meta.cores < 8) {
+  // On a single visible core every multi-threaded row is pure time-slicing:
+  // speedup ratios are meaningless, not merely noisy. The JSON artefact
+  // carries that verdict so downstream tooling (and committed-result
+  // readers) can discard the derived numbers mechanically.
+  const bool scaling_valid = meta.cores > 1;
+  if (!scaling_valid) {
+    std::printf(
+        "# WARNING: only 1 core visible — all multi-thread numbers measure "
+        "time-slicing, not parallelism; artefact is marked "
+        "\"scaling_valid\": false\n");
+  } else if (meta.cores < 8) {
     std::printf(
         "# note: only %u core(s) visible — thread counts above that "
         "measure oversubscription, not parallel speedup\n",
@@ -264,7 +274,9 @@ int Main(int argc, char** argv) {
     return 1;
   }
   out << "{\n  \"bench\": \"concurrency_scaling\",\n  \"metadata\": "
-      << MetadataJson(meta) << ",\n  \"workload\": {\"dataset\": \"CUBE\", "
+      << MetadataJson(meta) << ",\n  \"scaling_valid\": "
+      << (scaling_valid ? "true" : "false")
+      << ",\n  \"workload\": {\"dataset\": \"CUBE\", "
       << "\"dim\": " << dim << ", \"n\": " << keys.size()
       << ", \"routing\": \"hash\", \"window_queries\": " << boxes.size()
       << ", \"window_coverage\": 0.001},\n  \"rows\": [\n";

@@ -8,21 +8,39 @@
 // PH must land well below the pointer-based kd-tree and crit-bit trees and
 // near the object[] baseline. (Our KD2 is array-backed and therefore more
 // compact than the paper's Java KD2; see EXPERIMENTS.md.)
+//
+// Besides the human-readable table, the run lands as the "table1" section
+// of the shared BENCH_space.json artefact (argv[1] overrides the path),
+// validated by tools/check_bench_space.py in CI.
 #include <functional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "baseline/array_store.h"
+#include "benchlib/json_artifact.h"
 #include "benchlib/measure.h"
+#include "benchlib/run_metadata.h"
 
 namespace phtree::bench {
 namespace {
 
-void Run(const char* name, const Dataset& ds) {
+struct SpaceRow {
+  std::string dataset;
+  std::string structure;
+  uint64_t n = 0;
+  double bytes_per_entry = 0;
+};
+
+void Run(const char* name, const Dataset& ds, std::vector<SpaceRow>* rows) {
   std::printf("\n## %s, n=%zu\n", name, ds.n());
   Table table({"struct", "bytes/entry"});
   const auto row = [&](const char* sname, uint64_t bytes, size_t entries) {
+    const double bpe =
+        static_cast<double>(bytes) / static_cast<double>(entries);
     table.Cell(std::string(sname));
-    table.Cell(static_cast<double>(bytes) / static_cast<double>(entries));
+    table.Cell(bpe);
+    rows->push_back(SpaceRow{name, sname, entries, bpe});
   };
   // The PH rows consume the arena's measured allocator state (see
   // PhTreeStats::arena_live_bytes): memory_bytes sums the granted slab
@@ -83,28 +101,59 @@ void Run(const char* name, const Dataset& ds) {
   arena_note("PH(set)", ph_set_stats);
 }
 
-void Main() {
+std::string SectionJson(const RunMetadata& meta,
+                        const std::vector<SpaceRow>& rows) {
+  std::ostringstream os;
+  os << "{\n  \"figure\": \"Table 1, Sect. 4.3.5\",\n  \"metadata\": "
+     << MetadataJson(meta) << ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"dataset\": \"%s\", \"struct\": \"%s\", "
+                  "\"n\": %llu, \"bytes_per_entry\": %.4f}",
+                  JsonEscape(rows[i].dataset).c_str(),
+                  JsonEscape(rows[i].structure).c_str(),
+                  static_cast<unsigned long long>(rows[i].n),
+                  rows[i].bytes_per_entry);
+    os << buf << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}";
+  return os.str();
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : std::string("BENCH_space.json");
   PrintHeader("table1_space", "Table 1, Sect. 4.3.5",
               "Bytes per 64-bit entry per structure and dataset");
+  const RunMetadata meta = CollectRunMetadata();
+  std::printf("# %s\n", MetadataJson(meta).c_str());
   const size_t n = ScaledN(500000);
+  std::vector<SpaceRow> rows;
   {
     const Dataset ds = GenerateTigerLike(n, 42);
-    Run("2D TIGER/Line", ds);
+    Run("2D TIGER/Line", ds, &rows);
   }
   {
     const Dataset ds = GenerateCube(n, 3, 42);
-    Run("3D CUBE", ds);
+    Run("3D CUBE", ds, &rows);
   }
   {
     const Dataset ds = GenerateCluster(n, 3, 0.5, 42);
-    Run("3D CLUSTER0.5", ds);
+    Run("3D CLUSTER0.5", ds, &rows);
   }
+  if (!UpdateJsonArtifact(json_path, "space", "table1",
+                          SectionJson(meta, rows))) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s (section table1)\n", json_path.c_str());
+  return 0;
 }
 
 }  // namespace
 }  // namespace phtree::bench
 
-int main() {
-  phtree::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return phtree::bench::Main(argc, argv);
 }

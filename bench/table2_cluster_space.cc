@@ -4,38 +4,86 @@
 // Expected shape: CLUSTER0.5 starts noticeably above CLUSTER0.4 (the
 // IEEE-exponent boundary at 0.5 splits the tree high up, Sect. 4.3.6) and
 // the two converge for large n as prefix sharing catches up.
+//
+// Besides the human-readable table, the run lands as the "table2" section
+// of the shared BENCH_space.json artefact (argv[1] overrides the path),
+// validated by tools/check_bench_space.py in CI.
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "benchlib/json_artifact.h"
 #include "benchlib/measure.h"
+#include "benchlib/run_metadata.h"
 
 namespace phtree::bench {
 namespace {
 
-void Main() {
+struct ClusterRow {
+  std::string cluster;
+  uint64_t n = 0;
+  double bytes_per_entry = 0;
+};
+
+std::string SectionJson(const RunMetadata& meta,
+                        const std::vector<ClusterRow>& rows) {
+  std::ostringstream os;
+  os << "{\n  \"figure\": \"Table 2, Sect. 4.3.6\",\n  \"metadata\": "
+     << MetadataJson(meta) << ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"dataset\": \"%s\", \"struct\": \"PH\", "
+                  "\"n\": %llu, \"bytes_per_entry\": %.4f}",
+                  JsonEscape(rows[i].cluster).c_str(),
+                  static_cast<unsigned long long>(rows[i].n),
+                  rows[i].bytes_per_entry);
+    os << buf << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}";
+  return os.str();
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : std::string("BENCH_space.json");
   PrintHeader("table2_cluster_space", "Table 2, Sect. 4.3.6",
               "PH bytes/entry for CLUSTER0.4 vs CLUSTER0.5, k=3, growing n");
+  const RunMetadata meta = CollectRunMetadata();
+  std::printf("# %s\n", MetadataJson(meta).c_str());
   // Paper: n in {1,5,10,15,25,50} million; scaled to 1/50 by default.
   const std::vector<size_t> sizes = {
       ScaledN(20000),  ScaledN(100000), ScaledN(200000),
       ScaledN(300000), ScaledN(500000), ScaledN(1000000)};
   Table table({"n", "CL0.4 B/e", "CL0.5 B/e"});
+  std::vector<ClusterRow> rows;
   for (const size_t n : sizes) {
     const Dataset d04 = GenerateCluster(n, 3, 0.4, 42);
     const Dataset d05 = GenerateCluster(n, 3, 0.5, 42);
     const auto r04 = MeasureLoad<PhAdapter>(d04);
     const auto r05 = MeasureLoad<PhAdapter>(d05);
+    const double b04 = static_cast<double>(r04.memory_bytes) /
+                       static_cast<double>(r04.unique_entries);
+    const double b05 = static_cast<double>(r05.memory_bytes) /
+                       static_cast<double>(r05.unique_entries);
     table.Cell(static_cast<uint64_t>(n));
-    table.Cell(static_cast<double>(r04.memory_bytes) /
-               static_cast<double>(r04.unique_entries));
-    table.Cell(static_cast<double>(r05.memory_bytes) /
-               static_cast<double>(r05.unique_entries));
+    table.Cell(b04);
+    table.Cell(b05);
+    rows.push_back(ClusterRow{"3D CLUSTER0.4", r04.unique_entries, b04});
+    rows.push_back(ClusterRow{"3D CLUSTER0.5", r05.unique_entries, b05});
   }
+  if (!UpdateJsonArtifact(json_path, "space", "table2",
+                          SectionJson(meta, rows))) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("# wrote %s (section table2)\n", json_path.c_str());
+  return 0;
 }
 
 }  // namespace
 }  // namespace phtree::bench
 
-int main() {
-  phtree::bench::Main();
-  return 0;
+int main(int argc, char** argv) {
+  return phtree::bench::Main(argc, argv);
 }

@@ -126,7 +126,9 @@ bool UpdateJsonArtifact(const std::string& path, const std::string& artifact,
     if (sections_key != std::string::npos) {
       const size_t open = existing.find('{', sections_key);
       if (open != std::string::npos) {
-        const size_t key = FindKeyAtDepth(existing, open, 2, section);
+        // Relative to `open` the sections object itself contributes depth
+        // 1, so its keys sit at depth exactly 1.
+        const size_t key = FindKeyAtDepth(existing, open, 1, section);
         if (key != std::string::npos) {
           // Replace this binary's previous section body.
           const size_t colon = existing.find(':', key);

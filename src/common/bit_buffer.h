@@ -6,8 +6,11 @@
 #ifndef PHTREE_COMMON_BIT_BUFFER_H_
 #define PHTREE_COMMON_BIT_BUFFER_H_
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
+
+#include "common/bits.h"
 
 namespace phtree {
 
@@ -163,6 +166,100 @@ class BitBuffer {
   uint64_t size_bits_ = 0;
   WordPool* pool_ = nullptr;
 };
+
+// ---- Hot read-path primitives, inline -------------------------------------
+//
+// Every ordinal accessor of a PH-tree node funnels through these four
+// functions, several times per visited entry (window scans alone issue tens
+// of millions of calls per second). Defined here so they compile into
+// straight-line bit arithmetic at the call site instead of a cross-TU call.
+
+inline uint64_t BitBuffer::ReadBits(uint64_t pos, uint32_t n) const {
+  assert(pos + n <= size_bits_);
+  if (n == 0) {
+    return 0;
+  }
+  const uint64_t wi = pos >> 6;
+  const uint32_t off = static_cast<uint32_t>(pos & 63);
+  if (off + n <= 64) {
+    return (words_[wi] >> (64 - off - n)) & LowMask(n);
+  }
+  const uint32_t n1 = 64 - off;  // bits taken from the first word
+  const uint32_t n2 = n - n1;    // bits taken from the second word
+  const uint64_t hi = words_[wi] & LowMask(n1);
+  const uint64_t lo = words_[wi + 1] >> (64 - n2);
+  return (hi << n2) | lo;
+}
+
+inline void BitBuffer::WriteBits(uint64_t pos, uint32_t n, uint64_t value) {
+  assert(pos + n <= size_bits_);
+  if (n == 0) {
+    return;
+  }
+  value &= LowMask(n);
+  const uint64_t wi = pos >> 6;
+  const uint32_t off = static_cast<uint32_t>(pos & 63);
+  if (off + n <= 64) {
+    const uint32_t shift = 64 - off - n;
+    words_[wi] = (words_[wi] & ~(LowMask(n) << shift)) | (value << shift);
+    return;
+  }
+  const uint32_t n1 = 64 - off;
+  const uint32_t n2 = n - n1;
+  words_[wi] = (words_[wi] & ~LowMask(n1)) | (value >> n2);
+  words_[wi + 1] =
+      (words_[wi + 1] & LowMask(64 - n2)) | ((value & LowMask(n2)) << (64 - n2));
+}
+
+inline uint64_t BitBuffer::CountOnesInRange(uint64_t begin,
+                                            uint64_t end) const {
+  assert(begin <= end && end <= size_bits_);
+  if (begin == end) {
+    return 0;
+  }
+  const uint64_t first_word = begin >> 6;
+  const uint64_t last_word = (end - 1) >> 6;
+  if (first_word == last_word) {
+    return static_cast<uint64_t>(std::popcount(
+        ReadBits(begin, static_cast<uint32_t>(end - begin))));
+  }
+  uint64_t ones = 0;
+  // Partial first word: bits [begin, word boundary).
+  const uint32_t head = 64 - static_cast<uint32_t>(begin & 63);
+  if (head < 64) {
+    ones += static_cast<uint64_t>(std::popcount(ReadBits(begin, head)));
+  } else {
+    ones += static_cast<uint64_t>(std::popcount(words_[first_word]));
+  }
+  for (uint64_t w = first_word + 1; w < last_word; ++w) {
+    ones += static_cast<uint64_t>(std::popcount(words_[w]));
+  }
+  // Partial last word: bits [word boundary, end).
+  const uint32_t tail = static_cast<uint32_t>(end - (last_word << 6));
+  ones += static_cast<uint64_t>(std::popcount(ReadBits(last_word << 6, tail)));
+  return ones;
+}
+
+inline uint64_t BitBuffer::FindNextOne(uint64_t pos) const {
+  if (pos >= size_bits_) {
+    return kNpos;
+  }
+  uint64_t wi = pos >> 6;
+  const uint32_t off = static_cast<uint32_t>(pos & 63);
+  // Mask away bits before `pos` in the first word (stream bit i lives at
+  // word bit 63 - i%64, so earlier stream bits are the higher word bits).
+  uint64_t word = words_[wi] & LowMask(64 - off);
+  const uint64_t n_words = WordsFor(size_bits_);
+  while (word == 0) {
+    if (++wi >= n_words) {
+      return kNpos;
+    }
+    word = words_[wi];
+  }
+  const uint64_t bit =
+      (wi << 6) + static_cast<uint64_t>(std::countl_zero(word));
+  return bit < size_bits_ ? bit : kNpos;
+}
 
 }  // namespace phtree
 

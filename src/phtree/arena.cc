@@ -142,12 +142,13 @@ NodeArena::~NodeArena() {
   assert(pooled_ || live_nodes_ == 0);
 }
 
-NodeArena::NodeSlot* NodeArena::TakeSlot() {
-  if (free_nodes_ != nullptr) {
-    auto* slot = static_cast<NodeSlot*>(free_nodes_);
-    std::memcpy(&free_nodes_, slot, sizeof(void*));
+NodeHandle NodeArena::TakeSlot() {
+  if (free_head_ != kInvalidNodeHandle) {
+    const NodeHandle h = free_head_;
+    NodeSlot* slot = &node_slabs_[h >> kSlabShift][h & kSlotMask];
+    std::memcpy(&free_head_, slot, sizeof(NodeHandle));
     --free_node_count_;
-    return slot;
+    return h;
   }
   if (node_slabs_.empty() || node_slab_off_ == kNodesPerSlab) {
     if (!node_slabs_.empty()) {
@@ -158,35 +159,52 @@ NodeArena::NodeSlot* NodeArena::TakeSlot() {
     }
     node_slab_off_ = 0;
   }
-  return &node_slabs_[cur_node_slab_][node_slab_off_++];
+  return static_cast<NodeHandle>(cur_node_slab_ * kNodesPerSlab +
+                                 node_slab_off_++);
 }
 
-Node* NodeArena::NewNode(uint32_t dim, uint32_t infix_len,
-                         uint32_t postfix_len, bool store_values) {
+NodeRef NodeArena::NewNode(uint32_t dim, uint32_t infix_len,
+                           uint32_t postfix_len, bool store_values) {
   ++live_nodes_;
   if (!pooled_) {
-    return new Node(dim, infix_len, postfix_len, store_values,
-                    /*pool=*/nullptr);
+    Node* node = new Node(dim, infix_len, postfix_len, store_values,
+                          /*pool=*/nullptr);
+    NodeHandle h;
+    if (!heap_free_.empty()) {
+      h = heap_free_.back();
+      heap_free_.pop_back();
+      heap_nodes_[h] = node;
+    } else {
+      h = static_cast<NodeHandle>(heap_nodes_.size());
+      heap_nodes_.push_back(node);
+    }
+    return {node, h};
   }
-  NodeSlot* slot = TakeSlot();
-  return new (slot) Node(dim, infix_len, postfix_len, store_values,
-                         &word_pool_);
+  const NodeHandle h = TakeSlot();
+  NodeSlot* slot = &node_slabs_[h >> kSlabShift][h & kSlotMask];
+  Node* node = new (slot) Node(dim, infix_len, postfix_len, store_values,
+                               &word_pool_);
+  return {node, h};
 }
 
-void NodeArena::DeleteNode(Node* node) {
-  assert(node != nullptr && live_nodes_ > 0);
-  assert(Owns(node));
+void NodeArena::DeleteNode(NodeRef ref) {
+  assert(ref.ptr != nullptr && live_nodes_ > 0);
+  assert(Owns(ref.ptr));
+  assert(NodeAt(ref.handle) == ref.ptr);
   --live_nodes_;
   if (!pooled_) {
-    delete node;
+    delete ref.ptr;
+    heap_nodes_[ref.handle] = nullptr;
+    heap_free_.push_back(ref.handle);
     return;
   }
   // Run the destructor so the BitBuffer block returns to the size-class
-  // freelist, then thread the slot onto the node freelist.
-  node->~Node();
-  void* slot = static_cast<void*>(node);
-  std::memcpy(slot, &free_nodes_, sizeof(void*));
-  free_nodes_ = slot;
+  // freelist, then thread the slot onto the handle-linked freelist.
+  ref.ptr->~Node();
+  NodeSlot* slot = &node_slabs_[ref.handle >> kSlabShift]
+                               [ref.handle & kSlotMask];
+  std::memcpy(slot, &free_head_, sizeof(NodeHandle));
+  free_head_ = ref.handle;
   ++free_node_count_;
 }
 
@@ -195,7 +213,7 @@ void NodeArena::Reset() {
   word_pool_.Reset();
   cur_node_slab_ = 0;
   node_slab_off_ = 0;
-  free_nodes_ = nullptr;
+  free_head_ = kInvalidNodeHandle;
   free_node_count_ = 0;
   live_nodes_ = 0;
 }

@@ -90,19 +90,35 @@ class SlabWordPool final : public WordPool {
   uint64_t free_bytes_ = 0;
 };
 
+/// A freshly allocated node: its address plus its 32-bit arena handle.
+/// Nodes store only handles of their children (halving the child-slot
+/// width), so callers must keep the handle alongside the pointer until the
+/// child link is written.
+struct NodeRef {
+  Node* ptr = nullptr;
+  NodeHandle handle = kInvalidNodeHandle;
+
+  explicit operator bool() const { return ptr != nullptr; }
+};
+
 /// Owner of every Node of one PhTree. Nodes are placement-constructed into
-/// slots of fixed-size slabs; deleted nodes go on a freelist whose links
-/// reuse the slot memory. The arena address is stable for the lifetime of
-/// the owning tree (PhTree holds it behind a unique_ptr), so Node pointers
-/// and the word-pool pointer baked into each BitBuffer never dangle across
-/// a PhTree move.
+/// slots of fixed-size slabs and addressed by 32-bit handles that encode
+/// (slab index, slot index); deleted nodes go on a freelist whose links —
+/// themselves handles — reuse the slot memory. The arena address is stable
+/// for the lifetime of the owning tree (PhTree holds it behind a
+/// unique_ptr), so Node pointers resolved from handles and the word-pool
+/// pointer baked into each BitBuffer never dangle across a PhTree move.
 class NodeArena {
  public:
-  /// Nodes per slab; at ~56 bytes per Node one slab is ~14 KiB.
+  /// Nodes per slab; at ~56 bytes per Node one slab is ~14 KiB. Must stay a
+  /// power of two: handles are slab_index * kNodesPerSlab + slot_index.
   static constexpr size_t kNodesPerSlab = 256;
+  static constexpr uint32_t kSlabShift = 8;
+  static constexpr uint32_t kSlotMask = kNodesPerSlab - 1;
 
-  /// `pooled` = false creates a pass-through arena: plain new/delete, no
-  /// slabs, estimated (not exact) accounting. Used by the ablation bench.
+  /// `pooled` = false creates a pass-through arena: plain new/delete with a
+  /// handle table instead of slab-encoded handles, no slabs, estimated (not
+  /// exact) accounting. Used by the arena-vs-new ablation.
   explicit NodeArena(bool pooled = true) : pooled_(pooled) {}
   NodeArena(const NodeArena&) = delete;
   NodeArena& operator=(const NodeArena&) = delete;
@@ -110,12 +126,26 @@ class NodeArena {
 
   bool pooled() const { return pooled_; }
 
-  /// Constructs a Node whose BitBuffer draws from this arena's word pool.
-  Node* NewNode(uint32_t dim, uint32_t infix_len, uint32_t postfix_len,
-                bool store_values);
+  /// Resolves a handle to the node it names. O(1): a slab lookup (pooled)
+  /// or a table lookup (heap). The handle must name a live node.
+  Node* NodeAt(NodeHandle h) {
+    if (pooled_) {
+      return reinterpret_cast<Node*>(
+          &node_slabs_[h >> kSlabShift][h & kSlotMask]);
+    }
+    return heap_nodes_[h];
+  }
+  const Node* NodeAt(NodeHandle h) const {
+    return const_cast<NodeArena*>(this)->NodeAt(h);
+  }
 
-  /// Destroys `node` and recycles its slot (pooled) or frees it (heap).
-  void DeleteNode(Node* node);
+  /// Constructs a Node whose BitBuffer draws from this arena's word pool.
+  NodeRef NewNode(uint32_t dim, uint32_t infix_len, uint32_t postfix_len,
+                  bool store_values);
+
+  /// Destroys the node and recycles its slot (pooled) or frees it and
+  /// parks its table index (heap).
+  void DeleteNode(NodeRef ref);
 
   /// Destroys every outstanding node in O(slabs), without walking the tree:
   /// node destructors are skipped because the only resource a Node owns is
@@ -154,16 +184,21 @@ class NodeArena {
     unsigned char bytes[sizeof(Node)];
   };
 
-  NodeSlot* TakeSlot();
+  /// Claims a free pooled slot and returns its handle.
+  NodeHandle TakeSlot();
 
   bool pooled_;
   SlabWordPool word_pool_;
   std::vector<std::unique_ptr<NodeSlot[]>> node_slabs_;
   size_t cur_node_slab_ = 0;
   size_t node_slab_off_ = 0;
-  void* free_nodes_ = nullptr;
+  /// Pooled free-slot list: head handle, next links stored in slot bytes.
+  NodeHandle free_head_ = kInvalidNodeHandle;
   size_t free_node_count_ = 0;
   size_t live_nodes_ = 0;
+  /// Heap mode: handle table (index == handle) and recyclable indices.
+  std::vector<Node*> heap_nodes_;
+  std::vector<NodeHandle> heap_free_;
 };
 
 }  // namespace phtree

@@ -122,7 +122,7 @@ void TreeCursor::SeekPast(const uint64_t* token) {
     }
     const uint64_t ord = cursor.ordinal();
     if (node->OrdinalIsSub(ord)) {
-      const Node* child = node->OrdinalSub(ord);
+      const Node* child = tree_->arena()->NodeAt(node->OrdinalSub(ord));
       assert(tree_->arena()->Owns(child));
       // key_ equals the token above this region, so after loading the
       // child's infix the comparison is decided by the infix bits alone.
@@ -161,9 +161,9 @@ void TreeCursor::Advance() {
     cursor.Next();
     ApplyHcAddress(addr, node->postfix_len(), key_span());
     if (node->OrdinalIsSub(ord)) {
-      const Node* child = node->OrdinalSub(ord);
-      // Pointer provenance: every node the cursor descends into must live
-      // in the tree's arena (catches stale pointers in debug builds).
+      const Node* child = tree_->arena()->NodeAt(node->OrdinalSub(ord));
+      // Handle provenance: every node the cursor descends into must live
+      // in the tree's arena (catches stale handles in debug builds).
       assert(tree_->arena()->Owns(child));
       child->ReadInfixInto(key_span());
       if (!bounded_ || SubtreeOverlapsWindow(child)) {
@@ -171,9 +171,8 @@ void TreeCursor::Advance() {
       }
       continue;
     }
-    node->ReadPostfixInto(ord, key_span());
+    value_ = node->ReadPostfixAndPayload(ord, key_span());
     if (!bounded_ || KeyInWindow()) {
-      value_ = node->OrdinalPayload(ord);
       valid_ = true;
       return;
     }

@@ -11,9 +11,10 @@
 //     a' = (((a | ~m_upper) + 1) & m_upper) | m_lower.
 //
 // NodeCursor specializes the walk per node layout:
-//   * HC nodes alternate present-bitmap skips (Node::OrdinalGE) with mask
-//     successor jumps, so neither absent slots nor masked-out address runs
-//     are visited one by one — there is no per-address rejection loop.
+//   * HC and BHC nodes (ordinals are addresses) alternate present-bitmap
+//     skips (Node::OrdinalGE) with mask successor jumps, so neither absent
+//     slots nor masked-out address runs are visited one by one — there is
+//     no per-address rejection loop.
 //   * LHC nodes walk the sorted ordinal table with the mask filter and, on
 //     populous nodes, binary-search to the next mask-implied lower bound
 //     instead of filtering entry by entry.
@@ -179,7 +180,7 @@ class NodeCursor {
     node_ = node;
     lower_ = mask_lower;
     upper_ = mask_upper;
-    hc_ = node->is_hc();
+    hc_ = node->addr_indexed();  // HC and BHC: ordinals are addresses
     const CursorTuning& tuning = GetCursorTuning();
     hc_skip_ = tuning.hc_successor_skip;
     lhc_seek_ = tuning.lhc_binary_seek;

@@ -102,19 +102,18 @@ std::vector<KnnResult> KnnSearch(const PhTree& tree,
       PhKey key = item.key;
       ApplyHcAddress(cursor.addr(), pl, key);
       if (node->OrdinalIsSub(ord)) {
-        const Node* child = node->OrdinalSub(ord);
-        // Pointer provenance: every reachable node must live in the tree's
-        // arena (catches stale pointers after Clear()/moves in debug).
+        const Node* child = tree.arena()->NodeAt(node->OrdinalSub(ord));
+        // Handle provenance: every reachable node must live in the tree's
+        // arena (catches stale handles after Clear()/moves in debug).
         assert(tree.arena()->Owns(child));
         child->ReadInfixInto(key);
         const double d2 =
             BoxDist2(center, key, child->postfix_len() + 1, metric);
         queue.push(QueueItem{d2, child, std::move(key), 0});
       } else {
-        node->ReadPostfixInto(ord, key);
+        const uint64_t payload = node->ReadPostfixAndPayload(ord, key);
         const double d2 = PointDist2(center, key, metric);
-        queue.push(
-            QueueItem{d2, nullptr, std::move(key), node->OrdinalPayload(ord)});
+        queue.push(QueueItem{d2, nullptr, std::move(key), payload});
       }
     }
   }

@@ -12,14 +12,6 @@ namespace {
 // report exact bytes instead.
 constexpr uint64_t kAllocOverhead = 16;
 
-uint64_t PtrToPayload(Node* p) {
-  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(p));
-}
-
-Node* PayloadToPtr(uint64_t v) {
-  return reinterpret_cast<Node*>(static_cast<uintptr_t>(v));
-}
-
 }  // namespace
 
 Node::Node(uint32_t dim, uint32_t infix_len, uint32_t postfix_len,
@@ -48,43 +40,10 @@ void Node::SetInfixFromKey(std::span<const uint64_t> key) {
   }
 }
 
-void Node::ReadInfixInto(std::span<uint64_t> key) const {
-  const uint32_t il = infix_len_;
-  if (il == 0) {
-    return;
-  }
-  const uint64_t base = infix_base();
-  for (uint32_t d = 0; d < dim_; ++d) {
-    const uint64_t seg = bits_.ReadBits(base + static_cast<uint64_t>(d) * il,
-                                        il);
-    key[d] = (key[d] & ~(LowMask(il) << (postfix_len_ + 1))) |
-             (seg << (postfix_len_ + 1));
-  }
-}
-
-int Node::MatchInfix(std::span<const uint64_t> key) const {
-  const uint32_t il = infix_len_;
-  if (il == 0) {
-    return -1;
-  }
-  const uint64_t base = infix_base();
-  uint64_t agg = 0;
-  for (uint32_t d = 0; d < dim_; ++d) {
-    const uint64_t stored =
-        bits_.ReadBits(base + static_cast<uint64_t>(d) * il, il);
-    const uint64_t keyseg = (key[d] >> (postfix_len_ + 1)) & LowMask(il);
-    agg |= stored ^ keyseg;
-  }
-  if (agg == 0) {
-    return -1;
-  }
-  // Highest differing segment bit j corresponds to key bit postfix_len+1+j.
-  const int j = static_cast<int>(std::bit_width(agg)) - 1;
-  return static_cast<int>(postfix_len_) + 1 + j;
-}
-
 void Node::ReplaceInfix(uint32_t new_infix_len,
                         std::span<const uint64_t> segments) {
+  // The infix precedes every region it can shift in all three
+  // representations, so a resize-in-place is safe repr-independently.
   const uint64_t base = infix_base();
   const uint64_t old_bits = infix_bits();
   const uint64_t new_bits = static_cast<uint64_t>(dim_) * new_infix_len;
@@ -139,125 +98,7 @@ void Node::AbsorbParentInfix(const Node& parent, uint64_t addr_in_parent,
   MaybeSwitchRepresentation(cfg);
 }
 
-// ---- Lookup -------------------------------------------------------------
-
-uint64_t Node::FindOrdinal(uint64_t addr) const {
-  if (is_hc_) {
-    return bits_.GetBit(hc_present_base() + addr) ? addr : kNoOrdinal;
-  }
-  // Binary search over the packed, sorted address table (paper Sect. 3.2:
-  // keys are extracted from the bit stream at each search step).
-  const uint64_t base = lhc_addrs_base();
-  uint64_t lo = 0;
-  uint64_t hi = num_entries_;
-  while (lo < hi) {
-    const uint64_t mid = (lo + hi) / 2;
-    const uint64_t a = bits_.ReadBits(base + mid * dim_, dim_);
-    if (a < addr) {
-      lo = mid + 1;
-    } else if (a > addr) {
-      hi = mid;
-    } else {
-      return mid;
-    }
-  }
-  return kNoOrdinal;
-}
-
-bool Node::OrdinalIsSub(uint64_t ord) const {
-  return bits_.GetBit((is_hc_ ? hc_sub_base() : lhc_flags_base()) + ord) != 0;
-}
-
-uint64_t Node::OrdinalAddr(uint64_t ord) const {
-  if (is_hc_) {
-    return ord;
-  }
-  return bits_.ReadBits(lhc_addrs_base() + ord * dim_, dim_);
-}
-
-uint64_t Node::OrdinalPayload(uint64_t ord) const {
-  if (!store_values_ && !OrdinalIsSub(ord)) {
-    return 0;  // key-only mode: postfix entries carry no payload
-  }
-  return bits_.ReadBits(PayloadSlot(ord) * 64, 64);
-}
-
-Node* Node::OrdinalSub(uint64_t ord) const {
-  return PayloadToPtr(OrdinalPayload(ord));
-}
-
-void Node::ReadPostfixInto(uint64_t ord, std::span<uint64_t> key) const {
-  const uint32_t pl = postfix_len_;
-  if (pl == 0) {
-    return;
-  }
-  const uint64_t record_pos =
-      is_hc_ ? hc_records_base() + ord * stride()
-             : lhc_records_base() + LhcPostfixRank(ord) * stride();
-  for (uint32_t d = 0; d < dim_; ++d) {
-    const uint64_t seg =
-        bits_.ReadBits(record_pos + static_cast<uint64_t>(d) * pl, pl);
-    key[d] = (key[d] & ~LowMask(pl)) | seg;
-  }
-}
-
-int Node::PostfixDivergence(uint64_t ord,
-                            std::span<const uint64_t> key) const {
-  const uint32_t pl = postfix_len_;
-  if (pl == 0) {
-    return -1;
-  }
-  const uint64_t record_pos =
-      is_hc_ ? hc_records_base() + ord * stride()
-             : lhc_records_base() + LhcPostfixRank(ord) * stride();
-  uint64_t agg = 0;
-  for (uint32_t d = 0; d < dim_; ++d) {
-    const uint64_t seg =
-        bits_.ReadBits(record_pos + static_cast<uint64_t>(d) * pl, pl);
-    agg |= seg ^ (key[d] & LowMask(pl));
-  }
-  if (agg == 0) {
-    return -1;
-  }
-  return static_cast<int>(std::bit_width(agg)) - 1;
-}
-
-// ---- Ordinal iteration -------------------------------------------------
-
-uint64_t Node::OrdinalGE(uint64_t addr) const {
-  if (is_hc_) {
-    const uint64_t base = hc_present_base();
-    const uint64_t bit = bits_.FindNextOne(base + addr);
-    if (bit == BitBuffer::kNpos || bit >= base + hc_slots()) {
-      return kNoOrdinal;
-    }
-    return bit - base;
-  }
-  const uint64_t base = lhc_addrs_base();
-  uint64_t lo = 0;
-  uint64_t hi = num_entries_;
-  while (lo < hi) {
-    const uint64_t mid = (lo + hi) / 2;
-    if (bits_.ReadBits(base + mid * dim_, dim_) < addr) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo < num_entries_ ? lo : kNoOrdinal;
-}
-
-uint64_t Node::NextOrdinal(uint64_t ord) const {
-  if (is_hc_) {
-    const uint64_t base = hc_present_base();
-    const uint64_t bit = bits_.FindNextOne(base + ord + 1);
-    if (bit == BitBuffer::kNpos || bit >= base + hc_slots()) {
-      return kNoOrdinal;
-    }
-    return bit - base;
-  }
-  return ord + 1 < num_entries_ ? ord + 1 : kNoOrdinal;
-}
+// Lookup and ordinal iteration are inline in node.h (query hot path).
 
 // ---- Mutation -------------------------------------------------------------
 
@@ -283,23 +124,22 @@ void Node::LhcInsertEntry(uint64_t p, uint64_t addr, bool is_sub,
                           uint64_t payload, const uint64_t* key) {
   const uint64_t n = num_entries_;
   const uint64_t np = num_postfixes();
+  const uint64_t ns = num_subs_;
   const uint64_t ib = infix_bits();
   const uint64_t st = stride();
+  const uint64_t v = vb();
   const uint64_t rank = LhcPostfixRank(p);
+  const uint64_t srank = p - rank;
   const uint64_t has_rec = is_sub ? 0 : 1;
-  // Payload slots: one per entry in value mode, one per sub in key-only
-  // mode (indexed by sub rank).
-  const bool add_slot = store_values_ || is_sub;
-  const uint64_t o_pw = payload_words();
-  const uint64_t n_pw = o_pw + (add_slot ? 1 : 0);
-  const uint64_t slot = store_values_ ? p : PayloadSlot(p);
   // Old region bases.
-  const uint64_t o_inf = o_pw * 64;
+  const uint64_t o_sub = np * v;
+  const uint64_t o_inf = o_sub + ns * 32;
   const uint64_t o_flg = o_inf + ib;
   const uint64_t o_adr = o_flg + n;
   const uint64_t o_rec = o_adr + n * dim_;
   // New region bases (n+1 entries).
-  const uint64_t n_inf = n_pw * 64;
+  const uint64_t n_sub = (np + has_rec) * v;
+  const uint64_t n_inf = n_sub + (ns + (is_sub ? 1 : 0)) * 32;
   const uint64_t n_flg = n_inf + ib;
   const uint64_t n_adr = n_flg + (n + 1);
   const uint64_t n_rec = n_adr + (n + 1) * dim_;
@@ -314,9 +154,17 @@ void Node::LhcInsertEntry(uint64_t p, uint64_t addr, bool is_sub,
   bits_.MoveBits(o_flg + p, n_flg + p + 1, n - p);
   bits_.MoveBits(o_flg, n_flg, p);
   bits_.MoveBits(o_inf, n_inf, ib);
-  if (add_slot) {
-    bits_.MoveBits(slot * 64, (slot + 1) * 64, (o_pw - slot) * 64);
-    bits_.WriteBits(slot * 64, 64, payload);
+  if (is_sub) {
+    bits_.MoveBits(o_sub + srank * 32, n_sub + (srank + 1) * 32,
+                   (ns - srank) * 32);
+    bits_.MoveBits(o_sub, n_sub, srank * 32);
+    bits_.WriteBits(n_sub + srank * 32, 32, payload);
+  } else {
+    bits_.MoveBits(o_sub, n_sub, ns * 32);
+    if (v > 0) {
+      bits_.MoveBits(rank * 64, (rank + 1) * 64, (np - rank) * 64);
+      bits_.WriteBits(rank * 64, 64, payload);
+    }
   }
   // Write the new entry (every field is fully overwritten).
   bits_.SetBit(n_flg + p, is_sub ? 1 : 0);
@@ -333,26 +181,34 @@ void Node::LhcInsertEntry(uint64_t p, uint64_t addr, bool is_sub,
 void Node::LhcRemoveEntry(uint64_t p) {
   const uint64_t n = num_entries_;
   const uint64_t np = num_postfixes();
+  const uint64_t ns = num_subs_;
   const uint64_t ib = infix_bits();
   const uint64_t st = stride();
+  const uint64_t v = vb();
   const bool was_sub = OrdinalIsSub(p);
   const uint64_t rank = LhcPostfixRank(p);
+  const uint64_t srank = p - rank;
   const uint64_t has_rec = was_sub ? 0 : 1;
-  const bool drop_slot = store_values_ || was_sub;
-  const uint64_t o_pw = payload_words();
-  const uint64_t n_pw = o_pw - (drop_slot ? 1 : 0);
-  const uint64_t slot = store_values_ ? p : PayloadSlot(p);
-  const uint64_t o_inf = o_pw * 64;
+  const uint64_t o_sub = np * v;
+  const uint64_t o_inf = o_sub + ns * 32;
   const uint64_t o_flg = o_inf + ib;
   const uint64_t o_adr = o_flg + n;
   const uint64_t o_rec = o_adr + n * dim_;
-  const uint64_t n_inf = n_pw * 64;
+  const uint64_t n_sub = (np - has_rec) * v;
+  const uint64_t n_inf = n_sub + (ns - (was_sub ? 1 : 0)) * 32;
   const uint64_t n_flg = n_inf + ib;
   const uint64_t n_adr = n_flg + (n - 1);
   const uint64_t n_rec = n_adr + (n - 1) * dim_;
   // Leftward displacements: process lowest source first.
-  if (drop_slot) {
-    bits_.MoveBits((slot + 1) * 64, slot * 64, (o_pw - 1 - slot) * 64);
+  if (was_sub) {
+    bits_.MoveBits(o_sub, n_sub, srank * 32);
+    bits_.MoveBits(o_sub + (srank + 1) * 32, n_sub + srank * 32,
+                   (ns - 1 - srank) * 32);
+  } else {
+    if (v > 0) {
+      bits_.MoveBits((rank + 1) * 64, rank * 64, (np - 1 - rank) * 64);
+    }
+    bits_.MoveBits(o_sub, n_sub, ns * 32);
   }
   bits_.MoveBits(o_inf, n_inf, ib);
   bits_.MoveBits(o_flg, n_flg, p);
@@ -370,43 +226,112 @@ void Node::LhcRemoveEntry(uint64_t p) {
   }
 }
 
+void Node::BhcInsertEntry(uint64_t addr, uint64_t value, const uint64_t* key) {
+  const uint64_t np = num_entries_;  // sub-free: every entry is a postfix
+  const uint64_t ib = infix_bits();
+  const uint64_t st = stride();
+  const uint64_t s = hc_slots();
+  const uint64_t v = vb();
+  const uint64_t rank = BhcRank(addr);
+  const uint64_t o_inf = np * v;
+  const uint64_t o_pres = o_inf + ib;
+  const uint64_t o_rec = o_pres + s;
+  const uint64_t n_inf = o_inf + v;
+  const uint64_t n_pres = n_inf + ib;
+  const uint64_t n_rec = n_pres + s;
+  bits_.Resize(n_rec + (np + 1) * st);
+  // Rightward displacements: highest source first.
+  bits_.MoveBits(o_rec + rank * st, n_rec + (rank + 1) * st,
+                 (np - rank) * st);
+  bits_.MoveBits(o_rec, n_rec, rank * st);
+  bits_.MoveBits(o_pres, n_pres, s);
+  bits_.MoveBits(o_inf, n_inf, ib);
+  if (v > 0) {
+    bits_.MoveBits(rank * 64, (rank + 1) * 64, (np - rank) * 64);
+    bits_.WriteBits(rank * 64, 64, value);
+  }
+  bits_.SetBit(n_pres + addr, 1);
+  ++num_entries_;
+  WritePostfixRecord(bhc_records_base() + rank * st,
+                     {key, static_cast<size_t>(dim_)});
+}
+
+void Node::BhcRemoveEntry(uint64_t addr) {
+  const uint64_t np = num_entries_;
+  const uint64_t ib = infix_bits();
+  const uint64_t st = stride();
+  const uint64_t s = hc_slots();
+  const uint64_t v = vb();
+  const uint64_t rank = BhcRank(addr);
+  const uint64_t o_inf = np * v;
+  const uint64_t o_pres = o_inf + ib;
+  const uint64_t o_rec = o_pres + s;
+  const uint64_t n_inf = o_inf - v;
+  const uint64_t n_pres = n_inf + ib;
+  const uint64_t n_rec = n_pres + s;
+  bits_.SetBit(o_pres + addr, 0);
+  // Leftward displacements: lowest source first.
+  if (v > 0) {
+    bits_.MoveBits((rank + 1) * 64, rank * 64, (np - 1 - rank) * 64);
+  }
+  bits_.MoveBits(o_inf, n_inf, ib);
+  bits_.MoveBits(o_pres, n_pres, s);
+  bits_.MoveBits(o_rec, n_rec, rank * st);
+  bits_.MoveBits(o_rec + (rank + 1) * st, n_rec + rank * st,
+                 (np - 1 - rank) * st);
+  bits_.Resize(n_rec + (np - 1) * st);
+  --num_entries_;
+}
+
 void Node::InsertPostfix(uint64_t addr, std::span<const uint64_t> key,
                          uint64_t value, const PhTreeConfig& cfg) {
   assert(FindOrdinal(addr) == kNoOrdinal);
-  if (is_hc_) {
-    if (store_values_) {
-      bits_.WriteBits(addr * 64, 64, value);
-    } else if (payload_words() > 0) {
-      bits_.WriteBits(addr * 64, 64, 0);  // unused slot: keep deterministic
+  switch (repr_) {
+    case Repr::kHc:
+      if (store_values_) {
+        bits_.WriteBits(addr * 64, 64, value);
+      }
+      bits_.SetBit(hc_present_base() + addr, 1);
+      bits_.SetBit(hc_sub_base() + addr, 0);
+      WritePostfixRecord(hc_records_base() + addr * stride(), key);
+      ++num_entries_;
+      break;
+    case Repr::kBhc:
+      BhcInsertEntry(addr, value, key.data());
+      break;
+    case Repr::kLhc:
+    default: {
+      const uint64_t ge = OrdinalGE(addr);
+      const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
+      LhcInsertEntry(p, addr, /*is_sub=*/false, value, key.data());
+      break;
     }
-    bits_.SetBit(hc_present_base() + addr, 1);
-    bits_.SetBit(hc_sub_base() + addr, 0);
-    WritePostfixRecord(hc_records_base() + addr * stride(), key);
-    ++num_entries_;
-  } else {
-    const uint64_t ge = OrdinalGE(addr);
-    const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
-    LhcInsertEntry(p, addr, /*is_sub=*/false, value, key.data());
   }
   MaybeSwitchRepresentation(cfg);
 }
 
-void Node::InsertSub(uint64_t addr, Node* child, const PhTreeConfig& cfg) {
+void Node::InsertSub(uint64_t addr, NodeHandle child,
+                     const PhTreeConfig& cfg) {
   assert(FindOrdinal(addr) == kNoOrdinal);
-  if (is_hc_) {
-    if (!store_values_ && num_subs_ == 0) {
-      // Key-only mode: the first sub-node materialises the payload region.
-      bits_.InsertBits(0, hc_slots() * 64);
+  if (is_bhc()) {
+    ConvertTo(Repr::kLhc);  // BHC cannot hold sub-nodes
+  }
+  if (is_hc()) {
+    if (store_values_) {
+      bits_.WriteBits(addr * 64, 64, child);
+    } else {
+      const uint64_t srank = HcSubRank(addr);
+      bits_.InsertBits(hc_subs_tail_base() + srank * 32, 32);
+      bits_.WriteBits(hc_subs_tail_base() + srank * 32, 32, child);
     }
-    ++num_subs_;
-    bits_.WriteBits(addr * 64, 64, PtrToPayload(child));
     bits_.SetBit(hc_present_base() + addr, 1);
     bits_.SetBit(hc_sub_base() + addr, 1);
+    ++num_subs_;
     ++num_entries_;
   } else {
     const uint64_t ge = OrdinalGE(addr);
     const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
-    LhcInsertEntry(p, addr, /*is_sub=*/true, PtrToPayload(child), nullptr);
+    LhcInsertEntry(p, addr, /*is_sub=*/true, child, nullptr);
   }
   MaybeSwitchRepresentation(cfg);
 }
@@ -414,49 +339,65 @@ void Node::InsertSub(uint64_t addr, Node* child, const PhTreeConfig& cfg) {
 void Node::RemoveEntry(uint64_t addr, const PhTreeConfig& cfg) {
   const uint64_t ord = FindOrdinal(addr);
   assert(ord != kNoOrdinal);
-  if (is_hc_) {
-    const bool was_sub = OrdinalIsSub(ord);
-    if (!was_sub) {
-      ZeroBits(hc_records_base() + addr * stride(), stride());
-    }
-    bits_.SetBit(hc_present_base() + addr, 0);
-    bits_.SetBit(hc_sub_base() + addr, 0);
-    if (payload_words() > 0) {
-      bits_.WriteBits(addr * 64, 64, 0);
-    }
-    --num_entries_;
-    if (was_sub) {
-      --num_subs_;
-      if (!store_values_ && num_subs_ == 0) {
-        // Key-only mode: the last sub-node left, drop the payload region.
-        bits_.RemoveBits(0, hc_slots() * 64);
+  switch (repr_) {
+    case Repr::kHc: {
+      const bool was_sub = OrdinalIsSub(ord);
+      if (was_sub) {
+        if (store_values_) {
+          bits_.WriteBits(addr * 64, 64, 0);
+        } else {
+          const uint64_t srank = HcSubRank(addr);
+          bits_.RemoveBits(hc_subs_tail_base() + srank * 32, 32);
+        }
+        --num_subs_;
+      } else {
+        // Zero freed slots so the stream stays a pure function of content.
+        ZeroBits(hc_records_base() + addr * stride(), stride());
+        if (store_values_) {
+          bits_.WriteBits(addr * 64, 64, 0);
+        }
       }
+      bits_.SetBit(hc_present_base() + addr, 0);
+      bits_.SetBit(hc_sub_base() + addr, 0);
+      --num_entries_;
+      break;
     }
-  } else {
-    LhcRemoveEntry(ord);
+    case Repr::kBhc:
+      BhcRemoveEntry(addr);
+      break;
+    case Repr::kLhc:
+    default:
+      LhcRemoveEntry(ord);
+      break;
   }
   MaybeSwitchRepresentation(cfg);
 }
 
-void Node::ReplaceEntryWithSub(uint64_t addr, Node* child,
+void Node::ReplaceEntryWithSub(uint64_t addr, NodeHandle child,
                                const PhTreeConfig& cfg) {
+  if (is_bhc()) {
+    ConvertTo(Repr::kLhc);  // BHC cannot hold sub-nodes
+  }
   const uint64_t ord = FindOrdinal(addr);
   assert(ord != kNoOrdinal && !OrdinalIsSub(ord));
-  if (is_hc_) {
+  if (is_hc()) {
     ZeroBits(hc_records_base() + addr * stride(), stride());
-    if (!store_values_ && num_subs_ == 0) {
-      bits_.InsertBits(0, hc_slots() * 64);
+    if (store_values_) {
+      bits_.WriteBits(addr * 64, 64, child);
+    } else {
+      const uint64_t srank = HcSubRank(addr);
+      bits_.InsertBits(hc_subs_tail_base() + srank * 32, 32);
+      bits_.WriteBits(hc_subs_tail_base() + srank * 32, 32, child);
     }
-    ++num_subs_;
     bits_.SetBit(hc_sub_base() + addr, 1);
-    bits_.WriteBits(addr * 64, 64, PtrToPayload(child));
+    ++num_subs_;
   } else {
     // Remove + reinsert keeps the region bookkeeping in one place (this
     // path runs once per sub-node creation, so the second pass is cheap).
     LhcRemoveEntry(ord);
     const uint64_t ge = OrdinalGE(addr);
     const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
-    LhcInsertEntry(p, addr, /*is_sub=*/true, PtrToPayload(child), nullptr);
+    LhcInsertEntry(p, addr, /*is_sub=*/true, child, nullptr);
   }
   MaybeSwitchRepresentation(cfg);
 }
@@ -464,17 +405,17 @@ void Node::ReplaceEntryWithSub(uint64_t addr, Node* child,
 void Node::ReplaceSubWithPostfix(uint64_t addr, std::span<const uint64_t> key,
                                  uint64_t value, const PhTreeConfig& cfg) {
   const uint64_t ord = FindOrdinal(addr);
-  assert(ord != kNoOrdinal && OrdinalIsSub(ord));
-  if (is_hc_) {
+  assert(ord != kNoOrdinal && OrdinalIsSub(ord));  // never BHC
+  if (is_hc()) {
+    if (store_values_) {
+      bits_.WriteBits(addr * 64, 64, value);
+    } else {
+      const uint64_t srank = HcSubRank(addr);
+      bits_.RemoveBits(hc_subs_tail_base() + srank * 32, 32);
+    }
     bits_.SetBit(hc_sub_base() + addr, 0);
     WritePostfixRecord(hc_records_base() + addr * stride(), key);
-    if (payload_words() > 0) {
-      bits_.WriteBits(addr * 64, 64, store_values_ ? value : 0);
-    }
     --num_subs_;
-    if (!store_values_ && num_subs_ == 0) {
-      bits_.RemoveBits(0, hc_slots() * 64);
-    }
   } else {
     LhcRemoveEntry(ord);
     const uint64_t ge = OrdinalGE(addr);
@@ -488,16 +429,39 @@ void Node::ReplaceSubWithPostfix(uint64_t addr, std::span<const uint64_t> key,
   MaybeSwitchRepresentation(cfg);
 }
 
-void Node::SetSubAt(uint64_t ord, Node* child) {
-  assert(OrdinalIsSub(ord));
-  bits_.WriteBits(PayloadSlot(ord) * 64, 64, PtrToPayload(child));
+void Node::SetSubAt(uint64_t ord, NodeHandle child) {
+  assert(OrdinalIsSub(ord));  // implies repr != kBhc
+  if (repr_ == Repr::kHc) {
+    if (store_values_) {
+      bits_.WriteBits(ord * 64, 64, child);
+    } else {
+      bits_.WriteBits(hc_subs_tail_base() + HcSubRank(ord) * 32, 32, child);
+    }
+    return;
+  }
+  const uint64_t srank = ord - LhcPostfixRank(ord);
+  bits_.WriteBits(lhc_subs_base() + srank * 32, 32, child);
 }
 
 void Node::SetPayloadAt(uint64_t ord, uint64_t value) {
   assert(!OrdinalIsSub(ord));
-  if (store_values_) {
-    bits_.WriteBits(PayloadSlot(ord) * 64, 64, value);
+  if (!store_values_) {
+    return;
   }
+  uint64_t slot;
+  switch (repr_) {
+    case Repr::kHc:
+      slot = ord;
+      break;
+    case Repr::kBhc:
+      slot = BhcRank(ord);
+      break;
+    case Repr::kLhc:
+    default:
+      slot = LhcPostfixRank(ord);
+      break;
+  }
+  bits_.WriteBits(slot * 64, 64, value);
 }
 
 // ---- Representation switching ------------------------------------------
@@ -508,138 +472,197 @@ void Node::SetPayloadAt(uint64_t ord, uint64_t value) {
 // function of the node contents.
 uint64_t Node::HcBitsFor(uint64_t n_postfixes) const {
   const uint64_t s = hc_slots();
-  uint64_t payload_bits = s * 64;
-  if (!store_values_) {
-    payload_bits = num_entries_ - n_postfixes > 0 ? s * 64 : 0;
-  }
+  const uint64_t n_subs = num_entries_ - n_postfixes;
+  const uint64_t payload_bits = store_values_ ? s * 64 : n_subs * 32;
   return payload_bits + infix_bits() + 2 * s + s * stride();
 }
 
 uint64_t Node::LhcBitsFor(uint64_t n_entries, uint64_t n_postfixes) const {
-  const uint64_t payload_bits =
-      (store_values_ ? n_entries : n_entries - n_postfixes) * 64;
-  return payload_bits + infix_bits() + n_entries + n_entries * dim_ +
+  const uint64_t n_subs = n_entries - n_postfixes;
+  return n_postfixes * vb() + n_subs * 32 + infix_bits() + n_entries +
+         n_entries * dim_ + n_postfixes * stride();
+}
+
+uint64_t Node::BhcBitsFor(uint64_t n_postfixes) const {
+  return n_postfixes * vb() + infix_bits() + hc_slots() +
          n_postfixes * stride();
+}
+
+uint64_t Node::CurrentReprBits() const {
+  switch (repr_) {
+    case Repr::kHc:
+      return HcBits();
+    case Repr::kBhc:
+      return BhcBits();
+    case Repr::kLhc:
+    default:
+      return LhcBits();
+  }
 }
 
 void Node::MaybeSwitchRepresentation(const PhTreeConfig& cfg) {
   const bool hc_allowed = dim_ <= cfg.hc_max_dim;
+  const bool bhc_eligible = hc_allowed && num_subs_ == 0;
   switch (cfg.repr) {
     case NodeRepr::kLhcOnly:
-      if (is_hc_) {
-        ConvertToLhc();
+      if (repr_ != Repr::kLhc) {
+        ConvertTo(Repr::kLhc);
       }
       return;
-    case NodeRepr::kHcOnly:
-      if (!is_hc_ && hc_allowed) {
-        ConvertToHc();
+    case NodeRepr::kHcOnly: {
+      const Repr want = hc_allowed ? Repr::kHc : Repr::kLhc;
+      if (repr_ != want) {
+        ConvertTo(want);
       }
       return;
+    }
+    case NodeRepr::kBhcOnly: {
+      const Repr want = bhc_eligible ? Repr::kBhc : Repr::kLhc;
+      if (repr_ != want) {
+        ConvertTo(want);
+      }
+      return;
+    }
     case NodeRepr::kAdaptive:
       break;
   }
-  if (!hc_allowed) {
-    if (is_hc_) {
-      ConvertToLhc();
+  // Strict rule (paper Sect. 3.2, extended to three candidates): pick the
+  // smallest representation. The strict < against the running best
+  // implements the deterministic tie preference LHC, then BHC, then HC.
+  Repr best = Repr::kLhc;
+  uint64_t best_bits = LhcBits();
+  if (bhc_eligible) {
+    const uint64_t b = BhcBits();
+    if (b < best_bits) {
+      best = Repr::kBhc;
+      best_bits = b;
     }
+  }
+  if (hc_allowed) {
+    const uint64_t h = HcBits();
+    if (h < best_bits) {
+      best = Repr::kHc;
+      best_bits = h;
+    }
+  }
+  if (best == repr_) {
     return;
   }
-  const uint64_t hc = HcBits();
-  const uint64_t lhc = LhcBits();
-  if (cfg.hysteresis >= 1.0) {
-    // Strict rule (paper Sect. 3.2): HC iff strictly smaller; ties stay
-    // LHC. Representation is a pure function of current occupancy.
-    const bool want_hc = hc < lhc;
-    if (want_hc != is_hc_) {
-      if (want_hc) {
-        ConvertToHc();
-      } else {
-        ConvertToLhc();
-      }
-    }
+  // A representation the current state may not legally keep (HC above
+  // hc_max_dim, BHC with a sub-node — unreachable in practice) is abandoned
+  // unconditionally; the hysteresis band only damps switches between legal
+  // representations.
+  const bool current_legal =
+      repr_ == Repr::kLhc ||
+      (repr_ == Repr::kHc ? hc_allowed : bhc_eligible);
+  if (current_legal && cfg.hysteresis < 1.0 &&
+      static_cast<double>(best_bits) >=
+          static_cast<double>(CurrentReprBits()) * cfg.hysteresis) {
     return;
   }
-  if (is_hc_) {
-    if (static_cast<double>(lhc) < static_cast<double>(hc) * cfg.hysteresis) {
-      ConvertToLhc();
-    }
-  } else {
-    if (static_cast<double>(hc) < static_cast<double>(lhc) * cfg.hysteresis) {
-      ConvertToHc();
-    }
-  }
+  ConvertTo(best);
 }
 
-void Node::ConvertToHc() {
-  assert(!is_hc_);
-  const uint64_t s = hc_slots();
-  const uint64_t ib = infix_bits();
-  // New-layout bases.
-  const uint64_t pay_words =
-      store_values_ ? s : (num_subs_ > 0 ? s : 0);
-  const uint64_t n_infix = pay_words * 64;
-  const uint64_t n_present = n_infix + ib;
-  const uint64_t n_sub = n_present + s;
-  const uint64_t n_records = n_sub + s;
-  BitBuffer nb(n_records + s * stride(), bits_.pool());
-  nb.CopyFrom(bits_, infix_base(), n_infix, ib);
-  uint64_t rank = 0;
-  for (uint64_t i = 0; i < num_entries_; ++i) {
-    const uint64_t addr = OrdinalAddr(i);
-    const bool is_sub = OrdinalIsSub(i);
-    if (store_values_ || is_sub) {
-      nb.WriteBits(addr * 64, 64, OrdinalPayload(i));
-    }
-    nb.SetBit(n_present + addr, 1);
-    if (is_sub) {
-      nb.SetBit(n_sub + addr, 1);
-    } else {
-      nb.CopyFrom(bits_, lhc_records_base() + rank * stride(),
-                  n_records + addr * stride(), stride());
-      ++rank;
-    }
-  }
-  bits_ = std::move(nb);
-  is_hc_ = true;
-}
-
-void Node::ConvertToLhc() {
-  assert(is_hc_);
+void Node::ConvertTo(Repr target) {
+  assert(target != repr_);
+  assert(target != Repr::kBhc || num_subs_ == 0);
   const uint64_t n = num_entries_;
   const uint64_t np = num_postfixes();
+  const uint64_t ns = num_subs_;
   const uint64_t ib = infix_bits();
-  // New-layout bases.
-  const uint64_t pay_words = store_values_ ? n : num_subs_;
-  const uint64_t n_infix = pay_words * 64;
-  const uint64_t n_flags = n_infix + ib;
-  const uint64_t n_addrs = n_flags + n;
-  const uint64_t n_records = n_addrs + n * dim_;
-  BitBuffer nb(n_records + np * stride(), bits_.pool());
-  nb.CopyFrom(bits_, infix_base(), n_infix, ib);
-  uint64_t i = 0;
-  uint64_t rank = 0;
-  uint64_t sub_rank = 0;
+  const uint64_t st = stride();
+  const uint64_t s = hc_slots();
+  const uint64_t v = vb();
+  // New-layout region bases (zero-initialised; only the ones the target
+  // layout has are set).
+  uint64_t n_sub = 0;      // LHC sub-handle region
+  uint64_t n_inf = 0;      // infix
+  uint64_t n_flg = 0;      // LHC is_sub flags
+  uint64_t n_adr = 0;      // LHC address table
+  uint64_t n_pres = 0;     // HC/BHC present bitmap
+  uint64_t n_subbm = 0;    // HC is_sub bitmap
+  uint64_t n_rec = 0;      // postfix records
+  uint64_t n_subtail = 0;  // key-only HC sub-handle tail
+  uint64_t total = 0;
+  switch (target) {
+    case Repr::kLhc:
+      n_sub = np * v;
+      n_inf = n_sub + ns * 32;
+      n_flg = n_inf + ib;
+      n_adr = n_flg + n;
+      n_rec = n_adr + n * dim_;
+      total = n_rec + np * st;
+      break;
+    case Repr::kHc:
+      n_inf = store_values_ ? s * 64 : 0;
+      n_pres = n_inf + ib;
+      n_subbm = n_pres + s;
+      n_rec = n_subbm + s;
+      n_subtail = n_rec + s * st;
+      total = n_subtail + (store_values_ ? 0 : ns * 32);
+      break;
+    case Repr::kBhc:
+      n_inf = np * v;
+      n_pres = n_inf + ib;
+      n_rec = n_pres + s;
+      total = n_rec + np * st;
+      break;
+  }
+  BitBuffer nb(total, bits_.pool());
+  nb.CopyFrom(bits_, infix_base(), n_inf, ib);
+  uint64_t idx = 0;
+  uint64_t prank = 0;
+  uint64_t srank = 0;
   for (uint64_t ord = FirstOrdinal(); ord != kNoOrdinal;
        ord = NextOrdinal(ord)) {
-    const bool is_sub = OrdinalIsSub(ord);
-    if (store_values_) {
-      nb.WriteBits(i * 64, 64, OrdinalPayload(ord));
-    } else if (is_sub) {
-      nb.WriteBits(sub_rank * 64, 64, OrdinalPayload(ord));
-      ++sub_rank;
+    const uint64_t addr = OrdinalAddr(ord);
+    const bool sub = OrdinalIsSub(ord);
+    switch (target) {
+      case Repr::kLhc:
+        nb.SetBit(n_flg + idx, sub ? 1 : 0);
+        nb.WriteBits(n_adr + idx * dim_, dim_, addr);
+        if (sub) {
+          nb.WriteBits(n_sub + srank * 32, 32, OrdinalSub(ord));
+        } else {
+          if (v > 0) {
+            nb.WriteBits(prank * 64, 64, OrdinalPayload(ord));
+          }
+          nb.CopyFrom(bits_, RecordPos(ord), n_rec + prank * st, st);
+        }
+        break;
+      case Repr::kHc:
+        nb.SetBit(n_pres + addr, 1);
+        if (sub) {
+          nb.SetBit(n_subbm + addr, 1);
+          if (store_values_) {
+            nb.WriteBits(addr * 64, 64, OrdinalSub(ord));
+          } else {
+            nb.WriteBits(n_subtail + srank * 32, 32, OrdinalSub(ord));
+          }
+        } else {
+          if (v > 0) {
+            nb.WriteBits(addr * 64, 64, OrdinalPayload(ord));
+          }
+          nb.CopyFrom(bits_, RecordPos(ord), n_rec + addr * st, st);
+        }
+        break;
+      case Repr::kBhc:
+        nb.SetBit(n_pres + addr, 1);
+        if (v > 0) {
+          nb.WriteBits(prank * 64, 64, OrdinalPayload(ord));
+        }
+        nb.CopyFrom(bits_, RecordPos(ord), n_rec + prank * st, st);
+        break;
     }
-    nb.WriteBits(n_addrs + i * dim_, dim_, ord);
-    if (is_sub) {
-      nb.SetBit(n_flags + i, 1);
+    if (sub) {
+      ++srank;
     } else {
-      nb.CopyFrom(bits_, hc_records_base() + ord * stride(),
-                  n_records + rank * stride(), stride());
-      ++rank;
+      ++prank;
     }
-    ++i;
+    ++idx;
   }
   bits_ = std::move(nb);
-  is_hc_ = false;
+  repr_ = target;
 }
 
 // ---- Accounting ---------------------------------------------------------

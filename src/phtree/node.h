@@ -3,15 +3,23 @@
 //   * an infix: the prefix bits shared by everything below it (PATRICIA
 //     prefix sharing),
 //   * an entry table keyed by k-bit hypercube addresses, where each entry is
-//     either a postfix (the remaining bits of one key, bit-packed) plus a
-//     64-bit payload, or a pointer to a sub-node.
-// The entry table has two interchangeable representations, HC (dense array,
-// O(1) access, O(2^k) space) and LHC (address-sorted compact table, O(k)
-// binary-search access, O(entries) space); the node switches automatically
-// to whichever needs fewer bytes (Sect. 3.2).
+//     either a postfix (the remaining bits of one key, bit-packed) plus an
+//     optional 64-bit payload, or a 32-bit arena handle of a sub-node.
+// The entry table has three interchangeable representations behind one
+// ordinal-based accessor surface:
+//   * HC: dense 2^k slot array, O(1) access, O(2^k) space (Sect. 3.2),
+//   * LHC: address-sorted compact table, O(k) binary-search access,
+//     O(entries) space (Sect. 3.2),
+//   * BHC: packed leaf — when every entry is a postfix (no sub-nodes), a
+//     presence bitmap plus a contiguous rank-indexed postfix/payload stream;
+//     O(1) bitmap probe like HC but only `entries` records instead of 2^k.
+// The node switches automatically to whichever needs fewer bits
+// (MaybeSwitchRepresentation), per the policy in PhTreeConfig::repr.
 #ifndef PHTREE_PHTREE_NODE_H_
 #define PHTREE_PHTREE_NODE_H_
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -22,8 +30,21 @@
 
 namespace phtree {
 
+/// 32-bit arena handle of a Node. Pooled arenas encode slab index and slot
+/// offset; heap arenas index a handle table. Half the width of a Node*, so
+/// in-node child slots cost 32 bits, and nodes never store raw pointers to
+/// each other (making them relocatable in principle). Resolved through
+/// NodeArena::NodeAt.
+using NodeHandle = uint32_t;
+
+/// Sentinel handle meaning "no node".
+inline constexpr NodeHandle kInvalidNodeHandle = ~NodeHandle{0};
+
 class Node {
  public:
+  /// Entry-table representation (see file comment).
+  enum class Repr : uint8_t { kLhc = 0, kHc = 1, kBhc = 2 };
+
   /// Sentinel ordinal meaning "no entry".
   static constexpr uint64_t kNoOrdinal = ~uint64_t{0};
 
@@ -42,7 +63,11 @@ class Node {
   uint32_t dim() const { return dim_; }
   uint32_t infix_len() const { return infix_len_; }
   uint32_t postfix_len() const { return postfix_len_; }
-  bool is_hc() const { return is_hc_; }
+  Repr repr() const { return repr_; }
+  bool is_hc() const { return repr_ == Repr::kHc; }
+  bool is_bhc() const { return repr_ == Repr::kBhc; }
+  /// True iff ordinals are hypercube addresses themselves (HC and BHC).
+  bool addr_indexed() const { return repr_ != Repr::kLhc; }
   uint32_t num_entries() const { return num_entries_; }
   uint32_t num_subs() const { return num_subs_; }
   uint32_t num_postfixes() const { return num_entries_ - num_subs_; }
@@ -81,12 +106,18 @@ class Node {
 
   bool OrdinalIsSub(uint64_t ord) const;
   uint64_t OrdinalAddr(uint64_t ord) const;
+  /// Payload of the postfix entry `ord` (0 in key-only mode).
   uint64_t OrdinalPayload(uint64_t ord) const;
-  Node* OrdinalSub(uint64_t ord) const;
+  /// Arena handle of the sub-node entry `ord` (which must be a sub entry).
+  NodeHandle OrdinalSub(uint64_t ord) const;
 
   /// Overwrites bits [0, postfix_len) of each dimension of `key` with the
   /// postfix record of entry `ord` (which must be a postfix entry).
   void ReadPostfixInto(uint64_t ord, std::span<uint64_t> key) const;
+
+  /// ReadPostfixInto plus the entry's payload (0 in key-only mode), with a
+  /// single rank computation; the hot yield path of every scan.
+  uint64_t ReadPostfixAndPayload(uint64_t ord, std::span<uint64_t> key) const;
 
   /// Compares the postfix record of `ord` with bits [0, postfix_len) of
   /// `key`. Returns the key-space bit index of the highest differing bit, or
@@ -111,20 +142,21 @@ class Node {
                      uint64_t value, const PhTreeConfig& cfg);
 
   /// Inserts a sub-node entry (no entry with `addr` may exist).
-  void InsertSub(uint64_t addr, Node* child, const PhTreeConfig& cfg);
+  void InsertSub(uint64_t addr, NodeHandle child, const PhTreeConfig& cfg);
 
   /// Removes the entry with address `addr` (which must exist).
   void RemoveEntry(uint64_t addr, const PhTreeConfig& cfg);
 
   /// Replaces the postfix entry at `addr` with the sub-node `child`.
-  void ReplaceEntryWithSub(uint64_t addr, Node* child, const PhTreeConfig& cfg);
+  void ReplaceEntryWithSub(uint64_t addr, NodeHandle child,
+                           const PhTreeConfig& cfg);
 
   /// Replaces the sub-node entry at `addr` with a postfix entry.
   void ReplaceSubWithPostfix(uint64_t addr, std::span<const uint64_t> key,
                              uint64_t value, const PhTreeConfig& cfg);
 
-  /// Updates the child pointer of the sub-node entry at ordinal `ord`.
-  void SetSubAt(uint64_t ord, Node* child);
+  /// Updates the child handle of the sub-node entry at ordinal `ord`.
+  void SetSubAt(uint64_t ord, NodeHandle child);
 
   /// Updates the payload of the postfix entry at ordinal `ord`.
   void SetPayloadAt(uint64_t ord, uint64_t value);
@@ -137,35 +169,47 @@ class Node {
   /// overhead constant (see DESIGN.md, space accounting).
   uint64_t MemoryBytes() const;
 
-  /// Exact bit sizes both representations would need for the current
+  /// Exact bit sizes each representation would need for the current
   /// occupancy (used by the switching rule and exposed for tests). Bit
-  /// precision matters: at k=2 the HC advantage is a single bit per slot.
+  /// precision matters: at k=2 the HC advantage over LHC is a single bit
+  /// per slot, and BHC beats HC by exactly the is_sub bitmap plus the
+  /// absent-slot records. BhcBits() is meaningful only for sub-free nodes.
   uint64_t HcBits() const { return HcBitsFor(num_postfixes()); }
   uint64_t LhcBits() const {
     return LhcBitsFor(num_entries_, num_postfixes());
   }
+  uint64_t BhcBits() const { return BhcBitsFor(num_postfixes()); }
+
+  /// Bit size of the representation currently in use.
+  uint64_t CurrentReprBits() const;
 
  private:
   // ---- Single-bit-stream node layout (paper Sect. 3.4, ref [9]) ----------
   //
-  // The whole node is serialised into one bit buffer `bits_`:
+  // The whole node is serialised into one bit buffer `bits_`. vb is the
+  // value width: 64 with stored values, 0 in key-only mode. Sub-node
+  // entries always cost exactly 32 bits (their arena handle).
   //
-  // LHC (n = num_entries, np = num_postfixes):
-  //   [payloads: n x 64] [infix: dim*il] [is_sub flags: n]
+  // LHC (n = num_entries, np = num_postfixes, ns = num_subs):
+  //   [values: np x vb, by postfix rank] [subs: ns x 32, by sub rank]
+  //   [infix: dim*il] [is_sub flags: n]
   //   [addresses: n x dim, sorted ascending] [postfix records: np x stride]
-  // HC (S = 2^dim slots):
-  //   [payloads: S x 64] [infix: dim*il] [present bitmap: S]
-  //   [is_sub bitmap: S] [postfix records: S x stride, slot-addressed]
+  // HC (S = 2^dim slots), value mode:
+  //   [slots: S x 64 — value or zero-extended handle] [infix: dim*il]
+  //   [present bitmap: S] [is_sub bitmap: S]
+  //   [postfix records: S x stride, slot-addressed]
+  // HC, key-only mode:
+  //   [infix: dim*il] [present bitmap: S] [is_sub bitmap: S]
+  //   [postfix records: S x stride, slot-addressed] [subs: ns x 32, by
+  //   sub rank among set is_sub bits]
+  // BHC (sub-free nodes only; ordinals are addresses, like HC):
+  //   [values: np x vb, by presence rank] [infix: dim*il]
+  //   [present bitmap: S] [postfix records: np x stride, by presence rank]
   //
-  // In key-only mode (store_values == false) the payload region holds only
-  // sub-node pointers: LHC keeps num_subs slots indexed by sub rank; HC
-  // keeps its S slot-addressed payload words only while the node has at
-  // least one sub-node, and drops the region entirely otherwise.
-  //
-  // Payload slots are 64-bit aligned at offset 0 (single-word reads); all
-  // other fields use exactly the bits they need. LHC mutations shift the
-  // stream (the paper's shift-left/right costs); HC mutations write in
-  // place.
+  // Value slots are 64-bit aligned at offset 0 (single-word reads); all
+  // other fields use exactly the bits they need. LHC and BHC mutations
+  // shift the stream (the paper's shift-left/right costs); HC mutations
+  // write in place except the key-only sub tail.
 
   uint64_t stride() const {
     return static_cast<uint64_t>(dim_) * postfix_len_;
@@ -174,28 +218,24 @@ class Node {
   uint64_t infix_bits() const {
     return static_cast<uint64_t>(dim_) * infix_len_;
   }
-  /// Number of 64-bit payload slots in the current layout.
-  uint64_t payload_words() const {
-    if (store_values_) {
-      return is_hc_ ? hc_slots() : num_entries_;
+  /// Bits of one value slot.
+  uint64_t vb() const { return store_values_ ? 64 : 0; }
+
+  /// Start of the infix region (representation dependent).
+  uint64_t infix_base() const {
+    switch (repr_) {
+      case Repr::kHc:
+        return store_values_ ? hc_slots() * 64 : 0;
+      case Repr::kBhc:
+        return num_postfixes() * vb();
+      case Repr::kLhc:
+      default:
+        return num_postfixes() * vb() + uint64_t{num_subs_} * 32;
     }
-    if (is_hc_) {
-      return num_subs_ > 0 ? hc_slots() : 0;
-    }
-    return num_subs_;
   }
-  uint64_t infix_base() const { return payload_words() * 64; }
-  /// Payload slot index of entry `ord`, which must have one (any entry in
-  /// value mode; sub-node entries in key-only mode).
-  uint64_t PayloadSlot(uint64_t ord) const {
-    if (store_values_ || is_hc_) {
-      return ord;
-    }
-    // Key-only LHC: slots are indexed by rank among sub-node entries.
-    const uint64_t base = lhc_flags_base();
-    return bits_.CountOnesInRange(base, base + ord);
-  }
+
   // LHC region bases.
+  uint64_t lhc_subs_base() const { return num_postfixes() * vb(); }
   uint64_t lhc_flags_base() const { return infix_base() + infix_bits(); }
   uint64_t lhc_addrs_base() const { return lhc_flags_base() + num_entries_; }
   uint64_t lhc_records_base() const {
@@ -205,20 +245,43 @@ class Node {
   uint64_t hc_present_base() const { return infix_base() + infix_bits(); }
   uint64_t hc_sub_base() const { return hc_present_base() + hc_slots(); }
   uint64_t hc_records_base() const { return hc_sub_base() + hc_slots(); }
+  uint64_t hc_subs_tail_base() const {
+    return hc_records_base() + hc_slots() * stride();
+  }
+  // BHC region bases.
+  uint64_t bhc_present_base() const { return infix_base() + infix_bits(); }
+  uint64_t bhc_records_base() const {
+    return bhc_present_base() + hc_slots();
+  }
 
   uint64_t HcBitsFor(uint64_t n_postfixes) const;
   uint64_t LhcBitsFor(uint64_t n_entries, uint64_t n_postfixes) const;
+  uint64_t BhcBitsFor(uint64_t n_postfixes) const;
 
   /// Number of postfix entries among LHC entries [0, ord).
   uint64_t LhcPostfixRank(uint64_t ord) const {
     const uint64_t base = lhc_flags_base();
     return ord - bits_.CountOnesInRange(base, base + ord);
   }
+  /// Number of present entries among BHC addresses [0, addr).
+  uint64_t BhcRank(uint64_t addr) const {
+    const uint64_t base = bhc_present_base();
+    return bits_.CountOnesInRange(base, base + addr);
+  }
+  /// Number of sub entries among key-only-HC addresses [0, addr).
+  uint64_t HcSubRank(uint64_t addr) const {
+    const uint64_t base = hc_sub_base();
+    return bits_.CountOnesInRange(base, base + addr);
+  }
+
+  /// Bit position of the postfix record of entry `ord` in the current
+  /// representation.
+  uint64_t RecordPos(uint64_t ord) const;
 
   /// Applies the representation policy after a mutation.
   void MaybeSwitchRepresentation(const PhTreeConfig& cfg);
-  void ConvertToHc();
-  void ConvertToLhc();
+  /// Rebuilds the entry table into `target` representation.
+  void ConvertTo(Repr target);
 
   void WritePostfixRecord(uint64_t record_pos, std::span<const uint64_t> key);
   void ZeroBits(uint64_t pos, uint64_t n);
@@ -226,12 +289,17 @@ class Node {
   /// Single-pass LHC entry insertion at entry position `p`: grows the
   /// stream once and moves each region segment exactly once (instead of
   /// shifting the tail once per region). `key` is null for sub-node
-  /// entries.
+  /// entries; `payload` is the value (postfix) or the handle (sub).
   void LhcInsertEntry(uint64_t p, uint64_t addr, bool is_sub,
                       uint64_t payload, const uint64_t* key);
 
   /// Single-pass LHC entry removal at entry position `p`.
   void LhcRemoveEntry(uint64_t p);
+
+  /// Single-pass BHC postfix insertion/removal at address `addr`.
+  void BhcInsertEntry(uint64_t addr, uint64_t value, const uint64_t* key);
+  void BhcRemoveEntry(uint64_t addr);
+
   /// Replaces the infix region with `new_infix_len` bits per dimension taken
   /// from `segments` (one right-aligned segment per dimension).
   void ReplaceInfix(uint32_t new_infix_len,
@@ -241,11 +309,256 @@ class Node {
   uint8_t infix_len_;
   uint8_t postfix_len_;
   bool store_values_ = true;
-  bool is_hc_ = false;
+  Repr repr_ = Repr::kLhc;
   uint32_t num_entries_ = 0;
   uint32_t num_subs_ = 0;
   BitBuffer bits_;
 };
+
+// ---- Read-path accessors, inline -------------------------------------------
+//
+// Every query descent calls these several times per visited node (and window
+// scans once or twice per yielded entry), so they live in the header: the
+// representation switch folds into the caller and the bit extraction
+// compiles to straight-line shifts/popcounts instead of cross-TU calls.
+
+inline void Node::ReadInfixInto(std::span<uint64_t> key) const {
+  const uint32_t il = infix_len_;
+  if (il == 0) {
+    return;
+  }
+  const uint64_t base = infix_base();
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t seg = bits_.ReadBits(base + static_cast<uint64_t>(d) * il,
+                                        il);
+    key[d] = (key[d] & ~(LowMask(il) << (postfix_len_ + 1))) |
+             (seg << (postfix_len_ + 1));
+  }
+}
+
+inline int Node::MatchInfix(std::span<const uint64_t> key) const {
+  const uint32_t il = infix_len_;
+  if (il == 0) {
+    return -1;
+  }
+  const uint64_t base = infix_base();
+  uint64_t agg = 0;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t stored =
+        bits_.ReadBits(base + static_cast<uint64_t>(d) * il, il);
+    const uint64_t keyseg = (key[d] >> (postfix_len_ + 1)) & LowMask(il);
+    agg |= stored ^ keyseg;
+  }
+  if (agg == 0) {
+    return -1;
+  }
+  // Highest differing segment bit j corresponds to key bit postfix_len+1+j.
+  const int j = static_cast<int>(std::bit_width(agg)) - 1;
+  return static_cast<int>(postfix_len_) + 1 + j;
+}
+
+inline uint64_t Node::FindOrdinal(uint64_t addr) const {
+  if (addr_indexed()) {
+    // HC and BHC both keep the present bitmap right after the infix.
+    const uint64_t base = infix_base() + infix_bits();
+    return bits_.GetBit(base + addr) ? addr : kNoOrdinal;
+  }
+  // Binary search over the packed, sorted address table (paper Sect. 3.2:
+  // keys are extracted from the bit stream at each search step).
+  const uint64_t base = lhc_addrs_base();
+  uint64_t lo = 0;
+  uint64_t hi = num_entries_;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi) / 2;
+    const uint64_t a = bits_.ReadBits(base + mid * dim_, dim_);
+    if (a < addr) {
+      lo = mid + 1;
+    } else if (a > addr) {
+      hi = mid;
+    } else {
+      return mid;
+    }
+  }
+  return kNoOrdinal;
+}
+
+inline bool Node::OrdinalIsSub(uint64_t ord) const {
+  switch (repr_) {
+    case Repr::kBhc:
+      return false;  // BHC nodes are sub-free by construction
+    case Repr::kHc:
+      return bits_.GetBit(hc_sub_base() + ord) != 0;
+    case Repr::kLhc:
+    default:
+      return bits_.GetBit(lhc_flags_base() + ord) != 0;
+  }
+}
+
+inline uint64_t Node::OrdinalAddr(uint64_t ord) const {
+  if (addr_indexed()) {
+    return ord;
+  }
+  return bits_.ReadBits(lhc_addrs_base() + ord * dim_, dim_);
+}
+
+inline uint64_t Node::OrdinalPayload(uint64_t ord) const {
+  assert(!OrdinalIsSub(ord));
+  if (!store_values_) {
+    return 0;  // key-only mode: postfix entries carry no payload
+  }
+  uint64_t slot;
+  switch (repr_) {
+    case Repr::kHc:
+      slot = ord;
+      break;
+    case Repr::kBhc:
+      slot = BhcRank(ord);
+      break;
+    case Repr::kLhc:
+    default:
+      slot = LhcPostfixRank(ord);
+      break;
+  }
+  return bits_.ReadBits(slot * 64, 64);
+}
+
+inline NodeHandle Node::OrdinalSub(uint64_t ord) const {
+  assert(OrdinalIsSub(ord));  // implies repr != kBhc
+  if (repr_ == Repr::kHc) {
+    if (store_values_) {
+      return static_cast<NodeHandle>(bits_.ReadBits(ord * 64, 64));
+    }
+    return static_cast<NodeHandle>(
+        bits_.ReadBits(hc_subs_tail_base() + HcSubRank(ord) * 32, 32));
+  }
+  const uint64_t srank = ord - LhcPostfixRank(ord);
+  return static_cast<NodeHandle>(
+      bits_.ReadBits(lhc_subs_base() + srank * 32, 32));
+}
+
+inline uint64_t Node::RecordPos(uint64_t ord) const {
+  switch (repr_) {
+    case Repr::kHc:
+      return hc_records_base() + ord * stride();
+    case Repr::kBhc:
+      return bhc_records_base() + BhcRank(ord) * stride();
+    case Repr::kLhc:
+    default:
+      return lhc_records_base() + LhcPostfixRank(ord) * stride();
+  }
+}
+
+inline void Node::ReadPostfixInto(uint64_t ord, std::span<uint64_t> key) const {
+  const uint32_t pl = postfix_len_;
+  if (pl == 0) {
+    return;
+  }
+  const uint64_t record_pos = RecordPos(ord);
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t seg =
+        bits_.ReadBits(record_pos + static_cast<uint64_t>(d) * pl, pl);
+    key[d] = (key[d] & ~LowMask(pl)) | seg;
+  }
+}
+
+inline uint64_t Node::ReadPostfixAndPayload(uint64_t ord,
+                                            std::span<uint64_t> key) const {
+  assert(!OrdinalIsSub(ord));
+  // One rank/postfix-rank evaluation shared by the record position and the
+  // value slot (ReadPostfixInto + OrdinalPayload would compute it twice).
+  uint64_t slot;
+  switch (repr_) {
+    case Repr::kHc:
+      slot = ord;
+      break;
+    case Repr::kBhc:
+      slot = BhcRank(ord);
+      break;
+    case Repr::kLhc:
+    default:
+      slot = LhcPostfixRank(ord);
+      break;
+  }
+  const uint32_t pl = postfix_len_;
+  if (pl != 0) {
+    uint64_t record_pos;
+    switch (repr_) {
+      case Repr::kHc:
+        record_pos = hc_records_base() + ord * stride();
+        break;
+      case Repr::kBhc:
+        record_pos = bhc_records_base() + slot * stride();
+        break;
+      case Repr::kLhc:
+      default:
+        record_pos = lhc_records_base() + slot * stride();
+        break;
+    }
+    for (uint32_t d = 0; d < dim_; ++d) {
+      const uint64_t seg =
+          bits_.ReadBits(record_pos + static_cast<uint64_t>(d) * pl, pl);
+      key[d] = (key[d] & ~LowMask(pl)) | seg;
+    }
+  }
+  if (!store_values_) {
+    return 0;
+  }
+  return bits_.ReadBits(slot * 64, 64);
+}
+
+inline int Node::PostfixDivergence(uint64_t ord,
+                                   std::span<const uint64_t> key) const {
+  const uint32_t pl = postfix_len_;
+  if (pl == 0) {
+    return -1;
+  }
+  const uint64_t record_pos = RecordPos(ord);
+  uint64_t agg = 0;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    const uint64_t seg =
+        bits_.ReadBits(record_pos + static_cast<uint64_t>(d) * pl, pl);
+    agg |= seg ^ (key[d] & LowMask(pl));
+  }
+  if (agg == 0) {
+    return -1;
+  }
+  return static_cast<int>(std::bit_width(agg)) - 1;
+}
+
+inline uint64_t Node::OrdinalGE(uint64_t addr) const {
+  if (addr_indexed()) {
+    const uint64_t base = infix_base() + infix_bits();
+    const uint64_t bit = bits_.FindNextOne(base + addr);
+    if (bit == BitBuffer::kNpos || bit >= base + hc_slots()) {
+      return kNoOrdinal;
+    }
+    return bit - base;
+  }
+  const uint64_t base = lhc_addrs_base();
+  uint64_t lo = 0;
+  uint64_t hi = num_entries_;
+  while (lo < hi) {
+    const uint64_t mid = (lo + hi) / 2;
+    if (bits_.ReadBits(base + mid * dim_, dim_) < addr) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < num_entries_ ? lo : kNoOrdinal;
+}
+
+inline uint64_t Node::NextOrdinal(uint64_t ord) const {
+  if (addr_indexed()) {
+    const uint64_t base = infix_base() + infix_bits();
+    const uint64_t bit = bits_.FindNextOne(base + ord + 1);
+    if (bit == BitBuffer::kNpos || bit >= base + hc_slots()) {
+      return kNoOrdinal;
+    }
+    return bit - base;
+  }
+  return ord + 1 < num_entries_ ? ord + 1 : kNoOrdinal;
+}
 
 }  // namespace phtree
 

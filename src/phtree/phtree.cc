@@ -39,8 +39,8 @@ PhTree::PhTree(PhTree&& other) noexcept
       root_(other.root_),
       arena_(std::move(other.arena_)) {
   // The arena object (and with it every node and word-pool block) changes
-  // owner but not address, so all internal pointers stay valid.
-  other.root_ = nullptr;
+  // owner but not address, so all internal pointers and handles stay valid.
+  other.root_ = NodeRef{};
   other.size_ = 0;
 }
 
@@ -52,7 +52,7 @@ PhTree& PhTree::operator=(PhTree&& other) noexcept {
     size_ = other.size_;
     root_ = other.root_;
     arena_ = std::move(other.arena_);
-    other.root_ = nullptr;
+    other.root_ = NodeRef{};
     other.size_ = 0;
   }
   return *this;
@@ -62,10 +62,10 @@ void PhTree::Clear() {
   if (arena_ != nullptr && arena_->pooled()) {
     // O(slabs): drop every node and word block wholesale; no tree walk.
     arena_->Reset();
-  } else if (root_ != nullptr) {
+  } else if (root_) {
     DeleteSubtree(root_);
   }
-  root_ = nullptr;
+  root_ = NodeRef{};
   size_ = 0;
 }
 
@@ -75,7 +75,7 @@ void PhTree::ReserveNodes(size_t n) {
   }
 }
 
-Node* PhTree::NewNode(uint32_t infix_len, uint32_t postfix_len) {
+NodeRef PhTree::NewNode(uint32_t infix_len, uint32_t postfix_len) {
   if (arena_ == nullptr) {
     // Moved-from tree being refilled: give it a fresh arena.
     arena_ = std::make_unique<NodeArena>(config_.use_arena);
@@ -83,11 +83,12 @@ Node* PhTree::NewNode(uint32_t infix_len, uint32_t postfix_len) {
   return arena_->NewNode(dim_, infix_len, postfix_len, config_.store_values);
 }
 
-void PhTree::DeleteSubtree(Node* node) {
-  for (uint64_t ord = node->FirstOrdinal(); ord != Node::kNoOrdinal;
-       ord = node->NextOrdinal(ord)) {
-    if (node->OrdinalIsSub(ord)) {
-      DeleteSubtree(node->OrdinalSub(ord));
+void PhTree::DeleteSubtree(NodeRef node) {
+  for (uint64_t ord = node.ptr->FirstOrdinal(); ord != Node::kNoOrdinal;
+       ord = node.ptr->NextOrdinal(ord)) {
+    if (node.ptr->OrdinalIsSub(ord)) {
+      const NodeHandle ch = node.ptr->OrdinalSub(ord);
+      DeleteSubtree(NodeRef{arena_->NodeAt(ch), ch});
     }
   }
   arena_->DeleteNode(node);
@@ -95,15 +96,17 @@ void PhTree::DeleteSubtree(Node* node) {
 
 bool PhTree::Insert(std::span<const uint64_t> key, uint64_t value) {
   assert(key.size() == dim_);
-  if (root_ == nullptr) {
+  if (!root_) {
     root_ = NewNode(/*infix_len=*/0, /*postfix_len=*/kBitWidth - 1);
-    root_->InsertPostfix(HcAddressAt(key, kBitWidth - 1), key, value, config_);
+    root_.ptr->InsertPostfix(HcAddressAt(key, kBitWidth - 1), key, value,
+                             config_);
     size_ = 1;
     return true;
   }
   bool inserted = false;
-  Node* new_root = InsertRec(root_, key, value, &inserted, /*assign=*/false);
-  assert(new_root == root_);  // the root has no infix, it never splits
+  NodeRef new_root = InsertRec(root_, key, value, &inserted,
+                               /*assign=*/false);
+  assert(new_root.ptr == root_.ptr);  // the root has no infix, never splits
   root_ = new_root;
   if (inserted) {
     ++size_;
@@ -113,7 +116,7 @@ bool PhTree::Insert(std::span<const uint64_t> key, uint64_t value) {
 
 bool PhTree::InsertOrAssign(std::span<const uint64_t> key, uint64_t value) {
   assert(key.size() == dim_);
-  if (root_ == nullptr) {
+  if (!root_) {
     return Insert(key, value);
   }
   bool inserted = false;
@@ -124,73 +127,75 @@ bool PhTree::InsertOrAssign(std::span<const uint64_t> key, uint64_t value) {
   return inserted;
 }
 
-Node* PhTree::InsertRec(Node* node, std::span<const uint64_t> key,
-                        uint64_t value, bool* inserted, bool assign) {
-  const int mis = node->MatchInfix(key);
+NodeRef PhTree::InsertRec(NodeRef node, std::span<const uint64_t> key,
+                          uint64_t value, bool* inserted, bool assign) {
+  const int mis = node.ptr->MatchInfix(key);
   if (mis >= 0) {
     // The key diverges from this node's infix at key bit `mis`: split the
     // node by inserting a new parent at that depth (paper Sect. 3.6; this
     // plus the entry insertion below are the "at most two nodes" touched).
-    const uint32_t pl = node->postfix_len();
-    const uint32_t il = node->infix_len();
+    const uint32_t pl = node.ptr->postfix_len();
+    const uint32_t il = node.ptr->infix_len();
     KeyBuf rep;
     CopyKey(key, rep.span(dim_));
-    node->ReadInfixInto(rep.span(dim_));
+    node.ptr->ReadInfixInto(rep.span(dim_));
     const uint64_t addr_node = HcAddressAt(rep.span(dim_), mis);
     const uint64_t addr_key = HcAddressAt(key, mis);
     assert(addr_node != addr_key);
 
-    Node* parent = NewNode(pl + il - static_cast<uint32_t>(mis),
-                           static_cast<uint32_t>(mis));
-    parent->SetInfixFromKey(key);
-    node->TrimInfixToLow(static_cast<uint32_t>(mis) - 1 - pl, config_);
-    parent->InsertSub(addr_node, node, config_);
-    parent->InsertPostfix(addr_key, key, value, config_);
+    NodeRef parent = NewNode(pl + il - static_cast<uint32_t>(mis),
+                             static_cast<uint32_t>(mis));
+    parent.ptr->SetInfixFromKey(key);
+    node.ptr->TrimInfixToLow(static_cast<uint32_t>(mis) - 1 - pl, config_);
+    parent.ptr->InsertSub(addr_node, node.handle, config_);
+    parent.ptr->InsertPostfix(addr_key, key, value, config_);
     *inserted = true;
     return parent;
   }
 
-  const uint64_t addr = HcAddressAt(key, node->postfix_len());
-  const uint64_t ord = node->FindOrdinal(addr);
+  const uint64_t addr = HcAddressAt(key, node.ptr->postfix_len());
+  const uint64_t ord = node.ptr->FindOrdinal(addr);
   if (ord == Node::kNoOrdinal) {
-    node->InsertPostfix(addr, key, value, config_);
+    node.ptr->InsertPostfix(addr, key, value, config_);
     *inserted = true;
     return node;
   }
-  if (node->OrdinalIsSub(ord)) {
-    Node* child = node->OrdinalSub(ord);
-    Node* replacement = InsertRec(child, key, value, inserted, assign);
-    if (replacement != child) {
+  if (node.ptr->OrdinalIsSub(ord)) {
+    const NodeHandle ch = node.ptr->OrdinalSub(ord);
+    const NodeRef child{arena_->NodeAt(ch), ch};
+    const NodeRef replacement = InsertRec(child, key, value, inserted,
+                                          assign);
+    if (replacement.handle != ch) {
       // `node` was not mutated since FindOrdinal, so `ord` is still valid.
-      node->SetSubAt(ord, replacement);
+      node.ptr->SetSubAt(ord, replacement.handle);
     }
     return node;
   }
   // Postfix collision.
-  const int div = node->PostfixDivergence(ord, key);
+  const int div = node.ptr->PostfixDivergence(ord, key);
   if (div < 0) {
     // Exact duplicate.
     if (assign) {
-      node->SetPayloadAt(ord, value);
+      node.ptr->SetPayloadAt(ord, value);
     }
     *inserted = false;
     return node;
   }
   // Both keys share bits (div, postfix_len) below this node; create a child
   // at depth `div` holding the two postfixes.
-  const uint32_t pl = node->postfix_len();
+  const uint32_t pl = node.ptr->postfix_len();
   KeyBuf old_key;
   CopyKey(key, old_key.span(dim_));
-  node->ReadPostfixInto(ord, old_key.span(dim_));
-  const uint64_t old_value = node->OrdinalPayload(ord);
+  node.ptr->ReadPostfixInto(ord, old_key.span(dim_));
+  const uint64_t old_value = node.ptr->OrdinalPayload(ord);
 
-  Node* child = NewNode(pl - 1 - static_cast<uint32_t>(div),
-                        static_cast<uint32_t>(div));
-  child->SetInfixFromKey(key);
-  child->InsertPostfix(HcAddressAt(old_key.span(dim_), div),
-                       old_key.span(dim_), old_value, config_);
-  child->InsertPostfix(HcAddressAt(key, div), key, value, config_);
-  node->ReplaceEntryWithSub(addr, child, config_);
+  NodeRef child = NewNode(pl - 1 - static_cast<uint32_t>(div),
+                          static_cast<uint32_t>(div));
+  child.ptr->SetInfixFromKey(key);
+  child.ptr->InsertPostfix(HcAddressAt(old_key.span(dim_), div),
+                           old_key.span(dim_), old_value, config_);
+  child.ptr->InsertPostfix(HcAddressAt(key, div), key, value, config_);
+  node.ptr->ReplaceEntryWithSub(addr, child.handle, config_);
   *inserted = true;
   return node;
 }
@@ -210,16 +215,16 @@ std::optional<uint64_t> PhTree::Find(std::span<const uint64_t> key) const {
 
 bool PhTree::Erase(std::span<const uint64_t> key) {
   assert(key.size() == dim_);
-  if (root_ == nullptr) {
+  if (!root_) {
     return false;
   }
   bool erased = false;
-  EraseRec(root_, key, &erased);
+  EraseRec(root_.ptr, key, &erased);
   if (erased) {
     --size_;
-    if (root_->num_entries() == 0) {
+    if (root_.ptr->num_entries() == 0) {
       arena_->DeleteNode(root_);
-      root_ = nullptr;
+      root_ = NodeRef{};
     }
   }
   return erased;
@@ -236,13 +241,14 @@ void PhTree::EraseRec(Node* node, std::span<const uint64_t> key,
     return;
   }
   if (node->OrdinalIsSub(ord)) {
-    Node* child = node->OrdinalSub(ord);
+    const NodeHandle ch = node->OrdinalSub(ord);
+    Node* child = arena_->NodeAt(ch);
     EraseRec(child, key, erased);
     if (*erased && child->num_entries() == 1) {
       // The child is no longer justified as a separate node: merge its last
       // postfix into `node`, or splice the child out in favour of its single
       // remaining sub-node (paper Sect. 3.6: the second affected node).
-      MergeSingleEntryChild(node, addr, child);
+      MergeSingleEntryChild(node, addr, NodeRef{child, ch});
     }
     return;
   }
@@ -252,16 +258,17 @@ void PhTree::EraseRec(Node* node, std::span<const uint64_t> key,
   }
 }
 
-void PhTree::MergeSingleEntryChild(Node* parent, uint64_t addr, Node* child) {
-  assert(child->num_entries() == 1);
-  const uint64_t cord = child->FirstOrdinal();
-  const uint64_t caddr = child->OrdinalAddr(cord);
-  if (child->OrdinalIsSub(cord)) {
+void PhTree::MergeSingleEntryChild(Node* parent, uint64_t addr,
+                                   NodeRef child) {
+  assert(child.ptr->num_entries() == 1);
+  const uint64_t cord = child.ptr->FirstOrdinal();
+  const uint64_t caddr = child.ptr->OrdinalAddr(cord);
+  if (child.ptr->OrdinalIsSub(cord)) {
     // Splice: the grandchild absorbs the child's infix and address bit.
-    Node* grand = child->OrdinalSub(cord);
-    grand->AbsorbParentInfix(*child, caddr, config_);
+    const NodeHandle gh = child.ptr->OrdinalSub(cord);
+    arena_->NodeAt(gh)->AbsorbParentInfix(*child.ptr, caddr, config_);
     const uint64_t pord = parent->FindOrdinal(addr);
-    parent->SetSubAt(pord, grand);
+    parent->SetSubAt(pord, gh);
     arena_->DeleteNode(child);
     return;
   }
@@ -271,10 +278,10 @@ void PhTree::MergeSingleEntryChild(Node* parent, uint64_t addr, Node* child) {
   for (uint32_t d = 0; d < dim_; ++d) {
     buf.data[d] = 0;
   }
-  child->ReadPostfixInto(cord, buf.span(dim_));
-  ApplyHcAddress(caddr, child->postfix_len(), buf.span(dim_));
-  child->ReadInfixInto(buf.span(dim_));
-  const uint64_t value = child->OrdinalPayload(cord);
+  child.ptr->ReadPostfixInto(cord, buf.span(dim_));
+  ApplyHcAddress(caddr, child.ptr->postfix_len(), buf.span(dim_));
+  child.ptr->ReadInfixInto(buf.span(dim_));
+  const uint64_t value = child.ptr->OrdinalPayload(cord);
   parent->ReplaceSubWithPostfix(addr, buf.span(dim_), value, config_);
   arena_->DeleteNode(child);
 }
@@ -292,8 +299,8 @@ void PhTree::ForEach(
 PhTreeStats PhTree::ComputeStats() const {
   PhTreeStats stats;
   stats.n_entries = size_;
-  if (root_ != nullptr) {
-    StatsRec(root_, 1, &stats);
+  if (root_) {
+    StatsRec(root_.ptr, 1, &stats);
   }
   if (arena_ != nullptr && arena_->pooled()) {
     // Exact, measured allocator state. Invariant (checked by the arena
@@ -308,12 +315,22 @@ PhTreeStats PhTree::ComputeStats() const {
 void PhTree::StatsRec(const Node* node, size_t depth,
                       PhTreeStats* stats) const {
   ++stats->n_nodes;
-  if (node->is_hc()) {
-    ++stats->n_hc_nodes;
-  } else {
-    ++stats->n_lhc_nodes;
+  const uint64_t bytes = node->MemoryBytes();
+  switch (node->repr()) {
+    case Node::Repr::kHc:
+      ++stats->n_hc_nodes;
+      stats->hc_node_bytes += bytes;
+      break;
+    case Node::Repr::kBhc:
+      ++stats->n_bhc_nodes;
+      stats->bhc_node_bytes += bytes;
+      break;
+    case Node::Repr::kLhc:
+      ++stats->n_lhc_nodes;
+      stats->lhc_node_bytes += bytes;
+      break;
   }
-  stats->memory_bytes += node->MemoryBytes();
+  stats->memory_bytes += bytes;
   stats->max_depth = std::max(stats->max_depth, depth);
   stats->sum_node_depth += depth;
   stats->infix_bits += static_cast<uint64_t>(node->infix_len()) * dim_;
@@ -321,7 +338,7 @@ void PhTree::StatsRec(const Node* node, size_t depth,
   for (uint64_t ord = node->FirstOrdinal(); ord != Node::kNoOrdinal;
        ord = node->NextOrdinal(ord)) {
     if (node->OrdinalIsSub(ord)) {
-      StatsRec(node->OrdinalSub(ord), depth + 1, stats);
+      StatsRec(arena_->NodeAt(node->OrdinalSub(ord)), depth + 1, stats);
     }
   }
 }

@@ -116,7 +116,7 @@ class PhTree {
   PhTreeStats ComputeStats() const;
 
   /// Root node accessor for iterators/tests; nullptr when empty.
-  const Node* root() const { return root_; }
+  const Node* root() const { return root_.ptr; }
 
   /// The arena owning every node of this tree. Stable address for the
   /// tree's lifetime (moves transfer ownership of the same arena object);
@@ -127,18 +127,18 @@ class PhTree {
  private:
   friend class PhTreeValidator;
 
-  Node* NewNode(uint32_t infix_len, uint32_t postfix_len);
-  Node* InsertRec(Node* node, std::span<const uint64_t> key, uint64_t value,
-                  bool* inserted, bool assign);
+  NodeRef NewNode(uint32_t infix_len, uint32_t postfix_len);
+  NodeRef InsertRec(NodeRef node, std::span<const uint64_t> key,
+                    uint64_t value, bool* inserted, bool assign);
   void EraseRec(Node* node, std::span<const uint64_t> key, bool* erased);
-  void MergeSingleEntryChild(Node* parent, uint64_t addr, Node* child);
-  void DeleteSubtree(Node* node);
+  void MergeSingleEntryChild(Node* parent, uint64_t addr, NodeRef child);
+  void DeleteSubtree(NodeRef node);
   void StatsRec(const Node* node, size_t depth, PhTreeStats* stats) const;
 
   uint32_t dim_;
   PhTreeConfig config_;
   size_t size_ = 0;
-  Node* root_ = nullptr;
+  NodeRef root_;
   // unique_ptr, not by-value: nodes hold pointers into the arena's word
   // pool, so the arena object must keep its address across PhTree moves.
   std::unique_ptr<NodeArena> arena_;

@@ -174,7 +174,7 @@ StatusOr<HeaderV2> ParseHeaderV2(const std::vector<uint8_t>& bytes,
   }
   const size_t repr_offset = r.pos();
   const uint8_t repr = r.GetU8();
-  if (repr > static_cast<uint8_t>(NodeRepr::kHcOnly)) {
+  if (repr > static_cast<uint8_t>(NodeRepr::kBhcOnly)) {
     return Err(StatusCode::kHeaderCorrupt, repr_offset,
                "unknown node representation " + std::to_string(repr));
   }
@@ -334,7 +334,7 @@ Expected<PhTree, SnapshotError> DeserializeV1(
   PhTreeConfig config;
   const size_t repr_offset = r.pos();
   const uint8_t repr = r.GetU8();
-  if (r.ok() && repr > static_cast<uint8_t>(NodeRepr::kHcOnly)) {
+  if (r.ok() && repr > static_cast<uint8_t>(NodeRepr::kBhcOnly)) {
     return Err(StatusCode::kHeaderCorrupt, repr_offset,
                "unknown node representation " + std::to_string(repr));
   }

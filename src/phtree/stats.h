@@ -17,6 +17,12 @@ struct PhTreeStats {
   size_t n_hc_nodes = 0;
   /// Nodes currently in LHC (linearised) representation.
   size_t n_lhc_nodes = 0;
+  /// Nodes currently in BHC (packed-leaf bitmap) representation.
+  size_t n_bhc_nodes = 0;
+  /// Exact measured bytes per representation; they sum to memory_bytes.
+  uint64_t hc_node_bytes = 0;
+  uint64_t lhc_node_bytes = 0;
+  uint64_t bhc_node_bytes = 0;
   /// Total bytes of the structure (paper Tables 1-2, "bytes per entry" =
   /// memory_bytes / n_entries). With the node arena (config.use_arena,
   /// default) this is *measured*: the sum of slab slots and granted

@@ -20,7 +20,13 @@ struct ValidateState {
   size_t nodes = 0;
   size_t hc_nodes = 0;
   size_t lhc_nodes = 0;
+  size_t bhc_nodes = 0;
   uint64_t node_bytes = 0;
+  // Independently measured bytes per representation; their sum must equal
+  // node_bytes and (pooled) the arena's live-byte meter.
+  uint64_t hc_bytes = 0;
+  uint64_t lhc_bytes = 0;
+  uint64_t bhc_bytes = 0;
   uint64_t infix_bits = 0;
   size_t max_depth = 0;
   size_t sum_node_depth = 0;
@@ -54,16 +60,26 @@ void ValidateNode(const Node* node, const Node* parent, size_t depth,
       << ",n=" << node->num_entries() << "): ";
 
   ++state->nodes;
-  state->node_bytes += node->MemoryBytes();
+  const uint64_t node_bytes = node->MemoryBytes();
+  state->node_bytes += node_bytes;
   state->infix_bits +=
       static_cast<uint64_t>(node->infix_len()) * node->dim();
   // Depth convention matches StatsRec: the root counts as depth 1.
   state->max_depth = std::max(state->max_depth, depth + 1);
   state->sum_node_depth += depth + 1;
-  if (node->is_hc()) {
-    ++state->hc_nodes;
-  } else {
-    ++state->lhc_nodes;
+  switch (node->repr()) {
+    case Node::Repr::kHc:
+      ++state->hc_nodes;
+      state->hc_bytes += node_bytes;
+      break;
+    case Node::Repr::kBhc:
+      ++state->bhc_nodes;
+      state->bhc_bytes += node_bytes;
+      break;
+    case Node::Repr::kLhc:
+      ++state->lhc_nodes;
+      state->lhc_bytes += node_bytes;
+      break;
   }
   // Arena ownership: every reachable node must have been carved out of the
   // tree's own arena (a foreign or stale pointer here means a splice or
@@ -119,7 +135,8 @@ void ValidateNode(const Node* node, const Node* parent, size_t depth,
     }
     if (node->OrdinalIsSub(ord)) {
       ++subs;
-      Node* child = node->OrdinalSub(ord);
+      const Node* child =
+          state->tree->arena()->NodeAt(node->OrdinalSub(ord));
       if (state->deep != nullptr) {
         child->ReadInfixInto(state->path);
       }
@@ -187,37 +204,92 @@ void ValidateNode(const Node* node, const Node* parent, size_t depth,
 
   const PhTreeConfig& cfg = state->tree->config();
   const bool hc_allowed = node->dim() <= cfg.hc_max_dim;
-  if (cfg.repr == NodeRepr::kLhcOnly && node->is_hc()) {
-    state->Fail(ctx.str() + "HC node under kLhcOnly policy");
+  const bool bhc_eligible = hc_allowed && node->num_subs() == 0;
+  // BHC occupancy invariants hold under every policy: the packed-leaf
+  // format has no is_sub bitmap and addresses its bitmap by 2^dim.
+  if (node->is_bhc() && node->num_subs() != 0) {
+    state->Fail(ctx.str() + "BHC node holds sub-node entries");
     return;
   }
-  if (cfg.repr == NodeRepr::kHcOnly && hc_allowed && !node->is_hc() &&
-      node->num_entries() > 0) {
-    state->Fail(ctx.str() + "LHC node under kHcOnly policy");
+  if (node->is_bhc() && !hc_allowed) {
+    state->Fail(ctx.str() + "BHC node above hc_max_dim");
     return;
   }
-  if (cfg.repr == NodeRepr::kAdaptive) {
-    if (node->is_hc() && !hc_allowed) {
-      state->Fail(ctx.str() + "HC node above hc_max_dim");
-      return;
-    }
-    if (hc_allowed) {
-      const uint64_t hc = node->HcBits();
-      const uint64_t lhc = node->LhcBits();
-      bool should_switch;
-      if (cfg.hysteresis >= 1.0) {
-        should_switch = node->is_hc() != (hc < lhc);
-      } else {
-        should_switch = node->is_hc()
-                            ? static_cast<double>(lhc) <
-                                  static_cast<double>(hc) * cfg.hysteresis
-                            : static_cast<double>(hc) <
-                                  static_cast<double>(lhc) * cfg.hysteresis;
-      }
-      if (should_switch) {
-        state->Fail(ctx.str() + "representation violates switching rule");
+  if (node->is_hc() && !hc_allowed) {
+    state->Fail(ctx.str() + "HC node above hc_max_dim");
+    return;
+  }
+  switch (cfg.repr) {
+    case NodeRepr::kLhcOnly:
+      if (node->repr() != Node::Repr::kLhc) {
+        state->Fail(ctx.str() + "non-LHC node under kLhcOnly policy");
         return;
       }
+      break;
+    case NodeRepr::kHcOnly:
+      if (node->is_bhc()) {
+        state->Fail(ctx.str() + "BHC node under kHcOnly policy");
+        return;
+      }
+      if (hc_allowed && !node->is_hc() && node->num_entries() > 0) {
+        state->Fail(ctx.str() + "LHC node under kHcOnly policy");
+        return;
+      }
+      break;
+    case NodeRepr::kBhcOnly:
+      if (node->is_hc()) {
+        state->Fail(ctx.str() + "HC node under kBhcOnly policy");
+        return;
+      }
+      if (bhc_eligible && !node->is_bhc() && node->num_entries() > 0) {
+        state->Fail(ctx.str() + "LHC node under kBhcOnly policy");
+        return;
+      }
+      break;
+    case NodeRepr::kAdaptive: {
+      // Mirror MaybeSwitchRepresentation: the smallest representation wins
+      // with tie preference LHC, then BHC, then HC; with hysteresis < 1.0
+      // the node may lawfully keep a representation within the band.
+      Node::Repr best = Node::Repr::kLhc;
+      uint64_t best_bits = node->LhcBits();
+      if (bhc_eligible) {
+        const uint64_t b = node->BhcBits();
+        if (b < best_bits) {
+          best = Node::Repr::kBhc;
+          best_bits = b;
+        }
+      }
+      if (hc_allowed) {
+        const uint64_t h = node->HcBits();
+        if (h < best_bits) {
+          best = Node::Repr::kHc;
+          best_bits = h;
+        }
+      }
+      if (best != node->repr()) {
+        uint64_t cur_bits;
+        switch (node->repr()) {
+          case Node::Repr::kHc:
+            cur_bits = node->HcBits();
+            break;
+          case Node::Repr::kBhc:
+            cur_bits = node->BhcBits();
+            break;
+          case Node::Repr::kLhc:
+          default:
+            cur_bits = node->LhcBits();
+            break;
+        }
+        const bool within_band =
+            cfg.hysteresis < 1.0 &&
+            static_cast<double>(best_bits) >=
+                static_cast<double>(cur_bits) * cfg.hysteresis;
+        if (!within_band) {
+          state->Fail(ctx.str() + "representation violates switching rule");
+          return;
+        }
+      }
+      break;
     }
   }
 }
@@ -261,11 +333,21 @@ std::string Validate(const PhTree& tree, const DeepValidateOptions* deep) {
        << " != reachable node count " << state.nodes;
     return os.str();
   }
+  if (state.hc_bytes + state.lhc_bytes + state.bhc_bytes !=
+      state.node_bytes) {
+    std::ostringstream os;
+    os << "per-representation byte sums " << state.hc_bytes << "+"
+       << state.lhc_bytes << "+" << state.bhc_bytes
+       << " != total node bytes " << state.node_bytes;
+    return os.str();
+  }
   if (arena != nullptr && arena->pooled() &&
-      arena->LiveBytes() != state.node_bytes) {
+      arena->LiveBytes() !=
+          state.hc_bytes + state.lhc_bytes + state.bhc_bytes) {
     std::ostringstream os;
     os << "arena live bytes " << arena->LiveBytes()
-       << " != sum of node bytes " << state.node_bytes;
+       << " != measured HC+LHC+BHC node bytes "
+       << state.hc_bytes + state.lhc_bytes + state.bhc_bytes;
     return os.str();
   }
 
@@ -279,10 +361,19 @@ std::string Validate(const PhTree& tree, const DeepValidateOptions* deep) {
       os << "stats n_nodes " << stats.n_nodes << " != walked "
          << state.nodes;
     } else if (stats.n_hc_nodes != state.hc_nodes ||
-               stats.n_lhc_nodes != state.lhc_nodes) {
-      os << "stats HC/LHC split " << stats.n_hc_nodes << "/"
-         << stats.n_lhc_nodes << " != walked " << state.hc_nodes << "/"
-         << state.lhc_nodes;
+               stats.n_lhc_nodes != state.lhc_nodes ||
+               stats.n_bhc_nodes != state.bhc_nodes) {
+      os << "stats HC/LHC/BHC split " << stats.n_hc_nodes << "/"
+         << stats.n_lhc_nodes << "/" << stats.n_bhc_nodes << " != walked "
+         << state.hc_nodes << "/" << state.lhc_nodes << "/"
+         << state.bhc_nodes;
+    } else if (stats.hc_node_bytes != state.hc_bytes ||
+               stats.lhc_node_bytes != state.lhc_bytes ||
+               stats.bhc_node_bytes != state.bhc_bytes) {
+      os << "stats per-repr bytes " << stats.hc_node_bytes << "/"
+         << stats.lhc_node_bytes << "/" << stats.bhc_node_bytes
+         << " != walked " << state.hc_bytes << "/" << state.lhc_bytes
+         << "/" << state.bhc_bytes;
     } else if (stats.n_postfix_entries != state.postfix_entries) {
       os << "stats n_postfix_entries " << stats.n_postfix_entries
          << " != walked " << state.postfix_entries;

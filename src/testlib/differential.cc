@@ -75,9 +75,11 @@ class VariantAdapter {
 
 class PlainAdapter : public VariantAdapter {
  public:
-  explicit PlainAdapter(uint32_t dim) : tree_(dim) {}
+  explicit PlainAdapter(uint32_t dim, const PhTreeConfig& cfg = {},
+                        const char* name = "PhTree")
+      : tree_(dim, cfg), name_(name) {}
 
-  const char* name() const override { return "PhTree"; }
+  const char* name() const override { return name_; }
   size_t Size() const override { return tree_.size(); }
   bool Insert(const Command& cmd) override {
     return tree_.Insert(cmd.key, cmd.value);
@@ -142,6 +144,7 @@ class PlainAdapter : public VariantAdapter {
 
  private:
   PhTree tree_;
+  const char* name_;
 };
 
 class SyncAdapter : public VariantAdapter {
@@ -417,6 +420,15 @@ class Runner {
       : opts_(opts), source_(source), model_(opts.commands.dim) {
     const uint32_t dim = opts.commands.dim;
     adapters_.push_back(std::make_unique<PlainAdapter>(dim));
+    {
+      // Forced packed-leaf policy: every sub-free node uses BHC, everything
+      // else LHC. Exercises the BHC insert/remove/convert paths far beyond
+      // what the adaptive rule reaches (which only picks BHC when smaller).
+      PhTreeConfig bhc_cfg;
+      bhc_cfg.repr = NodeRepr::kBhcOnly;
+      adapters_.push_back(
+          std::make_unique<PlainAdapter>(dim, bhc_cfg, "PhTree/bhc"));
+    }
     if (opts.include_concurrent) {
       adapters_.push_back(std::make_unique<SyncAdapter>(dim));
       for (const uint32_t shards : opts.shard_counts) {

@@ -54,7 +54,8 @@ TEST(DifferentialTest, SeededRunAcrossAllVariantsHasZeroDivergence) {
 
   EXPECT_EQ(report.divergence, "");
   EXPECT_EQ(report.ops_run, opts.ops);
-  EXPECT_EQ(report.variants, 9u);  // plain, sync, 4x sharded, KD1/KD2/CB1
+  // plain, forced-BHC plain, sync, 4x sharded, KD1/KD2/CB1
+  EXPECT_EQ(report.variants, 10u);
   EXPECT_GT(report.replayed, opts.ops * 7);
   EXPECT_GT(report.max_size, 100u);
 }
@@ -82,7 +83,7 @@ TEST(DifferentialTest, CoreOnlyConfigurationRuns) {
   opts.include_concurrent = false;
   const DiffReport report = RunDifferential(opts);
   EXPECT_EQ(report.divergence, "");
-  EXPECT_EQ(report.variants, 1u);
+  EXPECT_EQ(report.variants, 2u);  // plain + forced-BHC plain
 }
 
 TEST(DifferentialTest, BytesSourceReplaysFuzzShapedInput) {

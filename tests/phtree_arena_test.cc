@@ -93,27 +93,45 @@ TEST(SlabWordPool, LargeBlocksAreTrackedAndReset) {
 
 TEST(NodeArena, RecyclesNodeSlots) {
   NodeArena arena;
-  Node* a = arena.NewNode(2, 0, 63, true);
-  EXPECT_TRUE(arena.Owns(a));
+  NodeRef a = arena.NewNode(2, 0, 63, true);
+  EXPECT_TRUE(arena.Owns(a.ptr));
+  EXPECT_EQ(arena.NodeAt(a.handle), a.ptr);
   EXPECT_EQ(arena.live_nodes(), 1u);
   arena.DeleteNode(a);
   EXPECT_EQ(arena.live_nodes(), 0u);
-  // The freed slot is reused before any new slab slot.
-  Node* b = arena.NewNode(3, 1, 10, false);
-  EXPECT_EQ(static_cast<void*>(b), static_cast<void*>(a));
+  // The freed slot (and its handle) is reused before any new slab slot.
+  NodeRef b = arena.NewNode(3, 1, 10, false);
+  EXPECT_EQ(static_cast<void*>(b.ptr), static_cast<void*>(a.ptr));
+  EXPECT_EQ(b.handle, a.handle);
   arena.DeleteNode(b);
 }
 
 TEST(NodeArena, OwnsRejectsForeignNodes) {
   NodeArena arena;
   NodeArena other;
-  Node* mine = arena.NewNode(2, 0, 63, true);
-  Node* foreign = other.NewNode(2, 0, 63, true);
-  EXPECT_TRUE(arena.Owns(mine));
-  EXPECT_FALSE(arena.Owns(foreign));
+  NodeRef mine = arena.NewNode(2, 0, 63, true);
+  NodeRef foreign = other.NewNode(2, 0, 63, true);
+  EXPECT_TRUE(arena.Owns(mine.ptr));
+  EXPECT_FALSE(arena.Owns(foreign.ptr));
   EXPECT_FALSE(arena.Owns(nullptr));
   arena.DeleteNode(mine);
   other.DeleteNode(foreign);
+}
+
+TEST(NodeArena, HandlesResolveInHeapMode) {
+  NodeArena arena(/*pooled=*/false);
+  NodeRef a = arena.NewNode(2, 0, 63, true);
+  NodeRef b = arena.NewNode(2, 1, 30, true);
+  EXPECT_NE(a.handle, b.handle);
+  EXPECT_EQ(arena.NodeAt(a.handle), a.ptr);
+  EXPECT_EQ(arena.NodeAt(b.handle), b.ptr);
+  arena.DeleteNode(a);
+  // Freed heap handle is recycled for the next allocation.
+  NodeRef c = arena.NewNode(3, 0, 63, false);
+  EXPECT_EQ(c.handle, a.handle);
+  EXPECT_EQ(arena.NodeAt(c.handle), c.ptr);
+  arena.DeleteNode(b);
+  arena.DeleteNode(c);
 }
 
 // ---- PhTree integration ---------------------------------------------------

@@ -64,7 +64,8 @@ TEST(PhTreeBasic, PaperFigure1Example) {
   ASSERT_NE(tree.root(), nullptr);
   EXPECT_EQ(tree.root()->num_entries(), 1u);
   EXPECT_EQ(tree.root()->num_subs(), 1u);
-  const Node* sub = tree.root()->OrdinalSub(tree.root()->FirstOrdinal());
+  const Node* sub =
+      tree.arena()->NodeAt(tree.root()->OrdinalSub(tree.root()->FirstOrdinal()));
   EXPECT_EQ(sub->infix_len(), 1u);
   EXPECT_EQ(sub->num_entries(), 2u);
   EXPECT_EQ(ValidatePhTree(tree), "");
@@ -88,7 +89,7 @@ TEST(PhTreeBasic, PaperFigure2Example) {
   // The sub-node holds all three entries as postfixes with a 2-bit prefix
   // (figure: prefix covers bit-depths 2-3, entries diverge at depth 3...
   // here: shared bits 0 at zb=2 and diverging at zb=3).
-  const Node* sub = tree.root()->OrdinalSub(ord);
+  const Node* sub = tree.arena()->NodeAt(tree.root()->OrdinalSub(ord));
   EXPECT_EQ(sub->num_entries(), 3u);
   EXPECT_EQ(sub->num_subs(), 0u);
   EXPECT_EQ(ValidatePhTree(tree), "");

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.h"
@@ -17,9 +18,11 @@ namespace {
 
 PhKey Key2(uint64_t x, uint64_t y) { return PhKey{x, y}; }
 
-TEST(NodeRepresentation, DenseLowDimNodesUseHc) {
-  // k=2: filling all 4 slots of a node must flip it to HC (paper: the
-  // bottom node of Fig. 2 "would be stored in HC representation").
+TEST(NodeRepresentation, DenseLowDimLeafNodesUseBhc) {
+  // k=2: filling all 4 slots of a leaf node must leave LHC (paper: the
+  // bottom node of Fig. 2 "would be stored in HC representation"; our BHC
+  // packed-leaf refinement strictly beats HC on every sub-free node, so the
+  // dense leaf lands there instead).
   PhTree tree(2);
   for (uint64_t x = 0; x < 2; ++x) {
     for (uint64_t y = 0; y < 2; ++y) {
@@ -27,7 +30,8 @@ TEST(NodeRepresentation, DenseLowDimNodesUseHc) {
     }
   }
   const PhTreeStats stats = tree.ComputeStats();
-  EXPECT_GE(stats.n_hc_nodes, 1u);
+  EXPECT_GE(stats.n_bhc_nodes, 1u);
+  EXPECT_EQ(stats.n_hc_nodes, 0u);
   EXPECT_EQ(ValidatePhTree(tree), "");
 }
 
@@ -53,7 +57,7 @@ TEST(NodeRepresentation, SwitchesBackToLhcOnDeletion) {
     }
   }
   PhTreeStats stats = tree.ComputeStats();
-  ASSERT_GE(stats.n_hc_nodes, 1u);
+  ASSERT_GE(stats.n_bhc_nodes, 1u);
   // Erase until sparse: representation must follow the size rule again.
   tree.Erase(Key2(0, 0));
   tree.Erase(Key2(0, 1));
@@ -104,7 +108,7 @@ TEST(NodeRepresentation, HcNeverUsedAboveMaxDim) {
   EXPECT_EQ(stats.n_hc_nodes, 0u);
 }
 
-TEST(NodeSpace, HcBeatsLhcExactlyWhenSmaller) {
+TEST(NodeSpace, SmallestRepresentationWinsExactly) {
   // Whitebox size check on a standalone node.
   PhTreeConfig cfg;
   Node node(2, 0, 3);  // k=2, postfix 3 bits -> stride 6 bits
@@ -113,17 +117,22 @@ TEST(NodeSpace, HcBeatsLhcExactlyWhenSmaller) {
   // below HC (4 slots x (64+2+6) bits) -> LHC.
   node.InsertPostfix(0, key, 0, cfg);
   EXPECT_FALSE(node.is_hc());
+  EXPECT_FALSE(node.is_bhc());
   EXPECT_LT(node.LhcBits(), node.HcBits());
   // Fill all 4 slots: LHC pays k=2 address bits per entry, HC does not ->
-  // HC is smaller by (k-1) bits per slot (paper Sect. 3.2).
+  // HC is smaller by (k-1) bits per slot (paper Sect. 3.2). The packed leaf
+  // (BHC) drops the empty payload slots and the sub bitmap on top of that,
+  // so a full sub-free node lands in BHC, strictly below both.
   key = PhKey{1, 0};
   node.InsertPostfix(2, key, 0, cfg);
   key = PhKey{0, 1};
   node.InsertPostfix(1, key, 0, cfg);
   key = PhKey{1, 1};
   node.InsertPostfix(3, key, 0, cfg);
-  EXPECT_TRUE(node.is_hc());
+  EXPECT_TRUE(node.is_bhc());
   EXPECT_LT(node.HcBits(), node.LhcBits());
+  EXPECT_LT(node.BhcBits(), node.HcBits());
+  EXPECT_LT(node.BhcBits(), node.LhcBits());
 }
 
 TEST(NodeSpace, MemoryScalesWithPostfixLengthNotBitWidth) {
@@ -175,10 +184,124 @@ TEST(NodeSpace, StatsCountsAreConsistent) {
   const PhTreeStats stats = tree.ComputeStats();
   EXPECT_EQ(stats.n_entries, n);
   EXPECT_EQ(stats.n_postfix_entries, n);
-  EXPECT_EQ(stats.n_hc_nodes + stats.n_lhc_nodes, stats.n_nodes);
+  EXPECT_EQ(stats.n_hc_nodes + stats.n_lhc_nodes + stats.n_bhc_nodes,
+            stats.n_nodes);
+  EXPECT_EQ(stats.hc_node_bytes + stats.lhc_node_bytes + stats.bhc_node_bytes,
+            stats.memory_bytes);
   EXPECT_GT(stats.memory_bytes, 0u);
   EXPECT_GE(stats.max_depth, 1u);
   EXPECT_LE(stats.max_depth, 64u);
+}
+
+TEST(NodeRepresentation, BhcPromotionAndDemotionAtSwitchBoundary) {
+  // Whitebox: with k=2, postfix 3 bits and no infix, the exact sizes are
+  // LHC = 73n bits and BHC = 70n + 4 bits, so the strict smaller-wins rule
+  // places the boundary between n=1 (LHC) and n=2 (BHC). Walk the node
+  // across the boundary in both directions and check that the chosen
+  // representation is the argmin after every single mutation.
+  PhTreeConfig cfg;  // strict: hysteresis = 1.0
+  Node node(2, 0, 3);
+  const uint64_t addrs[4] = {0, 2, 1, 3};
+  const PhKey keys[4] = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  for (int i = 0; i < 4; ++i) {
+    node.InsertPostfix(addrs[i], keys[i], 0, cfg);
+    const uint64_t best = std::min(
+        {node.LhcBits(), node.BhcBits(), node.HcBits()});
+    EXPECT_EQ(node.is_bhc(), node.BhcBits() < node.LhcBits() &&
+                                 node.BhcBits() <= node.HcBits())
+        << "n=" << i + 1;
+    EXPECT_EQ(node.CurrentReprBits(), best) << "n=" << i + 1;
+  }
+  EXPECT_TRUE(node.is_bhc());
+  // Demote by deletion: at n=1 LHC is strictly smaller again.
+  for (int i = 3; i >= 1; --i) {
+    node.RemoveEntry(addrs[i], cfg);
+  }
+  EXPECT_EQ(node.num_entries(), 1u);
+  EXPECT_FALSE(node.is_bhc());
+  EXPECT_LT(node.LhcBits(), node.BhcBits());
+}
+
+TEST(NodeRepresentation, HysteresisDampsOscillationAtBoundary) {
+  // Alternating insert/erase exactly across the n=1 <-> n=2 boundary.
+  // Strict switching flips LHC <-> BHC on every operation; a hysteresis
+  // band keeps the node in LHC throughout (BHC at n=2 is only ~1.4% below
+  // LHC, inside the band), at identical entry content.
+  PhTreeConfig strict;
+  PhTreeConfig damped;
+  damped.hysteresis = 0.9;
+  Node flappy(2, 0, 3);
+  Node steady(2, 0, 3);
+  const PhKey k0{0, 0};
+  const PhKey k1{1, 1};
+  flappy.InsertPostfix(0, k0, 0, strict);
+  steady.InsertPostfix(0, k0, 0, damped);
+  for (int round = 0; round < 8; ++round) {
+    flappy.InsertPostfix(3, k1, 0, strict);
+    steady.InsertPostfix(3, k1, 0, damped);
+    EXPECT_TRUE(flappy.is_bhc());   // strict: promoted every round
+    EXPECT_FALSE(steady.is_bhc());  // damped: stays put
+    flappy.RemoveEntry(3, strict);
+    steady.RemoveEntry(3, damped);
+    EXPECT_FALSE(flappy.is_bhc());  // strict: demoted every round
+    EXPECT_FALSE(steady.is_bhc());
+  }
+}
+
+TEST(NodeRepresentation, IllegalBhcConvertsEvenInsideHysteresisBand) {
+  // A BHC node that gains a sub-node entry must leave BHC unconditionally —
+  // the hysteresis band never keeps an illegal representation alive.
+  PhTreeConfig damped;
+  damped.hysteresis = 0.5;
+  Node node(2, 0, 3);
+  const PhKey keys[3] = {{0, 0}, {1, 0}, {0, 1}};
+  const uint64_t addrs[3] = {0, 2, 1};
+  for (int i = 0; i < 3; ++i) {
+    node.InsertPostfix(addrs[i], keys[i], 0, damped);
+  }
+  // Force the packed leaf (legal: sub-free), then attach a child.
+  ASSERT_EQ(node.num_subs(), 0u);
+  PhTreeConfig force_bhc = damped;
+  force_bhc.repr = NodeRepr::kBhcOnly;
+  node.RemoveEntry(addrs[2], force_bhc);  // any mutation re-evaluates
+  ASSERT_TRUE(node.is_bhc());
+  node.InsertSub(3, NodeHandle{7}, damped);
+  EXPECT_FALSE(node.is_bhc());
+  EXPECT_EQ(node.num_subs(), 1u);
+  ASSERT_NE(node.FindOrdinal(3), Node::kNoOrdinal);
+  EXPECT_EQ(node.OrdinalSub(node.FindOrdinal(3)), NodeHandle{7});
+}
+
+TEST(NodeRepresentation, TreeChurnAcrossBoundaryStaysValid) {
+  // Tree-level churn around dense 2x2 leaves: every insert/erase crosses
+  // promotion/demotion boundaries somewhere in the tree. ValidatePhTree
+  // re-derives the representation rule (including the hysteresis band) for
+  // every node, so a single stale or thrashing node fails the walk.
+  for (const double h : {1.0, 0.9}) {
+    PhTreeConfig cfg;
+    cfg.hysteresis = h;
+    PhTree tree(2, cfg);
+    Rng rng(123);
+    std::vector<PhKey> live;
+    for (int op = 0; op < 4000; ++op) {
+      if (live.empty() || rng.NextBounded(3) != 0) {
+        PhKey key = Key2(rng.NextBounded(64), rng.NextBounded(64));
+        if (tree.Insert(key, op)) {
+          live.push_back(key);
+        }
+      } else {
+        const size_t pick = rng.NextBounded(live.size());
+        EXPECT_TRUE(tree.Erase(live[pick]));
+        live[pick] = live.back();
+        live.pop_back();
+      }
+      if (op % 500 == 0) {
+        ASSERT_EQ(ValidatePhTree(tree), "") << "h=" << h << " op=" << op;
+      }
+    }
+    EXPECT_EQ(tree.size(), live.size());
+    ASSERT_EQ(ValidatePhTree(tree), "") << "h=" << h;
+  }
 }
 
 TEST(NodeWhitebox, InfixRoundTrip) {

@@ -10,6 +10,7 @@
 #include "phtree/phtree_set.h"
 #include "phtree/serialize.h"
 #include "phtree/validate.h"
+#include "testdata/golden_v2_streams.h"
 
 namespace phtree {
 namespace {
@@ -42,8 +43,11 @@ TEST(PhTreeSet, SavesSpaceVsValueTree) {
   EXPECT_EQ(ms.n_entries, ss.n_entries);
   EXPECT_EQ(ms.n_nodes, ss.n_nodes);
   EXPECT_EQ(ms.max_depth, ss.max_depth);
-  // At least 7 bytes/entry cheaper (one payload word minus bookkeeping).
-  EXPECT_LT(ss.BytesPerEntry() + 7.0, ms.BytesPerEntry());
+  // Close to one 8-byte payload word per entry cheaper. The gap is a bit
+  // under 8: the word-pool's power-of-two size classes absorb part of the
+  // per-node difference, and the BHC packed leaf already strips empty
+  // payload slots from the value tree.
+  EXPECT_LT(ss.BytesPerEntry() + 6.5, ms.BytesPerEntry());
   EXPECT_EQ(ValidatePhTree(set_tree.tree()), "");
 }
 
@@ -98,6 +102,63 @@ TEST(Serialize, RoundTripPreservesEntriesAndShape) {
     EXPECT_EQ(*found, v);
   });
   EXPECT_EQ(ValidatePhTree(*back), "");
+}
+
+TEST(Serialize, GoldenPreRefactorV2StreamsLoadBitIdentically) {
+  // Compatibility anchor for node-layout refactors: these two streams were
+  // captured byte-for-byte from the pre-BHC build (see
+  // testdata/golden_v2_streams.h). The v2 format is entry-wise, so a layout
+  // change inside Node must neither reject the old bytes nor change what a
+  // re-save of the loaded tree produces.
+  const std::vector<uint8_t> golden_value(
+      testdata::kGoldenV2Value,
+      testdata::kGoldenV2Value + sizeof(testdata::kGoldenV2Value));
+  const std::vector<uint8_t> golden_set(
+      testdata::kGoldenV2Set,
+      testdata::kGoldenV2Set + sizeof(testdata::kGoldenV2Set));
+
+  const auto value_tree = DeserializePhTree(golden_value);
+  ASSERT_TRUE(value_tree.has_value());
+  EXPECT_EQ(value_tree->dim(), 3u);
+  EXPECT_EQ(ValidatePhTree(*value_tree), "");
+  // The stream was produced by exactly this insertion sequence; the loaded
+  // tree must hold exactly these entries with these payloads.
+  {
+    Rng rng(77);
+    PhTree expect(3);
+    for (int i = 0; i < 200; ++i) {
+      expect.InsertOrAssign(
+          PhKey{rng.NextU64() & 0xFFFFF, rng.NextU64(), rng.NextU64() & 0xFF},
+          static_cast<uint64_t>(i));
+    }
+    EXPECT_EQ(value_tree->size(), expect.size());
+    expect.ForEach([&](const PhKey& k, uint64_t v) {
+      const auto found = value_tree->Find(k);
+      ASSERT_TRUE(found.has_value());
+      EXPECT_EQ(*found, v);
+    });
+  }
+  EXPECT_EQ(SerializePhTree(*value_tree), golden_value);
+
+  const auto set_tree = DeserializePhTree(golden_set);
+  ASSERT_TRUE(set_tree.has_value());
+  EXPECT_EQ(set_tree->dim(), 2u);
+  EXPECT_FALSE(set_tree->config().store_values);
+  EXPECT_EQ(ValidatePhTree(*set_tree), "");
+  {
+    Rng rng(78);
+    PhTreeConfig cfg;
+    cfg.store_values = false;
+    PhTree expect(2, cfg);
+    for (int i = 0; i < 150; ++i) {
+      expect.InsertOrAssign(PhKey{rng.NextU64() & 0xFFFFFF, rng.NextU64()}, 0);
+    }
+    EXPECT_EQ(set_tree->size(), expect.size());
+    expect.ForEach([&](const PhKey& k, uint64_t) {
+      EXPECT_TRUE(set_tree->Contains(k));
+    });
+  }
+  EXPECT_EQ(SerializePhTree(*set_tree), golden_set);
 }
 
 TEST(Serialize, ZOrderDeltaCompressionBeatsRawDump) {

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "benchlib/json_artifact.h"
 #include "datasets/datasets.h"
 
 namespace phtree::bench {
@@ -86,6 +91,35 @@ TEST(ClusterQueries, MatchPaperShape) {
     EXPECT_GE(b.lo[0], 0.0);
     EXPECT_LE(b.lo[0], 0.1);
   }
+}
+
+TEST(JsonArtifact, RerunReplacesOwnSectionInsteadOfDuplicating) {
+  // Regression: the section splice used the wrong nesting depth when
+  // looking for an existing section, so re-running a bench appended a
+  // duplicate key instead of replacing its previous run (JSON parsers then
+  // silently kept the stale copy).
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "phtree_artifact_test.json")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  ASSERT_TRUE(UpdateJsonArtifact(path, "t", "alpha", "{\"v\": 1}"));
+  ASSERT_TRUE(UpdateJsonArtifact(path, "t", "beta", "{\"v\": 2}"));
+  ASSERT_TRUE(UpdateJsonArtifact(path, "t", "alpha", "{\"v\": 3}"));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = buf.str();
+  std::filesystem::remove(path, ec);
+  size_t count = 0;
+  for (size_t pos = contents.find("\"alpha\""); pos != std::string::npos;
+       pos = contents.find("\"alpha\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u) << contents;
+  EXPECT_NE(contents.find("\"v\": 3"), std::string::npos) << contents;
+  EXPECT_EQ(contents.find("\"v\": 1"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("\"beta\""), std::string::npos) << contents;
 }
 
 TEST(Workloads, DeterministicInSeed) {
