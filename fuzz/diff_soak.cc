@@ -8,7 +8,12 @@
 //
 // Usage: diff_soak [--ops N] [--seed S] [--dim K] [--grid-bits B]
 //                  [--validate-every N] [--no-baselines] [--no-concurrent]
-//                  [--tmp DIR]
+//                  [--tmp DIR] [--fault_seed S] [--fault_every_n N]
+//
+// --fault_every_n N > 0 turns on random allocation-fault injection (see
+// DiffOptions::fault_every_n): roughly one in N allocation-site hits
+// throws, every bad_alloc is counted and the op retried, and the oracle
+// comparison doubles as a rollback check. Implies --no-concurrent.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +69,10 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(ParseU64("--grid-bits", value()));
     } else if (arg == "--validate-every") {
       opts.validate_every = ParseU64("--validate-every", value());
+    } else if (arg == "--fault_seed" || arg == "--fault-seed") {
+      opts.fault_seed = ParseU64("--fault_seed", value());
+    } else if (arg == "--fault_every_n" || arg == "--fault-every-n") {
+      opts.fault_every_n = ParseU64("--fault_every_n", value());
     } else if (arg == "--no-baselines") {
       opts.include_baselines = false;
     } else if (arg == "--no-concurrent") {
@@ -92,10 +101,11 @@ int main(int argc, char** argv) {
 
   std::printf(
       "diff_soak: seed=%llu dim=%u grid_bits=%u ops=%zu replayed=%zu "
-      "variants=%zu max_size=%zu final_size=%zu\n",
+      "variants=%zu max_size=%zu final_size=%zu injected_failures=%zu\n",
       static_cast<unsigned long long>(opts.seed), opts.commands.dim,
       opts.commands.grid_bits, report.ops_run, report.replayed,
-      report.variants, report.max_size, report.final_size);
+      report.variants, report.max_size, report.final_size,
+      report.injected_failures);
   if (!report.ok()) {
     std::fprintf(stderr, "DIVERGENCE: %s\n", report.divergence.c_str());
     return 1;

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <new>
 
 #include "common/bits.h"
+#include "common/fault.h"
 
 namespace phtree {
 namespace {
 
-uint64_t* HeapAllocate(uint64_t words) { return new uint64_t[words]; }
+uint64_t* HeapAllocate(uint64_t words) {
+  return new (std::nothrow) uint64_t[words];
+}
 
 void HeapDeallocate(uint64_t* block) { delete[] block; }
 
@@ -31,8 +35,17 @@ void BitBuffer::ReleaseStorage() {
 }
 
 void BitBuffer::Reallocate(uint64_t words) {
+  if (!TryReallocate(words)) {
+    throw std::bad_alloc();
+  }
+}
+
+bool BitBuffer::TryReallocate(uint64_t words) {
   const uint64_t used = WordsFor(size_bits_);
   assert(words >= used);
+  if (FaultHit(FaultSite::kWordAlloc)) {
+    return false;
+  }
   uint64_t* nw;
   uint64_t ncap;
   if (pool_ != nullptr) {
@@ -40,6 +53,9 @@ void BitBuffer::Reallocate(uint64_t words) {
   } else {
     nw = HeapAllocate(words);
     ncap = words;
+  }
+  if (nw == nullptr) {
+    return false;
   }
   if (used > 0) {
     std::memcpy(nw, words_, used * sizeof(uint64_t));
@@ -56,6 +72,7 @@ void BitBuffer::Reallocate(uint64_t words) {
   }
   words_ = nw;
   cap_words_ = ncap;
+  return true;
 }
 
 void BitBuffer::EnsureCapacity(uint64_t words) {
@@ -71,9 +88,21 @@ void BitBuffer::EnsureCapacity(uint64_t words) {
 }
 
 void BitBuffer::Resize(uint64_t size_bits) {
+  if (!TryResize(size_bits)) {
+    throw std::bad_alloc();
+  }
+}
+
+bool BitBuffer::TryResize(uint64_t size_bits) {
   const uint64_t new_words = WordsFor(size_bits);
   const uint64_t old_words = WordsFor(size_bits_);
-  EnsureCapacity(new_words);
+  if (new_words > cap_words_) {
+    const uint64_t request =
+        pool_ != nullptr ? new_words : std::max(new_words, cap_words_ * 2);
+    if (!TryReallocate(request)) {
+      return false;
+    }
+  }
   if (new_words < old_words) {
     // Keep the invariant: words past the in-use region are zero.
     std::memset(words_ + new_words, 0,
@@ -95,9 +124,13 @@ void BitBuffer::Resize(uint64_t size_bits) {
     if (want == 0) {
       ReleaseStorage();
     } else if (want != cap_words_) {
-      Reallocate(new_words);
+      // Best-effort: a failed shrink trade keeps the (oversized) current
+      // block — correctness is unaffected, and the exact-grant invariant is
+      // re-established on the next successful trade.
+      (void)TryReallocate(new_words);
     }
   }
+  return true;
 }
 
 void BitBuffer::Clear() {

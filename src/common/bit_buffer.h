@@ -23,9 +23,10 @@ class WordPool {
  public:
   virtual ~WordPool() = default;
 
-  /// Returns a block of at least `min_words` words; `*actual_words` receives
-  /// the granted block size (callers must pass it back to DeallocateWords
-  /// unchanged). Block contents are uninitialised.
+  /// Returns a block of at least `min_words` words, or nullptr if memory is
+  /// exhausted; `*actual_words` receives the granted block size (callers
+  /// must pass it back to DeallocateWords unchanged). Block contents are
+  /// uninitialised.
   virtual uint64_t* AllocateWords(uint64_t min_words,
                                   uint64_t* actual_words) = 0;
 
@@ -85,7 +86,27 @@ class BitBuffer {
   /// new size, trading blocks through the pool's freelists at size-class
   /// boundaries; the swap is a memcpy of the in-use words, the same order
   /// as the tail shift every LHC mutation already performs.
+  /// Throws std::bad_alloc if growth cannot be satisfied.
   void Resize(uint64_t size_bits);
+
+  /// Fallible Resize: returns false — leaving the buffer byte-identical to
+  /// its prior state — if a required allocation fails. A failed *shrink*
+  /// block trade is absorbed: the buffer keeps its oversized block and
+  /// TryResize still returns true (only the pooled exact-grant space
+  /// invariant is relaxed, never correctness).
+  [[nodiscard]] bool TryResize(uint64_t size_bits);
+
+  /// True if Resize(new_bits) would have to swap the backing block (and
+  /// could therefore fail). Mutators use this to prove an in-place fast
+  /// path is infallible before touching the stream.
+  bool ResizeWouldRelocate(uint64_t new_bits) const {
+    const uint64_t nw = WordsFor(new_bits);
+    if (pool_ != nullptr) {
+      const uint64_t want = nw == 0 ? 0 : pool_->GrantWords(nw);
+      return want != 0 && want != cap_words_;
+    }
+    return nw > cap_words_;
+  }
 
   /// Removes all bits and releases pooled storage to the pool.
   void Clear();
@@ -156,8 +177,14 @@ class BitBuffer {
   void EnsureCapacity(uint64_t words);
 
   /// Replaces the backing block with one of capacity >= `words` (which must
-  /// cover the current size), copying the in-use words.
+  /// cover the current size), copying the in-use words. Throws
+  /// std::bad_alloc on failure.
   void Reallocate(uint64_t words);
+
+  /// Fallible Reallocate: returns false (buffer untouched) if the new block
+  /// cannot be obtained. This is the single allocation choke point for all
+  /// word-block growth — the kWordAlloc fault site lives here.
+  [[nodiscard]] bool TryReallocate(uint64_t words);
 
   void ReleaseStorage();
 

@@ -1,0 +1,117 @@
+#include "common/fault.h"
+
+namespace phtree {
+namespace internal {
+std::atomic<FaultInjector*> g_fault_injector{nullptr};
+}  // namespace internal
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kArenaNodeAlloc: return "arena_node_alloc";
+    case FaultSite::kWordAlloc: return "word_alloc";
+    case FaultSite::kVfsOpen: return "vfs_open";
+    case FaultSite::kVfsRead: return "vfs_read";
+    case FaultSite::kVfsWrite: return "vfs_write";
+    case FaultSite::kVfsFsync: return "vfs_fsync";
+    case FaultSite::kVfsClose: return "vfs_close";
+    case FaultSite::kVfsRename: return "vfs_rename";
+    case FaultSite::kNumSites: break;
+  }
+  return "unknown";
+}
+
+void FaultInjector::ArmCountdown(FaultSite site, uint64_t nth) {
+  fired_.store(false, std::memory_order_relaxed);
+  site_.store(static_cast<uint8_t>(site), std::memory_order_relaxed);
+  remaining_.store(nth, std::memory_order_relaxed);
+  mode_.store(Mode::kCountdown, std::memory_order_release);
+}
+
+void FaultInjector::ArmGlobalIndex(uint64_t index) {
+  fired_.store(false, std::memory_order_relaxed);
+  target_.store(index + 1, std::memory_order_relaxed);
+  mode_.store(Mode::kGlobalIndex, std::memory_order_release);
+}
+
+void FaultInjector::ArmRandom(uint64_t seed, uint64_t every_n) {
+  fired_.store(false, std::memory_order_relaxed);
+  rng_.store(seed, std::memory_order_relaxed);
+  every_n_.store(every_n, std::memory_order_relaxed);
+  mode_.store(every_n == 0 ? Mode::kDisarmed : Mode::kRandom,
+              std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  mode_.store(Mode::kDisarmed, std::memory_order_release);
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  total_hits_.fetch_add(1, std::memory_order_relaxed);
+  site_hits_[static_cast<int>(site)].fetch_add(1, std::memory_order_relaxed);
+  if (suspend_.load(std::memory_order_relaxed) > 0) {
+    return false;
+  }
+  bool fail = false;
+  switch (mode_.load(std::memory_order_acquire)) {
+    case Mode::kDisarmed:
+      break;
+    case Mode::kCountdown:
+      if (static_cast<FaultSite>(site_.load(std::memory_order_relaxed)) ==
+          site) {
+        // fetch_sub returns the previous value; the hit where it drops from
+        // 1 to 0 is the nth hit, which fails. Already-zero means spent.
+        uint64_t prev = remaining_.load(std::memory_order_relaxed);
+        while (prev > 0 && !remaining_.compare_exchange_weak(
+                               prev, prev - 1, std::memory_order_relaxed)) {
+        }
+        fail = prev == 1;
+      }
+      break;
+    case Mode::kGlobalIndex: {
+      uint64_t prev = target_.load(std::memory_order_relaxed);
+      while (prev > 0 && !target_.compare_exchange_weak(
+                             prev, prev - 1, std::memory_order_relaxed)) {
+      }
+      fail = prev == 1;
+      break;
+    }
+    case Mode::kRandom: {
+      const uint64_t n = every_n_.load(std::memory_order_relaxed);
+      if (n > 0) {
+        uint64_t s = rng_.load(std::memory_order_relaxed);
+        uint64_t s2 = s;
+        const uint64_t r = SplitMix64(&s2);
+        rng_.compare_exchange_strong(s, s2, std::memory_order_relaxed);
+        fail = (r % n) == 0;
+      }
+      break;
+    }
+  }
+  if (fail) {
+    fired_.store(true, std::memory_order_relaxed);
+    failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fail;
+}
+
+FaultInjector* SetFaultInjector(FaultInjector* injector) {
+  return internal::g_fault_injector.exchange(injector,
+                                             std::memory_order_acq_rel);
+}
+
+FaultInjector* GetFaultInjector() {
+  return internal::g_fault_injector.load(std::memory_order_relaxed);
+}
+
+}  // namespace phtree

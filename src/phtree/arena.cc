@@ -6,6 +6,8 @@
 #include <cstring>
 #include <new>
 
+#include "common/fault.h"
+
 namespace phtree {
 namespace {
 
@@ -43,26 +45,37 @@ uint64_t* SlabWordPool::AllocateWords(uint64_t min_words,
   const uint32_t cls = ClassFor(min_words);
   const uint64_t words = uint64_t{1} << cls;
   *actual_words = words;
-  live_bytes_ += words * sizeof(uint64_t);
   if (free_[cls] != nullptr) {
     uint64_t* block = free_[cls];
     std::memcpy(&free_[cls], block, sizeof(uint64_t*));
     free_bytes_ -= words * sizeof(uint64_t);
+    live_bytes_ += words * sizeof(uint64_t);
     return block;
   }
   // Bump path. Classes are powers of two and slabs are a power-of-two
   // multiple of the largest class, so a block never straddles a slab.
+  // Cursor state only advances once the slab exists, so a failed growth
+  // leaves the pool consistent.
   if (slabs_.empty() || slab_off_ + words > kSlabWords) {
-    if (!slabs_.empty()) {
-      ++cur_slab_;
+    const size_t next_slab = slabs_.empty() ? 0 : cur_slab_ + 1;
+    if (next_slab == slabs_.size()) {
+      uint64_t* mem = new (std::nothrow) uint64_t[kSlabWords];
+      if (mem == nullptr) {
+        return nullptr;
+      }
+      try {
+        slabs_.emplace_back(mem);
+      } catch (...) {
+        delete[] mem;
+        return nullptr;
+      }
     }
-    if (cur_slab_ == slabs_.size()) {
-      slabs_.emplace_back(new uint64_t[kSlabWords]);
-    }
+    cur_slab_ = next_slab;
     slab_off_ = 0;
   }
   uint64_t* block = slabs_[cur_slab_].get() + slab_off_;
   slab_off_ += words;
+  live_bytes_ += words * sizeof(uint64_t);
   return block;
 }
 
@@ -83,7 +96,7 @@ uint64_t* SlabWordPool::AllocateLarge(uint64_t words) {
   auto* lb = static_cast<LargeBlock*>(
       std::malloc(sizeof(LargeBlock) + words * sizeof(uint64_t)));
   if (lb == nullptr) {
-    throw std::bad_alloc();
+    return nullptr;
   }
   lb->prev = nullptr;
   lb->next = large_head_;
@@ -151,12 +164,20 @@ NodeHandle NodeArena::TakeSlot() {
     return h;
   }
   if (node_slabs_.empty() || node_slab_off_ == kNodesPerSlab) {
-    if (!node_slabs_.empty()) {
-      ++cur_node_slab_;
+    const size_t next_slab = node_slabs_.empty() ? 0 : cur_node_slab_ + 1;
+    if (next_slab == node_slabs_.size()) {
+      NodeSlot* mem = new (std::nothrow) NodeSlot[kNodesPerSlab];
+      if (mem == nullptr) {
+        return kInvalidNodeHandle;
+      }
+      try {
+        node_slabs_.emplace_back(mem);
+      } catch (...) {
+        delete[] mem;
+        return kInvalidNodeHandle;
+      }
     }
-    if (cur_node_slab_ == node_slabs_.size()) {
-      node_slabs_.emplace_back(new NodeSlot[kNodesPerSlab]);
-    }
+    cur_node_slab_ = next_slab;
     node_slab_off_ = 0;
   }
   return static_cast<NodeHandle>(cur_node_slab_ * kNodesPerSlab +
@@ -165,26 +186,48 @@ NodeHandle NodeArena::TakeSlot() {
 
 NodeRef NodeArena::NewNode(uint32_t dim, uint32_t infix_len,
                            uint32_t postfix_len, bool store_values) {
-  ++live_nodes_;
+  if (FaultHit(FaultSite::kArenaNodeAlloc)) {
+    return {};
+  }
   if (!pooled_) {
-    Node* node = new Node(dim, infix_len, postfix_len, store_values,
-                          /*pool=*/nullptr);
-    NodeHandle h;
-    if (!heap_free_.empty()) {
-      h = heap_free_.back();
-      heap_free_.pop_back();
-      heap_nodes_[h] = node;
-    } else {
-      h = static_cast<NodeHandle>(heap_nodes_.size());
-      heap_nodes_.push_back(node);
+    Node* node = nullptr;
+    try {
+      node = new Node(dim, infix_len, postfix_len, store_values,
+                      /*pool=*/nullptr);
+      NodeHandle h;
+      if (!heap_free_.empty()) {
+        h = heap_free_.back();
+        heap_free_.pop_back();
+        heap_nodes_[h] = node;
+      } else {
+        h = static_cast<NodeHandle>(heap_nodes_.size());
+        heap_nodes_.push_back(node);
+      }
+      ++live_nodes_;
+      return {node, h};
+    } catch (const std::bad_alloc&) {
+      delete node;
+      return {};
     }
-    return {node, h};
   }
   const NodeHandle h = TakeSlot();
+  if (h == kInvalidNodeHandle) {
+    return {};
+  }
   NodeSlot* slot = &node_slabs_[h >> kSlabShift][h & kSlotMask];
-  Node* node = new (slot) Node(dim, infix_len, postfix_len, store_values,
-                               &word_pool_);
-  return {node, h};
+  try {
+    Node* node = new (slot) Node(dim, infix_len, postfix_len, store_values,
+                                 &word_pool_);
+    ++live_nodes_;
+    return {node, h};
+  } catch (const std::bad_alloc&) {
+    // The slot was claimed but the node's infix buffer could not be
+    // allocated: thread the slot back onto the freelist and report failure.
+    std::memcpy(slot, &free_head_, sizeof(NodeHandle));
+    free_head_ = h;
+    ++free_node_count_;
+    return {};
+  }
 }
 
 void NodeArena::DeleteNode(NodeRef ref) {

@@ -140,6 +140,10 @@ class NodeArena {
   }
 
   /// Constructs a Node whose BitBuffer draws from this arena's word pool.
+  /// Returns an empty NodeRef (ptr == nullptr) if the slot or the node's
+  /// infix buffer cannot be allocated — the fallible seam the tree's
+  /// commit-or-rollback mutations are built on (kArenaNodeAlloc fault
+  /// site).
   NodeRef NewNode(uint32_t dim, uint32_t infix_len, uint32_t postfix_len,
                   bool store_values);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <new>
 
 namespace phtree {
 namespace {
@@ -60,6 +61,12 @@ void Node::ReplaceInfix(uint32_t new_infix_len,
 }
 
 void Node::TrimInfixToLow(uint32_t new_infix_len, const PhTreeConfig& cfg) {
+  if (!TryTrimInfixToLow(new_infix_len, cfg)) {
+    throw std::bad_alloc();
+  }
+}
+
+bool Node::TryTrimInfixToLow(uint32_t new_infix_len, const PhTreeConfig& cfg) {
   assert(new_infix_len <= infix_len_);
   const uint32_t il = infix_len_;
   const uint64_t base = infix_base();
@@ -69,13 +76,20 @@ void Node::TrimInfixToLow(uint32_t new_infix_len, const PhTreeConfig& cfg) {
                                         il);
     segments[d] = seg & LowMask(new_infix_len);
   }
-  ReplaceInfix(new_infix_len, {segments, dim_});
-  // The infix length changed, so the representation sizes changed too.
-  MaybeSwitchRepresentation(cfg);
+  // The infix length changes the representation sizes too, so the new infix
+  // and any prescribed representation switch commit together.
+  return TryReplaceInfixPolicy(new_infix_len, segments, cfg);
 }
 
 void Node::AbsorbParentInfix(const Node& parent, uint64_t addr_in_parent,
                              const PhTreeConfig& cfg) {
+  if (!TryAbsorbParentInfix(parent, addr_in_parent, cfg)) {
+    throw std::bad_alloc();
+  }
+}
+
+bool Node::TryAbsorbParentInfix(const Node& parent, uint64_t addr_in_parent,
+                                const PhTreeConfig& cfg) {
   const uint32_t il = infix_len_;
   const uint32_t pil = parent.infix_len_;
   const uint32_t new_il = il + 1 + pil;
@@ -94,8 +108,26 @@ void Node::AbsorbParentInfix(const Node& parent, uint64_t addr_in_parent,
     const uint64_t addr_bit = (addr_in_parent >> (dim_ - 1 - d)) & 1u;
     segments[d] = (parent_seg << (1 + il)) | (addr_bit << il) | my_seg;
   }
-  ReplaceInfix(new_il, {segments, dim_});
-  MaybeSwitchRepresentation(cfg);
+  return TryReplaceInfixPolicy(new_il, segments, cfg);
+}
+
+bool Node::TryReplaceInfixPolicy(uint32_t new_infix_len,
+                                 const uint64_t* segments,
+                                 const PhTreeConfig& cfg) {
+  const uint64_t ib2 = static_cast<uint64_t>(dim_) * new_infix_len;
+  const uint64_t n = num_entries_;
+  const uint64_t np = num_postfixes();
+  const Repr target = PickRepr(n, num_subs_, ib2, cfg);
+  if (target == repr_ &&
+      !bits_.ResizeWouldRelocate(ReprBitsEx(target, n, np, ib2))) {
+    ReplaceInfix(new_infix_len, {segments, dim_});
+    return true;
+  }
+  EntryDelta d;
+  d.new_infix = true;
+  d.new_infix_len = new_infix_len;
+  d.infix_segments = segments;
+  return TryRebuild(target, d);
 }
 
 // Lookup and ordinal iteration are inline in node.h (query hot path).
@@ -283,9 +315,8 @@ void Node::BhcRemoveEntry(uint64_t addr) {
   --num_entries_;
 }
 
-void Node::InsertPostfix(uint64_t addr, std::span<const uint64_t> key,
-                         uint64_t value, const PhTreeConfig& cfg) {
-  assert(FindOrdinal(addr) == kNoOrdinal);
+void Node::InsertPostfixInPlace(uint64_t addr, std::span<const uint64_t> key,
+                                uint64_t value) {
   switch (repr_) {
     case Repr::kHc:
       if (store_values_) {
@@ -307,15 +338,37 @@ void Node::InsertPostfix(uint64_t addr, std::span<const uint64_t> key,
       break;
     }
   }
-  MaybeSwitchRepresentation(cfg);
 }
 
-void Node::InsertSub(uint64_t addr, NodeHandle child,
-                     const PhTreeConfig& cfg) {
-  assert(FindOrdinal(addr) == kNoOrdinal);
-  if (is_bhc()) {
-    ConvertTo(Repr::kLhc);  // BHC cannot hold sub-nodes
+void Node::InsertPostfix(uint64_t addr, std::span<const uint64_t> key,
+                         uint64_t value, const PhTreeConfig& cfg) {
+  if (!TryInsertPostfix(addr, key, value, cfg)) {
+    throw std::bad_alloc();
   }
+}
+
+bool Node::TryInsertPostfix(uint64_t addr, std::span<const uint64_t> key,
+                            uint64_t value, const PhTreeConfig& cfg) {
+  assert(FindOrdinal(addr) == kNoOrdinal);
+  const uint64_t n2 = num_entries_ + 1;
+  const uint64_t np2 = n2 - num_subs_;
+  const uint64_t ib = infix_bits();
+  const Repr target = PickRepr(n2, num_subs_, ib, cfg);
+  if (target == repr_ &&
+      !bits_.ResizeWouldRelocate(ReprBitsEx(target, n2, np2, ib))) {
+    InsertPostfixInPlace(addr, key, value);
+    return true;
+  }
+  EntryDelta d;
+  d.kind = EntryDelta::Kind::kInsertPostfix;
+  d.addr = addr;
+  d.key = key.data();
+  d.payload = value;
+  return TryRebuild(target, d);
+}
+
+void Node::InsertSubInPlace(uint64_t addr, NodeHandle child) {
+  assert(!is_bhc());
   if (is_hc()) {
     if (store_values_) {
       bits_.WriteBits(addr * 64, 64, child);
@@ -333,10 +386,37 @@ void Node::InsertSub(uint64_t addr, NodeHandle child,
     const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
     LhcInsertEntry(p, addr, /*is_sub=*/true, child, nullptr);
   }
-  MaybeSwitchRepresentation(cfg);
 }
 
-void Node::RemoveEntry(uint64_t addr, const PhTreeConfig& cfg) {
+void Node::InsertSub(uint64_t addr, NodeHandle child,
+                     const PhTreeConfig& cfg) {
+  if (!TryInsertSub(addr, child, cfg)) {
+    throw std::bad_alloc();
+  }
+}
+
+bool Node::TryInsertSub(uint64_t addr, NodeHandle child,
+                        const PhTreeConfig& cfg) {
+  assert(FindOrdinal(addr) == kNoOrdinal);
+  const uint64_t n2 = num_entries_ + 1;
+  const uint64_t ns2 = uint64_t{num_subs_} + 1;
+  const uint64_t ib = infix_bits();
+  // target is never kBhc (ns2 > 0), so a BHC node always takes the rebuild
+  // path — rebuilt atomically out of its sub-free form into the target.
+  const Repr target = PickRepr(n2, ns2, ib, cfg);
+  if (target == repr_ &&
+      !bits_.ResizeWouldRelocate(ReprBitsEx(target, n2, n2 - ns2, ib))) {
+    InsertSubInPlace(addr, child);
+    return true;
+  }
+  EntryDelta d;
+  d.kind = EntryDelta::Kind::kInsertSub;
+  d.addr = addr;
+  d.payload = child;
+  return TryRebuild(target, d);
+}
+
+void Node::RemoveEntryInPlace(uint64_t addr) {
   const uint64_t ord = FindOrdinal(addr);
   assert(ord != kNoOrdinal);
   switch (repr_) {
@@ -370,17 +450,54 @@ void Node::RemoveEntry(uint64_t addr, const PhTreeConfig& cfg) {
       LhcRemoveEntry(ord);
       break;
   }
-  MaybeSwitchRepresentation(cfg);
+}
+
+void Node::RemoveEntry(uint64_t addr, const PhTreeConfig& cfg) {
+  if (!TryRemoveEntry(addr, cfg)) {
+    throw std::bad_alloc();
+  }
+}
+
+bool Node::TryRemoveEntry(uint64_t addr, const PhTreeConfig& cfg) {
+  const uint64_t ord = FindOrdinal(addr);
+  assert(ord != kNoOrdinal);
+  const bool was_sub = OrdinalIsSub(ord);
+  const uint64_t n2 = num_entries_ - 1;
+  const uint64_t ns2 = uint64_t{num_subs_} - (was_sub ? 1 : 0);
+  const uint64_t ib = infix_bits();
+  const Repr target = PickRepr(n2, ns2, ib, cfg);
+  if (target == repr_ &&
+      !bits_.ResizeWouldRelocate(ReprBitsEx(target, n2, n2 - ns2, ib))) {
+    RemoveEntryInPlace(addr);
+    return true;
+  }
+  EntryDelta d;
+  d.kind = EntryDelta::Kind::kRemove;
+  d.addr = addr;
+  return TryRebuild(target, d);
 }
 
 void Node::ReplaceEntryWithSub(uint64_t addr, NodeHandle child,
                                const PhTreeConfig& cfg) {
-  if (is_bhc()) {
-    ConvertTo(Repr::kLhc);  // BHC cannot hold sub-nodes
+  if (!TryReplaceEntryWithSub(addr, child, cfg)) {
+    throw std::bad_alloc();
   }
-  const uint64_t ord = FindOrdinal(addr);
-  assert(ord != kNoOrdinal && !OrdinalIsSub(ord));
-  if (is_hc()) {
+}
+
+bool Node::TryReplaceEntryWithSub(uint64_t addr, NodeHandle child,
+                                  const PhTreeConfig& cfg) {
+  assert(FindOrdinal(addr) != kNoOrdinal &&
+         !OrdinalIsSub(FindOrdinal(addr)));
+  const uint64_t n = num_entries_;
+  const uint64_t ns2 = uint64_t{num_subs_} + 1;
+  const uint64_t ib = infix_bits();
+  const Repr target = PickRepr(n, ns2, ib, cfg);
+  // HC keeps this in place (a slot rewrite, plus a 32-bit tail insert in
+  // key-only mode); LHC needs a remove+reinsert — two stream resizes whose
+  // intermediate state cannot be guarded — so it always rebuilds, as does
+  // any representation change (including BHC shedding its sub-free form).
+  if (target == repr_ && repr_ == Repr::kHc &&
+      !bits_.ResizeWouldRelocate(ReprBitsEx(target, n, n - ns2, ib))) {
     ZeroBits(hc_records_base() + addr * stride(), stride());
     if (store_values_) {
       bits_.WriteBits(addr * 64, 64, child);
@@ -391,22 +508,33 @@ void Node::ReplaceEntryWithSub(uint64_t addr, NodeHandle child,
     }
     bits_.SetBit(hc_sub_base() + addr, 1);
     ++num_subs_;
-  } else {
-    // Remove + reinsert keeps the region bookkeeping in one place (this
-    // path runs once per sub-node creation, so the second pass is cheap).
-    LhcRemoveEntry(ord);
-    const uint64_t ge = OrdinalGE(addr);
-    const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
-    LhcInsertEntry(p, addr, /*is_sub=*/true, child, nullptr);
+    return true;
   }
-  MaybeSwitchRepresentation(cfg);
+  EntryDelta d;
+  d.kind = EntryDelta::Kind::kToSub;
+  d.addr = addr;
+  d.payload = child;
+  return TryRebuild(target, d);
 }
 
 void Node::ReplaceSubWithPostfix(uint64_t addr, std::span<const uint64_t> key,
                                  uint64_t value, const PhTreeConfig& cfg) {
-  const uint64_t ord = FindOrdinal(addr);
-  assert(ord != kNoOrdinal && OrdinalIsSub(ord));  // never BHC
-  if (is_hc()) {
+  if (!TryReplaceSubWithPostfix(addr, key, value, cfg)) {
+    throw std::bad_alloc();
+  }
+}
+
+bool Node::TryReplaceSubWithPostfix(uint64_t addr,
+                                    std::span<const uint64_t> key,
+                                    uint64_t value, const PhTreeConfig& cfg) {
+  assert(FindOrdinal(addr) != kNoOrdinal &&
+         OrdinalIsSub(FindOrdinal(addr)));  // never BHC
+  const uint64_t n = num_entries_;
+  const uint64_t ns2 = uint64_t{num_subs_} - 1;
+  const uint64_t ib = infix_bits();
+  const Repr target = PickRepr(n, ns2, ib, cfg);
+  if (target == repr_ && repr_ == Repr::kHc &&
+      !bits_.ResizeWouldRelocate(ReprBitsEx(target, n, n - ns2, ib))) {
     if (store_values_) {
       bits_.WriteBits(addr * 64, 64, value);
     } else {
@@ -416,17 +544,14 @@ void Node::ReplaceSubWithPostfix(uint64_t addr, std::span<const uint64_t> key,
     bits_.SetBit(hc_sub_base() + addr, 0);
     WritePostfixRecord(hc_records_base() + addr * stride(), key);
     --num_subs_;
-  } else {
-    LhcRemoveEntry(ord);
-    const uint64_t ge = OrdinalGE(addr);
-    const uint64_t p = ge == kNoOrdinal ? num_entries_ : ge;
-    uint64_t keybuf[kMaxDims];
-    for (uint32_t d = 0; d < dim_; ++d) {
-      keybuf[d] = key[d];
-    }
-    LhcInsertEntry(p, addr, /*is_sub=*/false, value, keybuf);
+    return true;
   }
-  MaybeSwitchRepresentation(cfg);
+  EntryDelta d;
+  d.kind = EntryDelta::Kind::kToPostfix;
+  d.addr = addr;
+  d.key = key.data();
+  d.payload = value;
+  return TryRebuild(target, d);
 }
 
 void Node::SetSubAt(uint64_t ord, NodeHandle child) {
@@ -470,22 +595,101 @@ void Node::SetPayloadAt(uint64_t ord, uint64_t value) {
 // the HC advantage at low dimensionality (k-1 bits per slot at full
 // occupancy), and the switching decision must be a deterministic pure
 // function of the node contents.
-uint64_t Node::HcBitsFor(uint64_t n_postfixes) const {
+uint64_t Node::HcBitsEx(uint64_t n_entries, uint64_t n_postfixes,
+                        uint64_t ib) const {
   const uint64_t s = hc_slots();
-  const uint64_t n_subs = num_entries_ - n_postfixes;
+  const uint64_t n_subs = n_entries - n_postfixes;
   const uint64_t payload_bits = store_values_ ? s * 64 : n_subs * 32;
-  return payload_bits + infix_bits() + 2 * s + s * stride();
+  return payload_bits + ib + 2 * s + s * stride();
 }
 
-uint64_t Node::LhcBitsFor(uint64_t n_entries, uint64_t n_postfixes) const {
+uint64_t Node::LhcBitsEx(uint64_t n_entries, uint64_t n_postfixes,
+                         uint64_t ib) const {
   const uint64_t n_subs = n_entries - n_postfixes;
-  return n_postfixes * vb() + n_subs * 32 + infix_bits() + n_entries +
+  return n_postfixes * vb() + n_subs * 32 + ib + n_entries +
          n_entries * dim_ + n_postfixes * stride();
 }
 
+uint64_t Node::BhcBitsEx(uint64_t n_postfixes, uint64_t ib) const {
+  return n_postfixes * vb() + ib + hc_slots() + n_postfixes * stride();
+}
+
+uint64_t Node::ReprBitsEx(Repr r, uint64_t n_entries, uint64_t n_postfixes,
+                          uint64_t ib) const {
+  switch (r) {
+    case Repr::kHc:
+      return HcBitsEx(n_entries, n_postfixes, ib);
+    case Repr::kBhc:
+      return BhcBitsEx(n_postfixes, ib);
+    case Repr::kLhc:
+    default:
+      return LhcBitsEx(n_entries, n_postfixes, ib);
+  }
+}
+
+uint64_t Node::HcBitsFor(uint64_t n_postfixes) const {
+  return HcBitsEx(num_entries_, n_postfixes, infix_bits());
+}
+
+uint64_t Node::LhcBitsFor(uint64_t n_entries, uint64_t n_postfixes) const {
+  return LhcBitsEx(n_entries, n_postfixes, infix_bits());
+}
+
 uint64_t Node::BhcBitsFor(uint64_t n_postfixes) const {
-  return n_postfixes * vb() + infix_bits() + hc_slots() +
-         n_postfixes * stride();
+  return BhcBitsEx(n_postfixes, infix_bits());
+}
+
+Node::Repr Node::PickRepr(uint64_t n_entries, uint64_t n_subs, uint64_t ib,
+                          const PhTreeConfig& cfg) const {
+  const uint64_t np = n_entries - n_subs;
+  const bool hc_allowed = dim_ <= cfg.hc_max_dim;
+  const bool bhc_eligible = hc_allowed && n_subs == 0;
+  switch (cfg.repr) {
+    case NodeRepr::kLhcOnly:
+      return Repr::kLhc;
+    case NodeRepr::kHcOnly:
+      return hc_allowed ? Repr::kHc : Repr::kLhc;
+    case NodeRepr::kBhcOnly:
+      return bhc_eligible ? Repr::kBhc : Repr::kLhc;
+    case NodeRepr::kAdaptive:
+      break;
+  }
+  Repr best = Repr::kLhc;
+  uint64_t best_bits = LhcBitsEx(n_entries, np, ib);
+  if (bhc_eligible) {
+    const uint64_t b = BhcBitsEx(np, ib);
+    if (b < best_bits) {
+      best = Repr::kBhc;
+      best_bits = b;
+    }
+  }
+  if (hc_allowed) {
+    const uint64_t h = HcBitsEx(n_entries, np, ib);
+    if (h < best_bits) {
+      best = Repr::kHc;
+      best_bits = h;
+    }
+  }
+  // The hysteresis band is relative to the representation the node would be
+  // in *at this occupancy*: the current one if it stays legal, otherwise
+  // LHC (an ineligible BHC node passes through LHC form, so LHC is the
+  // state the switching rule compares against).
+  Repr cur = repr_;
+  const bool current_legal =
+      cur == Repr::kLhc || (cur == Repr::kHc ? hc_allowed : bhc_eligible);
+  if (!current_legal) {
+    cur = Repr::kLhc;
+  }
+  if (best == cur) {
+    return cur;
+  }
+  if (cfg.hysteresis < 1.0 &&
+      static_cast<double>(best_bits) >=
+          static_cast<double>(ReprBitsEx(cur, n_entries, np, ib)) *
+              cfg.hysteresis) {
+    return cur;
+  }
+  return best;
 }
 
 uint64_t Node::CurrentReprBits() const {
@@ -500,134 +704,123 @@ uint64_t Node::CurrentReprBits() const {
   }
 }
 
-void Node::MaybeSwitchRepresentation(const PhTreeConfig& cfg) {
-  const bool hc_allowed = dim_ <= cfg.hc_max_dim;
-  const bool bhc_eligible = hc_allowed && num_subs_ == 0;
-  switch (cfg.repr) {
-    case NodeRepr::kLhcOnly:
-      if (repr_ != Repr::kLhc) {
-        ConvertTo(Repr::kLhc);
+bool Node::TryRebuild(Repr target, const EntryDelta& delta) {
+  using K = EntryDelta::Kind;
+  // Post-state occupancy.
+  uint64_t n2 = num_entries_;
+  uint64_t ns2 = num_subs_;
+  switch (delta.kind) {
+    case K::kNone:
+      break;
+    case K::kInsertPostfix:
+      ++n2;
+      break;
+    case K::kInsertSub:
+      ++n2;
+      ++ns2;
+      break;
+    case K::kRemove: {
+      const uint64_t ord = FindOrdinal(delta.addr);
+      assert(ord != kNoOrdinal);
+      --n2;
+      if (OrdinalIsSub(ord)) {
+        --ns2;
       }
-      return;
-    case NodeRepr::kHcOnly: {
-      const Repr want = hc_allowed ? Repr::kHc : Repr::kLhc;
-      if (repr_ != want) {
-        ConvertTo(want);
-      }
-      return;
+      break;
     }
-    case NodeRepr::kBhcOnly: {
-      const Repr want = bhc_eligible ? Repr::kBhc : Repr::kLhc;
-      if (repr_ != want) {
-        ConvertTo(want);
-      }
-      return;
-    }
-    case NodeRepr::kAdaptive:
+    case K::kToSub:
+      ++ns2;
+      break;
+    case K::kToPostfix:
+      --ns2;
       break;
   }
-  // Strict rule (paper Sect. 3.2, extended to three candidates): pick the
-  // smallest representation. The strict < against the running best
-  // implements the deterministic tie preference LHC, then BHC, then HC.
-  Repr best = Repr::kLhc;
-  uint64_t best_bits = LhcBits();
-  if (bhc_eligible) {
-    const uint64_t b = BhcBits();
-    if (b < best_bits) {
-      best = Repr::kBhc;
-      best_bits = b;
-    }
-  }
-  if (hc_allowed) {
-    const uint64_t h = HcBits();
-    if (h < best_bits) {
-      best = Repr::kHc;
-      best_bits = h;
-    }
-  }
-  if (best == repr_) {
-    return;
-  }
-  // A representation the current state may not legally keep (HC above
-  // hc_max_dim, BHC with a sub-node — unreachable in practice) is abandoned
-  // unconditionally; the hysteresis band only damps switches between legal
-  // representations.
-  const bool current_legal =
-      repr_ == Repr::kLhc ||
-      (repr_ == Repr::kHc ? hc_allowed : bhc_eligible);
-  if (current_legal && cfg.hysteresis < 1.0 &&
-      static_cast<double>(best_bits) >=
-          static_cast<double>(CurrentReprBits()) * cfg.hysteresis) {
-    return;
-  }
-  ConvertTo(best);
-}
-
-void Node::ConvertTo(Repr target) {
-  assert(target != repr_);
-  assert(target != Repr::kBhc || num_subs_ == 0);
-  const uint64_t n = num_entries_;
-  const uint64_t np = num_postfixes();
-  const uint64_t ns = num_subs_;
-  const uint64_t ib = infix_bits();
+  assert(target != Repr::kBhc || ns2 == 0);
+  const uint64_t np2 = n2 - ns2;
+  const uint32_t il2 = delta.new_infix ? delta.new_infix_len : infix_len_;
+  const uint64_t ib2 = static_cast<uint64_t>(dim_) * il2;
   const uint64_t st = stride();
   const uint64_t s = hc_slots();
   const uint64_t v = vb();
-  // New-layout region bases (zero-initialised; only the ones the target
-  // layout has are set).
-  uint64_t n_sub = 0;      // LHC sub-handle region
-  uint64_t n_inf = 0;      // infix
-  uint64_t n_flg = 0;      // LHC is_sub flags
-  uint64_t n_adr = 0;      // LHC address table
-  uint64_t n_pres = 0;     // HC/BHC present bitmap
-  uint64_t n_subbm = 0;    // HC is_sub bitmap
-  uint64_t n_rec = 0;      // postfix records
-  uint64_t n_subtail = 0;  // key-only HC sub-handle tail
+  const uint32_t pl = postfix_len_;
+  // Target-layout region bases for the post-state occupancy (the layout
+  // definitions from the node.h region comment).
+  uint64_t n_sub = 0;
+  uint64_t n_inf = 0;
+  uint64_t n_flg = 0;
+  uint64_t n_adr = 0;
+  uint64_t n_pres = 0;
+  uint64_t n_subbm = 0;
+  uint64_t n_rec = 0;
+  uint64_t n_subtail = 0;
   uint64_t total = 0;
   switch (target) {
     case Repr::kLhc:
-      n_sub = np * v;
-      n_inf = n_sub + ns * 32;
-      n_flg = n_inf + ib;
-      n_adr = n_flg + n;
-      n_rec = n_adr + n * dim_;
-      total = n_rec + np * st;
+      n_sub = np2 * v;
+      n_inf = n_sub + ns2 * 32;
+      n_flg = n_inf + ib2;
+      n_adr = n_flg + n2;
+      n_rec = n_adr + n2 * dim_;
+      total = n_rec + np2 * st;
       break;
     case Repr::kHc:
       n_inf = store_values_ ? s * 64 : 0;
-      n_pres = n_inf + ib;
+      n_pres = n_inf + ib2;
       n_subbm = n_pres + s;
       n_rec = n_subbm + s;
       n_subtail = n_rec + s * st;
-      total = n_subtail + (store_values_ ? 0 : ns * 32);
+      total = n_subtail + (store_values_ ? 0 : ns2 * 32);
       break;
     case Repr::kBhc:
-      n_inf = np * v;
-      n_pres = n_inf + ib;
+      n_inf = np2 * v;
+      n_pres = n_inf + ib2;
       n_rec = n_pres + s;
-      total = n_rec + np * st;
+      total = n_rec + np2 * st;
       break;
   }
-  BitBuffer nb(total, bits_.pool());
-  nb.CopyFrom(bits_, infix_base(), n_inf, ib);
+  // The single fallible step: one allocation for the whole replacement
+  // stream. Nothing below can fail, and the node's own state is not
+  // touched until the final commit.
+  BitBuffer nb(bits_.pool());
+  if (!nb.TryResize(total)) {
+    return false;
+  }
+  if (delta.new_infix) {
+    for (uint32_t d = 0; d < dim_; ++d) {
+      nb.WriteBits(n_inf + static_cast<uint64_t>(d) * il2, il2,
+                   delta.infix_segments[d]);
+    }
+  } else {
+    nb.CopyFrom(bits_, infix_base(), n_inf, ib2);
+  }
   uint64_t idx = 0;
   uint64_t prank = 0;
   uint64_t srank = 0;
-  for (uint64_t ord = FirstOrdinal(); ord != kNoOrdinal;
-       ord = NextOrdinal(ord)) {
-    const uint64_t addr = OrdinalAddr(ord);
-    const bool sub = OrdinalIsSub(ord);
+  const auto write_record = [&](uint64_t pos, const uint64_t* key_src) {
+    for (uint32_t d = 0; d < dim_; ++d) {
+      nb.WriteBits(pos + static_cast<uint64_t>(d) * pl, pl,
+                   key_src[d] & LowMask(pl));
+    }
+  };
+  // Emits one post-state entry; `src_ord` names the old-node ordinal to
+  // copy the postfix record from, kNoOrdinal when `key_src` supplies it.
+  const auto emit = [&](uint64_t addr, bool sub, uint64_t payload,
+                        const uint64_t* key_src, uint64_t src_ord) {
     switch (target) {
       case Repr::kLhc:
         nb.SetBit(n_flg + idx, sub ? 1 : 0);
         nb.WriteBits(n_adr + idx * dim_, dim_, addr);
         if (sub) {
-          nb.WriteBits(n_sub + srank * 32, 32, OrdinalSub(ord));
+          nb.WriteBits(n_sub + srank * 32, 32, payload);
         } else {
           if (v > 0) {
-            nb.WriteBits(prank * 64, 64, OrdinalPayload(ord));
+            nb.WriteBits(prank * 64, 64, payload);
           }
-          nb.CopyFrom(bits_, RecordPos(ord), n_rec + prank * st, st);
+          if (key_src != nullptr) {
+            write_record(n_rec + prank * st, key_src);
+          } else {
+            nb.CopyFrom(bits_, RecordPos(src_ord), n_rec + prank * st, st);
+          }
         }
         break;
       case Repr::kHc:
@@ -635,23 +828,31 @@ void Node::ConvertTo(Repr target) {
         if (sub) {
           nb.SetBit(n_subbm + addr, 1);
           if (store_values_) {
-            nb.WriteBits(addr * 64, 64, OrdinalSub(ord));
+            nb.WriteBits(addr * 64, 64, payload);
           } else {
-            nb.WriteBits(n_subtail + srank * 32, 32, OrdinalSub(ord));
+            nb.WriteBits(n_subtail + srank * 32, 32, payload);
           }
         } else {
           if (v > 0) {
-            nb.WriteBits(addr * 64, 64, OrdinalPayload(ord));
+            nb.WriteBits(addr * 64, 64, payload);
           }
-          nb.CopyFrom(bits_, RecordPos(ord), n_rec + addr * st, st);
+          if (key_src != nullptr) {
+            write_record(n_rec + addr * st, key_src);
+          } else {
+            nb.CopyFrom(bits_, RecordPos(src_ord), n_rec + addr * st, st);
+          }
         }
         break;
       case Repr::kBhc:
         nb.SetBit(n_pres + addr, 1);
         if (v > 0) {
-          nb.WriteBits(prank * 64, 64, OrdinalPayload(ord));
+          nb.WriteBits(prank * 64, 64, payload);
         }
-        nb.CopyFrom(bits_, RecordPos(ord), n_rec + prank * st, st);
+        if (key_src != nullptr) {
+          write_record(n_rec + prank * st, key_src);
+        } else {
+          nb.CopyFrom(bits_, RecordPos(src_ord), n_rec + prank * st, st);
+        }
         break;
     }
     if (sub) {
@@ -660,9 +861,45 @@ void Node::ConvertTo(Repr target) {
       ++prank;
     }
     ++idx;
+  };
+  bool pending_insert =
+      delta.kind == K::kInsertPostfix || delta.kind == K::kInsertSub;
+  for (uint64_t ord = FirstOrdinal(); ord != kNoOrdinal;
+       ord = NextOrdinal(ord)) {
+    const uint64_t addr = OrdinalAddr(ord);
+    if (pending_insert && delta.addr < addr) {
+      emit(delta.addr, delta.kind == K::kInsertSub, delta.payload, delta.key,
+           kNoOrdinal);
+      pending_insert = false;
+    }
+    if (addr == delta.addr) {
+      if (delta.kind == K::kRemove) {
+        continue;
+      }
+      if (delta.kind == K::kToSub) {
+        emit(addr, /*sub=*/true, delta.payload, nullptr, kNoOrdinal);
+        continue;
+      }
+      if (delta.kind == K::kToPostfix) {
+        emit(addr, /*sub=*/false, delta.payload, delta.key, kNoOrdinal);
+        continue;
+      }
+    }
+    const bool sub = OrdinalIsSub(ord);
+    emit(addr, sub, sub ? OrdinalSub(ord) : OrdinalPayload(ord), nullptr,
+         ord);
   }
+  if (pending_insert) {
+    emit(delta.addr, delta.kind == K::kInsertSub, delta.payload, delta.key,
+         kNoOrdinal);
+  }
+  // Commit.
   bits_ = std::move(nb);
   repr_ = target;
+  num_entries_ = static_cast<uint32_t>(n2);
+  num_subs_ = static_cast<uint32_t>(ns2);
+  infix_len_ = static_cast<uint8_t>(il2);
+  return true;
 }
 
 // ---- Accounting ---------------------------------------------------------

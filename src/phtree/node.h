@@ -14,7 +14,7 @@
 //     presence bitmap plus a contiguous rank-indexed postfix/payload stream;
 //     O(1) bitmap probe like HC but only `entries` records instead of 2^k.
 // The node switches automatically to whichever needs fewer bits
-// (MaybeSwitchRepresentation), per the policy in PhTreeConfig::repr.
+// (the PickRepr switching rule), per the policy in PhTreeConfig::repr.
 #ifndef PHTREE_PHTREE_NODE_H_
 #define PHTREE_PHTREE_NODE_H_
 
@@ -136,24 +136,54 @@ class Node {
   uint64_t FirstOrdinal() const { return OrdinalGE(0); }
 
   // ---- Mutation ----------------------------------------------------------
+  //
+  // Every structural mutator exists in two forms. The Try* form is
+  // commit-or-rollback: it either applies the mutation completely (and
+  // atomically lands in the representation the switching rule prescribes
+  // for the *final* state) or returns false leaving the node bit-identical
+  // to its pre-call state. Fallibility comes only from word-block
+  // allocation (the kWordAlloc fault site); mutations that provably fit
+  // the current block run the historical in-place bodies, so the common
+  // case costs exactly what it always did. The legacy void forms are thin
+  // shims that throw std::bad_alloc on failure.
 
   /// Inserts a postfix entry (no entry with `addr` may exist).
   void InsertPostfix(uint64_t addr, std::span<const uint64_t> key,
                      uint64_t value, const PhTreeConfig& cfg);
+  [[nodiscard]] bool TryInsertPostfix(uint64_t addr,
+                                      std::span<const uint64_t> key,
+                                      uint64_t value, const PhTreeConfig& cfg);
 
   /// Inserts a sub-node entry (no entry with `addr` may exist).
   void InsertSub(uint64_t addr, NodeHandle child, const PhTreeConfig& cfg);
+  [[nodiscard]] bool TryInsertSub(uint64_t addr, NodeHandle child,
+                                  const PhTreeConfig& cfg);
 
   /// Removes the entry with address `addr` (which must exist).
   void RemoveEntry(uint64_t addr, const PhTreeConfig& cfg);
+  [[nodiscard]] bool TryRemoveEntry(uint64_t addr, const PhTreeConfig& cfg);
 
   /// Replaces the postfix entry at `addr` with the sub-node `child`.
   void ReplaceEntryWithSub(uint64_t addr, NodeHandle child,
                            const PhTreeConfig& cfg);
+  [[nodiscard]] bool TryReplaceEntryWithSub(uint64_t addr, NodeHandle child,
+                                            const PhTreeConfig& cfg);
 
   /// Replaces the sub-node entry at `addr` with a postfix entry.
   void ReplaceSubWithPostfix(uint64_t addr, std::span<const uint64_t> key,
                              uint64_t value, const PhTreeConfig& cfg);
+  [[nodiscard]] bool TryReplaceSubWithPostfix(uint64_t addr,
+                                              std::span<const uint64_t> key,
+                                              uint64_t value,
+                                              const PhTreeConfig& cfg);
+
+  /// Fallible forms of the infix mutators (see TrimInfixToLow /
+  /// AbsorbParentInfix above).
+  [[nodiscard]] bool TryTrimInfixToLow(uint32_t new_infix_len,
+                                       const PhTreeConfig& cfg);
+  [[nodiscard]] bool TryAbsorbParentInfix(const Node& parent,
+                                          uint64_t addr_in_parent,
+                                          const PhTreeConfig& cfg);
 
   /// Updates the child handle of the sub-node entry at ordinal `ord`.
   void SetSubAt(uint64_t ord, NodeHandle child);
@@ -258,6 +288,51 @@ class Node {
   uint64_t LhcBitsFor(uint64_t n_entries, uint64_t n_postfixes) const;
   uint64_t BhcBitsFor(uint64_t n_postfixes) const;
 
+  // Size functions over an explicit occupancy (n_entries, n_postfixes,
+  // infix bits) instead of the node's current members: the Try* mutators
+  // size and pick the representation of the *post-mutation* state before
+  // touching anything.
+  uint64_t HcBitsEx(uint64_t n_entries, uint64_t n_postfixes,
+                    uint64_t ib) const;
+  uint64_t LhcBitsEx(uint64_t n_entries, uint64_t n_postfixes,
+                     uint64_t ib) const;
+  uint64_t BhcBitsEx(uint64_t n_postfixes, uint64_t ib) const;
+  uint64_t ReprBitsEx(Repr r, uint64_t n_entries, uint64_t n_postfixes,
+                      uint64_t ib) const;
+
+  /// The representation the switching policy prescribes for a node in this
+  /// node's position holding (`n_entries`, `n_subs`) entries over `ib`
+  /// infix bits: smallest wins with tie preference LHC, then BHC, then HC,
+  /// damped by the hysteresis band relative to the current representation
+  /// (an illegal current representation — BHC gaining a sub — is measured
+  /// as LHC, the representation the legacy path converted through).
+  Repr PickRepr(uint64_t n_entries, uint64_t n_subs, uint64_t ib,
+                const PhTreeConfig& cfg) const;
+
+  /// One atomic entry-table change applied during TryRebuild.
+  struct EntryDelta {
+    enum class Kind : uint8_t {
+      kNone,           ///< no entry change (infix replacement only)
+      kInsertPostfix,  ///< add postfix entry `addr` (key/payload)
+      kInsertSub,      ///< add sub entry `addr` (payload = handle)
+      kRemove,         ///< drop entry `addr`
+      kToSub,          ///< postfix at `addr` becomes sub (payload = handle)
+      kToPostfix,      ///< sub at `addr` becomes postfix (key/payload)
+    };
+    Kind kind = Kind::kNone;
+    uint64_t addr = 0;
+    const uint64_t* key = nullptr;  ///< postfix source (kInsertPostfix/kToPostfix)
+    uint64_t payload = 0;           ///< value or child handle
+    bool new_infix = false;         ///< also replace the infix region
+    uint32_t new_infix_len = 0;
+    const uint64_t* infix_segments = nullptr;  ///< dim right-aligned segments
+  };
+
+  /// Builds a replacement bit stream in `target` representation holding the
+  /// current entries with `delta` spliced in, then commits it in one move.
+  /// Returns false — node untouched — if the new block cannot be allocated.
+  [[nodiscard]] bool TryRebuild(Repr target, const EntryDelta& delta);
+
   /// Number of postfix entries among LHC entries [0, ord).
   uint64_t LhcPostfixRank(uint64_t ord) const {
     const uint64_t base = lhc_flags_base();
@@ -278,10 +353,13 @@ class Node {
   /// representation.
   uint64_t RecordPos(uint64_t ord) const;
 
-  /// Applies the representation policy after a mutation.
-  void MaybeSwitchRepresentation(const PhTreeConfig& cfg);
-  /// Rebuilds the entry table into `target` representation.
-  void ConvertTo(Repr target);
+  // Historical in-place mutation bodies, used when the Try* fast-path guard
+  // proves them infallible (post-state representation unchanged and the
+  // final stream still fits the current backing block).
+  void InsertPostfixInPlace(uint64_t addr, std::span<const uint64_t> key,
+                            uint64_t value);
+  void InsertSubInPlace(uint64_t addr, NodeHandle child);
+  void RemoveEntryInPlace(uint64_t addr);
 
   void WritePostfixRecord(uint64_t record_pos, std::span<const uint64_t> key);
   void ZeroBits(uint64_t pos, uint64_t n);
@@ -304,6 +382,14 @@ class Node {
   /// from `segments` (one right-aligned segment per dimension).
   void ReplaceInfix(uint32_t new_infix_len,
                     std::span<const uint64_t> segments);
+
+  /// Shared body of the fallible infix mutators: replaces the infix with
+  /// `segments` and applies the representation policy for the resulting
+  /// sizes, committing both atomically (in place when provably infallible,
+  /// via TryRebuild otherwise).
+  [[nodiscard]] bool TryReplaceInfixPolicy(uint32_t new_infix_len,
+                                           const uint64_t* segments,
+                                           const PhTreeConfig& cfg);
 
   uint16_t dim_;
   uint8_t infix_len_;

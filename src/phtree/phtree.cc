@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 #include <utility>
 
 #include "phtree/cursor.h"
@@ -95,45 +96,90 @@ void PhTree::DeleteSubtree(NodeRef node) {
 }
 
 bool PhTree::Insert(std::span<const uint64_t> key, uint64_t value) {
-  assert(key.size() == dim_);
-  if (!root_) {
-    root_ = NewNode(/*infix_len=*/0, /*postfix_len=*/kBitWidth - 1);
-    root_.ptr->InsertPostfix(HcAddressAt(key, kBitWidth - 1), key, value,
-                             config_);
-    size_ = 1;
-    return true;
+  const OpStatus st = TryInsert(key, value);
+  if (st == OpStatus::kNoMem) {
+    throw std::bad_alloc();
   }
-  bool inserted = false;
-  NodeRef new_root = InsertRec(root_, key, value, &inserted,
-                               /*assign=*/false);
-  assert(new_root.ptr == root_.ptr);  // the root has no infix, never splits
-  root_ = new_root;
-  if (inserted) {
-    ++size_;
-  }
-  return inserted;
+  return st == OpStatus::kApplied;
 }
 
 bool PhTree::InsertOrAssign(std::span<const uint64_t> key, uint64_t value) {
+  const OpStatus st = TryInsertOrAssign(key, value);
+  if (st == OpStatus::kNoMem) {
+    throw std::bad_alloc();
+  }
+  return st == OpStatus::kApplied;
+}
+
+OpStatus PhTree::TryInsert(std::span<const uint64_t> key, uint64_t value) {
   assert(key.size() == dim_);
   if (!root_) {
-    return Insert(key, value);
+    // Build the root off-tree; publish (root_ =) only once it is complete.
+    NodeRef r = NewNode(/*infix_len=*/0, /*postfix_len=*/kBitWidth - 1);
+    if (!r) {
+      return OpStatus::kNoMem;
+    }
+    if (!r.ptr->TryInsertPostfix(HcAddressAt(key, kBitWidth - 1), key, value,
+                                 config_)) {
+      arena_->DeleteNode(r);
+      return OpStatus::kNoMem;
+    }
+    root_ = r;
+    size_ = 1;
+    return OpStatus::kApplied;
   }
-  bool inserted = false;
-  root_ = InsertRec(root_, key, value, &inserted, /*assign=*/true);
-  if (inserted) {
+  NodeRef new_root{};
+  const OpStatus st = InsertRec(root_, key, value, /*assign=*/false,
+                                &new_root);
+  if (st == OpStatus::kApplied) {
+    assert(new_root.ptr == root_.ptr);  // the root has no infix, never splits
+    root_ = new_root;
     ++size_;
+  }
+  return st;
+}
+
+OpStatus PhTree::TryInsertOrAssign(std::span<const uint64_t> key,
+                                   uint64_t value) {
+  assert(key.size() == dim_);
+  if (!root_) {
+    return TryInsert(key, value);
+  }
+  NodeRef new_root{};
+  const OpStatus st = InsertRec(root_, key, value, /*assign=*/true,
+                                &new_root);
+  if (st == OpStatus::kApplied) {
+    root_ = new_root;
+    ++size_;
+  }
+  return st;
+}
+
+size_t PhTree::BulkLoad(std::span<const PhEntry> entries) {
+  size_t inserted = 0;
+  for (const PhEntry& e : entries) {
+    if (Insert(e.key, e.value)) {
+      ++inserted;
+    }
   }
   return inserted;
 }
 
-NodeRef PhTree::InsertRec(NodeRef node, std::span<const uint64_t> key,
-                          uint64_t value, bool* inserted, bool assign) {
+OpStatus PhTree::InsertRec(NodeRef node, std::span<const uint64_t> key,
+                           uint64_t value, bool assign, NodeRef* out) {
+  *out = node;
   const int mis = node.ptr->MatchInfix(key);
   if (mis >= 0) {
     // The key diverges from this node's infix at key bit `mis`: split the
     // node by inserting a new parent at that depth (paper Sect. 3.6; this
     // plus the entry insertion below are the "at most two nodes" touched).
+    //
+    // Failure atomicity: the new parent is fully assembled off-tree first
+    // (its failures cost nothing but the node itself), and trimming `node`'s
+    // infix — the only mutation of live state — comes last. TryTrimInfixToLow
+    // is itself commit-or-rollback, so a failure at any point leaves the
+    // tree bit-identical; after it commits only infallible steps remain
+    // (the caller's SetSubAt handle swap).
     const uint32_t pl = node.ptr->postfix_len();
     const uint32_t il = node.ptr->infix_len();
     KeyBuf rep;
@@ -145,31 +191,38 @@ NodeRef PhTree::InsertRec(NodeRef node, std::span<const uint64_t> key,
 
     NodeRef parent = NewNode(pl + il - static_cast<uint32_t>(mis),
                              static_cast<uint32_t>(mis));
+    if (!parent) {
+      return OpStatus::kNoMem;
+    }
     parent.ptr->SetInfixFromKey(key);
-    node.ptr->TrimInfixToLow(static_cast<uint32_t>(mis) - 1 - pl, config_);
-    parent.ptr->InsertSub(addr_node, node.handle, config_);
-    parent.ptr->InsertPostfix(addr_key, key, value, config_);
-    *inserted = true;
-    return parent;
+    if (!parent.ptr->TryInsertSub(addr_node, node.handle, config_) ||
+        !parent.ptr->TryInsertPostfix(addr_key, key, value, config_) ||
+        !node.ptr->TryTrimInfixToLow(static_cast<uint32_t>(mis) - 1 - pl,
+                                     config_)) {
+      arena_->DeleteNode(parent);
+      return OpStatus::kNoMem;
+    }
+    *out = parent;
+    return OpStatus::kApplied;
   }
 
   const uint64_t addr = HcAddressAt(key, node.ptr->postfix_len());
   const uint64_t ord = node.ptr->FindOrdinal(addr);
   if (ord == Node::kNoOrdinal) {
-    node.ptr->InsertPostfix(addr, key, value, config_);
-    *inserted = true;
-    return node;
+    return node.ptr->TryInsertPostfix(addr, key, value, config_)
+               ? OpStatus::kApplied
+               : OpStatus::kNoMem;
   }
   if (node.ptr->OrdinalIsSub(ord)) {
     const NodeHandle ch = node.ptr->OrdinalSub(ord);
     const NodeRef child{arena_->NodeAt(ch), ch};
-    const NodeRef replacement = InsertRec(child, key, value, inserted,
-                                          assign);
-    if (replacement.handle != ch) {
+    NodeRef replacement{};
+    const OpStatus st = InsertRec(child, key, value, assign, &replacement);
+    if (st == OpStatus::kApplied && replacement.handle != ch) {
       // `node` was not mutated since FindOrdinal, so `ord` is still valid.
       node.ptr->SetSubAt(ord, replacement.handle);
     }
-    return node;
+    return st;
   }
   // Postfix collision.
   const int div = node.ptr->PostfixDivergence(ord, key);
@@ -178,11 +231,12 @@ NodeRef PhTree::InsertRec(NodeRef node, std::span<const uint64_t> key,
     if (assign) {
       node.ptr->SetPayloadAt(ord, value);
     }
-    *inserted = false;
-    return node;
+    return OpStatus::kNoop;
   }
   // Both keys share bits (div, postfix_len) below this node; create a child
-  // at depth `div` holding the two postfixes.
+  // at depth `div` holding the two postfixes. The child is fully built
+  // off-tree; TryReplaceEntryWithSub is the single fallible step that
+  // touches `node`, so failure anywhere unwinds to the pre-call tree.
   const uint32_t pl = node.ptr->postfix_len();
   KeyBuf old_key;
   CopyKey(key, old_key.span(dim_));
@@ -191,13 +245,19 @@ NodeRef PhTree::InsertRec(NodeRef node, std::span<const uint64_t> key,
 
   NodeRef child = NewNode(pl - 1 - static_cast<uint32_t>(div),
                           static_cast<uint32_t>(div));
+  if (!child) {
+    return OpStatus::kNoMem;
+  }
   child.ptr->SetInfixFromKey(key);
-  child.ptr->InsertPostfix(HcAddressAt(old_key.span(dim_), div),
-                           old_key.span(dim_), old_value, config_);
-  child.ptr->InsertPostfix(HcAddressAt(key, div), key, value, config_);
-  node.ptr->ReplaceEntryWithSub(addr, child.handle, config_);
-  *inserted = true;
-  return node;
+  if (!child.ptr->TryInsertPostfix(HcAddressAt(old_key.span(dim_), div),
+                                   old_key.span(dim_), old_value, config_) ||
+      !child.ptr->TryInsertPostfix(HcAddressAt(key, div), key, value,
+                                   config_) ||
+      !node.ptr->TryReplaceEntryWithSub(addr, child.handle, config_)) {
+    arena_->DeleteNode(child);
+    return OpStatus::kNoMem;
+  }
+  return OpStatus::kApplied;
 }
 
 std::optional<uint64_t> PhTree::Find(std::span<const uint64_t> key) const {
@@ -214,76 +274,91 @@ std::optional<uint64_t> PhTree::Find(std::span<const uint64_t> key) const {
 }
 
 bool PhTree::Erase(std::span<const uint64_t> key) {
+  const OpStatus st = TryErase(key);
+  if (st == OpStatus::kNoMem) {
+    throw std::bad_alloc();
+  }
+  return st == OpStatus::kApplied;
+}
+
+OpStatus PhTree::TryErase(std::span<const uint64_t> key) {
   assert(key.size() == dim_);
   if (!root_) {
-    return false;
+    return OpStatus::kNoop;
   }
-  bool erased = false;
-  EraseRec(root_.ptr, key, &erased);
-  if (erased) {
+  const OpStatus st = EraseRec(nullptr, 0, root_, key);
+  if (st == OpStatus::kApplied) {
     --size_;
     if (root_.ptr->num_entries() == 0) {
       arena_->DeleteNode(root_);
       root_ = NodeRef{};
     }
   }
-  return erased;
+  return st;
 }
 
-void PhTree::EraseRec(Node* node, std::span<const uint64_t> key,
-                      bool* erased) {
-  if (node->MatchInfix(key) >= 0) {
-    return;
+OpStatus PhTree::EraseRec(Node* parent, uint64_t addr_in_parent, NodeRef node,
+                          std::span<const uint64_t> key) {
+  if (node.ptr->MatchInfix(key) >= 0) {
+    return OpStatus::kNoop;
   }
-  const uint64_t addr = HcAddressAt(key, node->postfix_len());
-  const uint64_t ord = node->FindOrdinal(addr);
+  const uint64_t addr = HcAddressAt(key, node.ptr->postfix_len());
+  const uint64_t ord = node.ptr->FindOrdinal(addr);
   if (ord == Node::kNoOrdinal) {
-    return;
+    return OpStatus::kNoop;
   }
-  if (node->OrdinalIsSub(ord)) {
-    const NodeHandle ch = node->OrdinalSub(ord);
-    Node* child = arena_->NodeAt(ch);
-    EraseRec(child, key, erased);
-    if (*erased && child->num_entries() == 1) {
-      // The child is no longer justified as a separate node: merge its last
-      // postfix into `node`, or splice the child out in favour of its single
-      // remaining sub-node (paper Sect. 3.6: the second affected node).
-      MergeSingleEntryChild(node, addr, NodeRef{child, ch});
+  if (node.ptr->OrdinalIsSub(ord)) {
+    const NodeHandle ch = node.ptr->OrdinalSub(ord);
+    return EraseRec(node.ptr, addr, NodeRef{arena_->NodeAt(ch), ch}, key);
+  }
+  if (node.ptr->PostfixDivergence(ord, key) >= 0) {
+    return OpStatus::kNoop;
+  }
+  // The key lives here. A removal that would leave a non-root node with a
+  // single entry is executed as a pre-planned merge instead of
+  // remove-then-restructure: `node` is deleted wholesale (never mutated)
+  // and its surviving entry is folded into `parent` — the paper's second
+  // affected node — with exactly one fallible step, placed before any
+  // mutation of live state. Failure atomicity falls out: either nothing has
+  // happened yet, or only infallible steps remain.
+  if (parent != nullptr && node.ptr->num_entries() == 2) {
+    uint64_t sord = node.ptr->FirstOrdinal();  // the surviving entry
+    if (sord == ord) {
+      sord = node.ptr->NextOrdinal(sord);
     }
-    return;
+    const uint64_t saddr = node.ptr->OrdinalAddr(sord);
+    if (node.ptr->OrdinalIsSub(sord)) {
+      // Splice: the grandchild absorbs `node`'s infix and address bit
+      // (commit-or-rollback), then the parent's child slot is repointed.
+      const NodeHandle gh = node.ptr->OrdinalSub(sord);
+      if (!arena_->NodeAt(gh)->TryAbsorbParentInfix(*node.ptr, saddr,
+                                                    config_)) {
+        return OpStatus::kNoMem;
+      }
+      const uint64_t pord = parent->FindOrdinal(addr_in_parent);
+      parent->SetSubAt(pord, gh);
+      arena_->DeleteNode(node);
+      return OpStatus::kApplied;
+    }
+    // Merge: rebuild the surviving entry's bits below `parent` (node infix +
+    // node address bit + node postfix) and store them as a parent postfix.
+    KeyBuf buf;
+    for (uint32_t d = 0; d < dim_; ++d) {
+      buf.data[d] = 0;
+    }
+    node.ptr->ReadPostfixInto(sord, buf.span(dim_));
+    ApplyHcAddress(saddr, node.ptr->postfix_len(), buf.span(dim_));
+    node.ptr->ReadInfixInto(buf.span(dim_));
+    const uint64_t value = node.ptr->OrdinalPayload(sord);
+    if (!parent->TryReplaceSubWithPostfix(addr_in_parent, buf.span(dim_),
+                                          value, config_)) {
+      return OpStatus::kNoMem;
+    }
+    arena_->DeleteNode(node);
+    return OpStatus::kApplied;
   }
-  if (node->PostfixDivergence(ord, key) < 0) {
-    node->RemoveEntry(addr, config_);
-    *erased = true;
-  }
-}
-
-void PhTree::MergeSingleEntryChild(Node* parent, uint64_t addr,
-                                   NodeRef child) {
-  assert(child.ptr->num_entries() == 1);
-  const uint64_t cord = child.ptr->FirstOrdinal();
-  const uint64_t caddr = child.ptr->OrdinalAddr(cord);
-  if (child.ptr->OrdinalIsSub(cord)) {
-    // Splice: the grandchild absorbs the child's infix and address bit.
-    const NodeHandle gh = child.ptr->OrdinalSub(cord);
-    arena_->NodeAt(gh)->AbsorbParentInfix(*child.ptr, caddr, config_);
-    const uint64_t pord = parent->FindOrdinal(addr);
-    parent->SetSubAt(pord, gh);
-    arena_->DeleteNode(child);
-    return;
-  }
-  // Merge: rebuild the entry's bits below `parent` (child infix + child
-  // address bit + child postfix) and store them as a postfix of `parent`.
-  KeyBuf buf;
-  for (uint32_t d = 0; d < dim_; ++d) {
-    buf.data[d] = 0;
-  }
-  child.ptr->ReadPostfixInto(cord, buf.span(dim_));
-  ApplyHcAddress(caddr, child.ptr->postfix_len(), buf.span(dim_));
-  child.ptr->ReadInfixInto(buf.span(dim_));
-  const uint64_t value = child.ptr->OrdinalPayload(cord);
-  parent->ReplaceSubWithPostfix(addr, buf.span(dim_), value, config_);
-  arena_->DeleteNode(child);
+  return node.ptr->TryRemoveEntry(addr, config_) ? OpStatus::kApplied
+                                                 : OpStatus::kNoMem;
 }
 
 void PhTree::ForEach(

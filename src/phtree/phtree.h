@@ -32,6 +32,21 @@ namespace phtree {
 /// A k-dimensional point key. Dimensionality is fixed per tree.
 using PhKey = std::vector<uint64_t>;
 
+/// One key -> payload pair, the bulk-load input unit.
+struct PhEntry {
+  PhKey key;
+  uint64_t value = 0;
+};
+
+/// Outcome of a fallible mutation. Every mutation is commit-or-rollback:
+/// kNoMem means an allocation failed and the tree is bit-identical to its
+/// pre-call state (the op may simply be retried).
+enum class OpStatus : uint8_t {
+  kApplied,  ///< the mutation took effect (inserted / erased)
+  kNoop,     ///< nothing to do (duplicate insert / missing erase key)
+  kNoMem,    ///< allocation failed; the tree is unchanged
+};
+
 struct WindowPage;  // one page of a paginated window scan (cursor.h)
 
 class PhTree {
@@ -52,10 +67,30 @@ class PhTree {
 
   /// Inserts `key` -> `value`. Returns false (and stores nothing) if the key
   /// already exists — the PH-tree stores no duplicates (paper Sect. 3.6).
+  /// Throws std::bad_alloc if storage cannot be allocated; the tree is
+  /// unchanged (strong exception safety — see TryInsert).
   bool Insert(std::span<const uint64_t> key, uint64_t value);
 
   /// Inserts or overwrites. Returns true if the key was newly inserted.
+  /// Throws std::bad_alloc with the tree unchanged on allocation failure.
   bool InsertOrAssign(std::span<const uint64_t> key, uint64_t value);
+
+  /// Non-throwing Insert: kApplied if inserted, kNoop on duplicate, kNoMem
+  /// (tree unchanged) if any allocation along the update path failed. An
+  /// update touches at most two nodes (paper Sect. 3.6); both are either
+  /// fully updated or left bit-identical to their pre-call state.
+  OpStatus TryInsert(std::span<const uint64_t> key, uint64_t value);
+
+  /// Non-throwing InsertOrAssign: kApplied if newly inserted, kNoop if an
+  /// existing entry was (possibly) overwritten, kNoMem (tree unchanged) on
+  /// allocation failure. Payload overwrite itself never allocates.
+  OpStatus TryInsertOrAssign(std::span<const uint64_t> key, uint64_t value);
+
+  /// Inserts all `entries` in order with Insert semantics (duplicates keep
+  /// the first-seen payload). Returns the number of newly inserted entries.
+  /// Each entry is inserted atomically; if an allocation fails the already
+  /// inserted prefix remains and std::bad_alloc propagates.
+  size_t BulkLoad(std::span<const PhEntry> entries);
 
   /// Point query (paper Sect. 3.5): returns the payload if `key` is stored.
   std::optional<uint64_t> Find(std::span<const uint64_t> key) const;
@@ -66,8 +101,14 @@ class PhTree {
   }
 
   /// Removes `key`. Returns false if it was not present. Modifies at most
-  /// two nodes (paper Sect. 3.6).
+  /// two nodes (paper Sect. 3.6). Throws std::bad_alloc with the tree
+  /// unchanged if the post-removal restructuring cannot allocate.
   bool Erase(std::span<const uint64_t> key);
+
+  /// Non-throwing Erase: kApplied if removed, kNoop if absent, kNoMem (tree
+  /// unchanged) on allocation failure. Removal can fail only when the
+  /// shrunken node or the parent merge needs a replacement bit-stream block.
+  OpStatus TryErase(std::span<const uint64_t> key);
 
   /// Removes all entries. With the arena (default) this is an O(slabs)
   /// arena reset — no tree walk, no per-node free — and the slabs are kept
@@ -128,10 +169,10 @@ class PhTree {
   friend class PhTreeValidator;
 
   NodeRef NewNode(uint32_t infix_len, uint32_t postfix_len);
-  NodeRef InsertRec(NodeRef node, std::span<const uint64_t> key,
-                    uint64_t value, bool* inserted, bool assign);
-  void EraseRec(Node* node, std::span<const uint64_t> key, bool* erased);
-  void MergeSingleEntryChild(Node* parent, uint64_t addr, NodeRef child);
+  OpStatus InsertRec(NodeRef node, std::span<const uint64_t> key,
+                     uint64_t value, bool assign, NodeRef* out);
+  OpStatus EraseRec(Node* parent, uint64_t addr_in_parent, NodeRef node,
+                    std::span<const uint64_t> key);
   void DeleteSubtree(NodeRef node);
   void StatsRec(const Node* node, size_t depth, PhTreeStats* stats) const;
 

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/crc32c.h"
+#include "common/vfs.h"
 #include "phtree/validate.h"
 
 // GCC 12 emits a false-positive stringop-overflow for std::vector<uint8_t>
@@ -399,24 +400,111 @@ Status IoError(const std::string& what) {
                 what + ": " + std::strerror(errno));
 }
 
+// All file I/O below goes through the process-wide Vfs (common/vfs.h) so the
+// fault-injection tests can swap in a FaultyVfs. Open/fsync/close retry on
+// EINTR — a real signal must not fail a save — and the write/read loops
+// already absorb both EINTR and short transfers.
+
+int OpenRetry(Vfs& vfs, const char* path, int flags, mode_t mode) {
+  for (;;) {
+    const int fd = vfs.Open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) {
+      return fd;
+    }
+  }
+}
+
+int FsyncRetry(Vfs& vfs, int fd) {
+  for (;;) {
+    const int rc = vfs.Fsync(fd);
+    if (rc == 0 || errno != EINTR) {
+      return rc;
+    }
+  }
+}
+
+/// close(2) retried on EINTR. POSIX leaves the fd state unspecified after
+/// EINTR, but on Linux the fd is guaranteed still open, and the VFS
+/// contract matches Linux (FaultyVfs keeps the fd open on simulated EINTR).
+int CloseRetry(Vfs& vfs, int fd) {
+  for (;;) {
+    const int rc = vfs.Close(fd);
+    if (rc == 0 || errno != EINTR) {
+      return rc;
+    }
+  }
+}
+
 /// fsyncs the directory containing `path` so a preceding rename is durable.
 /// Filesystems that cannot fsync a directory (EINVAL/ENOTSUP) are treated
 /// as success — there is nothing more userland can do there.
 Status FsyncParentDir(const std::string& path) {
+  Vfs& vfs = *GetVfs();
   const size_t slash = path.find_last_of('/');
   const std::string dir =
       slash == std::string::npos ? "." : (slash == 0 ? "/" : path.substr(0, slash));
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const int dfd = OpenRetry(vfs, dir.c_str(), O_RDONLY | O_DIRECTORY, 0);
   if (dfd < 0) {
     return IoError("open directory " + dir);
   }
-  if (::fsync(dfd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+  if (FsyncRetry(vfs, dfd) != 0 && errno != EINVAL && errno != ENOTSUP) {
     const Status st = IoError("fsync directory " + dir);
-    ::close(dfd);
+    CloseRetry(vfs, dfd);
     return st;
   }
-  ::close(dfd);
+  CloseRetry(vfs, dfd);
   return Status::Ok();
+}
+
+/// Reads a whole file, classifying the failure modes a caller cannot tell
+/// apart from a parse error: missing/unreadable files, directories and
+/// zero-length files all come back as kIoError with a message naming the
+/// condition, before any snapshot parsing runs.
+StatusOr<std::vector<uint8_t>> ReadFileOr(const std::string& path) {
+  Vfs& vfs = *GetVfs();
+  const int fd = OpenRetry(vfs, path.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    return IoError("open " + path);
+  }
+  uint64_t size = 0;
+  bool is_dir = false;
+  if (vfs.Stat(fd, &size, &is_dir) != 0) {
+    const Status st = IoError("stat " + path);
+    CloseRetry(vfs, fd);
+    return st;
+  }
+  if (is_dir) {
+    CloseRetry(vfs, fd);
+    return Status(StatusCode::kIoError, Status::kNoOffset,
+                  path + " is a directory, not a snapshot file");
+  }
+  if (size == 0) {
+    CloseRetry(vfs, fd);
+    return Status(StatusCode::kIoError, Status::kNoOffset,
+                  path + " is empty (zero-length file)");
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t r = vfs.Read(fd, bytes.data() + off, bytes.size() - off);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status st = IoError("read " + path);
+      CloseRetry(vfs, fd);
+      return st;
+    }
+    if (r == 0) {
+      CloseRetry(vfs, fd);
+      return Status(StatusCode::kIoError, Status::kNoOffset,
+                    "short read on " + path + ": got " + std::to_string(off) +
+                        " of " + std::to_string(bytes.size()) + " bytes");
+    }
+    off += static_cast<size_t>(r);
+  }
+  CloseRetry(vfs, fd);
+  return bytes;
 }
 
 }  // namespace
@@ -534,39 +622,41 @@ std::optional<PhTree> DeserializePhTree(const std::vector<uint8_t>& bytes) {
 
 Status WriteSnapshotFileOr(const std::vector<uint8_t>& bytes,
                            const std::string& path) {
+  Vfs& vfs = *GetVfs();
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = OpenRetry(vfs, tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                           0644);
   if (fd < 0) {
     return IoError("open " + tmp);
   }
   size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    const ssize_t w = vfs.Write(fd, bytes.data() + off, bytes.size() - off);
     if (w < 0) {
       if (errno == EINTR) {
         continue;
       }
       const Status st = IoError("write " + tmp);
-      ::close(fd);
-      ::unlink(tmp.c_str());
+      CloseRetry(vfs, fd);
+      vfs.Unlink(tmp.c_str());
       return st;
     }
     off += static_cast<size_t>(w);
   }
-  if (::fsync(fd) != 0) {
+  if (FsyncRetry(vfs, fd) != 0) {
     const Status st = IoError("fsync " + tmp);
-    ::close(fd);
-    ::unlink(tmp.c_str());
+    CloseRetry(vfs, fd);
+    vfs.Unlink(tmp.c_str());
     return st;
   }
-  if (::close(fd) != 0) {
+  if (CloseRetry(vfs, fd) != 0) {
     const Status st = IoError("close " + tmp);
-    ::unlink(tmp.c_str());
+    vfs.Unlink(tmp.c_str());
     return st;
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (vfs.Rename(tmp.c_str(), path.c_str()) != 0) {
     const Status st = IoError("rename " + tmp + " -> " + path);
-    ::unlink(tmp.c_str());
+    vfs.Unlink(tmp.c_str());
     return st;
   }
   return FsyncParentDir(path);
@@ -579,38 +669,11 @@ Status SavePhTreeOr(const PhTree& tree, const std::string& path,
 
 Expected<PhTree, SnapshotError> LoadPhTreeOr(const std::string& path,
                                              const LoadOptions& options) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return IoError("open " + path);
+  auto bytes = ReadFileOr(path);
+  if (!bytes) {
+    return bytes.error();
   }
-  const off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0 || ::lseek(fd, 0, SEEK_SET) != 0) {
-    const Status st = IoError("seek " + path);
-    ::close(fd);
-    return st;
-  }
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t r = ::read(fd, bytes.data() + off, bytes.size() - off);
-    if (r < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      const Status st = IoError("read " + path);
-      ::close(fd);
-      return st;
-    }
-    if (r == 0) {
-      ::close(fd);
-      return Status(StatusCode::kIoError, Status::kNoOffset,
-                    "short read on " + path + ": got " + std::to_string(off) +
-                        " of " + std::to_string(bytes.size()) + " bytes");
-    }
-    off += static_cast<size_t>(r);
-  }
-  ::close(fd);
-  return DeserializePhTreeOr(bytes, options);
+  return DeserializePhTreeOr(*bytes, options);
 }
 
 bool SavePhTree(const PhTree& tree, const std::string& path) {
@@ -675,6 +738,14 @@ StatusOr<SnapshotLayout> DescribeSnapshot(const std::vector<uint8_t>& bytes) {
   layout.trailer_begin = pos;
   layout.trailer_end = bytes.size();
   return layout;
+}
+
+StatusOr<SnapshotLayout> DescribeSnapshotFile(const std::string& path) {
+  auto bytes = ReadFileOr(path);
+  if (!bytes) {
+    return bytes.error();
+  }
+  return DescribeSnapshot(*bytes);
 }
 
 }  // namespace phtree

@@ -137,6 +137,11 @@ struct SnapshotLayout {
 /// (v1 has no record framing to describe).
 StatusOr<SnapshotLayout> DescribeSnapshot(const std::vector<uint8_t>& bytes);
 
+/// DescribeSnapshot on a file. Missing/unreadable files, directories and
+/// zero-length files fail with kIoError (same classification as
+/// LoadPhTreeOr) before any framing is parsed.
+StatusOr<SnapshotLayout> DescribeSnapshotFile(const std::string& path);
+
 }  // namespace phtree
 
 #endif  // PHTREE_PHTREE_SERIALIZE_H_

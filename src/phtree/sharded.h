@@ -60,11 +60,8 @@
 
 namespace phtree {
 
-/// One key -> payload pair, the bulk-load input unit.
-struct PhEntry {
-  PhKey key;
-  uint64_t value = 0;
-};
+// PhEntry (the bulk-load input unit) lives in phtree/phtree.h, next to
+// PhTree::BulkLoad.
 
 /// How keys are assigned to shards (see the file comment).
 enum class ShardRouting : uint8_t {

@@ -247,7 +247,7 @@ void ValidateNode(const Node* node, const Node* parent, size_t depth,
       }
       break;
     case NodeRepr::kAdaptive: {
-      // Mirror MaybeSwitchRepresentation: the smallest representation wins
+      // Mirror Node::PickRepr: the smallest representation wins
       // with tie preference LHC, then BHC, then HC; with hysteresis < 1.0
       // the node may lawfully keep a representation within the band.
       Node::Repr best = Node::Repr::kLhc;

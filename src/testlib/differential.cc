@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <new>
 #include <optional>
 #include <span>
 #include <sstream>
 
+#include "common/fault.h"
 #include "critbit/critbit1.h"
 #include "kdtree/kdtree1.h"
 #include "kdtree/kdtree2.h"
@@ -417,7 +419,10 @@ struct Diverged {
 class Runner {
  public:
   Runner(const DiffOptions& opts, CommandSource& source)
-      : opts_(opts), source_(source), model_(opts.commands.dim) {
+      : opts_(opts),
+        source_(source),
+        model_(opts.commands.dim),
+        fault_mode_(opts.fault_every_n > 0) {
     const uint32_t dim = opts.commands.dim;
     adapters_.push_back(std::make_unique<PlainAdapter>(dim));
     {
@@ -429,7 +434,10 @@ class Runner {
       adapters_.push_back(
           std::make_unique<PlainAdapter>(dim, bhc_cfg, "PhTree/bhc"));
     }
-    if (opts.include_concurrent) {
+    // Fault mode forces the concurrent variants off: PhTreeSharded's
+    // BulkLoad mutates on thread-pool threads where an injected bad_alloc
+    // would terminate the process instead of reaching our handler.
+    if (opts.include_concurrent && !fault_mode_) {
       adapters_.push_back(std::make_unique<SyncAdapter>(dim));
       for (const uint32_t shards : opts.shard_counts) {
         adapters_.push_back(std::make_unique<ShardedAdapter>(
@@ -451,6 +459,24 @@ class Runner {
   DiffReport Run() {
     DiffReport report;
     report.variants = adapters_.size();
+    // Install + arm the injector for the whole run; uninstall on every
+    // exit path (the guard also disarms, so a later runner starts clean).
+    struct InjectorGuard {
+      InjectorGuard(FaultInjector* inj, const DiffOptions& opts) {
+        if (opts.fault_every_n > 0) {
+          inj->ArmRandom(opts.fault_seed, opts.fault_every_n);
+          SetFaultInjector(inj);
+          installed = inj;
+        }
+      }
+      ~InjectorGuard() {
+        if (installed != nullptr) {
+          installed->Disarm();
+          SetFaultInjector(nullptr);
+        }
+      }
+      FaultInjector* installed = nullptr;
+    } guard(&injector_, opts_);
     Command cmd;
     while (report.ops_run < opts_.ops && source_.Next(&cmd)) {
       Apply(cmd, &report);
@@ -473,6 +499,24 @@ class Runner {
   }
 
  private:
+  /// Fault mode: a mutation that throws bad_alloc has (by the OpStatus
+  /// contract) rolled back completely, so retrying it with injection
+  /// suspended is equivalent to a clean first run — and the oracle
+  /// comparison that follows vets the rollback. No-op outside fault mode.
+  template <typename Fn>
+  auto FaultRetry(Fn&& fn, DiffReport* report) -> decltype(fn()) {
+    if (!fault_mode_) {
+      return fn();
+    }
+    try {
+      return fn();
+    } catch (const std::bad_alloc&) {
+      ++report->injected_failures;
+      FaultInjectorSuspend suspend;
+      return fn();
+    }
+  }
+
   /// Prefix every divergence with the op index / kind / variant.
   std::string Where(size_t op_index, const Command& cmd,
                     const VariantAdapter& v) const {
@@ -489,7 +533,7 @@ class Runner {
         const bool expect = model_.Insert(cmd.key, cmd.value);
         for (auto& v : adapters_) {
           ++report->replayed;
-          const bool got = v->Insert(cmd);
+          const bool got = FaultRetry([&] { return v->Insert(cmd); }, report);
           if (got != expect) {
             report->divergence = Where(op_index, cmd, *v) + "Insert " +
                                  (expect ? "true" : "false") + " != " +
@@ -503,7 +547,8 @@ class Runner {
         const bool expect = model_.InsertOrAssign(cmd.key, cmd.value);
         for (auto& v : adapters_) {
           ++report->replayed;
-          const bool got = v->InsertOrAssign(cmd);
+          const bool got =
+              FaultRetry([&] { return v->InsertOrAssign(cmd); }, report);
           if (got != expect) {
             report->divergence = Where(op_index, cmd, *v) +
                                  "InsertOrAssign newly-inserted mismatch";
@@ -516,7 +561,7 @@ class Runner {
         const bool expect = model_.Erase(cmd.key);
         for (auto& v : adapters_) {
           ++report->replayed;
-          if (v->Erase(cmd) != expect) {
+          if (FaultRetry([&] { return v->Erase(cmd); }, report) != expect) {
             report->divergence =
                 Where(op_index, cmd, *v) + "Erase hit/miss mismatch";
             return;
@@ -617,6 +662,11 @@ class Runner {
         break;
       }
       case OpKind::kSaveLoad: {
+        // Snapshot round-trips rebuild whole trees through the arena and
+        // run real I/O; their failure paths have dedicated crash-point
+        // tests, so random injection is suspended here instead of turning
+        // a legitimate load error into a false divergence.
+        FaultInjectorSuspend suspend;
         for (auto& v : adapters_) {
           const std::optional<std::string> status =
               v->SaveLoad(opts_.tmp_dir);
@@ -695,6 +745,34 @@ class Runner {
         break;
       }
       case OpKind::kBulkLoad: {
+        if (fault_mode_) {
+          // Decomposed into elementary inserts: a bad_alloc mid-batch
+          // would otherwise lose the adapter's newly-inserted count, and
+          // retrying a whole batch re-counts entries the failed attempt
+          // already placed. Observable behavior is identical — every
+          // remaining adapter's BulkLoad is exactly this loop.
+          Command entry_cmd;
+          entry_cmd.kind = OpKind::kInsert;
+          for (size_t i = 0; i < cmd.bulk.size(); ++i) {
+            entry_cmd.key = cmd.bulk[i].key;
+            entry_cmd.key_d = cmd.bulk_d[i];
+            entry_cmd.value = cmd.bulk[i].value;
+            const bool expect = model_.Insert(entry_cmd.key, entry_cmd.value);
+            for (auto& v : adapters_) {
+              ++report->replayed;
+              const bool got =
+                  FaultRetry([&] { return v->Insert(entry_cmd); }, report);
+              if (got != expect) {
+                report->divergence =
+                    Where(op_index, entry_cmd, *v) +
+                    "BulkLoad entry " + std::to_string(i) +
+                    " newly-inserted mismatch";
+                return;
+              }
+            }
+          }
+          break;
+        }
         size_t expect = 0;
         for (const PhEntry& e : cmd.bulk) {
           expect += model_.Insert(e.key, e.value) ? 1 : 0;
@@ -754,6 +832,7 @@ class Runner {
 
   /// Full-content comparison + deep validation across every variant.
   void Audit(size_t op_index, DiffReport* report) {
+    FaultInjectorSuspend suspend;  // audits read, they must not "fail"
     for (auto& v : adapters_) {
       if (std::string err = CompareContent(*v); !err.empty()) {
         report->divergence = "audit after op " + std::to_string(op_index) +
@@ -772,6 +851,8 @@ class Runner {
   const DiffOptions& opts_;
   CommandSource& source_;
   ReferenceModel model_;
+  bool fault_mode_;
+  FaultInjector injector_;
   std::vector<std::unique_ptr<VariantAdapter>> adapters_;
 };
 

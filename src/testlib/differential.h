@@ -48,6 +48,22 @@ struct DiffOptions {
   /// plain PhTree always round-trips in memory through
   /// SerializePhTree / DeserializePhTreeOr (paranoid options).
   std::string tmp_dir;
+
+  /// Random allocation-fault injection: when fault_every_n > 0 the runner
+  /// installs a process-wide FaultInjector armed to fail roughly one in
+  /// `fault_every_n` allocation-site hits (seeded by fault_seed). Every
+  /// std::bad_alloc a mutation throws is caught, counted, and the op is
+  /// retried with injection suspended — the commit-or-rollback contract
+  /// (phtree.h OpStatus) makes the retry equivalent to a clean first run,
+  /// so the oracle comparison doubles as a rollback check. Fault mode
+  /// forces include_concurrent off (sharded bulk loads mutate on pool
+  /// threads where an injected bad_alloc has no handler), decomposes
+  /// kBulkLoad into per-entry inserts (so the newly-inserted count stays
+  /// exact across retries), and suspends injection during snapshot
+  /// round-trips and audits (those paths are covered by the dedicated
+  /// crash-point tests instead).
+  uint64_t fault_seed = 0;
+  uint64_t fault_every_n = 0;
 };
 
 /// Outcome of a differential run.
@@ -57,6 +73,9 @@ struct DiffReport {
   size_t variants = 0;     ///< tree configurations replayed against
   size_t max_size = 0;     ///< largest oracle size observed
   size_t final_size = 0;   ///< oracle size at the end
+  /// Injected allocation failures survived (fault mode only): each one was
+  /// a bad_alloc whose rollback the subsequent retry + comparisons vetted.
+  size_t injected_failures = 0;
   /// Empty = zero divergence. Otherwise a description of the first
   /// divergence: op index, op kind, variant name, expected vs actual.
   std::string divergence;

@@ -1,0 +1,238 @@
+#include "testlib/fault_sweep.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/fault.h"
+#include "phtree/phtree.h"
+#include "phtree/validate.h"
+#include "testlib/reference_model.h"
+
+namespace phtree {
+namespace testlib {
+namespace {
+
+using Entries = std::vector<std::pair<PhKey, uint64_t>>;
+
+Entries ModelContent(const ReferenceModel& model) {
+  Entries out;
+  out.reserve(model.size());
+  model.ForEach(
+      [&out](const PhKey& k, uint64_t v) { out.emplace_back(k, v); });
+  return out;
+}
+
+Entries TreeContent(const PhTree& tree) {
+  Entries out;
+  out.reserve(tree.size());
+  tree.ForEach(
+      [&out](const PhKey& k, uint64_t v) { out.emplace_back(k, v); });
+  return out;
+}
+
+class Sweeper {
+ public:
+  explicit Sweeper(const FaultSweepOptions& opts)
+      : opts_(opts), tree_(opts.commands.dim), model_(opts.commands.dim) {}
+
+  FaultSweepReport Run() {
+    SetFaultInjector(&injector_);
+    RandomCommandSource source(opts_.commands, opts_.seed);
+    Command cmd;
+    size_t drawn = 0;
+    while (drawn < opts_.ops && report_.failure.empty() &&
+           source.Next(&cmd)) {
+      ++drawn;
+      ApplyCommand(cmd);
+    }
+    if (report_.failure.empty()) {
+      DeepCheck(drawn, "final");
+    }
+    SetFaultInjector(nullptr);
+    return report_;
+  }
+
+ private:
+  void Fail(size_t op_index, const char* what, uint64_t site_index,
+            const std::string& detail) {
+    std::ostringstream os;
+    os << "op " << op_index << " " << what << " site " << site_index << ": "
+       << detail;
+    report_.failure = os.str();
+  }
+
+  /// Cheap per-injection rollback invariants: size and the op key's lookup
+  /// must match the (not yet advanced) oracle.
+  bool QuickRollbackCheck(size_t op_index, const char* what,
+                          uint64_t site_index, const PhKey& key) {
+    FaultInjectorSuspend suspend;
+    if (tree_.size() != model_.size()) {
+      Fail(op_index, what, site_index,
+           "size " + std::to_string(tree_.size()) + " != oracle " +
+               std::to_string(model_.size()) + " after injected failure");
+      return false;
+    }
+    if (tree_.Find(key) != model_.Find(key)) {
+      Fail(op_index, what, site_index,
+           "lookup of the op key diverged after injected failure");
+      return false;
+    }
+    return true;
+  }
+
+  /// Full content comparison + deep structural validation.
+  bool DeepCheck(size_t op_index, const char* what) {
+    FaultInjectorSuspend suspend;
+    ++report_.deep_checks;
+    if (TreeContent(tree_) != ModelContent(model_)) {
+      Fail(op_index, what, 0, "content diverged from oracle");
+      return false;
+    }
+    if (std::string err = ValidatePhTreeDeep(tree_); !err.empty()) {
+      Fail(op_index, what, 0, "deep validation: " + err);
+      return false;
+    }
+    return true;
+  }
+
+  /// Sweeps one fallible mutation: arms site index 0, 1, 2, ... until the
+  /// op completes without the fault firing. `expect` is the status the
+  /// clean run must produce; `commit` advances the oracle.
+  template <typename TryOp, typename Commit>
+  void Sweep(size_t op_index, const char* what, const PhKey& key,
+             OpStatus expect, TryOp&& try_op, Commit&& commit) {
+    for (uint64_t site = 0;; ++site) {
+      if (site > opts_.max_sites_per_op) {
+        Fail(op_index, what, site,
+             "sweep did not exhaust the op's allocation sites");
+        return;
+      }
+      injector_.ArmGlobalIndex(site);
+      const OpStatus st = try_op();
+      const bool fired = injector_.fired();
+      injector_.Disarm();
+      if (!fired) {
+        // The op ran clean — this is the real application.
+        if (st != expect) {
+          Fail(op_index, what, site,
+               "clean run returned status " +
+                   std::to_string(static_cast<int>(st)) + ", oracle says " +
+                   std::to_string(static_cast<int>(expect)));
+          return;
+        }
+        commit();
+        if (tree_.size() != model_.size()) {
+          Fail(op_index, what, site, "size diverged after commit");
+        }
+        return;
+      }
+      if (st == OpStatus::kNoMem) {
+        // Injected failure: the tree must have rolled back completely.
+        ++report_.injected_failures;
+        if (!QuickRollbackCheck(op_index, what, site, key)) {
+          return;
+        }
+        if (opts_.deep_every != 0 &&
+            report_.injected_failures % opts_.deep_every == 0 &&
+            !DeepCheck(op_index, what)) {
+          return;
+        }
+        continue;  // probe the next site index
+      }
+      // The fault fired but the op still succeeded: an absorbed failure
+      // (e.g. a shrink kept its oversized block). The op is now applied.
+      ++report_.absorbed_faults;
+      if (st != expect) {
+        Fail(op_index, what, site,
+             "absorbed-fault run returned status " +
+                 std::to_string(static_cast<int>(st)) + ", oracle says " +
+                 std::to_string(static_cast<int>(expect)));
+        return;
+      }
+      commit();
+      if (!DeepCheck(op_index, what)) {
+        return;
+      }
+      return;
+    }
+  }
+
+  void ApplyCommand(const Command& cmd) {
+    const size_t op_index = report_.ops_run;
+    switch (cmd.kind) {
+      case OpKind::kInsert: {
+        const OpStatus expect = model_.Contains(cmd.key) ? OpStatus::kNoop
+                                                         : OpStatus::kApplied;
+        Sweep(
+            op_index, "Insert", cmd.key, expect,
+            [&] { return tree_.TryInsert(cmd.key, cmd.value); },
+            [&] { model_.Insert(cmd.key, cmd.value); });
+        ++report_.ops_run;
+        break;
+      }
+      case OpKind::kInsertOrAssign: {
+        const OpStatus expect = model_.Contains(cmd.key) ? OpStatus::kNoop
+                                                         : OpStatus::kApplied;
+        Sweep(
+            op_index, "InsertOrAssign", cmd.key, expect,
+            [&] { return tree_.TryInsertOrAssign(cmd.key, cmd.value); },
+            [&] { model_.InsertOrAssign(cmd.key, cmd.value); });
+        ++report_.ops_run;
+        break;
+      }
+      case OpKind::kErase: {
+        const OpStatus expect = model_.Contains(cmd.key) ? OpStatus::kApplied
+                                                         : OpStatus::kNoop;
+        Sweep(
+            op_index, "Erase", cmd.key, expect,
+            [&] { return tree_.TryErase(cmd.key); },
+            [&] { model_.Erase(cmd.key); });
+        ++report_.ops_run;
+        break;
+      }
+      case OpKind::kClear: {
+        // Clear is infallible (O(slabs) arena reset, no allocation): apply
+        // directly, no sweep.
+        tree_.Clear();
+        model_.Clear();
+        ++report_.ops_run;
+        break;
+      }
+      case OpKind::kBulkLoad: {
+        for (const PhEntry& e : cmd.bulk) {
+          if (!report_.failure.empty()) {
+            return;
+          }
+          const OpStatus expect = model_.Contains(e.key)
+                                      ? OpStatus::kNoop
+                                      : OpStatus::kApplied;
+          Sweep(
+              op_index, "BulkLoad", e.key, expect,
+              [&] { return tree_.TryInsert(e.key, e.value); },
+              [&] { model_.Insert(e.key, e.value); });
+        }
+        ++report_.ops_run;
+        break;
+      }
+      default:
+        break;  // query kinds: no allocation sites, nothing to sweep
+    }
+  }
+
+  FaultSweepOptions opts_;
+  PhTree tree_;
+  ReferenceModel model_;
+  FaultInjector injector_;
+  FaultSweepReport report_;
+};
+
+}  // namespace
+
+FaultSweepReport RunFaultSweep(const FaultSweepOptions& opts) {
+  Sweeper sweeper(opts);
+  return sweeper.Run();
+}
+
+}  // namespace testlib
+}  // namespace phtree

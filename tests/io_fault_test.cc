@@ -1,0 +1,192 @@
+// Snapshot I/O under injected syscall faults: EINTR retry loops and
+// short-write absorption (FaultyVfs), injected ENOSPC / failed fsync with
+// clean error reporting and tmp-file cleanup, and the kIoError
+// classification for unusable paths (directory, zero-length, unreadable).
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/vfs.h"
+#include "phtree/phtree.h"
+#include "phtree/serialize.h"
+#include "phtree/validate.h"
+
+namespace phtree {
+namespace {
+
+std::string TmpPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void RemoveFile(const std::string& path) { std::remove(path.c_str()); }
+
+PhTree MakeTree(size_t n) {
+  PhTree tree(2);
+  for (uint64_t i = 0; i < n; ++i) {
+    tree.Insert(PhKey{i * 13, i * 7 + 2}, i);
+  }
+  return tree;
+}
+
+TEST(IoFault, SaveLoadSurvivesPeriodicEintr) {
+  const std::string path = TmpPath("io_eintr.phtree");
+  RemoveFile(path);
+  const PhTree tree = MakeTree(200);
+  FaultyVfs vfs;
+  vfs.set_eintr_period(2);  // every other syscall EINTRs first
+  ScopedVfs scoped(&vfs);
+  ASSERT_TRUE(SavePhTreeOr(tree, path).ok());
+  auto loaded = LoadPhTreeOr(path);
+  ASSERT_TRUE(loaded) << loaded.error().ToString();
+  EXPECT_EQ(loaded->size(), tree.size());
+  EXPECT_EQ(ValidatePhTreeDeep(*loaded), "");
+  RemoveFile(path);
+}
+
+TEST(IoFault, SaveSurvivesShortWrites) {
+  const std::string path = TmpPath("io_short.phtree");
+  RemoveFile(path);
+  const PhTree tree = MakeTree(300);
+  FaultyVfs vfs;
+  vfs.set_short_write_cap(7);  // every write lands at most 7 bytes
+  ScopedVfs scoped(&vfs);
+  ASSERT_TRUE(SavePhTreeOr(tree, path).ok());
+  auto loaded = LoadPhTreeOr(path);
+  ASSERT_TRUE(loaded) << loaded.error().ToString();
+  EXPECT_EQ(loaded->size(), tree.size());
+  RemoveFile(path);
+}
+
+TEST(IoFault, EnospcFailsCleanlyAndKeepsOldSnapshot) {
+  const std::string path = TmpPath("io_enospc.phtree");
+  RemoveFile(path);
+  const PhTree v1 = MakeTree(20);
+  ASSERT_TRUE(SavePhTreeOr(v1, path).ok());
+  const PhTree v2 = MakeTree(90);
+
+  FaultInjector inj;
+  SetFaultInjector(&inj);
+  FaultyVfs vfs;
+  {
+    ScopedVfs scoped(&vfs);
+    inj.ArmCountdown(FaultSite::kVfsWrite, 1);  // first write -> ENOSPC
+    const Status st = SavePhTreeOr(v2, path);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+    EXPECT_NE(st.message().find("No space"), std::string::npos)
+        << st.ToString();
+    EXPECT_TRUE(inj.fired());
+  }
+  SetFaultInjector(nullptr);
+  // The atomic tmp+rename protocol must have left the old snapshot alone
+  // and cleaned up its temp file.
+  auto loaded = LoadPhTreeOr(path);
+  ASSERT_TRUE(loaded) << loaded.error().ToString();
+  EXPECT_EQ(loaded->size(), v1.size());
+  struct stat st;
+  EXPECT_NE(::stat((path + ".tmp").c_str(), &st), 0)
+      << "temp file left behind after failed save";
+  RemoveFile(path);
+}
+
+TEST(IoFault, FsyncFailureFailsTheSave) {
+  const std::string path = TmpPath("io_fsync.phtree");
+  RemoveFile(path);
+  const PhTree tree = MakeTree(30);
+  FaultInjector inj;
+  SetFaultInjector(&inj);
+  FaultyVfs vfs;
+  {
+    ScopedVfs scoped(&vfs);
+    inj.ArmCountdown(FaultSite::kVfsFsync, 1);
+    const Status st = SavePhTreeOr(tree, path);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+    EXPECT_TRUE(inj.fired());
+  }
+  SetFaultInjector(nullptr);
+  RemoveFile(path);
+}
+
+TEST(IoFault, OpenFailureIsIoError) {
+  FaultInjector inj;
+  SetFaultInjector(&inj);
+  FaultyVfs vfs;
+  {
+    ScopedVfs scoped(&vfs);
+    inj.ArmCountdown(FaultSite::kVfsOpen, 1);
+    auto loaded = LoadPhTreeOr(TmpPath("does_not_matter.phtree"));
+    ASSERT_FALSE(loaded);
+    EXPECT_EQ(loaded.error().code(), StatusCode::kIoError);
+  }
+  SetFaultInjector(nullptr);
+}
+
+TEST(IoFault, DirectoryPathIsIoError) {
+  const std::string dir = testing::TempDir();
+  auto loaded = LoadPhTreeOr(dir);
+  ASSERT_FALSE(loaded);
+  EXPECT_EQ(loaded.error().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.error().message().find("directory"), std::string::npos)
+      << loaded.error().ToString();
+  auto described = DescribeSnapshotFile(dir);
+  ASSERT_FALSE(described);
+  EXPECT_EQ(described.error().code(), StatusCode::kIoError);
+}
+
+TEST(IoFault, ZeroLengthFileIsIoError) {
+  const std::string path = TmpPath("io_zero.phtree");
+  { std::fclose(std::fopen(path.c_str(), "wb")); }
+  auto loaded = LoadPhTreeOr(path);
+  ASSERT_FALSE(loaded);
+  EXPECT_EQ(loaded.error().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.error().message().find("empty"), std::string::npos)
+      << loaded.error().ToString();
+  auto described = DescribeSnapshotFile(path);
+  ASSERT_FALSE(described);
+  EXPECT_EQ(described.error().code(), StatusCode::kIoError);
+  RemoveFile(path);
+}
+
+TEST(IoFault, MissingFileIsIoError) {
+  const std::string path = TmpPath("io_missing.phtree");
+  RemoveFile(path);
+  auto loaded = LoadPhTreeOr(path);
+  ASSERT_FALSE(loaded);
+  EXPECT_EQ(loaded.error().code(), StatusCode::kIoError);
+}
+
+TEST(IoFault, UnreadableFileIsIoError) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "running as root: permission bits are not enforced";
+  }
+  const std::string path = TmpPath("io_unreadable.phtree");
+  RemoveFile(path);
+  ASSERT_TRUE(SavePhTreeOr(MakeTree(5), path).ok());
+  ASSERT_EQ(::chmod(path.c_str(), 0), 0);
+  auto loaded = LoadPhTreeOr(path);
+  ASSERT_FALSE(loaded);
+  EXPECT_EQ(loaded.error().code(), StatusCode::kIoError);
+  ::chmod(path.c_str(), 0600);
+  RemoveFile(path);
+}
+
+TEST(IoFault, DescribeSnapshotFileWorksOnValidFile) {
+  const std::string path = TmpPath("io_describe.phtree");
+  RemoveFile(path);
+  const PhTree tree = MakeTree(50);
+  ASSERT_TRUE(SavePhTreeOr(tree, path).ok());
+  auto layout = DescribeSnapshotFile(path);
+  ASSERT_TRUE(layout) << layout.error().ToString();
+  EXPECT_EQ(layout->entry_count, tree.size());
+  RemoveFile(path);
+}
+
+}  // namespace
+}  // namespace phtree

@@ -378,13 +378,14 @@ TEST(LoadErrors, IoVersusFormatFailuresAreDistinguished) {
   EXPECT_EQ(short_file.error().code(), StatusCode::kTruncated)
       << short_file.error().ToString();
 
-  // An empty file is also a format error, not an I/O error.
+  // A zero-length file never held a snapshot at all — it is classified as
+  // an unusable path (kIoError, like a directory), not a torn format.
   f = std::fopen(file.path().c_str(), "wb");
   ASSERT_NE(f, nullptr);
   std::fclose(f);
   const auto empty = LoadPhTreeOr(file.path());
   ASSERT_FALSE(empty.has_value());
-  EXPECT_EQ(empty.error().code(), StatusCode::kTruncated);
+  EXPECT_EQ(empty.error().code(), StatusCode::kIoError);
 
   // The legacy bool/optional shims still collapse everything to "no".
   EXPECT_FALSE(LoadPhTree(file.path()).has_value());

@@ -1,0 +1,204 @@
+// Allocation-fault injection: the FaultInjector itself, the Try* status
+// API's commit-or-rollback contract on hand-built shapes, and the bounded
+// tier-1 run of the exhaustive per-site sweep (testlib/fault_sweep). The
+// full 50k-op acceptance sweep is the `fault_sweep_acceptance` ctest in
+// fuzz/.
+#include <gtest/gtest.h>
+
+#include <new>
+#include <vector>
+
+#include "common/fault.h"
+#include "phtree/phtree.h"
+#include "phtree/validate.h"
+#include "testlib/fault_sweep.h"
+
+namespace phtree {
+namespace {
+
+/// Installs a FaultInjector for one test body.
+class ScopedInjector {
+ public:
+  ScopedInjector() { SetFaultInjector(&inj_); }
+  ~ScopedInjector() { SetFaultInjector(nullptr); }
+  FaultInjector* operator->() { return &inj_; }
+  FaultInjector& get() { return inj_; }
+
+ private:
+  FaultInjector inj_;
+};
+
+TEST(FaultInjector, NoInjectorNeverFails) {
+  EXPECT_FALSE(FaultHit(FaultSite::kArenaNodeAlloc));
+  EXPECT_FALSE(FaultHit(FaultSite::kVfsWrite));
+}
+
+TEST(FaultInjector, CountdownFiresExactlyOnce) {
+  ScopedInjector inj;
+  inj->ArmCountdown(FaultSite::kArenaNodeAlloc, 2);
+  EXPECT_FALSE(FaultHit(FaultSite::kArenaNodeAlloc));  // hit 1
+  EXPECT_FALSE(FaultHit(FaultSite::kWordAlloc));       // other site: no count
+  EXPECT_FALSE(inj->fired());
+  EXPECT_TRUE(FaultHit(FaultSite::kArenaNodeAlloc));   // hit 2 fires
+  EXPECT_TRUE(inj->fired());
+  EXPECT_FALSE(FaultHit(FaultSite::kArenaNodeAlloc));  // one-shot
+  EXPECT_EQ(inj->failures(), 1u);
+  EXPECT_EQ(inj->site_hits(FaultSite::kArenaNodeAlloc), 3u);
+}
+
+TEST(FaultInjector, GlobalIndexCountsAcrossSites) {
+  ScopedInjector inj;
+  inj->ArmGlobalIndex(2);  // 0-based: the third hit overall
+  EXPECT_FALSE(FaultHit(FaultSite::kArenaNodeAlloc));
+  EXPECT_FALSE(FaultHit(FaultSite::kWordAlloc));
+  EXPECT_TRUE(FaultHit(FaultSite::kVfsWrite));
+  EXPECT_TRUE(inj->fired());
+}
+
+TEST(FaultInjector, SuspendMasksHits) {
+  ScopedInjector inj;
+  inj->ArmGlobalIndex(0);
+  {
+    FaultInjectorSuspend suspend;
+    EXPECT_FALSE(FaultHit(FaultSite::kArenaNodeAlloc));
+  }
+  EXPECT_FALSE(inj->fired());
+  EXPECT_TRUE(FaultHit(FaultSite::kArenaNodeAlloc));
+  EXPECT_TRUE(inj->fired());
+}
+
+TEST(FaultInjector, DisarmStopsInjection) {
+  ScopedInjector inj;
+  inj->ArmGlobalIndex(0);
+  inj->Disarm();
+  EXPECT_FALSE(FaultHit(FaultSite::kArenaNodeAlloc));
+  EXPECT_FALSE(inj->fired());
+}
+
+TEST(TryApi, StatusesWithoutInjection) {
+  PhTree tree(2);
+  const PhKey a{1, 2};
+  EXPECT_EQ(tree.TryInsert(a, 7), OpStatus::kApplied);
+  EXPECT_EQ(tree.TryInsert(a, 8), OpStatus::kNoop);  // duplicate
+  EXPECT_EQ(tree.Find(a), std::optional<uint64_t>(7));
+  EXPECT_EQ(tree.TryInsertOrAssign(a, 9), OpStatus::kNoop);  // overwrote
+  EXPECT_EQ(tree.Find(a), std::optional<uint64_t>(9));
+  EXPECT_EQ(tree.TryErase(a), OpStatus::kApplied);
+  EXPECT_EQ(tree.TryErase(a), OpStatus::kNoop);  // miss
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(TryApi, FirstAllocationFailureLeavesEmptyTree) {
+  ScopedInjector inj;
+  PhTree tree(2);
+  const PhKey a{1, 2};
+  inj->ArmGlobalIndex(0);
+  EXPECT_EQ(tree.TryInsert(a, 7), OpStatus::kNoMem);
+  EXPECT_TRUE(inj->fired());
+  inj->Disarm();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Find(a).has_value());
+  // The same op retried clean must succeed.
+  EXPECT_EQ(tree.TryInsert(a, 7), OpStatus::kApplied);
+  EXPECT_EQ(tree.Find(a), std::optional<uint64_t>(7));
+}
+
+TEST(TryApi, ThrowingApiRollsBackOnEverySite) {
+  ScopedInjector inj;
+  PhTree tree(2);
+  tree.Insert(PhKey{0, 0}, 1);
+  tree.Insert(PhKey{~0ull, ~0ull}, 2);  // the next insert splits near the root
+  const size_t before = tree.size();
+  const PhKey key{~0ull, 0};
+  // Probe every allocation-site index of the op; each injected bad_alloc
+  // must leave the tree untouched and deep-valid. A split allocates at
+  // least once, so index 0 always throws.
+  size_t throws = 0;
+  for (uint64_t i = 0;; ++i) {
+    ASSERT_LT(i, 64u) << "split insert did not run out of fault sites";
+    inj->ArmGlobalIndex(i);
+    try {
+      tree.Insert(key, 3);
+      inj->Disarm();
+      break;  // op completed (fault exhausted or absorbed)
+    } catch (const std::bad_alloc&) {
+      inj->Disarm();
+      ++throws;
+      ASSERT_EQ(tree.size(), before);
+      ASSERT_FALSE(tree.Find(key).has_value());
+      ASSERT_EQ(ValidatePhTreeDeep(tree), "");
+    }
+  }
+  EXPECT_GE(throws, 1u);
+  EXPECT_EQ(tree.size(), before + 1);
+  EXPECT_EQ(tree.Find(key), std::optional<uint64_t>(3));
+  EXPECT_EQ(ValidatePhTreeDeep(tree), "");
+}
+
+TEST(TryApi, BulkLoadKeepsPrefixOnFailure) {
+  ScopedInjector inj;
+  PhTree tree(2);
+  std::vector<PhEntry> entries;
+  for (uint64_t i = 0; i < 64; ++i) {
+    entries.push_back({{i * 3, i * 5 + 1}, i});
+  }
+  // Fail the third node allocation: 64 spread keys build many nodes, so
+  // this lands mid-batch; each entry is atomic, so the prefix stays.
+  inj->ArmCountdown(FaultSite::kArenaNodeAlloc, 3);
+  size_t inserted = 0;
+  bool threw = false;
+  try {
+    inserted = tree.BulkLoad(entries);
+  } catch (const std::bad_alloc&) {
+    threw = true;
+  }
+  inj->Disarm();
+  ASSERT_TRUE(threw);
+  (void)inserted;
+  EXPECT_GT(tree.size(), 0u);
+  EXPECT_LT(tree.size(), entries.size());
+  EXPECT_EQ(ValidatePhTreeDeep(tree), "");
+  // Every stored entry is a prefix entry with its original payload.
+  size_t stored = 0;
+  for (const PhEntry& e : entries) {
+    const auto found = tree.Find(e.key);
+    if (found.has_value()) {
+      EXPECT_EQ(*found, e.value);
+      ++stored;
+    }
+  }
+  EXPECT_EQ(stored, tree.size());
+}
+
+// The bounded tier-1 sweep: every allocation-site index of every mutating
+// command in a seeded trace is forced to fail once; each failure must roll
+// back to an oracle-identical, deep-valid tree. ~190 mutating ops inject
+// over a thousand failures.
+TEST(FaultSweep, EveryInjectedFailureRollsBack) {
+  testlib::FaultSweepOptions opts;
+  opts.ops = 600;
+  opts.seed = 42;
+  opts.commands.dim = 2;
+  opts.commands.grid_bits = 6;  // dense: splits, merges, repr switches
+  opts.deep_every = 64;
+  const testlib::FaultSweepReport report = testlib::RunFaultSweep(opts);
+  EXPECT_TRUE(report.ok()) << report.failure;
+  EXPECT_GT(report.ops_run, 0u);
+  EXPECT_GT(report.injected_failures, 100u);
+  EXPECT_GT(report.deep_checks, 0u);
+}
+
+TEST(FaultSweep, HighDimWideNodes) {
+  testlib::FaultSweepOptions opts;
+  opts.ops = 250;
+  opts.seed = 7;
+  opts.commands.dim = 6;  // wider nodes: LHC/BHC switches under failure
+  opts.commands.grid_bits = 3;
+  opts.deep_every = 64;
+  const testlib::FaultSweepReport report = testlib::RunFaultSweep(opts);
+  EXPECT_TRUE(report.ok()) << report.failure;
+  EXPECT_GT(report.injected_failures, 0u);
+}
+
+}  // namespace
+}  // namespace phtree
