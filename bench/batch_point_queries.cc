@@ -1,0 +1,238 @@
+// Batched point lookups and the SIMD traversal-kernel ablation (no paper
+// figure — this measures the repository's own optimisation layer).
+//
+// Two sections land in the shared BENCH_queries.json artefact (argv[1]
+// overrides the path):
+//
+//   * "batch_point_queries": per-key time of PhTree::FindBatch (z-sorted
+//     batch, shared-prefix descent, software prefetch) vs the same keys
+//     issued as a plain Find loop, on 6D CUBE at several batch sizes. The
+//     batch path amortises the descent over keys that share a z-prefix, so
+//     its advantage grows with the batch size.
+//
+//   * "simd_ablation": point- and range-query workloads run twice, once
+//     with the runtime-dispatched SIMD kernels (common/simd.h) and once
+//     pinned to their scalar twins (simd::ScopedForceScalar) — the measured
+//     win of the vectorised window-mask checks, rank scans and box tests.
+//
+// Repetitions of the A/B arms are interleaved (like fig09's hc_ablation)
+// so background load drifts hit both arms equally; consumers compare the
+// per-arm minima. The section metadata records which kernel was active so
+// the CI gate can skip the win checks on scalar-only hosts or builds.
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchlib/json_artifact.h"
+#include "benchlib/measure.h"
+#include "benchlib/run_metadata.h"
+#include "common/simd.h"
+
+namespace phtree::bench {
+namespace {
+
+struct ResultRow {
+  std::string dataset;
+  std::string mode;
+  uint64_t n = 0;
+  uint64_t batch = 0;  ///< 0 for the simd_ablation rows
+  double us = 0;
+};
+
+constexpr int kReps = 5;
+
+/// FindBatch vs looped Find on one pre-built 6D CUBE tree: both arms walk
+/// identical key sequences, grouped identically — only the lookup strategy
+/// differs.
+std::vector<ResultRow> RunBatchQueries() {
+  std::printf("\n## 6D CUBE, FindBatch vs looped Find (50%% hit rate)\n");
+  Table table({"dataset", "mode", "n", "batch", "us/key"});
+  std::vector<ResultRow> rows;
+  const size_t n = ScaledN(200000);
+  const Dataset ds = GenerateCube(n, 6, 42);
+  const auto queries = MakePointQueries(ds, ScaledN(100000), 1234);
+  PhAdapter index(ds.dim);
+  for (size_t i = 0; i < ds.n(); ++i) {
+    index.Insert(ds.point(i), i);
+  }
+  std::vector<PhKey> keys;
+  keys.reserve(queries.size());
+  for (const auto& q : queries) {
+    keys.push_back(EncodeKeyD(q));
+  }
+  const PhTree& tree = index.tree().tree();
+  for (const size_t batch : {16u, 64u, 256u}) {
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const bool use_batch : {false, true}) {
+        const double us = MeasureBatchQueryUs(tree, keys, batch, use_batch);
+        const char* mode = use_batch ? "find_batch" : "find_loop";
+        table.Cell(std::string("6D CUBE"));
+        table.Cell(std::string(mode));
+        table.Cell(static_cast<uint64_t>(ds.n()));
+        table.Cell(static_cast<uint64_t>(batch));
+        table.Cell(us);
+        rows.push_back(ResultRow{"6D CUBE", mode, ds.n(), batch, us});
+      }
+    }
+  }
+  return rows;
+}
+
+/// One workload of the SIMD ablation, measured with the dispatched kernels
+/// and with the scalar twins forced (interleaved repetitions).
+void RunAblationWorkload(const char* name, uint64_t n,
+                         const std::function<double()>& measure, Table* table,
+                         std::vector<ResultRow>* rows) {
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const bool use_simd : {true, false}) {
+      simd::ScopedForceScalar force(!use_simd);
+      const double us = measure();
+      const char* mode = use_simd ? "simd" : "scalar";
+      table->Cell(std::string(name));
+      table->Cell(std::string(mode));
+      table->Cell(n);
+      table->Cell(us);
+      rows->push_back(ResultRow{name, mode, n, 0, us});
+    }
+  }
+}
+
+/// Each workload builds its tree ONCE and both arms query that same tree:
+/// a per-arm rebuild would hand whichever arm runs first a cold allocator
+/// and bias the comparison against it.
+std::vector<ResultRow> RunSimdAblation() {
+  std::printf("\n## SIMD kernel ablation (%s kernels vs forced scalar)\n",
+              simd::ActiveKernelName());
+  Table table({"dataset", "mode", "n", "us/op"});
+  std::vector<ResultRow> rows;
+  const auto build = [](const Dataset& ds) {
+    PhAdapter index(ds.dim);
+    for (size_t i = 0; i < ds.n(); ++i) {
+      index.Insert(ds.point(i), i);
+    }
+    return index;
+  };
+  {
+    // fig09-shaped: 6D range queries are the LhcScan / window-mask-check
+    // hot loop the FindFirstStop kernel targets.
+    const Dataset ds = GenerateCube(ScaledN(200000), 6, 42);
+    const auto boxes = MakeVolumeQueries(ds, 100, 0.001, 7);
+    PhAdapter index = build(ds);
+    RunAblationWorkload(
+        "6D CUBE (0.1% volume) range", ds.n(),
+        [&] { return MeasureRangeQueryOnUsPerResult(index, boxes); }, &table,
+        &rows);
+  }
+  {
+    // High-k: interior nodes hold 2^14-slot hypercubes, so BHC rank scans
+    // (CountOnesWords over 256-word bitmaps) and 14-wide box/overlap tests
+    // dominate — the word-parallel kernels' best case.
+    const Dataset ds = GenerateCube(ScaledN(100000), 14, 42);
+    const auto boxes = MakeVolumeQueries(ds, 100, 0.001, 7);
+    PhAdapter index = build(ds);
+    RunAblationWorkload(
+        "14D CUBE (0.1% volume) range", ds.n(),
+        [&] { return MeasureRangeQueryOnUsPerResult(index, boxes); }, &table,
+        &rows);
+  }
+  {
+    // Paper's CLUSTER workload at high k: thin x-slabs sweep many nodes
+    // per query, stressing the 14-wide SubtreeOverlapsWindow test and the
+    // LHC window walk.
+    const Dataset ds = GenerateCluster(ScaledN(100000), 14, 0.5, 42);
+    const auto boxes = MakeClusterQueries(ds.dim, 50, 7);
+    PhAdapter index = build(ds);
+    RunAblationWorkload(
+        "14D CLUSTER0.5 x-slab range", ds.n(),
+        [&] { return MeasureRangeQueryOnUsPerResult(index, boxes); }, &table,
+        &rows);
+  }
+  {
+    // fig08-shaped: high-k point queries hit the BHC rank scan in every
+    // FindOrdinal on the way down.
+    const Dataset ds = GenerateCube(ScaledN(100000), 14, 42);
+    const auto queries = MakePointQueries(ds, ScaledN(100000), 1234);
+    PhAdapter index = build(ds);
+    RunAblationWorkload(
+        "14D CUBE point", ds.n(),
+        [&] { return MeasurePointQueryOnUs(index, queries); }, &table, &rows);
+  }
+  return rows;
+}
+
+void AppendRows(const std::vector<ResultRow>& rows, const char* value_key,
+                bool with_batch, std::ostringstream* os) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    char buf[256];
+    if (with_batch) {
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"dataset\": \"%s\", \"struct\": \"%s\", "
+                    "\"n\": %llu, \"batch\": %llu, \"%s\": %.4f}",
+                    JsonEscape(rows[i].dataset).c_str(),
+                    JsonEscape(rows[i].mode).c_str(),
+                    static_cast<unsigned long long>(rows[i].n),
+                    static_cast<unsigned long long>(rows[i].batch), value_key,
+                    rows[i].us);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"dataset\": \"%s\", \"struct\": \"%s\", "
+                    "\"n\": %llu, \"%s\": %.4f}",
+                    JsonEscape(rows[i].dataset).c_str(),
+                    JsonEscape(rows[i].mode).c_str(),
+                    static_cast<unsigned long long>(rows[i].n), value_key,
+                    rows[i].us);
+    }
+    *os << buf << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+}
+
+std::string SectionJson(const RunMetadata& meta, const char* figure,
+                        const std::vector<ResultRow>& rows,
+                        const char* value_key, bool with_batch) {
+  std::ostringstream os;
+  os << "{\n  \"figure\": \"" << figure << "\",\n  \"metadata\": "
+     << MetadataJson(meta) << ",\n  \"kernel\": \""
+     << JsonEscape(simd::ActiveKernelName()) << "\",\n  \"simd_active\": "
+     << (simd::KernelsUseSimd() ? "true" : "false") << ",\n  \"rows\": [\n";
+  AppendRows(rows, value_key, with_batch, &os);
+  os << "  ]\n}";
+  return os.str();
+}
+
+int Main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : std::string("BENCH_queries.json");
+  PrintHeader("batch_point_queries", "Traversal kernels (no paper figure)",
+              "Batched lookups and SIMD kernel ablation");
+  const RunMetadata meta = CollectRunMetadata();
+  std::printf("# %s kernel=%s\n", MetadataJson(meta).c_str(),
+              simd::ActiveKernelName());
+  const std::vector<ResultRow> batch_rows = RunBatchQueries();
+  const std::vector<ResultRow> ablation_rows = RunSimdAblation();
+  if (!UpdateJsonArtifact(json_path, "queries", "batch_point_queries",
+                          SectionJson(meta, "FindBatch vs looped Find",
+                                      batch_rows, "us_per_key",
+                                      /*with_batch=*/true))) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  if (!UpdateJsonArtifact(json_path, "queries", "simd_ablation",
+                          SectionJson(meta, "SIMD kernels vs forced scalar",
+                                      ablation_rows, "us_per_op",
+                                      /*with_batch=*/false))) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf(
+      "# wrote %s (sections batch_point_queries, simd_ablation)\n",
+      json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace phtree::bench
+
+int main(int argc, char** argv) {
+  return phtree::bench::Main(argc, argv);
+}

@@ -2,7 +2,10 @@
 #ifndef PHTREE_BENCHLIB_MEASURE_H_
 #define PHTREE_BENCHLIB_MEASURE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <optional>
+#include <span>
 
 #include "benchlib/adapters.h"
 #include "benchlib/harness.h"
@@ -72,6 +75,72 @@ double MeasureRangeQueryUsPerResult(const Dataset& ds,
   }
   const double us = timer.ElapsedUs();
   return results == 0 ? us : us / static_cast<double>(results);
+}
+
+/// Query-only twin of MeasurePointQueryUs, run against a pre-built index.
+/// The interleaved SIMD-ablation arms share one tree so both see the same
+/// allocator layout and cache history — a per-arm rebuild would hand the
+/// first arm a cold tree and bias the comparison.
+template <typename Adapter>
+double MeasurePointQueryOnUs(Adapter& index,
+                             const std::vector<std::vector<double>>& queries) {
+  size_t hits = 0;
+  for (size_t q = 0; q < queries.size() / 10; ++q) {
+    hits += index.Contains(queries[q]) ? 1 : 0;
+  }
+  Timer timer;
+  for (const auto& q : queries) {
+    hits += index.Contains(q) ? 1 : 0;
+  }
+  const double us = timer.ElapsedUs() / static_cast<double>(queries.size());
+  return hits == ~size_t{0} ? -1.0 : us;
+}
+
+/// Query-only twin of MeasureRangeQueryUsPerResult (same rationale).
+template <typename Adapter>
+double MeasureRangeQueryOnUsPerResult(Adapter& index,
+                                      const std::vector<QueryBox>& queries) {
+  size_t results = 0;
+  for (size_t q = 0; q < queries.size() / 10; ++q) {
+    results += index.CountWindow(queries[q].lo, queries[q].hi);
+  }
+  results = 0;
+  Timer timer;
+  for (const auto& q : queries) {
+    results += index.CountWindow(q.lo, q.hi);
+  }
+  const double us = timer.ElapsedUs();
+  return results == 0 ? us : us / static_cast<double>(results);
+}
+
+/// Average per-key time of point lookups issued in groups of `batch_size`
+/// against a pre-built tree: `use_batch` true runs PhTree::FindBatch per
+/// group (z-sort + shared-prefix descent + prefetch), false runs the same
+/// groups as a plain Find loop — the baseline FindBatch must beat. Both
+/// arms see identical keys, so the pair is directly comparable.
+inline double MeasureBatchQueryUs(const PhTree& tree,
+                                  std::span<const PhKey> keys,
+                                  size_t batch_size, bool use_batch) {
+  size_t hits = 0;
+  const auto run_group = [&](std::span<const PhKey> group) {
+    if (use_batch) {
+      for (const std::optional<uint64_t>& r : tree.FindBatch(group)) {
+        hits += r.has_value() ? 1 : 0;
+      }
+    } else {
+      for (const PhKey& key : group) {
+        hits += tree.Find(key).has_value() ? 1 : 0;
+      }
+    }
+  };
+  // Warm-up pass (same convention as MeasurePointQueryUs).
+  run_group(keys.subspan(0, std::min(keys.size(), keys.size() / 10)));
+  Timer timer;
+  for (size_t i = 0; i < keys.size(); i += batch_size) {
+    run_group(keys.subspan(i, std::min(batch_size, keys.size() - i)));
+  }
+  const double us = timer.ElapsedUs() / static_cast<double>(keys.size());
+  return hits == ~size_t{0} ? -1.0 : us;
 }
 
 /// Average deletion time per entry (paper Sect. 4.3.4): loads the dataset,

@@ -9,13 +9,22 @@
 #define PHTREE_BUILD_TYPE "unknown"
 #endif
 
+// Configure-time sha of the checkout the binary was built from (top-level
+// CMakeLists.txt). The runtime `git rev-parse` below is preferred — it
+// reflects the checkout the bench actually runs in — but when that fails
+// (bench run outside the repo, or git absent) this keeps the artifact rows
+// attributable to a real commit instead of "unknown".
+#ifndef PHTREE_GIT_SHA
+#define PHTREE_GIT_SHA "unknown"
+#endif
+
 namespace phtree::bench {
 namespace {
 
 std::string GitShortSha() {
   FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
   if (pipe == nullptr) {
-    return "unknown";
+    return PHTREE_GIT_SHA;
   }
   char buf[64] = {0};
   std::string sha;
@@ -26,7 +35,7 @@ std::string GitShortSha() {
     }
   }
   ::pclose(pipe);
-  return sha.empty() ? "unknown" : sha;
+  return sha.empty() ? PHTREE_GIT_SHA : sha;
 }
 
 }  // namespace

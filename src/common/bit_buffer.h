@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/bits.h"
+#include "common/simd.h"
 
 namespace phtree {
 
@@ -258,8 +259,15 @@ inline uint64_t BitBuffer::CountOnesInRange(uint64_t begin,
   } else {
     ones += static_cast<uint64_t>(std::popcount(words_[first_word]));
   }
-  for (uint64_t w = first_word + 1; w < last_word; ++w) {
-    ones += static_cast<uint64_t>(std::popcount(words_[w]));
+  // Middle words are whole: a flat word-popcount, routed through the SIMD
+  // kernel layer once the span is long enough to amortise the indirect
+  // call (large BHC bitmaps); short spans stay in this inline loop.
+  if (const uint64_t middle = last_word - (first_word + 1); middle >= 2) {
+    ones += simd::CountOnesWords(words_ + first_word + 1, middle);
+  } else {
+    for (uint64_t w = first_word + 1; w < last_word; ++w) {
+      ones += static_cast<uint64_t>(std::popcount(words_[w]));
+    }
   }
   // Partial last word: bits [word boundary, end).
   const uint32_t tail = static_cast<uint32_t>(end - (last_word << 6));

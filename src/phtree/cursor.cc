@@ -180,6 +180,11 @@ void TreeCursor::Advance() {
 }
 
 bool TreeCursor::KeyInWindow() const {
+  // At higher dimensionality the vector kernel tests four dimensions per
+  // lane set; below that the inline loop's early exit wins.
+  if (dim_ >= 4) {
+    return simd::KeyInBox(key_, min_, max_, dim_);
+  }
   for (uint32_t d = 0; d < dim_; ++d) {
     if (key_[d] < min_[d] || key_[d] > max_[d]) {
       return false;
@@ -192,6 +197,14 @@ bool TreeCursor::SubtreeOverlapsWindow(const Node* child) const {
   // key_ already carries the child's path bits and infix; the child's region
   // spans all completions of the bits below its address bit.
   const uint32_t cpl = child->postfix_len();
+  if (dim_ >= 4) {
+    uint64_t lo[kMaxDims];
+    uint64_t hi[kMaxDims];
+    for (uint32_t d = 0; d < dim_; ++d) {
+      RegionBounds(key_[d], cpl + 1, &lo[d], &hi[d]);
+    }
+    return simd::BoxesOverlap(lo, hi, min_, max_, dim_);
+  }
   for (uint32_t d = 0; d < dim_; ++d) {
     uint64_t lo;
     uint64_t hi;

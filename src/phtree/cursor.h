@@ -33,6 +33,7 @@
 #include <span>
 
 #include "common/bits.h"
+#include "common/simd.h"
 #include "phtree/node.h"
 #include "phtree/phtree.h"
 
@@ -162,12 +163,14 @@ CursorTuning& MutableCursorTuning();
 /// below this, a binary search costs more address reads than it skips.
 inline constexpr uint64_t kLhcSeekMinEntries = 16;
 
-/// Consecutive mask-invalid entries tolerated before LhcScan escalates from
-/// linear stepping to a binary re-seek. Dense windows usually reach the next
-/// valid address within a step or two, where a per-miss binary search costs
-/// more than the walk it replaces; a run of misses is the signal that the
-/// gap to the successor address is genuinely wide.
-inline constexpr uint32_t kLhcSeekMissBudget = 4;
+/// Entries the LHC walk unpacks and mask-filters per step (through
+/// simd::FindFirstStop — up to two AVX2 lanes' worth). Doubles as the
+/// miss budget: a whole batch of mask-invalid addresses is the signal
+/// that the gap to the successor address is genuinely wide, at which
+/// point LhcScan escalates from linear stepping to a binary re-seek
+/// (dense windows usually stop within the first batch, where a per-miss
+/// binary search would cost more than the walk it replaces).
+inline constexpr uint64_t kLhcScanBatch = 8;
 
 /// Enumerates the entries of one node whose addresses intersect a window
 /// mask pair, in ascending address order. Plain-old-data and trivially
@@ -267,30 +270,43 @@ class NodeCursor {
     ord_ = Node::kNoOrdinal;
   }
 
-  /// LHC walk from ordinal `ord` (kNoOrdinal = end).
+  /// LHC walk from ordinal `ord` (kNoOrdinal = end). Unpacks the sorted
+  /// address table in batches of kLhcScanBatch and lets the SIMD kernel
+  /// find the first stop — a window-valid address or one past the window —
+  /// instead of filtering entry by entry. A stop-free batch means eight
+  /// consecutive misses, which (on populous nodes with the seek knob on)
+  /// escalates to a binary re-seek at the mask-implied successor.
   void LhcScan(uint64_t ord) {
-    uint32_t misses = 0;
     const bool may_seek =
         lhc_seek_ && node_->num_entries() >= kLhcSeekMinEntries;
+    const uint64_t n = node_->num_entries();
     while (ord != Node::kNoOrdinal) {
-      const uint64_t addr = node_->OrdinalAddr(ord);
-      if (addr > upper_) {
-        break;  // table is sorted: nothing admissible remains
+      uint64_t count = n - ord;
+      if (count > kLhcScanBatch) {
+        count = kLhcScanBatch;
       }
-      if (WindowAddrValid(addr, lower_, upper_)) {
-        ord_ = ord;
+      uint64_t addrs[kLhcScanBatch];
+      node_->ReadLhcAddrs(ord, count, addrs);
+      const size_t stop = simd::FindFirstStop(addrs, count, lower_, upper_);
+      if (stop < count) {
+        const uint64_t addr = addrs[stop];
+        if (addr > upper_) {
+          break;  // table is sorted: nothing admissible remains
+        }
+        ord_ = ord + stop;
         addr_ = addr;
         return;
       }
-      if (may_seek && ++misses >= kLhcSeekMissBudget) {
-        misses = 0;
-        const uint64_t next = WindowSuccessorGE(addr + 1, lower_, upper_);
+      // Whole batch mask-invalid (and still below the window top).
+      if (may_seek && count == kLhcScanBatch) {
+        const uint64_t next =
+            WindowSuccessorGE(addrs[count - 1] + 1, lower_, upper_);
         if (next == kInvalidAddr) {
           break;
         }
         ord = node_->OrdinalGE(next);
       } else {
-        ord = node_->NextOrdinal(ord);
+        ord = ord + count < n ? ord + count : Node::kNoOrdinal;
       }
     }
     ord_ = Node::kNoOrdinal;

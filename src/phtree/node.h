@@ -106,6 +106,11 @@ class Node {
 
   bool OrdinalIsSub(uint64_t ord) const;
   uint64_t OrdinalAddr(uint64_t ord) const;
+  /// Unpacks the addresses of the `count` consecutive LHC entries
+  /// [ord, ord+count) into `out` (ascending, since the table is sorted).
+  /// LHC only — the batch feed of the vectorised window filter, which
+  /// wants addresses in a flat uint64 array rather than packed bits.
+  void ReadLhcAddrs(uint64_t ord, uint64_t count, uint64_t* out) const;
   /// Payload of the postfix entry `ord` (0 in key-only mode).
   uint64_t OrdinalPayload(uint64_t ord) const;
   /// Arena handle of the sub-node entry `ord` (which must be a sub entry).
@@ -632,6 +637,15 @@ inline uint64_t Node::OrdinalGE(uint64_t addr) const {
     }
   }
   return lo < num_entries_ ? lo : kNoOrdinal;
+}
+
+inline void Node::ReadLhcAddrs(uint64_t ord, uint64_t count,
+                               uint64_t* out) const {
+  assert(repr_ == Repr::kLhc && ord + count <= num_entries_);
+  const uint64_t base = lhc_addrs_base() + ord * dim_;
+  for (uint64_t i = 0; i < count; ++i) {
+    out[i] = bits_.ReadBits(base + i * dim_, dim_);
+  }
 }
 
 inline uint64_t Node::NextOrdinal(uint64_t ord) const {

@@ -1,10 +1,12 @@
 #include "phtree/phtree.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <new>
 #include <utility>
 
+#include "common/simd.h"
 #include "phtree/cursor.h"
 
 namespace phtree {
@@ -271,6 +273,99 @@ std::optional<uint64_t> PhTree::Find(std::span<const uint64_t> key) const {
     return std::nullopt;
   }
   return cursor.value();
+}
+
+std::vector<std::optional<uint64_t>> PhTree::FindBatch(
+    std::span<const PhKey> keys) const {
+  std::vector<std::optional<uint64_t>> results(keys.size());
+  if (keys.empty() || !root_) {
+    return results;
+  }
+  // Visit the keys in z-order so the walk shares descents: consecutive
+  // sorted keys agree on a prefix, and the stack below keeps exactly the
+  // path nodes that prefix still pins down. Sorting compares a one-word
+  // sample of each z-address (the top floor(64/dim) bits of every
+  // dimension, interleaved — simd::ZSamplePrefix) computed once per key;
+  // a full multi-word ZOrderLess per comparison would chase two heap
+  // vectors every time and dominate the batch's cost. The sample covers
+  // the tree's top levels, which is all the descent sharing cares about —
+  // the order is a pure heuristic (the walk is correct for any visit
+  // order), so ties on the sample just keep their relative input order.
+  std::vector<std::pair<uint64_t, uint32_t>> order(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    order[i] = {simd::ZSamplePrefix(keys[i].data(), dim_),
+                static_cast<uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end());
+
+  // The current descent path. Invariant: every stacked node's infix (and
+  // path above it) matches the current key — a node at postfix_len pl fixes
+  // all bit positions > pl, and consecutive keys differing first at bit hb
+  // agree on positions > pl whenever pl >= hb, so those frames carry over
+  // verbatim. Nodes whose infix mismatched are never pushed.
+  const Node* stack[kBitWidth];
+  size_t depth = 0;
+  stack[depth++] = root_.ptr;
+
+  const uint64_t* prev = nullptr;
+  std::optional<uint64_t> prev_result;
+  for (size_t si = 0; si < order.size(); ++si) {
+    if (si + 1 < order.size()) {
+      // One-step-ahead prefetch of the next key's coordinates (each PhKey
+      // is its own heap block) so the z-compare below never stalls.
+      simd::PrefetchRead(keys[order[si + 1].second].data());
+    }
+    const PhKey& key_vec = keys[order[si].second];
+    assert(key_vec.size() == dim_);
+    const std::span<const uint64_t> key{key_vec.data(), dim_};
+    if (prev != nullptr) {
+      uint64_t agg = 0;
+      for (uint32_t d = 0; d < dim_; ++d) {
+        agg |= key[d] ^ prev[d];
+      }
+      if (agg == 0) {
+        results[order[si].second] = prev_result;  // duplicate key
+        continue;
+      }
+      const uint32_t hb = static_cast<uint32_t>(std::bit_width(agg)) - 1;
+      while (depth > 0 && stack[depth - 1]->postfix_len() < hb) {
+        --depth;
+      }
+      if (depth == 0) {
+        stack[depth++] = root_.ptr;
+      }
+    }
+    std::optional<uint64_t> res;
+    const Node* node = stack[depth - 1];
+    while (true) {
+      const uint64_t addr = HcAddressAt(key, node->postfix_len());
+      const uint64_t ord = node->FindOrdinal(addr);
+      if (ord == Node::kNoOrdinal) {
+        break;
+      }
+      if (node->OrdinalIsSub(ord)) {
+        const Node* child = arena_->NodeAt(node->OrdinalSub(ord));
+        // Start the child's cache-line fetch before the infix compare
+        // dereferences it.
+        simd::PrefetchRead(child);
+        if (child->MatchInfix(key) >= 0) {
+          break;  // mismatched infix: never stacked (see invariant above)
+        }
+        assert(depth < kBitWidth);
+        stack[depth++] = child;
+        node = child;
+        continue;
+      }
+      if (node->PostfixDivergence(ord, key) < 0) {
+        res = node->OrdinalPayload(ord);
+      }
+      break;
+    }
+    results[order[si].second] = res;
+    prev = key.data();
+    prev_result = res;
+  }
+  return results;
 }
 
 bool PhTree::Erase(std::span<const uint64_t> key) {

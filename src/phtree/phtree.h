@@ -100,6 +100,17 @@ class PhTree {
     return Find(key).has_value();
   }
 
+  /// Batched point query: element i of the result is Find(keys[i])
+  /// (std::nullopt for absent keys; duplicate keys each get the shared
+  /// answer). Observably equivalent to a loop of Find calls but walks the
+  /// tree once over the z-order-sorted batch: consecutive sorted keys
+  /// re-descend only below their deepest common node (shared-prefix
+  /// resumption), and the walk issues software prefetch one step ahead —
+  /// the pipelined-lookup shape a network service needs. Markedly cheaper
+  /// per key than looped Find from batch sizes of a few dozen.
+  std::vector<std::optional<uint64_t>> FindBatch(
+      std::span<const PhKey> keys) const;
+
   /// Removes `key`. Returns false if it was not present. Modifies at most
   /// two nodes (paper Sect. 3.6). Throws std::bad_alloc with the tree
   /// unchanged if the post-removal restructuring cannot allocate.

@@ -68,6 +68,15 @@ class PhTreeSync {
     return tree_.Contains(key);
   }
 
+  /// Batched point query (see PhTree::FindBatch). The whole batch runs
+  /// under one reader-lock acquisition — amortising the lock is part of
+  /// the point of batching lookups.
+  std::vector<std::optional<uint64_t>> FindBatch(
+      std::span<const PhKey> keys) const {
+    std::shared_lock lock(mutex_);
+    return tree_.FindBatch(keys);
+  }
+
   std::vector<std::pair<PhKey, uint64_t>> QueryWindow(
       std::span<const uint64_t> min, std::span<const uint64_t> max) const {
     std::shared_lock lock(mutex_);

@@ -179,6 +179,44 @@ std::optional<uint64_t> PhTreeSharded::Find(
   return shard.tree.Find(key);
 }
 
+std::vector<std::optional<uint64_t>> PhTreeSharded::FindBatch(
+    std::span<const PhKey> keys) const {
+  if (shards_.size() == 1) {
+    Shard& shard = *shards_[0];
+    std::shared_lock lock(shard.mutex);
+    return shard.tree.FindBatch(keys);
+  }
+  std::vector<std::optional<uint64_t>> results(keys.size());
+  // Bucket input positions by shard, then answer each shard's sub-batch
+  // with one batched walk under one reader-lock acquisition.
+  std::vector<std::vector<uint32_t>> buckets(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    buckets[ShardOf(keys[i])].push_back(static_cast<uint32_t>(i));
+  }
+  std::vector<PhKey> sub_keys;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<uint32_t>& bucket = buckets[s];
+    if (bucket.empty()) {
+      continue;
+    }
+    sub_keys.clear();
+    sub_keys.reserve(bucket.size());
+    for (const uint32_t i : bucket) {
+      sub_keys.push_back(keys[i]);
+    }
+    Shard& shard = *shards_[s];
+    std::vector<std::optional<uint64_t>> sub;
+    {
+      std::shared_lock lock(shard.mutex);
+      sub = shard.tree.FindBatch(sub_keys);
+    }
+    for (size_t j = 0; j < bucket.size(); ++j) {
+      results[bucket[j]] = sub[j];
+    }
+  }
+  return results;
+}
+
 void PhTreeSharded::Clear() {
   for (auto& shard : shards_) {
     std::unique_lock lock(shard->mutex);

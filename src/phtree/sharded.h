@@ -113,6 +113,13 @@ class PhTreeSharded {
     return Find(key).has_value();
   }
 
+  /// Batched point query: element i is Find(keys[i]). The batch is
+  /// bucketed by shard in one pass; each shard with hits is then queried
+  /// with one PhTree::FindBatch under one reader-lock acquisition, and the
+  /// per-shard answers are scattered back to input order.
+  std::vector<std::optional<uint64_t>> FindBatch(
+      std::span<const PhKey> keys) const;
+
   /// Clears every shard (per-shard O(slabs) arena reset).
   void Clear();
 

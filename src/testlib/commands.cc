@@ -29,6 +29,8 @@ void FillPointOp(Command* cmd, OpKind kind, const PhKeyD& key,
   cmd->page_size = 0;
   cmd->bulk.clear();
   cmd->bulk_d.clear();
+  cmd->batch.clear();
+  cmd->batch_d.clear();
 }
 
 void FillWindowOp(Command* cmd, OpKind kind, PhKeyD lo, PhKeyD hi) {
@@ -42,6 +44,8 @@ void FillWindowOp(Command* cmd, OpKind kind, PhKeyD lo, PhKeyD hi) {
   cmd->page_size = 0;
   cmd->bulk.clear();
   cmd->bulk_d.clear();
+  cmd->batch.clear();
+  cmd->batch_d.clear();
 }
 
 }  // namespace
@@ -59,6 +63,7 @@ const char* OpKindName(OpKind kind) {
     case OpKind::kSaveLoad: return "SaveLoad";
     case OpKind::kBulkLoad: return "BulkLoad";
     case OpKind::kWindowPage: return "WindowPage";
+    case OpKind::kFindBatch: return "FindBatch";
   }
   return "?";
 }
@@ -72,7 +77,7 @@ RandomCommandSource::RandomCommandSource(const CommandOptions& options,
                   options_.w_erase + options_.w_find + options_.w_window +
                   options_.w_count + options_.w_knn + options_.w_clear +
                   options_.w_saveload + options_.w_bulk +
-                  options_.w_window_page;
+                  options_.w_window_page + options_.w_find_batch;
   assert(total_weight_ > 0);
   recent_.reserve(kRecentCap);
 }
@@ -146,6 +151,18 @@ bool RandomCommandSource::Next(Command* cmd) {
     FillWindowOp(cmd, kind, std::move(lo), std::move(hi));
     if (kind == OpKind::kWindowPage) {
       cmd->page_size = 1 + rng_.NextBounded(options_.max_page);
+    }
+  } else if (take(options_.w_find_batch)) {
+    FillPointOp(cmd, OpKind::kFindBatch, PhKeyD(options_.dim, 0.0), 0);
+    const size_t count = 1 + rng_.NextBounded(options_.max_batch);
+    cmd->batch.reserve(count);
+    cmd->batch_d.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      // PickPoint's reuse bias makes hits, misses and exact duplicates all
+      // common; the batch stays in generation order (i.e. unsorted).
+      const PhKeyD key = PickPoint();
+      cmd->batch_d.push_back(key);
+      cmd->batch.push_back(EncodePoint(key));
     }
   } else if (take(options_.w_knn)) {
     FillPointOp(cmd, OpKind::kKnn, PickPoint(), 0);
@@ -253,6 +270,20 @@ bool BytesCommandSource::Next(Command* cmd) {
         cmd->bulk.push_back(PhEntry{EncodePoint(key), NextU32()});
       }
       if (cmd->bulk.empty()) {
+        return false;  // bytes ran out mid-command
+      }
+      break;
+    }
+    case OpKind::kFindBatch: {
+      FillPointOp(cmd, OpKind::kFindBatch, PhKeyD(options_.dim, 0.0), 0);
+      const size_t count =
+          1 + NextByte() % std::max<size_t>(options_.max_batch, 1);
+      for (size_t i = 0; i < count && pos_ < bytes_.size(); ++i) {
+        const PhKeyD key = DecodePoint();
+        cmd->batch_d.push_back(key);
+        cmd->batch.push_back(EncodePoint(key));
+      }
+      if (cmd->batch.empty()) {
         return false;  // bytes ran out mid-command
       }
       break;

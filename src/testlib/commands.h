@@ -39,9 +39,10 @@ enum class OpKind : uint8_t {
   kSaveLoad,       ///< snapshot round-trip; content must be unchanged
   kBulkLoad,       ///< batch insert (PhTreeSharded::BulkLoad path)
   kWindowPage,     ///< full paginated drain of QueryWindowPage([key, key2])
+  kFindBatch,      ///< batched point lookup (PhTree::FindBatch path)
 };
 
-inline constexpr uint32_t kNumOpKinds = 11;
+inline constexpr uint32_t kNumOpKinds = 12;
 
 const char* OpKindName(OpKind kind);
 
@@ -56,6 +57,9 @@ struct Command {
   size_t page_size = 0;         ///< kWindowPage: entries per page (>= 1)
   std::vector<PhEntry> bulk;    ///< encoded bulk entries
   std::vector<PhKeyD> bulk_d;   ///< double form, same order as `bulk`
+  std::vector<PhKey> batch;     ///< kFindBatch: lookup keys, generation
+                                ///< order (unsorted, duplicates allowed)
+  std::vector<PhKeyD> batch_d;  ///< double form, same order as `batch`
 };
 
 /// Workload shape. Weights are relative (0 disables an op kind).
@@ -76,8 +80,10 @@ struct CommandOptions {
   uint32_t w_saveload = 1;
   uint32_t w_bulk = 4;
   uint32_t w_window_page = 4;
+  uint32_t w_find_batch = 5;
 
   size_t max_bulk = 128;   ///< entries per kBulkLoad command
+  size_t max_batch = 48;   ///< upper bound for kFindBatch keys (1..max)
   size_t max_knn = 12;     ///< upper bound for knn_n (0..max_knn)
   size_t max_page = 8;     ///< upper bound for page_size (1..max_page)
   /// Probability that a point op re-targets a recently used key (drives

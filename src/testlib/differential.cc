@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/fault.h"
+#include "common/simd.h"
 #include "critbit/critbit1.h"
 #include "kdtree/kdtree1.h"
 #include "kdtree/kdtree2.h"
@@ -46,6 +47,22 @@ class VariantAdapter {
   virtual bool InsertOrAssign(const Command& cmd) = 0;
   virtual bool Erase(const Command& cmd) = 0;
   virtual std::optional<uint64_t> Find(const Command& cmd) const = 0;
+  /// Batched point lookup: element i is Find(batch[i]). The default is the
+  /// looped-Find contract every native FindBatch must be observably
+  /// equivalent to (and what the double-keyed baselines run).
+  virtual std::vector<std::optional<uint64_t>> FindBatch(
+      const Command& cmd) const {
+    std::vector<std::optional<uint64_t>> out;
+    out.reserve(cmd.batch.size());
+    Command one;
+    one.kind = OpKind::kFind;
+    for (size_t i = 0; i < cmd.batch.size(); ++i) {
+      one.key = cmd.batch[i];
+      one.key_d = cmd.batch_d[i];
+      out.push_back(Find(one));
+    }
+    return out;
+  }
   /// Eager window query. `ordered` reports whether the sequence is the
   /// global z-order (PH family) or an arbitrary traversal order (KD/CB).
   virtual Entries Window(const Command& cmd, bool* ordered) const = 0;
@@ -92,6 +109,10 @@ class PlainAdapter : public VariantAdapter {
   bool Erase(const Command& cmd) override { return tree_.Erase(cmd.key); }
   std::optional<uint64_t> Find(const Command& cmd) const override {
     return tree_.Find(cmd.key);
+  }
+  std::vector<std::optional<uint64_t>> FindBatch(
+      const Command& cmd) const override {
+    return tree_.FindBatch(cmd.batch);
   }
   Entries Window(const Command& cmd, bool* ordered) const override {
     *ordered = true;
@@ -149,6 +170,70 @@ class PlainAdapter : public VariantAdapter {
   const char* name_;
 };
 
+/// The plain tree again, but with every operation pinned to the scalar
+/// kernel twins (simd::ScopedForceScalar). Divergence between this arm and
+/// the SIMD-dispatched PlainAdapter — both checked against the oracle —
+/// would prove a vector kernel wrong on a real op stream, including the
+/// batched lookups, window scans and rank paths the kernels accelerate.
+class ScalarKernelAdapter : public PlainAdapter {
+ public:
+  explicit ScalarKernelAdapter(uint32_t dim)
+      : PlainAdapter(dim, {}, "PhTree/scalar") {}
+
+  bool Insert(const Command& cmd) override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::Insert(cmd);
+  }
+  bool InsertOrAssign(const Command& cmd) override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::InsertOrAssign(cmd);
+  }
+  bool Erase(const Command& cmd) override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::Erase(cmd);
+  }
+  std::optional<uint64_t> Find(const Command& cmd) const override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::Find(cmd);
+  }
+  std::vector<std::optional<uint64_t>> FindBatch(
+      const Command& cmd) const override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::FindBatch(cmd);
+  }
+  Entries Window(const Command& cmd, bool* ordered) const override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::Window(cmd, ordered);
+  }
+  size_t CountWindow(const Command& cmd) const override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::CountWindow(cmd);
+  }
+  std::optional<WindowPage> PageQuery(
+      const Command& cmd,
+      std::span<const uint64_t> resume_after) const override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::PageQuery(cmd, resume_after);
+  }
+  std::optional<std::vector<KnnResult>> Knn(
+      const Command& cmd) const override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::Knn(cmd);
+  }
+  size_t BulkLoad(const Command& cmd) override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::BulkLoad(cmd);
+  }
+  Entries Content() const override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::Content();
+  }
+  std::string Validate() const override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::Validate();
+  }
+};
+
 class SyncAdapter : public VariantAdapter {
  public:
   explicit SyncAdapter(uint32_t dim) : tree_(dim) {}
@@ -164,6 +249,10 @@ class SyncAdapter : public VariantAdapter {
   bool Erase(const Command& cmd) override { return tree_.Erase(cmd.key); }
   std::optional<uint64_t> Find(const Command& cmd) const override {
     return tree_.Find(cmd.key);
+  }
+  std::vector<std::optional<uint64_t>> FindBatch(
+      const Command& cmd) const override {
+    return tree_.FindBatch(cmd.batch);
   }
   Entries Window(const Command& cmd, bool* ordered) const override {
     *ordered = true;
@@ -250,6 +339,10 @@ class ShardedAdapter : public VariantAdapter {
   bool Erase(const Command& cmd) override { return tree_.Erase(cmd.key); }
   std::optional<uint64_t> Find(const Command& cmd) const override {
     return tree_.Find(cmd.key);
+  }
+  std::vector<std::optional<uint64_t>> FindBatch(
+      const Command& cmd) const override {
+    return tree_.FindBatch(cmd.batch);
   }
   Entries Window(const Command& cmd, bool* ordered) const override {
     // Eager form is globally z-ordered for both routing modes (z-prefix
@@ -434,6 +527,9 @@ class Runner {
       adapters_.push_back(
           std::make_unique<PlainAdapter>(dim, bhc_cfg, "PhTree/bhc"));
     }
+    // Forced-scalar kernel arm: same tree, SIMD dispatch pinned off. Any
+    // vector/scalar behavioural difference shows up as a divergence here.
+    adapters_.push_back(std::make_unique<ScalarKernelAdapter>(dim));
     // Fault mode forces the concurrent variants off: PhTreeSharded's
     // BulkLoad mutates on thread-pool threads where an injected bad_alloc
     // would terminate the process instead of reaching our handler.
@@ -740,6 +836,37 @@ class Runner {
             }
             token_buf = expect.token;
             token = token_buf;
+          }
+        }
+        break;
+      }
+      case OpKind::kFindBatch: {
+        std::vector<std::optional<uint64_t>> expect;
+        expect.reserve(cmd.batch.size());
+        for (const PhKey& k : cmd.batch) {
+          expect.push_back(model_.Find(k));
+        }
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          const std::vector<std::optional<uint64_t>> got = v->FindBatch(cmd);
+          if (got != expect) {
+            std::ostringstream os;
+            os << Where(op_index, cmd, *v) << "FindBatch of "
+               << cmd.batch.size() << " keys: ";
+            if (got.size() != expect.size()) {
+              os << "result count " << got.size() << " != "
+                 << expect.size();
+            } else {
+              for (size_t i = 0; i < expect.size(); ++i) {
+                if (got[i] != expect[i]) {
+                  os << "element " << i << " (key "
+                     << KeyToString(cmd.batch[i]) << ") mismatch";
+                  break;
+                }
+              }
+            }
+            report->divergence = os.str();
+            return;
           }
         }
         break;

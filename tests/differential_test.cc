@@ -54,8 +54,9 @@ TEST(DifferentialTest, SeededRunAcrossAllVariantsHasZeroDivergence) {
 
   EXPECT_EQ(report.divergence, "");
   EXPECT_EQ(report.ops_run, opts.ops);
-  // plain, forced-BHC plain, sync, 4x sharded, KD1/KD2/CB1
-  EXPECT_EQ(report.variants, 10u);
+  // plain, forced-BHC plain, forced-scalar-kernel plain, sync, 4x sharded,
+  // KD1/KD2/CB1
+  EXPECT_EQ(report.variants, 11u);
   EXPECT_GT(report.replayed, opts.ops * 7);
   EXPECT_GT(report.max_size, 100u);
 }
@@ -83,7 +84,8 @@ TEST(DifferentialTest, CoreOnlyConfigurationRuns) {
   opts.include_concurrent = false;
   const DiffReport report = RunDifferential(opts);
   EXPECT_EQ(report.divergence, "");
-  EXPECT_EQ(report.variants, 2u);  // plain + forced-BHC plain
+  // plain + forced-BHC plain + forced-scalar-kernel plain
+  EXPECT_EQ(report.variants, 3u);
 }
 
 TEST(DifferentialTest, BytesSourceReplaysFuzzShapedInput) {
