@@ -92,16 +92,20 @@ __attribute__((target("avx2"))) size_t FindFirstStopAvx2(
     uint64_t mask_upper) {
   const __m256i v_ml = _mm256_set1_epi64x(static_cast<long long>(mask_lower));
   const __m256i v_mu = _mm256_set1_epi64x(static_cast<long long>(mask_upper));
-  // Most LHC walks stop on the very first element (the binary search that
-  // precedes them already landed near the window); test it scalar before
-  // paying the vector setup so that common case keeps its early exit.
-  if (n != 0 &&
-      internal::FindFirstStopScalar(addrs, 1, mask_lower, mask_upper) == 0) {
-    return 0;
+  // Most LHC walks stop within the first few elements (the binary search
+  // that precedes them lands near the window, and range masks keep many
+  // addresses valid), so scan one vector-width scalar first: short scans
+  // then cost exactly what the scalar twin costs, and the vector setup is
+  // only paid on the long scans it actually speeds up.
+  const size_t head = n < 4 ? n : size_t{4};
+  const size_t early =
+      internal::FindFirstStopScalar(addrs, head, mask_lower, mask_upper);
+  if (early < head || head == n) {
+    return early;
   }
   const __m256i v_mu_signed = FlipSign(v_mu);
   const __m256i zero = _mm256_setzero_si256();
-  size_t i = 0;
+  size_t i = head;
   for (; i + 4 <= n; i += 4) {
     const __m256i a =
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(addrs + i));
