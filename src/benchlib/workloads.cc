@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "common/rng.h"
 
@@ -116,6 +118,163 @@ std::vector<QueryBox> MakeClusterQueries(uint32_t dim, size_t n_queries,
     queries.push_back(std::move(box));
   }
   return queries;
+}
+
+// ---- Churn & skew scenarios ---------------------------------------------
+
+ZipfSampler::ZipfSampler(size_t n, double s, uint64_t seed)
+    : s_(s), rng_(seed) {
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  if (!cdf_.empty()) {
+    cdf_.back() = 1.0;  // exact, despite rounding in the division
+  }
+}
+
+size_t ZipfSampler::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(size_t rank) const {
+  return cdf_[rank] - (rank == 0 ? 0.0 : cdf_[rank - 1]);
+}
+
+MovingObjectsWorkload::MovingObjectsWorkload(
+    const MovingObjectsConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  pos_.resize(config_.n_objects);
+  for (auto& p : pos_) {
+    p.resize(config_.dim);
+    for (double& v : p) {
+      v = rng_.NextDouble(config_.lo, config_.hi);
+    }
+  }
+  order_.resize(config_.n_objects);
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = i;
+  }
+}
+
+double MovingObjectsWorkload::Gaussian() {
+  // Box-Muller: one transform yields two independent normals; cache the
+  // second so every Tick consumes the RNG stream deterministically.
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = rng_.NextDouble();
+  while (u1 <= 0.0) {
+    u1 = rng_.NextDouble();
+  }
+  const double u2 = rng_.NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  spare_ = r * std::sin(theta);
+  have_spare_ = true;
+  return r * std::cos(theta);
+}
+
+std::vector<MovingObjectsWorkload::Move> MovingObjectsWorkload::Tick() {
+  const size_t movers = static_cast<size_t>(
+      config_.move_fraction * static_cast<double>(config_.n_objects));
+  std::vector<Move> moves;
+  moves.reserve(movers);
+  // Partial Fisher-Yates: the first `movers` slots of order_ become a
+  // uniform sample of distinct object indices (exact count, no rejection).
+  for (size_t i = 0; i < movers && i < order_.size(); ++i) {
+    const size_t j = i + rng_.NextBounded(order_.size() - i);
+    std::swap(order_[i], order_[j]);
+    const size_t obj = order_[i];
+    Move m;
+    m.object = obj;
+    m.from = pos_[obj];
+    m.to.resize(config_.dim);
+    for (uint32_t d = 0; d < config_.dim; ++d) {
+      m.to[d] = std::clamp(pos_[obj][d] + config_.sigma * Gaussian(),
+                           config_.lo, config_.hi);
+    }
+    pos_[obj] = m.to;
+    moves.push_back(std::move(m));
+  }
+  return moves;
+}
+
+std::vector<std::vector<double>> MakeSkewedPointQueries(
+    const std::vector<std::vector<double>>& points, size_t n_queries,
+    double s, size_t hot_regions, uint64_t seed) {
+  std::vector<std::vector<double>> queries;
+  if (points.empty()) {
+    return queries;
+  }
+  Rng rng(seed);
+  // Hot centers drawn from the data itself, then every point ranked by
+  // squared distance to its nearest center: the Zipf head lands on the
+  // points packed around the centers.
+  std::vector<size_t> centers;
+  for (size_t c = 0; c < std::max<size_t>(hot_regions, 1); ++c) {
+    centers.push_back(rng.NextBounded(points.size()));
+  }
+  std::vector<std::pair<double, size_t>> ranked(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const size_t c : centers) {
+      double d2 = 0.0;
+      for (size_t d = 0; d < points[i].size(); ++d) {
+        const double delta = points[i][d] - points[c][d];
+        d2 += delta * delta;
+      }
+      best = std::min(best, d2);
+    }
+    ranked[i] = {best, i};
+  }
+  std::sort(ranked.begin(), ranked.end());
+  ZipfSampler zipf(points.size(), s, seed ^ 0x9e3779b97f4a7c15ULL);
+  queries.reserve(n_queries);
+  for (size_t q = 0; q < n_queries; ++q) {
+    queries.push_back(points[ranked[zipf.Next()].second]);
+  }
+  return queries;
+}
+
+TtlWorkload::TtlWorkload(const TtlConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+std::vector<std::vector<double>> TtlWorkload::NextBatch() {
+  if (started_) {
+    ++epoch_;
+  }
+  started_ = true;
+  std::vector<std::vector<double>> batch(config_.inserts_per_epoch);
+  for (auto& key : batch) {
+    key.resize(key_dim());
+    key[0] = static_cast<double>(epoch_);
+    for (uint32_t d = 1; d < key_dim(); ++d) {
+      key[d] = rng_.NextDouble(config_.lo, config_.hi);
+    }
+  }
+  return batch;
+}
+
+bool TtlWorkload::ExpiryWindow(std::vector<double>* lo,
+                               std::vector<double>* hi) const {
+  if (!started_ || epoch_ < config_.ttl) {
+    return false;
+  }
+  lo->assign(key_dim(), config_.lo);
+  hi->assign(key_dim(), config_.hi);
+  (*lo)[0] = 0.0;
+  (*hi)[0] = static_cast<double>(epoch_ - config_.ttl);
+  return true;
 }
 
 }  // namespace phtree::bench

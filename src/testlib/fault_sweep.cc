@@ -63,9 +63,11 @@ class Sweeper {
   }
 
   /// Cheap per-injection rollback invariants: size and the op key's lookup
-  /// must match the (not yet advanced) oracle.
+  /// must match the (not yet advanced) oracle. `key2` (Update's
+  /// destination) is probed too when the op has one.
   bool QuickRollbackCheck(size_t op_index, const char* what,
-                          uint64_t site_index, const PhKey& key) {
+                          uint64_t site_index, const PhKey& key,
+                          const PhKey* key2 = nullptr) {
     FaultInjectorSuspend suspend;
     if (tree_.size() != model_.size()) {
       Fail(op_index, what, site_index,
@@ -76,6 +78,11 @@ class Sweeper {
     if (tree_.Find(key) != model_.Find(key)) {
       Fail(op_index, what, site_index,
            "lookup of the op key diverged after injected failure");
+      return false;
+    }
+    if (key2 != nullptr && tree_.Find(*key2) != model_.Find(*key2)) {
+      Fail(op_index, what, site_index,
+           "lookup of the destination key diverged after injected failure");
       return false;
     }
     return true;
@@ -101,7 +108,8 @@ class Sweeper {
   /// clean run must produce; `commit` advances the oracle.
   template <typename TryOp, typename Commit>
   void Sweep(size_t op_index, const char* what, const PhKey& key,
-             OpStatus expect, TryOp&& try_op, Commit&& commit) {
+             OpStatus expect, TryOp&& try_op, Commit&& commit,
+             const PhKey* key2 = nullptr) {
     for (uint64_t site = 0;; ++site) {
       if (site > opts_.max_sites_per_op) {
         Fail(op_index, what, site,
@@ -130,7 +138,7 @@ class Sweeper {
       if (st == OpStatus::kNoMem) {
         // Injected failure: the tree must have rolled back completely.
         ++report_.injected_failures;
-        if (!QuickRollbackCheck(op_index, what, site, key)) {
+        if (!QuickRollbackCheck(op_index, what, site, key, key2)) {
           return;
         }
         if (opts_.deep_every != 0 &&
@@ -188,6 +196,36 @@ class Sweeper {
             op_index, "Erase", cmd.key, expect,
             [&] { return tree_.TryErase(cmd.key); },
             [&] { model_.Erase(cmd.key); });
+        ++report_.ops_run;
+        break;
+      }
+      case OpKind::kUpdate: {
+        // The sweep speaks OpStatus; fold the Update outcome onto it
+        // (kMoved = applied, the two precondition misses = noop).
+        const bool old_present = model_.Contains(cmd.key);
+        const bool target_free =
+            cmd.key == cmd.key2 || !model_.Contains(cmd.key2);
+        const OpStatus expect = old_present && target_free
+                                    ? OpStatus::kApplied
+                                    : OpStatus::kNoop;
+        const std::optional<uint64_t> value =
+            cmd.update_keep_value ? std::nullopt
+                                  : std::optional<uint64_t>(cmd.value);
+        Sweep(
+            op_index, "Update", cmd.key, expect,
+            [&] {
+              switch (tree_.TryUpdate(cmd.key, cmd.key2, value)) {
+                case UpdateOutcome::kMoved:
+                  return OpStatus::kApplied;
+                case UpdateOutcome::kNoMem:
+                  return OpStatus::kNoMem;
+                case UpdateOutcome::kOldMissing:
+                case UpdateOutcome::kNewOccupied:
+                  return OpStatus::kNoop;
+              }
+              return OpStatus::kNoop;
+            },
+            [&] { model_.Update(cmd.key, cmd.key2, value); }, &cmd.key2);
         ++report_.ops_run;
         break;
       }

@@ -58,6 +58,25 @@ class ReferenceModel {
 
   bool Erase(const PhKey& key) { return map_.erase(key) > 0; }
 
+  /// Relocation oracle, the executable definition of Update's observable
+  /// semantics: old-missing beats new-occupied, old == new is a payload
+  /// rewrite, and the moved entry keeps its payload unless `value`
+  /// overrides it.
+  UpdateOutcome Update(const PhKey& old_key, const PhKey& new_key,
+                       std::optional<uint64_t> value) {
+    const auto it = map_.find(old_key);
+    if (it == map_.end()) {
+      return UpdateOutcome::kOldMissing;
+    }
+    if (old_key != new_key && map_.count(new_key) > 0) {
+      return UpdateOutcome::kNewOccupied;
+    }
+    const uint64_t v = value.has_value() ? *value : it->second;
+    map_.erase(it);
+    map_[new_key] = v;
+    return UpdateOutcome::kMoved;
+  }
+
   std::optional<uint64_t> Find(const PhKey& key) const {
     const auto it = map_.find(key);
     return it == map_.end() ? std::nullopt : std::optional(it->second);

@@ -2,16 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "benchlib/json_artifact.h"
+#include "common/rng.h"
 #include "datasets/datasets.h"
+#include "phtree/phtree.h"
+#include "phtree/phtree_d.h"
+#include "phtree/validate.h"
 
 namespace phtree::bench {
 namespace {
@@ -133,6 +140,252 @@ TEST(Workloads, DeterministicInSeed) {
     EXPECT_EQ(a[i].hi, b[i].hi);
   }
   EXPECT_NE(a[0].lo, c[0].lo);
+}
+
+// ---- Churn & skew scenarios ---------------------------------------------
+
+TEST(Zipf, ProbabilitiesMatchTheLaw) {
+  const size_t n = 1000;
+  const double s = 1.1;
+  ZipfSampler zipf(n, s, 1);
+  // P(k) ∝ 1/(k+1)^s: every adjacent-rank probability ratio equals the
+  // law's, and the distribution sums to one.
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += zipf.Probability(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (size_t k = 0; k + 1 < 20; ++k) {
+    const double want = std::pow(static_cast<double>(k + 2), s) /
+                        std::pow(static_cast<double>(k + 1), s);
+    EXPECT_NEAR(zipf.Probability(k) / zipf.Probability(k + 1), want, 1e-9)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, EmpiricalRankFrequencySlope) {
+  // log(freq) vs log(rank+1) regresses to slope ~ -s over the head ranks.
+  const size_t n = 10000;
+  const double s = 1.2;
+  ZipfSampler zipf(n, s, 99);
+  std::vector<size_t> counts(n, 0);
+  const size_t draws = 200000;
+  for (size_t i = 0; i < draws; ++i) {
+    ++counts[zipf.Next()];
+  }
+  // Head ranks get enough mass for a stable fit.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t m = 0;
+  for (size_t k = 0; k < 50; ++k) {
+    if (counts[k] == 0) {
+      continue;
+    }
+    const double x = std::log(static_cast<double>(k + 1));
+    const double y = std::log(static_cast<double>(counts[k]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++m;
+  }
+  ASSERT_GT(m, 30u);
+  const double slope =
+      (static_cast<double>(m) * sxy - sx * sy) /
+      (static_cast<double>(m) * sxx - sx * sx);
+  EXPECT_NEAR(slope, -s, 0.1);
+}
+
+TEST(Zipf, DeterministicInSeed) {
+  ZipfSampler a(100, 1.0, 5);
+  ZipfSampler b(100, 1.0, 5);
+  ZipfSampler c(100, 1.0, 6);
+  bool differs = false;
+  for (int i = 0; i < 200; ++i) {
+    const size_t ra = a.Next();
+    EXPECT_EQ(ra, b.Next());
+    differs |= ra != c.Next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MovingObjects, ExactMoverCountAndBounds) {
+  MovingObjectsConfig config;
+  config.dim = 3;
+  config.n_objects = 500;
+  config.move_fraction = 0.2;
+  config.sigma = 0.05;
+  MovingObjectsWorkload workload(config, 21);
+  for (int tick = 0; tick < 5; ++tick) {
+    const auto moves = workload.Tick();
+    // Partial Fisher-Yates: exactly floor(0.2 * 500) distinct objects.
+    ASSERT_EQ(moves.size(), 100u);
+    std::set<size_t> objects;
+    for (const auto& m : moves) {
+      EXPECT_TRUE(objects.insert(m.object).second) << "duplicate mover";
+      ASSERT_EQ(m.to.size(), 3u);
+      for (uint32_t d = 0; d < 3; ++d) {
+        EXPECT_GE(m.to[d], config.lo);
+        EXPECT_LE(m.to[d], config.hi);
+        // The workload's own position table advances with the move.
+        EXPECT_EQ(workload.positions()[m.object][d], m.to[d]);
+      }
+    }
+  }
+}
+
+TEST(MovingObjects, DisplacementMatchesSigma) {
+  MovingObjectsConfig config;
+  config.dim = 2;
+  config.n_objects = 2000;
+  config.move_fraction = 1.0;
+  config.sigma = 0.01;
+  MovingObjectsWorkload workload(config, 33);
+  double sum = 0.0, sum2 = 0.0;
+  size_t samples = 0;
+  for (int tick = 0; tick < 10; ++tick) {
+    for (const auto& m : workload.Tick()) {
+      for (uint32_t d = 0; d < 2; ++d) {
+        const double step = m.to[d] - m.from[d];
+        sum += step;
+        sum2 += step * step;
+        ++samples;
+      }
+    }
+  }
+  const double mean = sum / static_cast<double>(samples);
+  const double stddev =
+      std::sqrt(sum2 / static_cast<double>(samples) - mean * mean);
+  // Gaussian steps: zero-mean, sigma-scaled (clamping at the domain edge
+  // is negligible for sigma = 0.01 on a unit box).
+  EXPECT_NEAR(mean, 0.0, 0.001);
+  EXPECT_NEAR(stddev, config.sigma, config.sigma * 0.1);
+}
+
+TEST(MovingObjects, DeterministicInSeed) {
+  MovingObjectsConfig config;
+  config.n_objects = 50;
+  config.move_fraction = 0.5;
+  MovingObjectsWorkload a(config, 4);
+  MovingObjectsWorkload b(config, 4);
+  for (int tick = 0; tick < 3; ++tick) {
+    const auto ma = a.Tick();
+    const auto mb = b.Tick();
+    ASSERT_EQ(ma.size(), mb.size());
+    for (size_t i = 0; i < ma.size(); ++i) {
+      EXPECT_EQ(ma[i].object, mb[i].object);
+      EXPECT_EQ(ma[i].to, mb[i].to);
+    }
+  }
+}
+
+TEST(SkewedQueries, HeadConcentratesNearHotCenters) {
+  // Queries are drawn Zipf over a nearest-hot-center distance ranking, so
+  // a handful of distinct points must dominate the sample.
+  std::vector<std::vector<double>> points;
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    points.push_back({rng.NextDouble(), rng.NextDouble()});
+  }
+  const auto queries = MakeSkewedPointQueries(points, 20000, 1.1, 4, 17);
+  ASSERT_EQ(queries.size(), 20000u);
+  std::map<std::vector<double>, size_t> freq;
+  for (const auto& q : queries) {
+    ++freq[q];
+  }
+  std::vector<size_t> counts;
+  for (const auto& [q, c] : freq) {
+    counts.push_back(c);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  size_t top10 = 0;
+  for (size_t i = 0; i < 10 && i < counts.size(); ++i) {
+    top10 += counts[i];
+  }
+  // Uniform sampling would put ~0.2% in any 10 points; the Zipf head puts
+  // a double-digit share there.
+  EXPECT_GT(top10, queries.size() / 10);
+  // Every query is an existing point.
+  std::set<std::vector<double>> index(points.begin(), points.end());
+  for (const auto& q : queries) {
+    EXPECT_EQ(index.count(q), 1u);
+  }
+}
+
+TEST(Ttl, EpochAdvancesAndWindowTrailsByTtl) {
+  TtlConfig config;
+  config.space_dim = 2;
+  config.inserts_per_epoch = 10;
+  config.ttl = 3;
+  TtlWorkload workload(config, 5);
+  ASSERT_EQ(workload.key_dim(), 3u);
+  std::vector<double> lo, hi;
+  // No batch yet: nothing can be expired.
+  EXPECT_FALSE(workload.ExpiryWindow(&lo, &hi));
+  for (uint64_t e = 0; e < 6; ++e) {
+    const auto batch = workload.NextBatch();
+    ASSERT_EQ(batch.size(), 10u);
+    EXPECT_EQ(workload.epoch(), e);
+    for (const auto& key : batch) {
+      ASSERT_EQ(key.size(), 3u);
+      EXPECT_EQ(key[0], static_cast<double>(e));  // leading time dimension
+      for (int d = 1; d < 3; ++d) {
+        EXPECT_GE(key[d], config.lo);
+        EXPECT_LE(key[d], config.hi);
+      }
+    }
+    if (e < config.ttl) {
+      EXPECT_FALSE(workload.ExpiryWindow(&lo, &hi));
+    } else {
+      ASSERT_TRUE(workload.ExpiryWindow(&lo, &hi));
+      EXPECT_EQ(lo[0], 0.0);
+      EXPECT_EQ(hi[0], static_cast<double>(e - config.ttl));
+      for (int d = 1; d < 3; ++d) {
+        EXPECT_EQ(lo[d], config.lo);
+        EXPECT_EQ(hi[d], config.hi);
+      }
+    }
+  }
+}
+
+// End-to-end churn: drive a PH-tree with the moving-objects workload
+// through Update and run the deep structural validator after every tick —
+// the bench scenario's integrity argument in tier-1 form.
+TEST(ChurnIntegration, TreeStaysValidUnderMovingObjects) {
+  MovingObjectsConfig config;
+  config.dim = 2;
+  config.n_objects = 400;
+  config.move_fraction = 0.25;
+  config.sigma = 0.002;
+  MovingObjectsWorkload workload(config, 77);
+  PhTree tree(config.dim);
+  std::vector<PhKey> keys;
+  for (size_t i = 0; i < config.n_objects; ++i) {
+    PhKey key = EncodeKeyD(workload.positions()[i]);
+    // Collisions under the double grid are possible; track the live key.
+    tree.InsertOrAssign(key, i);
+    keys.push_back(std::move(key));
+  }
+  for (int tick = 0; tick < 12; ++tick) {
+    size_t applied = 0;
+    for (const auto& m : workload.Tick()) {
+      const PhKey to = EncodeKeyD(m.to);
+      const UpdateOutcome out = tree.Update(keys[m.object], to);
+      if (out == UpdateOutcome::kMoved) {
+        keys[m.object] = to;
+        ++applied;
+      } else {
+        // Collided with another object's live key (or this object lost its
+        // slot to a collision earlier); both leave the tree unchanged.
+        ASSERT_TRUE(out == UpdateOutcome::kNewOccupied ||
+                    out == UpdateOutcome::kOldMissing)
+            << UpdateOutcomeName(out);
+      }
+    }
+    EXPECT_GT(applied, 0u);
+    ASSERT_EQ(ValidatePhTreeDeep(tree), "") << "tick " << tick;
+  }
+  const PhUpdateStats& stats = tree.update_stats();
+  EXPECT_GT(stats.fast_path, 0u);
 }
 
 }  // namespace
