@@ -12,6 +12,9 @@
 #include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -20,6 +23,7 @@
 #include "benchlib/harness.h"
 #include "benchlib/run_metadata.h"
 #include "benchlib/workloads.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "datasets/datasets.h"
 #include "phtree/phtree.h"
@@ -96,6 +100,89 @@ double ParallelWindowUs(const Tree& tree,
     }
     results->fetch_add(local, std::memory_order_relaxed);
   });
+}
+
+/// The pre-MVCC reader design, kept inline as the A/B baseline: one
+/// tree-wide std::shared_mutex, readers on the shared side, the writer on
+/// the exclusive side. PhTreeSync dropped reader locking entirely (epoch
+/// guards + acquire loads), so the historical wrapper lives here only to
+/// quantify what the lock-free read path buys under an active writer.
+class RwLockTree {
+ public:
+  explicit RwLockTree(uint32_t dim) : tree_(dim) {}
+  bool Insert(const PhKey& key, uint64_t value) {
+    std::unique_lock lock(mutex_);
+    return tree_.Insert(key, value);
+  }
+  bool InsertOrAssign(const PhKey& key, uint64_t value) {
+    std::unique_lock lock(mutex_);
+    return tree_.InsertOrAssign(key, value);
+  }
+  bool Erase(const PhKey& key) {
+    std::unique_lock lock(mutex_);
+    return tree_.Erase(key);
+  }
+  std::optional<uint64_t> Find(const PhKey& key) const {
+    std::shared_lock lock(mutex_);
+    return tree_.Find(key);
+  }
+  size_t CountWindow(const PhKey& lo, const PhKey& hi) const {
+    std::shared_lock lock(mutex_);
+    return tree_.CountWindow(lo, hi);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  PhTree tree_;
+};
+
+/// MVCC arm measurement: one writer thread churns a disjoint key range
+/// for the whole measured interval while `readers` threads each perform
+/// `reads_per_thread` point lookups over the stable base keys (plus a
+/// window count every 64th read). Returns the readers' aggregate wall
+/// time; the writer starts before and stops after them, so every read
+/// contends with active mutation. The probes accumulate into `sink` so
+/// the loops cannot be optimised away.
+template <typename Tree>
+double ReadersUnderWriterUs(Tree& tree, const std::vector<PhKey>& probes,
+                            const std::vector<std::pair<PhKey, PhKey>>& boxes,
+                            unsigned readers, size_t reads_per_thread,
+                            std::atomic<size_t>* sink) {
+  std::atomic<bool> stop{false};
+  const uint32_t dim = static_cast<uint32_t>(probes.front().size());
+  std::thread writer([&tree, &stop, dim] {
+    Rng rng(7);
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Odd low-bit coordinates: disjoint from the encoded CUBE keys'
+      // probe set with overwhelming probability, so probe results stay
+      // stable while nodes split, merge, and get retired around them.
+      PhKey key(dim);
+      for (auto& v : key) {
+        v = rng.NextBounded(1u << 16) * 2 + 1;
+      }
+      if (rng.NextBool(0.5)) {
+        tree.InsertOrAssign(key, 1);
+      } else {
+        tree.Erase(key);
+      }
+    }
+  });
+  const double us = RunThreads(readers, [&](unsigned t) {
+    Rng rng(100 + t);
+    size_t local = 0;
+    for (size_t i = 0; i < reads_per_thread; ++i) {
+      const PhKey& key = probes[rng.NextBounded(probes.size())];
+      local += tree.Find(key).has_value() ? 1 : 0;
+      if (i % 64 == 0) {
+        const auto& box = boxes[rng.NextBounded(boxes.size())];
+        local += tree.CountWindow(box.first, box.second);
+      }
+    }
+    sink->fetch_add(local, std::memory_order_relaxed);
+  });
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  return us;
 }
 
 std::string JsonRow(const Row& r) {
@@ -228,6 +315,39 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // ---- MVCC readers vs one writer (epoch reads vs rwlock reads) ----------
+  // The tentpole comparison: aggregate reader throughput with a writer
+  // churning the whole time. "PH(sync)" reads lock-free under an epoch
+  // guard; "PH(rwlock)" is the retired shared_mutex design rebuilt inline.
+  // A/B runs are interleaved inside the repeat loop so scheduler and
+  // frequency drift hit both arms equally.
+  {
+    const size_t reads_per_thread = std::max<size_t>(n / 4, 10000);
+    RwLockTree rwlock(dim);
+    PhTreeSync sync(dim);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      rwlock.Insert(keys[i], i);
+      sync.Insert(keys[i], i);
+    }
+    for (const unsigned t : thread_counts) {
+      double rwlock_us = std::numeric_limits<double>::infinity();
+      double epoch_us = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < kRepeats; ++r) {
+        rwlock_us = std::min(
+            rwlock_us, ReadersUnderWriterUs(rwlock, keys, boxes, t,
+                                            reads_per_thread, &sink));
+        epoch_us = std::min(
+            epoch_us, ReadersUnderWriterUs(sync, keys, boxes, t,
+                                           reads_per_thread, &sink));
+      }
+      const double total_reads = static_cast<double>(reads_per_thread) * t;
+      rows.push_back(
+          {"PH(rwlock)", "read_under_writer", t, 0, total_reads, rwlock_us});
+      rows.push_back(
+          {"PH(sync)", "read_under_writer", t, 0, total_reads, epoch_us});
+    }
+  }
+
   // ---- Report ------------------------------------------------------------
   Table table({"index", "op", "threads", "shards", "Mops/s", "us/op"});
   for (const Row& r : rows) {
@@ -260,9 +380,28 @@ int Main(int argc, char** argv) {
       plain1 != nullptr && sharded11 != nullptr && plain1->UsPerOp() > 0
           ? (sharded11->UsPerOp() / plain1->UsPerOp() - 1.0) * 100.0
           : 0;
+  const unsigned max_t = thread_counts.back();
+  const Row* epoch1 = find_row("PH(sync)", "read_under_writer", 1, 0);
+  const Row* epoch_max = find_row("PH(sync)", "read_under_writer", max_t, 0);
+  const Row* rwlock_max =
+      find_row("PH(rwlock)", "read_under_writer", max_t, 0);
+  const double read_speedup =
+      rwlock_max != nullptr && epoch_max != nullptr &&
+              rwlock_max->MopsPerSec() > 0
+          ? epoch_max->MopsPerSec() / rwlock_max->MopsPerSec()
+          : 0;
+  const double read_scaling =
+      epoch1 != nullptr && epoch_max != nullptr && epoch1->MopsPerSec() > 0
+          ? epoch_max->MopsPerSec() / epoch1->MopsPerSec()
+          : 0;
   std::printf("# sharded(8t,8s) vs sync(8t) insert speedup: %.2fx\n", speedup);
   std::printf("# sharded(1t,1s) vs plain insert overhead:   %.1f%%\n",
               overhead_pct);
+  std::printf(
+      "# epoch vs rwlock reads under writer (%u readers): %.2fx\n", max_t,
+      read_speedup);
+  std::printf("# epoch read scaling %u readers vs 1:         %.2fx\n", max_t,
+              read_scaling);
   if (sink.load() == ~size_t{0}) {
     std::printf("#\n");  // keep `sink` observable
   }
@@ -283,11 +422,14 @@ int Main(int argc, char** argv) {
   for (size_t i = 0; i < rows.size(); ++i) {
     out << JsonRow(rows[i]) << (i + 1 < rows.size() ? ",\n" : "\n");
   }
-  char derived[256];
+  char derived[512];
   std::snprintf(derived, sizeof(derived),
                 "  \"derived\": {\"insert_speedup_sharded_8t8s_vs_sync_8t\": "
-                "%.3f, \"insert_overhead_sharded_1t1s_vs_plain_pct\": %.1f}\n",
-                speedup, overhead_pct);
+                "%.3f, \"insert_overhead_sharded_1t1s_vs_plain_pct\": %.1f, "
+                "\"read_speedup_epoch_vs_rwlock_max_readers\": %.3f, "
+                "\"read_scaling_epoch_max_vs_1\": %.3f, "
+                "\"max_reader_threads\": %u}\n",
+                speedup, overhead_pct, read_speedup, read_scaling, max_t);
   out << "  ],\n" << derived << "}\n";
   out.close();
   std::printf("# wrote %s\n", json_path.c_str());

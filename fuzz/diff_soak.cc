@@ -9,11 +9,18 @@
 // Usage: diff_soak [--ops N] [--seed S] [--dim K] [--grid-bits B]
 //                  [--validate-every N] [--no-baselines] [--no-concurrent]
 //                  [--tmp DIR] [--fault_seed S] [--fault_every_n N]
+//                  [--readers N]
 //
 // --fault_every_n N > 0 turns on random allocation-fault injection (see
 // DiffOptions::fault_every_n): roughly one in N allocation-site hits
 // throws, every bad_alloc is counted and the op retried, and the oracle
 // comparison doubles as a rollback check. Implies --no-concurrent.
+//
+// After the variant-matrix soak, a concurrent phase (skipped under
+// --no-concurrent, fault mode, or --readers 0) reruns the stream in
+// DiffOptions::reader_threads mode — one exact-oracle writer on a
+// PhTreeSync plus N lock-free reader threads — and keeps drawing fresh
+// seeds until writer applications + reader probes exceed one million.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -42,12 +49,13 @@ int main(int argc, char** argv) {
   using phtree::testlib::DiffReport;
 
   DiffOptions opts;
-  opts.ops = 140000;  // ~1.2M replayed applications over 9 variants
+  opts.ops = 140000;  // >= 1.2M replayed applications over 12 variants
   opts.seed = 20260807;
   opts.commands.dim = 2;
   opts.commands.grid_bits = 8;
   opts.validate_every = 20000;
   std::string tmp_dir = "diff_soak.tmp";
+  uint64_t readers = 4;  // concurrent-phase reader threads; 0 disables
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +81,8 @@ int main(int argc, char** argv) {
       opts.fault_seed = ParseU64("--fault_seed", value());
     } else if (arg == "--fault_every_n" || arg == "--fault-every-n") {
       opts.fault_every_n = ParseU64("--fault_every_n", value());
+    } else if (arg == "--readers") {
+      readers = ParseU64("--readers", value());
     } else if (arg == "--no-baselines") {
       opts.include_baselines = false;
     } else if (arg == "--no-concurrent") {
@@ -97,7 +107,6 @@ int main(int argc, char** argv) {
   }
 
   const DiffReport report = RunDifferential(opts);
-  std::filesystem::remove_all(tmp_dir, ec);
 
   std::printf(
       "diff_soak: seed=%llu dim=%u grid_bits=%u ops=%zu replayed=%zu "
@@ -107,9 +116,41 @@ int main(int argc, char** argv) {
       report.variants, report.max_size, report.final_size,
       report.injected_failures);
   if (!report.ok()) {
+    std::filesystem::remove_all(tmp_dir, ec);
     std::fprintf(stderr, "DIVERGENCE: %s\n", report.divergence.c_str());
     return 1;
   }
+
+  // Concurrent phase: same workload shape, reader_threads mode. Reader
+  // probe counts vary with machine speed, so keep drawing seeds until the
+  // million-application bar is met (writer ops + reader probes/audits).
+  if (opts.include_concurrent && opts.fault_every_n == 0 && readers > 0) {
+    constexpr size_t kTargetApplications = 1000000;
+    size_t applications = 0;
+    uint64_t seed = opts.seed + 1;
+    for (int round = 0; applications < kTargetApplications && round < 64;
+         ++round, ++seed) {
+      DiffOptions copts = opts;
+      copts.reader_threads = static_cast<size_t>(readers);
+      copts.seed = seed;
+      const DiffReport creport = RunDifferential(copts);
+      applications += creport.replayed;
+      std::printf(
+          "diff_soak concurrent: seed=%llu readers=%llu ops=%zu "
+          "replayed=%zu (cumulative %zu)\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<unsigned long long>(readers), creport.ops_run,
+          creport.replayed, applications);
+      if (!creport.ok()) {
+        std::filesystem::remove_all(tmp_dir, ec);
+        std::fprintf(stderr, "DIVERGENCE (concurrent): %s\n",
+                     creport.divergence.c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::filesystem::remove_all(tmp_dir, ec);
   std::printf("zero divergence\n");
   return 0;
 }

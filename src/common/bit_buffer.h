@@ -6,6 +6,7 @@
 #ifndef PHTREE_COMMON_BIT_BUFFER_H_
 #define PHTREE_COMMON_BIT_BUFFER_H_
 
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -158,6 +159,45 @@ class BitBuffer {
   /// ranges must lie within the buffer.
   void MoveBits(uint64_t src_pos, uint64_t dst_pos, uint64_t n);
 
+  // ---- Atomic field access (MVCC publication points) ----------------------
+  //
+  // Copy-on-write mutations publish a replacement child handle with exactly
+  // one atomic store into the live parent's stream while lock-free readers
+  // traverse it. These helpers operate on naturally aligned 32-/64-bit
+  // fields (pos % 32 == 0 resp. pos % 64 == 0) so the store is a single
+  // machine word write: readers observe either the old or the new handle,
+  // never a torn mix. All other words of a published node are immutable
+  // while it is reachable, so the relaxed word loads in ReadBits & friends
+  // plus these acquire/release field accessors make the whole read path
+  // data-race-free under TSan and the C++ memory model.
+
+  /// True iff [pos, pos+32) is a naturally aligned 32-bit field.
+  static bool IsAligned32(uint64_t pos) { return (pos & 31) == 0; }
+
+  /// Atomically reads the aligned 32-bit field at `pos` (acquire).
+  uint32_t AcquireLoad32(uint64_t pos) const {
+    assert(IsAligned32(pos) && pos + 32 <= size_bits_);
+    return __atomic_load_n(Half32(pos), __ATOMIC_ACQUIRE);
+  }
+
+  /// Atomically writes the aligned 32-bit field at `pos` (release).
+  void ReleaseStore32(uint64_t pos, uint32_t value) {
+    assert(IsAligned32(pos) && pos + 32 <= size_bits_);
+    __atomic_store_n(Half32(pos), value, __ATOMIC_RELEASE);
+  }
+
+  /// Atomically reads the aligned 64-bit field at `pos` (acquire).
+  uint64_t AcquireLoad64(uint64_t pos) const {
+    assert((pos & 63) == 0 && pos + 64 <= size_bits_);
+    return __atomic_load_n(&words_[pos >> 6], __ATOMIC_ACQUIRE);
+  }
+
+  /// Atomically writes the aligned 64-bit field at `pos` (release).
+  void ReleaseStore64(uint64_t pos, uint64_t value) {
+    assert((pos & 63) == 0 && pos + 64 <= size_bits_);
+    __atomic_store_n(&words_[pos >> 6], value, __ATOMIC_RELEASE);
+  }
+
   /// Bytes of the backing block actually held by this buffer. Exact: for
   /// pooled buffers this is the granted size-class block, for heap buffers
   /// the allocated array (the malloc header is accounted separately by the
@@ -172,6 +212,26 @@ class BitBuffer {
 
  private:
   static uint64_t WordsFor(uint64_t bits) { return (bits + 63) / 64; }
+
+  /// Relaxed atomic load of backing word `wi`. The read path uses this for
+  /// every word access so that a concurrent MVCC publication store into an
+  /// unrelated field of the same word is an atomic/atomic overlap, not a
+  /// data race; on x86/ARM it compiles to the same plain load.
+  uint64_t LoadWord(uint64_t wi) const {
+    return __atomic_load_n(&words_[wi], __ATOMIC_RELAXED);
+  }
+
+  /// Address of the aligned 32-bit half-word holding stream bits
+  /// [pos, pos+32). Stream bit order is MSB-first within each word, so the
+  /// field at an even 32-bit offset is the numerically *high* half — which
+  /// on a little-endian machine is the uint32 at the higher address.
+  uint32_t* Half32(uint64_t pos) const {
+    uint32_t* halves = reinterpret_cast<uint32_t*>(&words_[pos >> 6]);
+    const uint64_t upper = (pos & 32) == 0 ? 1 : 0;
+    return halves + (std::endian::native == std::endian::little
+                         ? upper
+                         : 1 - upper);
+  }
 
   /// Grows the backing block to hold at least `words` words, preserving
   /// content and the zero-tail invariant.
@@ -210,12 +270,12 @@ inline uint64_t BitBuffer::ReadBits(uint64_t pos, uint32_t n) const {
   const uint64_t wi = pos >> 6;
   const uint32_t off = static_cast<uint32_t>(pos & 63);
   if (off + n <= 64) {
-    return (words_[wi] >> (64 - off - n)) & LowMask(n);
+    return (LoadWord(wi) >> (64 - off - n)) & LowMask(n);
   }
   const uint32_t n1 = 64 - off;  // bits taken from the first word
   const uint32_t n2 = n - n1;    // bits taken from the second word
-  const uint64_t hi = words_[wi] & LowMask(n1);
-  const uint64_t lo = words_[wi + 1] >> (64 - n2);
+  const uint64_t hi = LoadWord(wi) & LowMask(n1);
+  const uint64_t lo = LoadWord(wi + 1) >> (64 - n2);
   return (hi << n2) | lo;
 }
 
@@ -257,7 +317,7 @@ inline uint64_t BitBuffer::CountOnesInRange(uint64_t begin,
   if (head < 64) {
     ones += static_cast<uint64_t>(std::popcount(ReadBits(begin, head)));
   } else {
-    ones += static_cast<uint64_t>(std::popcount(words_[first_word]));
+    ones += static_cast<uint64_t>(std::popcount(LoadWord(first_word)));
   }
   // Middle words are whole: a flat word-popcount, routed through the SIMD
   // kernel layer once the span is long enough to amortise the indirect
@@ -266,7 +326,7 @@ inline uint64_t BitBuffer::CountOnesInRange(uint64_t begin,
     ones += simd::CountOnesWords(words_ + first_word + 1, middle);
   } else {
     for (uint64_t w = first_word + 1; w < last_word; ++w) {
-      ones += static_cast<uint64_t>(std::popcount(words_[w]));
+      ones += static_cast<uint64_t>(std::popcount(LoadWord(w)));
     }
   }
   // Partial last word: bits [word boundary, end).
@@ -283,13 +343,13 @@ inline uint64_t BitBuffer::FindNextOne(uint64_t pos) const {
   const uint32_t off = static_cast<uint32_t>(pos & 63);
   // Mask away bits before `pos` in the first word (stream bit i lives at
   // word bit 63 - i%64, so earlier stream bits are the higher word bits).
-  uint64_t word = words_[wi] & LowMask(64 - off);
+  uint64_t word = LoadWord(wi) & LowMask(64 - off);
   const uint64_t n_words = WordsFor(size_bits_);
   while (word == 0) {
     if (++wi >= n_words) {
       return kNpos;
     }
-    word = words_[wi];
+    word = LoadWord(wi);
   }
   const uint64_t bit =
       (wi << 6) + static_cast<uint64_t>(std::countl_zero(word));

@@ -8,6 +8,26 @@
 
 #include "common/fault.h"
 
+// Freed node slots are poisoned under ASan so that any read through a
+// dangling (early-reclaimed) node pointer aborts the test instead of
+// silently reading recycled bytes — the teeth behind the epoch-reclamation
+// canary test.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PHTREE_ARENA_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define PHTREE_ARENA_ASAN 1
+#endif
+#ifdef PHTREE_ARENA_ASAN
+#include <sanitizer/asan_interface.h>
+#define PHTREE_POISON_SLOT(p, n) ASAN_POISON_MEMORY_REGION((p), (n))
+#define PHTREE_UNPOISON_SLOT(p, n) ASAN_UNPOISON_MEMORY_REGION((p), (n))
+#else
+#define PHTREE_POISON_SLOT(p, n) ((void)(p), (void)(n))
+#define PHTREE_UNPOISON_SLOT(p, n) ((void)(p), (void)(n))
+#endif
+
 namespace phtree {
 namespace {
 
@@ -151,14 +171,49 @@ NodeArena::~NodeArena() {
   // Node destructors is safe because the only resource a Node owns is its
   // BitBuffer block, which lives in word_pool_. Heap arenas own nothing —
   // the tree must have deleted its nodes (PhTree::Clear walks the tree in
-  // heap mode).
+  // heap mode). Retired nodes pending reclamation go the same wholesale way.
   assert(pooled_ || live_nodes_ == 0);
+  for (const auto& slab : node_slabs_) {
+    PHTREE_UNPOISON_SLOT(slab.get(), kNodesPerSlab * sizeof(NodeSlot));
+  }
+  delete[] slab_dir_.load(std::memory_order_relaxed);
+}
+
+bool NodeArena::PublishSlab(NodeSlot* slab) {
+  const uint64_t count = slab_count_.load(std::memory_order_relaxed);
+  NodeSlot** dir = slab_dir_.load(std::memory_order_relaxed);
+  if (count == slab_dir_capacity_) {
+    const uint64_t cap = slab_dir_capacity_ == 0 ? 8 : slab_dir_capacity_ * 2;
+    NodeSlot** grown = new (std::nothrow) NodeSlot*[cap];
+    if (grown == nullptr) {
+      return false;
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      grown[i] = dir[i];
+    }
+    if (dir != nullptr) {
+      // Lock-free readers may still resolve handles through the old
+      // snapshot; park it until destruction (growth is geometric, so the
+      // parked arrays sum to less than the live one).
+      old_slab_dirs_.emplace_back(dir);
+    }
+    dir = grown;
+    slab_dir_capacity_ = cap;
+  }
+  dir[count] = slab;
+  // Publish the entry before the count / the directory pointer: a reader
+  // can only look up slab `count` after it acquires a handle that names
+  // it, and such handles are only published after this release store.
+  slab_dir_.store(dir, std::memory_order_release);
+  slab_count_.store(count + 1, std::memory_order_release);
+  return true;
 }
 
 NodeHandle NodeArena::TakeSlot() {
   if (free_head_ != kInvalidNodeHandle) {
     const NodeHandle h = free_head_;
     NodeSlot* slot = &node_slabs_[h >> kSlabShift][h & kSlotMask];
+    PHTREE_UNPOISON_SLOT(slot, sizeof(NodeSlot));
     std::memcpy(&free_head_, slot, sizeof(NodeHandle));
     --free_node_count_;
     return h;
@@ -174,6 +229,10 @@ NodeHandle NodeArena::TakeSlot() {
         node_slabs_.emplace_back(mem);
       } catch (...) {
         delete[] mem;
+        return kInvalidNodeHandle;
+      }
+      if (!PublishSlab(mem)) {
+        node_slabs_.pop_back();
         return kInvalidNodeHandle;
       }
     }
@@ -226,6 +285,7 @@ NodeRef NodeArena::NewNode(uint32_t dim, uint32_t infix_len,
     std::memcpy(slot, &free_head_, sizeof(NodeHandle));
     free_head_ = h;
     ++free_node_count_;
+    PHTREE_POISON_SLOT(slot, sizeof(NodeSlot));
     return {};
   }
 }
@@ -249,16 +309,61 @@ void NodeArena::DeleteNode(NodeRef ref) {
   std::memcpy(slot, &free_head_, sizeof(NodeHandle));
   free_head_ = ref.handle;
   ++free_node_count_;
+  PHTREE_POISON_SLOT(slot, sizeof(NodeSlot));
+}
+
+void NodeArena::SetEpochManager(EpochManager* epochs) {
+  assert(pooled_ || epochs == nullptr);
+  assert(retired_.empty());
+  epochs_ = epochs;
+}
+
+void NodeArena::RetireNode(NodeRef ref) {
+  assert(ref.ptr != nullptr);
+  if (epochs_ == nullptr) {
+    DeleteNode(ref);
+    return;
+  }
+  const uint64_t bytes = ref.ptr->MemoryBytes();
+  retired_.push_back(Retired{ref, epochs_->epoch(), bytes});
+  retired_bytes_ += bytes;
+}
+
+void NodeArena::Reclaim() {
+  if (epochs_ == nullptr || retired_.empty()) {
+    return;
+  }
+  epochs_->TryAdvance();
+  const uint64_t safe = epochs_->epoch();
+  // Stamps are non-decreasing, so eligible records form a queue prefix. A
+  // record stamped r is reclaimable once the epoch reached r + 2: every
+  // guard that could have observed the node announced r or r + 1 and has
+  // exited (else the epoch could not have advanced past r + 1).
+  while (!retired_.empty() && retired_.front().stamp + 2 <= safe) {
+    const Retired r = retired_.front();
+    retired_.pop_front();
+    retired_bytes_ -= r.bytes;
+    ++reclaimed_total_;
+    DeleteNode(r.ref);
+  }
 }
 
 void NodeArena::Reset() {
   assert(pooled_);
+  // Wholesale-drop any deferred-free queue: Reset's contract is that no
+  // reader is alive, and the slots and word blocks are reclaimed with the
+  // rest of the arena.
+  retired_.clear();
+  retired_bytes_ = 0;
   word_pool_.Reset();
   cur_node_slab_ = 0;
   node_slab_off_ = 0;
   free_head_ = kInvalidNodeHandle;
   free_node_count_ = 0;
   live_nodes_ = 0;
+  for (const auto& slab : node_slabs_) {
+    PHTREE_UNPOISON_SLOT(slab.get(), kNodesPerSlab * sizeof(NodeSlot));
+  }
 }
 
 void NodeArena::ReserveNodes(size_t n) {
@@ -269,6 +374,10 @@ void NodeArena::ReserveNodes(size_t n) {
       (live_nodes_ + free_node_count_ + n + kNodesPerSlab - 1) / kNodesPerSlab;
   while (node_slabs_.size() < want_slabs) {
     node_slabs_.emplace_back(new NodeSlot[kNodesPerSlab]);
+    if (!PublishSlab(node_slabs_.back().get())) {
+      node_slabs_.pop_back();
+      throw std::bad_alloc();
+    }
   }
 }
 
@@ -279,9 +388,15 @@ bool NodeArena::Owns(const Node* node) const {
   if (!pooled_) {
     return true;  // provenance is unknowable for plain heap nodes
   }
+  // Walk the RCU directory snapshot, not node_slabs_: lock-free readers
+  // assert Owns() mid-traversal while the writer may be growing the vector.
+  // Count is loaded before the directory: every later-published directory
+  // contains at least the first `count` entries, never fewer.
+  const uint64_t count = slab_count_.load(std::memory_order_acquire);
+  NodeSlot* const* dir = slab_dir_.load(std::memory_order_acquire);
   const auto* p = reinterpret_cast<const unsigned char*>(node);
-  for (const auto& slab : node_slabs_) {
-    const auto* base = reinterpret_cast<const unsigned char*>(slab.get());
+  for (uint64_t i = 0; i < count; ++i) {
+    const auto* base = reinterpret_cast<const unsigned char*>(dir[i]);
     const auto* end = base + kNodesPerSlab * sizeof(NodeSlot);
     if (p >= base && p < end) {
       return (p - base) % sizeof(NodeSlot) == 0;

@@ -16,14 +16,124 @@
 #ifndef PHTREE_PHTREE_ARENA_H_
 #define PHTREE_PHTREE_ARENA_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/bit_buffer.h"
 #include "phtree/node.h"
 
 namespace phtree {
+
+/// Epoch-based reclamation for lock-free MVCC reads.
+///
+/// Readers (and copy-on-write mutators) announce the global epoch in one of
+/// ~kSlots cache-line-padded slots before touching the tree and clear the
+/// slot when done. The epoch can only advance when every occupied slot
+/// holds the *current* value, so once a node is retired at epoch stamp r it
+/// is provably unreachable by every participant as soon as the global epoch
+/// reaches r + 2 — the arena defers the actual DeleteNode until then.
+///
+/// Why mutators pin too: a retire's unlink store must happen-before the
+/// epoch advances past the mutator, which the advance scan provides only if
+/// the mutator occupies a slot while unlinking (the scan's seq_cst load of
+/// the cleared slot synchronises with the mutator's exit store). This is
+/// the classic three-epoch scheme (cf. Fraser's EBR / crossbeam).
+class EpochManager {
+ public:
+  static constexpr uint32_t kSlots = 64;  // power of two (mask probing)
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Current global epoch (starts at 1; 0 marks a free slot).
+  uint64_t epoch() const { return global_.load(std::memory_order_seq_cst); }
+
+  /// Claims a slot and announces the current epoch; returns the slot index
+  /// for Exit. Re-announces until the announcement is current, which
+  /// guarantees the global epoch advances at most once while the guard is
+  /// open. Wait-free unless all slots are occupied (then it yields).
+  uint32_t Enter() {
+    const uint32_t start = static_cast<uint32_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    for (uint32_t probe = 0;; ++probe) {
+      const uint32_t s = (start + probe) & (kSlots - 1);
+      uint64_t expected = 0;
+      uint64_t e = global_.load(std::memory_order_seq_cst);
+      if (slots_[s].e.compare_exchange_strong(expected, e,
+                                              std::memory_order_seq_cst)) {
+        for (;;) {
+          const uint64_t now = global_.load(std::memory_order_seq_cst);
+          if (now == e) {
+            return s;
+          }
+          e = now;
+          slots_[s].e.store(e, std::memory_order_seq_cst);
+        }
+      }
+      if (probe >= kSlots) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Releases a slot returned by Enter.
+  void Exit(uint32_t slot) {
+    slots_[slot].e.store(0, std::memory_order_seq_cst);
+  }
+
+  /// Advances the global epoch by one if no participant lags behind it.
+  /// Returns true iff this call performed the advance. Safe to race from
+  /// multiple writers (CAS); a lost race counts as "did not advance".
+  bool TryAdvance() {
+    uint64_t e = global_.load(std::memory_order_seq_cst);
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      const uint64_t v = slots_[s].e.load(std::memory_order_seq_cst);
+      if (v != 0 && v != e) {
+        return false;  // a participant is still inside an older epoch
+      }
+    }
+    return global_.compare_exchange_strong(e, e + 1,
+                                           std::memory_order_seq_cst);
+  }
+
+  /// Blocks (yielding) until two full epoch advances have happened, i.e.
+  /// every read guard open at the time of the call has exited. Used by the
+  /// wrappers to quiesce before replacing a whole tree (Load).
+  void SynchronizeFullGrace() {
+    const uint64_t target = epoch() + 2;
+    while (epoch() < target) {
+      if (!TryAdvance()) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// RAII Enter/Exit.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(EpochManager& mgr) : mgr_(&mgr), slot_(mgr.Enter()) {}
+    ~ReadGuard() { mgr_->Exit(slot_); }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    EpochManager* mgr_;
+    uint32_t slot_;
+  };
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> e{0};
+  };
+
+  std::atomic<uint64_t> global_{1};
+  Slot slots_[kSlots];
+};
 
 /// WordPool over bump-allocated slabs with power-of-two size-class
 /// freelists. Blocks of up to kMaxClassWords words are rounded up to a
@@ -127,11 +237,14 @@ class NodeArena {
   bool pooled() const { return pooled_; }
 
   /// Resolves a handle to the node it names. O(1): a slab lookup (pooled)
-  /// or a table lookup (heap). The handle must name a live node.
+  /// or a table lookup (heap). The handle must name a live node. Safe to
+  /// call from lock-free readers concurrently with writer-side slab growth:
+  /// the slab directory is an RCU snapshot published with release semantics
+  /// before any handle referencing a new slab becomes visible.
   Node* NodeAt(NodeHandle h) {
     if (pooled_) {
-      return reinterpret_cast<Node*>(
-          &node_slabs_[h >> kSlabShift][h & kSlotMask]);
+      NodeSlot** dir = slab_dir_.load(std::memory_order_acquire);
+      return reinterpret_cast<Node*>(&dir[h >> kSlabShift][h & kSlotMask]);
     }
     return heap_nodes_[h];
   }
@@ -150,6 +263,33 @@ class NodeArena {
   /// Destroys the node and recycles its slot (pooled) or frees it and
   /// parks its table index (heap).
   void DeleteNode(NodeRef ref);
+
+  /// Attaches (or detaches, nullptr) the epoch manager that gates deferred
+  /// reclamation. Pooled arenas only. While attached, RetireNode defers the
+  /// DeleteNode of unlinked-but-possibly-still-read nodes until every
+  /// epoch-guarded reader of the retire epoch has exited.
+  void SetEpochManager(EpochManager* epochs);
+  EpochManager* epoch_manager() const { return epochs_; }
+
+  /// Retires a node that was just unlinked from the tree by a copy-on-write
+  /// publication: without an epoch manager this is DeleteNode; with one the
+  /// node is stamped with the current epoch and queued — its memory (slot
+  /// and bit-stream words) stays intact and readable until Reclaim proves
+  /// no reader can still hold it.
+  void RetireNode(NodeRef ref);
+
+  /// Tries to advance the epoch and deletes every retired node whose stamp
+  /// is two or more epochs old. Called by writers after each mutation (and
+  /// harmless to call any time).
+  void Reclaim();
+
+  /// Bytes held by retired-but-not-yet-reclaimed nodes (slot + bit-stream
+  /// block). LiveBytes() == reachable-tree bytes + RetiredBytes().
+  uint64_t RetiredBytes() const { return retired_bytes_; }
+  /// Number of retired-but-not-yet-reclaimed nodes.
+  size_t retired_nodes() const { return retired_.size(); }
+  /// Total nodes whose deferred DeleteNode has completed.
+  uint64_t reclaimed_nodes_total() const { return reclaimed_total_; }
 
   /// Destroys every outstanding node in O(slabs), without walking the tree:
   /// node destructors are skipped because the only resource a Node owns is
@@ -191,6 +331,20 @@ class NodeArena {
   /// Claims a free pooled slot and returns its handle.
   NodeHandle TakeSlot();
 
+  /// Mirrors a newly grown node_slabs_ entry into the RCU slab directory,
+  /// republishing a larger snapshot array when capacity is exhausted. Old
+  /// snapshots are parked until destruction (readers may still load them).
+  /// Returns false (directory unchanged) if the grown array allocation
+  /// fails.
+  bool PublishSlab(NodeSlot* slab);
+
+  /// One deferred-free record; stamps are non-decreasing in queue order.
+  struct Retired {
+    NodeRef ref;
+    uint64_t stamp;
+    uint64_t bytes;
+  };
+
   bool pooled_;
   SlabWordPool word_pool_;
   std::vector<std::unique_ptr<NodeSlot[]>> node_slabs_;
@@ -200,6 +354,17 @@ class NodeArena {
   NodeHandle free_head_ = kInvalidNodeHandle;
   size_t free_node_count_ = 0;
   size_t live_nodes_ = 0;
+  /// RCU snapshot of the slab pointer table: readers resolve handles
+  /// through this (never through node_slabs_, whose vector buffer moves).
+  std::atomic<NodeSlot**> slab_dir_{nullptr};
+  std::atomic<uint64_t> slab_count_{0};
+  uint64_t slab_dir_capacity_ = 0;
+  std::vector<std::unique_ptr<NodeSlot*[]>> old_slab_dirs_;
+  /// Epoch-deferred reclamation state (COW/MVCC mode only).
+  EpochManager* epochs_ = nullptr;
+  std::deque<Retired> retired_;
+  uint64_t retired_bytes_ = 0;
+  uint64_t reclaimed_total_ = 0;
   /// Heap mode: handle table (index == handle) and recyclable indices.
   std::vector<Node*> heap_nodes_;
   std::vector<NodeHandle> heap_free_;

@@ -73,7 +73,7 @@ void TreeCursor::InitWindow(const PhTree& tree, std::span<const uint64_t> min,
   }
   root->ReadInfixInto(key_span());
   if (resume != nullptr) {
-    SeekPast(resume);
+    SeekPast(root, resume);
     return;
   }
   if (PushNode(root)) {
@@ -100,7 +100,7 @@ bool TreeCursor::PushNode(const Node* node) {
   return true;
 }
 
-void TreeCursor::SeekPast(const uint64_t* token) {
+void TreeCursor::SeekPast(const Node* root, const uint64_t* token) {
   // Walk down the token's own address path with key_ holding a copy of the
   // token. At each level the node cursor is parked at the token's address
   // (or the first masked-in address after it); when the paths separate,
@@ -108,7 +108,7 @@ void TreeCursor::SeekPast(const uint64_t* token) {
   // separation point is consumed or left for Advance() below. Every frame
   // then holds only not-yet-consumed entries >= the token's path, so the
   // normal Advance() resumes mid-tree exactly after the token.
-  const Node* node = tree_->root();
+  const Node* node = root;
   for (uint32_t d = 0; d < dim_; ++d) {
     key_[d] = token[d];
   }

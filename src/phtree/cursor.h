@@ -399,8 +399,10 @@ class TreeCursor {
   bool PushNode(const Node* node);
   /// Descends along `token`'s address path, leaving every stack cursor
   /// positioned on the first entry of its node not strictly before the
-  /// token, then Advance()s to the first strictly-greater match.
-  void SeekPast(const uint64_t* token);
+  /// token, then Advance()s to the first strictly-greater match. `root` is
+  /// the caller's root snapshot (an MVCC reader must not load the root
+  /// twice within one cursor setup).
+  void SeekPast(const Node* root, const uint64_t* token);
   /// Resumes the stack; sets valid_/key_/value_ on the next match.
   void Advance();
   bool KeyInWindow() const;

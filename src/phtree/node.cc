@@ -597,6 +597,20 @@ void Node::SetPostfixAt(uint64_t ord, std::span<const uint64_t> key) {
   WritePostfixRecord(RecordPos(ord), key);
 }
 
+bool Node::TryAssignFrom(const Node& src) {
+  assert(dim_ == src.dim_ && store_values_ == src.store_values_);
+  if (!bits_.TryResize(src.bits_.size_bits())) {
+    return false;
+  }
+  bits_.CopyFrom(src.bits_, 0, 0, src.bits_.size_bits());
+  infix_len_ = src.infix_len_;
+  postfix_len_ = src.postfix_len_;
+  repr_ = src.repr_;
+  num_entries_ = src.num_entries_;
+  num_subs_ = src.num_subs_;
+  return true;
+}
+
 bool Node::TryRelocatePostfix(uint64_t old_addr, uint64_t new_addr,
                               std::span<const uint64_t> key, uint64_t value) {
   assert(old_addr != new_addr);

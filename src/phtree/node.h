@@ -202,6 +202,37 @@ class Node {
   /// move that stays in the same hypercube slot).
   void SetPostfixAt(uint64_t ord, std::span<const uint64_t> key);
 
+  // ---- MVCC publication (copy-on-write mode) -----------------------------
+  //
+  // Copy-on-write mutation never edits a published node's entry table; it
+  // builds a replacement node off to the side and swings one child-handle
+  // slot in the parent (or the tree root) with a single release store.
+  // These helpers are that store plus the alignment predicate deciding
+  // whether the slot is atomically writable at all; the matching acquire
+  // loads live in OrdinalSub.
+
+  /// True iff the child-handle slot of sub entry `ord` sits at an alignment
+  /// where one atomic store can republish it (LHC sub slots are always
+  /// 32-bit aligned; HC value-mode slots are 64-bit aligned). Key-only HC
+  /// keeps sub handles in an unaligned tail — COW callers must clone this
+  /// node instead and publish one level further up.
+  bool CanPublishSubAt(uint64_t ord) const;
+
+  /// Atomically republishes the child handle of sub entry `ord` with
+  /// release ordering. Requires CanPublishSubAt(ord).
+  void PublishSubAt(uint64_t ord, NodeHandle child);
+
+  /// Atomically republishes the payload of postfix entry `ord` with release
+  /// ordering (value slots are always 64-bit aligned at the stream head).
+  /// Keeps "payload overwrite never allocates" true in COW mode.
+  void PublishPayloadAt(uint64_t ord, uint64_t value);
+
+  /// Replaces this node's contents with a bit-identical copy of `src`
+  /// (entries, infix, representation; `src` must have the same dim and
+  /// value mode). The COW clone step. Fallible via word-block allocation
+  /// only (kWordAlloc); returns false with the node unchanged.
+  [[nodiscard]] bool TryAssignFrom(const Node& src);
+
   /// Moves the postfix entry at `old_addr` to the free address `new_addr`,
   /// giving it postfix bits from `key` and payload `value`. Occupancy is
   /// unchanged, so the final stream is exactly the pre-call size — the only
@@ -533,16 +564,65 @@ inline uint64_t Node::OrdinalPayload(uint64_t ord) const {
 
 inline NodeHandle Node::OrdinalSub(uint64_t ord) const {
   assert(OrdinalIsSub(ord));  // implies repr != kBhc
+  // Acquire loads pair with PublishSubAt: a reader that observes a
+  // republished handle also observes the replacement node's bit stream.
   if (repr_ == Repr::kHc) {
     if (store_values_) {
-      return static_cast<NodeHandle>(bits_.ReadBits(ord * 64, 64));
+      return static_cast<NodeHandle>(bits_.AcquireLoad64(ord * 64));
     }
+    // Key-only HC sub tails are never republished in place (see
+    // CanPublishSubAt); the handle is immutable once this node is
+    // published, so the plain read is race-free.
     return static_cast<NodeHandle>(
         bits_.ReadBits(hc_subs_tail_base() + HcSubRank(ord) * 32, 32));
   }
   const uint64_t srank = ord - LhcPostfixRank(ord);
   return static_cast<NodeHandle>(
-      bits_.ReadBits(lhc_subs_base() + srank * 32, 32));
+      bits_.AcquireLoad32(lhc_subs_base() + srank * 32));
+}
+
+inline bool Node::CanPublishSubAt(uint64_t ord) const {
+  assert(OrdinalIsSub(ord));
+  static_cast<void>(ord);
+  // LHC sub slots live at np*vb + srank*32 with vb in {0, 64} — always
+  // 32-bit aligned. HC value-mode slots are whole 64-bit words. Key-only
+  // HC packs handles in a tail at an arbitrary bit offset.
+  if (repr_ == Repr::kHc) {
+    return store_values_;
+  }
+  return true;
+}
+
+inline void Node::PublishSubAt(uint64_t ord, NodeHandle child) {
+  assert(CanPublishSubAt(ord));
+  if (repr_ == Repr::kHc) {
+    bits_.ReleaseStore64(ord * 64, child);
+    return;
+  }
+  const uint64_t srank = ord - LhcPostfixRank(ord);
+  bits_.ReleaseStore32(lhc_subs_base() + srank * 32,
+                       static_cast<uint32_t>(child));
+}
+
+inline void Node::PublishPayloadAt(uint64_t ord, uint64_t value) {
+  assert(!OrdinalIsSub(ord));
+  if (!store_values_) {
+    return;
+  }
+  uint64_t slot;
+  switch (repr_) {
+    case Repr::kHc:
+      slot = ord;
+      break;
+    case Repr::kBhc:
+      slot = BhcRank(ord);
+      break;
+    case Repr::kLhc:
+    default:
+      slot = LhcPostfixRank(ord);
+      break;
+  }
+  bits_.ReleaseStore64(slot * 64, value);
 }
 
 inline uint64_t Node::RecordPos(uint64_t ord) const {

@@ -34,39 +34,69 @@ PhTree::PhTree(uint32_t dim, const PhTreeConfig& config)
   assert(dim >= 1 && dim <= kMaxDims);
 }
 
-PhTree::~PhTree() { Clear(); }
+PhTree::~PhTree() {
+  // Destruction is never concurrent with readers (wrappers quiesce through
+  // the epoch manager before deleting a tree), so even an MVCC tree may
+  // tear down with the wholesale O(slabs) arena reset.
+  cow_ = false;
+  Clear();
+}
 
 PhTree::PhTree(PhTree&& other) noexcept
     : dim_(other.dim_),
       config_(other.config_),
-      size_(other.size_),
+      size_(other.size_.load(std::memory_order_relaxed)),
       update_stats_(other.update_stats_),
+      cow_(other.cow_),
       root_(other.root_),
+      root_ptr_(other.root_.ptr),
       arena_(std::move(other.arena_)) {
   // The arena object (and with it every node and word-pool block) changes
   // owner but not address, so all internal pointers and handles stay valid.
   other.root_ = NodeRef{};
-  other.size_ = 0;
+  other.root_ptr_.store(nullptr, std::memory_order_relaxed);
+  other.size_.store(0, std::memory_order_relaxed);
   other.update_stats_ = PhUpdateStats{};
+  other.cow_ = false;
 }
 
 PhTree& PhTree::operator=(PhTree&& other) noexcept {
   if (this != &other) {
+    cow_ = false;  // moves are never concurrent with readers of *this
     Clear();
     dim_ = other.dim_;
     config_ = other.config_;
-    size_ = other.size_;
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     update_stats_ = other.update_stats_;
+    cow_ = other.cow_;
     root_ = other.root_;
+    root_ptr_.store(other.root_.ptr, std::memory_order_relaxed);
     arena_ = std::move(other.arena_);
     other.root_ = NodeRef{};
-    other.size_ = 0;
+    other.root_ptr_.store(nullptr, std::memory_order_relaxed);
+    other.size_.store(0, std::memory_order_relaxed);
     other.update_stats_ = PhUpdateStats{};
+    other.cow_ = false;
   }
   return *this;
 }
 
+void PhTree::EnableMvcc(EpochManager* epochs) {
+  assert(arena_ != nullptr && arena_->pooled());
+  assert(epochs != nullptr);
+  arena_->SetEpochManager(epochs);
+  cow_ = true;
+}
+
 void PhTree::Clear() {
+  if (cow_) {
+    // Readers may be traversing: unpublish the root atomically, then
+    // retire the whole subtree through the epoch queue instead of the
+    // wholesale reset (which would recycle slots under the readers).
+    CowClear();
+    return;
+  }
   if (arena_ != nullptr && arena_->pooled()) {
     // O(slabs): drop every node and word block wholesale; no tree walk.
     arena_->Reset();
@@ -74,7 +104,30 @@ void PhTree::Clear() {
     DeleteSubtree(root_);
   }
   root_ = NodeRef{};
-  size_ = 0;
+  root_ptr_.store(nullptr, std::memory_order_relaxed);
+  size_.store(0, std::memory_order_relaxed);
+}
+
+void PhTree::CowClear() {
+  const NodeRef old_root = root_;
+  SetRoot(NodeRef{});
+  size_.store(0, std::memory_order_relaxed);
+  if (old_root) {
+    EpochManager::ReadGuard guard(*arena_->epoch_manager());
+    RetireSubtree(old_root);
+  }
+  arena_->Reclaim();
+}
+
+void PhTree::RetireSubtree(NodeRef node) {
+  for (uint64_t ord = node.ptr->FirstOrdinal(); ord != Node::kNoOrdinal;
+       ord = node.ptr->NextOrdinal(ord)) {
+    if (node.ptr->OrdinalIsSub(ord)) {
+      const NodeHandle ch = node.ptr->OrdinalSub(ord);
+      RetireSubtree(NodeRef{arena_->NodeAt(ch), ch});
+    }
+  }
+  arena_->RetireNode(node);
 }
 
 void PhTree::ReserveNodes(size_t n) {
@@ -120,8 +173,20 @@ bool PhTree::InsertOrAssign(std::span<const uint64_t> key, uint64_t value) {
 
 OpStatus PhTree::TryInsert(std::span<const uint64_t> key, uint64_t value) {
   assert(key.size() == dim_);
+  if (cow_) {
+    OpStatus st;
+    {
+      // The writer pins the epoch too: the advance scan's load of this
+      // slot's exit store is what orders the publication before any later
+      // reclamation (see EpochManager).
+      EpochManager::ReadGuard guard(*arena_->epoch_manager());
+      st = CowInsert(key, value, /*assign=*/false);
+    }
+    arena_->Reclaim();
+    return st;
+  }
   if (!root_) {
-    // Build the root off-tree; publish (root_ =) only once it is complete.
+    // Build the root off-tree; publish (SetRoot) only once it is complete.
     NodeRef r = NewNode(/*infix_len=*/0, /*postfix_len=*/kBitWidth - 1);
     if (!r) {
       return OpStatus::kNoMem;
@@ -131,8 +196,8 @@ OpStatus PhTree::TryInsert(std::span<const uint64_t> key, uint64_t value) {
       arena_->DeleteNode(r);
       return OpStatus::kNoMem;
     }
-    root_ = r;
-    size_ = 1;
+    SetRoot(r);
+    size_.store(1, std::memory_order_relaxed);
     return OpStatus::kApplied;
   }
   NodeRef new_root{};
@@ -140,8 +205,8 @@ OpStatus PhTree::TryInsert(std::span<const uint64_t> key, uint64_t value) {
                                 &new_root);
   if (st == OpStatus::kApplied) {
     assert(new_root.ptr == root_.ptr);  // the root has no infix, never splits
-    root_ = new_root;
-    ++size_;
+    SetRoot(new_root);
+    size_.fetch_add(1, std::memory_order_relaxed);
   }
   return st;
 }
@@ -149,6 +214,15 @@ OpStatus PhTree::TryInsert(std::span<const uint64_t> key, uint64_t value) {
 OpStatus PhTree::TryInsertOrAssign(std::span<const uint64_t> key,
                                    uint64_t value) {
   assert(key.size() == dim_);
+  if (cow_) {
+    OpStatus st;
+    {
+      EpochManager::ReadGuard guard(*arena_->epoch_manager());
+      st = CowInsert(key, value, /*assign=*/true);
+    }
+    arena_->Reclaim();
+    return st;
+  }
   if (!root_) {
     return TryInsert(key, value);
   }
@@ -156,8 +230,8 @@ OpStatus PhTree::TryInsertOrAssign(std::span<const uint64_t> key,
   const OpStatus st = InsertRec(root_, key, value, /*assign=*/true,
                                 &new_root);
   if (st == OpStatus::kApplied) {
-    root_ = new_root;
-    ++size_;
+    SetRoot(new_root);
+    size_.fetch_add(1, std::memory_order_relaxed);
   }
   return st;
 }
@@ -283,7 +357,10 @@ std::optional<uint64_t> PhTree::Find(std::span<const uint64_t> key) const {
 std::vector<std::optional<uint64_t>> PhTree::FindBatch(
     std::span<const PhKey> keys) const {
   std::vector<std::optional<uint64_t>> results(keys.size());
-  if (keys.empty() || !root_) {
+  // One root snapshot for the whole batch: an MVCC reader must not mix
+  // nodes from two different published roots in one shared-descent stack.
+  const Node* batch_root = root();
+  if (keys.empty() || batch_root == nullptr) {
     return results;
   }
   // Visit the keys in z-order so the walk shares descents: consecutive
@@ -310,7 +387,7 @@ std::vector<std::optional<uint64_t>> PhTree::FindBatch(
   // verbatim. Nodes whose infix mismatched are never pushed.
   const Node* stack[kBitWidth];
   size_t depth = 0;
-  stack[depth++] = root_.ptr;
+  stack[depth++] = batch_root;
 
   const uint64_t* prev = nullptr;
   std::optional<uint64_t> prev_result;
@@ -337,7 +414,7 @@ std::vector<std::optional<uint64_t>> PhTree::FindBatch(
         --depth;
       }
       if (depth == 0) {
-        stack[depth++] = root_.ptr;
+        stack[depth++] = batch_root;
       }
     }
     std::optional<uint64_t> res;
@@ -383,15 +460,24 @@ bool PhTree::Erase(std::span<const uint64_t> key) {
 
 OpStatus PhTree::TryErase(std::span<const uint64_t> key) {
   assert(key.size() == dim_);
+  if (cow_) {
+    OpStatus st;
+    {
+      EpochManager::ReadGuard guard(*arena_->epoch_manager());
+      st = CowErase(key);
+    }
+    arena_->Reclaim();
+    return st;
+  }
   if (!root_) {
     return OpStatus::kNoop;
   }
   const OpStatus st = EraseRec(nullptr, 0, root_, key);
   if (st == OpStatus::kApplied) {
-    --size_;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     if (root_.ptr->num_entries() == 0) {
       arena_->DeleteNode(root_);
-      root_ = NodeRef{};
+      SetRoot(NodeRef{});
     }
   }
   return st;
@@ -461,6 +547,470 @@ OpStatus PhTree::EraseRec(Node* parent, uint64_t addr_in_parent, NodeRef node,
                                                  : OpStatus::kNoMem;
 }
 
+// ---- Copy-on-write mutation path (MVCC mode) ------------------------------
+//
+// The paper's ≤2-touched-nodes guarantee makes COW publication cheap: every
+// structural mutation below replaces at most two reachable nodes. The shape
+// is always the same — descend along the key recording (node, sub-ordinal)
+// frames, build the replacement node(s) privately (the same fallible seams
+// as the in-place path: kArenaNodeAlloc for slots, kWordAlloc for streams),
+// then publish the replacement subtree with exactly ONE atomic store: a
+// child-handle slot in the deepest untouched ancestor, or the root pointer.
+// On any failure the private nodes are deleted directly (they were never
+// published) and the live tree is bit-identical to its pre-call state — the
+// historical commit-or-rollback contract. Replaced nodes are retired through
+// the arena's epoch queue, never freed inline.
+
+NodeRef PhTree::CowClone(const Node& src) {
+  NodeRef copy = NewNode(src.infix_len(), src.postfix_len());
+  if (!copy) {
+    return NodeRef{};
+  }
+  if (!copy.ptr->TryAssignFrom(src)) {
+    arena_->DeleteNode(copy);
+    return NodeRef{};
+  }
+  return copy;
+}
+
+bool PhTree::CowPublish(NodeRef replacement, const CowFrame* path,
+                        size_t depth, NodeRef* created, size_t* n_created,
+                        NodeRef* retire, size_t* n_retire) {
+  // Climb the recorded path until a frame's child slot admits a single
+  // atomic store. A key-only HC ancestor keeps sub handles in an unaligned
+  // tail, so it cannot be republished in place: clone it, swing the handle
+  // in the private copy, and keep climbing (the cascade ends at the root
+  // pointer at the latest).
+  size_t i = depth;
+  while (i > 0) {
+    const CowFrame& f = path[i - 1];
+    if (f.node.ptr->CanPublishSubAt(f.ord)) {
+      f.node.ptr->PublishSubAt(f.ord, replacement.handle);
+      return true;
+    }
+    NodeRef pc = CowClone(*f.node.ptr);
+    if (!pc) {
+      return false;
+    }
+    created[(*n_created)++] = pc;
+    pc.ptr->SetSubAt(f.ord, replacement.handle);
+    retire[(*n_retire)++] = f.node;
+    replacement = pc;
+    --i;
+  }
+  SetRoot(replacement);
+  return true;
+}
+
+OpStatus PhTree::CowInsert(std::span<const uint64_t> key, uint64_t value,
+                           bool assign) {
+  if (!root_) {
+    NodeRef r = NewNode(/*infix_len=*/0, /*postfix_len=*/kBitWidth - 1);
+    if (!r) {
+      return OpStatus::kNoMem;
+    }
+    if (!r.ptr->TryInsertPostfix(HcAddressAt(key, kBitWidth - 1), key, value,
+                                 config_)) {
+      arena_->DeleteNode(r);
+      return OpStatus::kNoMem;
+    }
+    SetRoot(r);
+    size_.store(1, std::memory_order_relaxed);
+    return OpStatus::kApplied;
+  }
+  CowFrame path[kBitWidth];
+  size_t depth = 0;
+  NodeRef created[kBitWidth + 2];
+  size_t n_created = 0;
+  NodeRef retire[kBitWidth + 2];
+  size_t n_retire = 0;
+  NodeRef node = root_;
+  NodeRef replacement{};
+  bool fail = false;
+  for (;;) {
+    const int mis = node.ptr->MatchInfix(key);
+    if (mis >= 0) {
+      // Infix split (paper Sect. 3.6), COW form: a trimmed clone of `node`
+      // plus a fresh parent holding {clone, new postfix}; the live node is
+      // never touched and is retired after publication.
+      const uint32_t pl = node.ptr->postfix_len();
+      const uint32_t il = node.ptr->infix_len();
+      KeyBuf rep;
+      CopyKey(key, rep.span(dim_));
+      node.ptr->ReadInfixInto(rep.span(dim_));
+      const uint64_t addr_node = HcAddressAt(rep.span(dim_), mis);
+      const uint64_t addr_key = HcAddressAt(key, mis);
+      assert(addr_node != addr_key);
+
+      NodeRef trimmed = CowClone(*node.ptr);
+      if (!trimmed) {
+        fail = true;
+        break;
+      }
+      created[n_created++] = trimmed;
+      NodeRef parent = NewNode(pl + il - static_cast<uint32_t>(mis),
+                               static_cast<uint32_t>(mis));
+      if (!parent) {
+        fail = true;
+        break;
+      }
+      created[n_created++] = parent;
+      parent.ptr->SetInfixFromKey(key);
+      if (!trimmed.ptr->TryTrimInfixToLow(
+              static_cast<uint32_t>(mis) - 1 - pl, config_) ||
+          !parent.ptr->TryInsertSub(addr_node, trimmed.handle, config_) ||
+          !parent.ptr->TryInsertPostfix(addr_key, key, value, config_)) {
+        fail = true;
+        break;
+      }
+      retire[n_retire++] = node;
+      replacement = parent;
+      break;
+    }
+    const uint64_t addr = HcAddressAt(key, node.ptr->postfix_len());
+    const uint64_t ord = node.ptr->FindOrdinal(addr);
+    if (ord == Node::kNoOrdinal) {
+      // Plain insert: the entry lands in a clone of this node.
+      NodeRef copy = CowClone(*node.ptr);
+      if (!copy) {
+        fail = true;
+        break;
+      }
+      created[n_created++] = copy;
+      if (!copy.ptr->TryInsertPostfix(addr, key, value, config_)) {
+        fail = true;
+        break;
+      }
+      retire[n_retire++] = node;
+      replacement = copy;
+      break;
+    }
+    if (node.ptr->OrdinalIsSub(ord)) {
+      assert(depth < kBitWidth);
+      path[depth++] = CowFrame{node, ord};
+      const NodeHandle ch = node.ptr->OrdinalSub(ord);
+      node = NodeRef{arena_->NodeAt(ch), ch};
+      continue;
+    }
+    const int div = node.ptr->PostfixDivergence(ord, key);
+    if (div < 0) {
+      // Exact duplicate: payload overwrite is the one mutation that stays
+      // in place — a single atomic store into an aligned value slot.
+      if (assign) {
+        node.ptr->PublishPayloadAt(ord, value);
+      }
+      return OpStatus::kNoop;
+    }
+    // Postfix collision: fresh child holding both postfixes, plus a clone
+    // of `node` whose colliding entry becomes the sub.
+    const uint32_t pl = node.ptr->postfix_len();
+    KeyBuf old_key;
+    CopyKey(key, old_key.span(dim_));
+    node.ptr->ReadPostfixInto(ord, old_key.span(dim_));
+    const uint64_t old_value = node.ptr->OrdinalPayload(ord);
+    NodeRef child = NewNode(pl - 1 - static_cast<uint32_t>(div),
+                            static_cast<uint32_t>(div));
+    if (!child) {
+      fail = true;
+      break;
+    }
+    created[n_created++] = child;
+    child.ptr->SetInfixFromKey(key);
+    NodeRef copy = CowClone(*node.ptr);
+    if (!copy) {
+      fail = true;
+      break;
+    }
+    created[n_created++] = copy;
+    if (!child.ptr->TryInsertPostfix(HcAddressAt(old_key.span(dim_), div),
+                                     old_key.span(dim_), old_value,
+                                     config_) ||
+        !child.ptr->TryInsertPostfix(HcAddressAt(key, div), key, value,
+                                     config_) ||
+        !copy.ptr->TryReplaceEntryWithSub(addr, child.handle, config_)) {
+      fail = true;
+      break;
+    }
+    retire[n_retire++] = node;
+    replacement = copy;
+    break;
+  }
+  if (!fail) {
+    fail = !CowPublish(replacement, path, depth, created, &n_created, retire,
+                       &n_retire);
+  }
+  if (fail) {
+    for (size_t i = 0; i < n_created; ++i) {
+      arena_->DeleteNode(created[i]);  // never published: direct delete
+    }
+    return OpStatus::kNoMem;
+  }
+  for (size_t i = 0; i < n_retire; ++i) {
+    arena_->RetireNode(retire[i]);
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return OpStatus::kApplied;
+}
+
+OpStatus PhTree::CowErase(std::span<const uint64_t> key) {
+  if (!root_) {
+    return OpStatus::kNoop;
+  }
+  CowFrame path[kBitWidth];
+  size_t depth = 0;
+  NodeRef node = root_;
+  uint64_t addr;
+  uint64_t ord;
+  for (;;) {
+    if (node.ptr->MatchInfix(key) >= 0) {
+      return OpStatus::kNoop;
+    }
+    addr = HcAddressAt(key, node.ptr->postfix_len());
+    ord = node.ptr->FindOrdinal(addr);
+    if (ord == Node::kNoOrdinal) {
+      return OpStatus::kNoop;
+    }
+    if (node.ptr->OrdinalIsSub(ord)) {
+      assert(depth < kBitWidth);
+      path[depth++] = CowFrame{node, ord};
+      const NodeHandle ch = node.ptr->OrdinalSub(ord);
+      node = NodeRef{arena_->NodeAt(ch), ch};
+      continue;
+    }
+    if (node.ptr->PostfixDivergence(ord, key) >= 0) {
+      return OpStatus::kNoop;
+    }
+    break;
+  }
+  if (depth == 0 && node.ptr->num_entries() == 1) {
+    // Last entry of the tree: publish the empty root.
+    SetRoot(NodeRef{});
+    arena_->RetireNode(node);
+    size_.store(0, std::memory_order_relaxed);
+    return OpStatus::kApplied;
+  }
+  NodeRef created[kBitWidth + 2];
+  size_t n_created = 0;
+  NodeRef retire[kBitWidth + 2];
+  size_t n_retire = 0;
+  NodeRef replacement{};
+  size_t publish_depth = depth;
+  bool fail = false;
+  if (depth > 0 && node.ptr->num_entries() == 2) {
+    // The removal leaves a non-root node with one entry: execute the
+    // paper's second-node restructuring as COW. Both affected live nodes
+    // are retired; the survivor is rebuilt privately.
+    const CowFrame& pf = path[depth - 1];
+    uint64_t sord = node.ptr->FirstOrdinal();  // the surviving entry
+    if (sord == ord) {
+      sord = node.ptr->NextOrdinal(sord);
+    }
+    const uint64_t saddr = node.ptr->OrdinalAddr(sord);
+    if (node.ptr->OrdinalIsSub(sord)) {
+      // Splice: an infix-absorbing clone of the grandchild takes `node`'s
+      // slot in the parent.
+      const NodeHandle gh = node.ptr->OrdinalSub(sord);
+      NodeRef grand{arena_->NodeAt(gh), gh};
+      NodeRef g2 = CowClone(*grand.ptr);
+      if (!g2) {
+        fail = true;
+      } else {
+        created[n_created++] = g2;
+        if (!g2.ptr->TryAbsorbParentInfix(*node.ptr, saddr, config_)) {
+          fail = true;
+        } else {
+          retire[n_retire++] = node;
+          retire[n_retire++] = grand;
+          replacement = g2;
+        }
+      }
+    } else {
+      // Merge: a clone of the parent folds the surviving postfix back in,
+      // replacing its sub entry for `node`.
+      KeyBuf buf;
+      for (uint32_t d = 0; d < dim_; ++d) {
+        buf.data[d] = 0;
+      }
+      node.ptr->ReadPostfixInto(sord, buf.span(dim_));
+      ApplyHcAddress(saddr, node.ptr->postfix_len(), buf.span(dim_));
+      node.ptr->ReadInfixInto(buf.span(dim_));
+      const uint64_t value = node.ptr->OrdinalPayload(sord);
+      const uint64_t addr_in_parent = pf.node.ptr->OrdinalAddr(pf.ord);
+      NodeRef p2 = CowClone(*pf.node.ptr);
+      if (!p2) {
+        fail = true;
+      } else {
+        created[n_created++] = p2;
+        if (!p2.ptr->TryReplaceSubWithPostfix(addr_in_parent, buf.span(dim_),
+                                              value, config_)) {
+          fail = true;
+        } else {
+          retire[n_retire++] = pf.node;
+          retire[n_retire++] = node;
+          replacement = p2;
+          publish_depth = depth - 1;  // p2 replaces the parent itself
+        }
+      }
+    }
+  } else {
+    // Plain removal from a clone of this node.
+    NodeRef copy = CowClone(*node.ptr);
+    if (!copy) {
+      fail = true;
+    } else {
+      created[n_created++] = copy;
+      if (!copy.ptr->TryRemoveEntry(addr, config_)) {
+        fail = true;
+      } else {
+        retire[n_retire++] = node;
+        replacement = copy;
+      }
+    }
+  }
+  if (!fail) {
+    fail = !CowPublish(replacement, path, publish_depth, created, &n_created,
+                       retire, &n_retire);
+  }
+  if (fail) {
+    for (size_t i = 0; i < n_created; ++i) {
+      arena_->DeleteNode(created[i]);
+    }
+    return OpStatus::kNoMem;
+  }
+  for (size_t i = 0; i < n_retire; ++i) {
+    arena_->RetireNode(retire[i]);
+  }
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return OpStatus::kApplied;
+}
+
+UpdateOutcome PhTree::CowUpdate(std::span<const uint64_t> old_key,
+                                std::span<const uint64_t> new_key,
+                                std::optional<uint64_t> value) {
+  if (!root_) {
+    return UpdateOutcome::kOldMissing;
+  }
+  uint64_t agg = 0;
+  for (uint32_t d = 0; d < dim_; ++d) {
+    agg |= old_key[d] ^ new_key[d];
+  }
+  CowFrame path[kBitWidth];
+  size_t depth = 0;
+  NodeRef node = root_;
+  uint64_t addr;
+  uint64_t ord;
+  for (;;) {
+    if (node.ptr->MatchInfix(old_key) >= 0) {
+      return UpdateOutcome::kOldMissing;
+    }
+    addr = HcAddressAt(old_key, node.ptr->postfix_len());
+    ord = node.ptr->FindOrdinal(addr);
+    if (ord == Node::kNoOrdinal) {
+      return UpdateOutcome::kOldMissing;
+    }
+    if (!node.ptr->OrdinalIsSub(ord)) {
+      if (node.ptr->PostfixDivergence(ord, old_key) >= 0) {
+        return UpdateOutcome::kOldMissing;
+      }
+      break;
+    }
+    assert(depth < kBitWidth);
+    path[depth++] = CowFrame{node, ord};
+    const NodeHandle ch = node.ptr->OrdinalSub(ord);
+    node = NodeRef{arena_->NodeAt(ch), ch};
+  }
+
+  if (agg == 0) {
+    // Pure payload rewrite: in place, one atomic store, no allocation.
+    if (value.has_value()) {
+      node.ptr->PublishPayloadAt(ord, *value);
+    }
+    ++update_stats_.fast_path;
+    return UpdateOutcome::kMoved;
+  }
+
+  const uint32_t hb = static_cast<uint32_t>(std::bit_width(agg)) - 1;
+  const uint32_t pl = node.ptr->postfix_len();
+  const uint64_t v = value.has_value() ? *value : node.ptr->OrdinalPayload(ord);
+
+  if (hb <= pl) {
+    // The move stays inside this node: a single-clone publication, so a
+    // reader sees the entry jump atomically from old_key to new_key.
+    const uint64_t new_addr = HcAddressAt(new_key, pl);
+    const uint64_t nord =
+        new_addr == addr ? Node::kNoOrdinal : node.ptr->FindOrdinal(new_addr);
+    if (nord != Node::kNoOrdinal && !node.ptr->OrdinalIsSub(nord) &&
+        node.ptr->PostfixDivergence(nord, new_key) < 0) {
+      return UpdateOutcome::kNewOccupied;
+    }
+    if (new_addr == addr || nord == Node::kNoOrdinal) {
+      NodeRef copy = CowClone(*node.ptr);
+      if (!copy) {
+        return UpdateOutcome::kNoMem;
+      }
+      bool ok = true;
+      if (new_addr == addr) {
+        copy.ptr->SetPostfixAt(ord, new_key);
+        copy.ptr->SetPayloadAt(ord, v);
+      } else if (!copy.ptr->TryRelocatePostfix(addr, new_addr, new_key, v)) {
+        // The clone is private, so a transiently one-smaller stream is
+        // fine here — unlike the in-place path, remove+reinsert needs no
+        // rollback protection beyond deleting the clone.
+        ok = copy.ptr->TryRemoveEntry(addr, config_) &&
+             copy.ptr->TryInsertPostfix(new_addr, new_key, v, config_);
+      }
+      if (!ok) {
+        arena_->DeleteNode(copy);
+        return UpdateOutcome::kNoMem;
+      }
+      NodeRef created[kBitWidth + 2];
+      size_t n_created = 0;
+      created[n_created++] = copy;
+      NodeRef retire[kBitWidth + 2];
+      size_t n_retire = 0;
+      retire[n_retire++] = node;
+      if (!CowPublish(copy, path, depth, created, &n_created, retire,
+                      &n_retire)) {
+        for (size_t i = 0; i < n_created; ++i) {
+          arena_->DeleteNode(created[i]);
+        }
+        return UpdateOutcome::kNoMem;
+      }
+      for (size_t i = 0; i < n_retire; ++i) {
+        arena_->RetireNode(retire[i]);
+      }
+      ++update_stats_.fast_path;
+      return UpdateOutcome::kMoved;
+    }
+    // new_addr holds a sub (or a diverging postfix): the generic path
+    // resolves the conflict through the insert itself.
+  }
+
+  // Generic fallback: insert-then-erase, each itself a COW publication.
+  // Readers may transiently observe both keys — the documented MVCC
+  // relaxation for structural moves.
+  const OpStatus ins = TryInsert(new_key, v);
+  if (ins == OpStatus::kNoMem) {
+    return UpdateOutcome::kNoMem;
+  }
+  if (ins == OpStatus::kNoop) {
+    return UpdateOutcome::kNewOccupied;
+  }
+  const OpStatus er = TryErase(old_key);
+  if (er == OpStatus::kApplied) {
+    ++update_stats_.fallback;
+    return UpdateOutcome::kMoved;
+  }
+  assert(er == OpStatus::kNoMem);
+  {
+    FaultInjectorSuspend suspend;
+    const OpStatus undo = TryErase(new_key);
+    (void)undo;
+    assert(undo == OpStatus::kApplied);
+  }
+  return UpdateOutcome::kNoMem;
+}
+
 UpdateOutcome PhTree::Update(std::span<const uint64_t> old_key,
                              std::span<const uint64_t> new_key,
                              std::optional<uint64_t> value) {
@@ -475,6 +1025,15 @@ UpdateOutcome PhTree::TryUpdate(std::span<const uint64_t> old_key,
                                 std::span<const uint64_t> new_key,
                                 std::optional<uint64_t> value) {
   assert(old_key.size() == dim_ && new_key.size() == dim_);
+  if (cow_) {
+    UpdateOutcome out;
+    {
+      EpochManager::ReadGuard guard(*arena_->epoch_manager());
+      out = CowUpdate(old_key, new_key, value);
+    }
+    arena_->Reclaim();
+    return out;
+  }
   if (!root_) {
     return UpdateOutcome::kOldMissing;
   }
@@ -600,10 +1159,19 @@ PhTreeStats PhTree::ComputeStats() const {
   }
   if (arena_ != nullptr && arena_->pooled()) {
     // Exact, measured allocator state. Invariant (checked by the arena
-    // tests): memory_bytes accumulated above == arena_live_bytes.
+    // tests): memory_bytes accumulated above plus retired-but-unreclaimed
+    // bytes == arena_live_bytes (retired nodes are unreachable from the
+    // root but still hold their slot and stream until their grace period
+    // ends).
     stats.arena_slab_bytes = arena_->SlabBytes();
     stats.arena_live_bytes = arena_->LiveBytes();
     stats.arena_freelist_bytes = arena_->FreeListBytes();
+    stats.arena_retired_bytes = arena_->RetiredBytes();
+    stats.arena_retired_nodes = arena_->retired_nodes();
+    stats.arena_reclaimed_nodes = arena_->reclaimed_nodes_total();
+    if (arena_->epoch_manager() != nullptr) {
+      stats.epoch = arena_->epoch_manager()->epoch();
+    }
   }
   return stats;
 }

@@ -15,6 +15,7 @@
 #ifndef PHTREE_PHTREE_PHTREE_H_
 #define PHTREE_PHTREE_PHTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -93,9 +94,19 @@ class PhTree {
   PhTree& operator=(const PhTree&) = delete;
 
   uint32_t dim() const { return dim_; }
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
   const PhTreeConfig& config() const { return config_; }
+
+  /// Switches this tree into MVCC mode: every structural mutation becomes
+  /// copy-on-write (replacement nodes built off to the side, published with
+  /// one atomic child-handle or root store) and replaced nodes are retired
+  /// through `epochs` instead of freed, so concurrent readers holding an
+  /// EpochManager::ReadGuard may traverse lock-free while one writer
+  /// mutates. Requires the pooled arena; call before any concurrent use.
+  /// Plain trees (the default) keep the historical in-place mutation path.
+  void EnableMvcc(EpochManager* epochs);
+  bool mvcc_enabled() const { return cow_; }
 
   /// Inserts `key` -> `value`. Returns false (and stores nothing) if the key
   /// already exists — the PH-tree stores no duplicates (paper Sect. 3.6).
@@ -223,8 +234,13 @@ class PhTree {
   /// bytes, depths). O(nodes).
   PhTreeStats ComputeStats() const;
 
-  /// Root node accessor for iterators/tests; nullptr when empty.
-  const Node* root() const { return root_.ptr; }
+  /// Root node accessor for iterators/tests; nullptr when empty. The
+  /// acquire load pairs with the release store in SetRoot so an MVCC
+  /// reader that observes a freshly published root also observes its
+  /// contents; for plain trees it costs nothing on mainstream targets.
+  const Node* root() const {
+    return root_ptr_.load(std::memory_order_acquire);
+  }
 
   /// The arena owning every node of this tree. Stable address for the
   /// tree's lifetime (moves transfer ownership of the same arena object);
@@ -243,11 +259,44 @@ class PhTree {
   void DeleteSubtree(NodeRef node);
   void StatsRec(const Node* node, size_t depth, PhTreeStats* stats) const;
 
+  // ---- Copy-on-write mutation path (MVCC mode, see EnableMvcc) -----------
+
+  /// One level of the recorded descent: `ord` is the sub entry of `node`
+  /// the descent followed — the slot a replacement child gets published to.
+  struct CowFrame {
+    NodeRef node;
+    uint64_t ord = 0;
+  };
+
+  /// Publishes root_/root_ptr_ together; the release store is the MVCC
+  /// root publication point.
+  void SetRoot(NodeRef r) {
+    root_ = r;
+    root_ptr_.store(r.ptr, std::memory_order_release);
+  }
+
+  NodeRef CowClone(const Node& src);
+  OpStatus CowInsert(std::span<const uint64_t> key, uint64_t value,
+                     bool assign);
+  OpStatus CowErase(std::span<const uint64_t> key);
+  UpdateOutcome CowUpdate(std::span<const uint64_t> old_key,
+                          std::span<const uint64_t> new_key,
+                          std::optional<uint64_t> value);
+  bool CowPublish(NodeRef replacement, const CowFrame* path, size_t depth,
+                  NodeRef* created, size_t* n_created, NodeRef* retire,
+                  size_t* n_retire);
+  void CowClear();
+  void RetireSubtree(NodeRef node);
+
   uint32_t dim_;
   PhTreeConfig config_;
-  size_t size_ = 0;
+  std::atomic<size_t> size_{0};
   PhUpdateStats update_stats_;
+  bool cow_ = false;
   NodeRef root_;
+  /// Mirror of root_.ptr for lock-free readers (root_ itself also carries
+  /// the handle, which only the writer needs).
+  std::atomic<Node*> root_ptr_{nullptr};
   // unique_ptr, not by-value: nodes hold pointers into the arena's word
   // pool, so the arena object must keep its address across PhTree moves.
   std::unique_ptr<NodeArena> arena_;

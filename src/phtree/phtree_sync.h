@@ -2,25 +2,30 @@
 // that at most two nodes are modified with each update makes the PH-tree
 // suitable for concurrent access and updates").
 //
-// This wrapper provides the coarse-grained variant: a reader/writer lock
-// over the whole tree — many concurrent readers, exclusive writers. The
-// two-node update property keeps writer critical sections short and
-// bounded (O(w*k) plus at most one node allocation), which is what makes
-// even this simple scheme practical; a fine-grained scheme would lock the
-// at-most-two affected nodes instead.
+// Readers never lock. The wrapped tree runs in MVCC mode (PhTree::
+// EnableMvcc): every mutation builds its replacement node(s) off to the
+// side and publishes them with ONE atomic child-handle (or root) store, so
+// a reader always sees either the whole old state or the whole new state
+// of the at-most-two affected nodes. Readers only announce themselves in
+// an epoch slot (EpochManager::ReadGuard — two uncontended atomic stores),
+// which defers the free of unlinked nodes until every reader that could
+// still see them has left. Writers serialise against each other on a plain
+// mutex; the paper's two-node update property keeps those critical
+// sections short and bounded (O(w*k) plus at most two node allocations).
 #ifndef PHTREE_PHTREE_PHTREE_SYNC_H_
 #define PHTREE_PHTREE_PHTREE_SYNC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "phtree/arena.h"
 #include "phtree/cursor.h"
 #include "phtree/knn.h"
 #include "phtree/phtree.h"
@@ -29,159 +34,216 @@
 
 namespace phtree {
 
-/// Thread-safe facade over PhTree. All methods are safe to call from any
-/// number of threads concurrently.
+/// Thread-safe facade over PhTree with wait-free reads. All methods are
+/// safe to call from any number of threads concurrently; read-side methods
+/// (Find/FindBatch/QueryWindow/CountWindow/QueryWindowPage/KnnSearch/size)
+/// never block and never take a lock. Requires the pooled node arena
+/// (config.use_arena, the default) — MVCC publication and deferred
+/// reclamation are arena features.
 class PhTreeSync {
  public:
   explicit PhTreeSync(uint32_t dim, const PhTreeConfig& config = PhTreeConfig{})
-      : tree_(dim, config) {}
+      : tree_(new PhTree(dim, config)) {
+    tree_.load(std::memory_order_relaxed)->EnableMvcc(&epochs_);
+  }
 
-  uint32_t dim() const { return tree_.dim(); }
+  ~PhTreeSync() { delete tree_.load(std::memory_order_relaxed); }
+
+  PhTreeSync(const PhTreeSync&) = delete;
+  PhTreeSync& operator=(const PhTreeSync&) = delete;
+
+  uint32_t dim() const {
+    return tree_.load(std::memory_order_acquire)->dim();
+  }
 
   size_t size() const {
-    std::shared_lock lock(mutex_);
-    return tree_.size();
+    EpochManager::ReadGuard guard(epochs_);
+    return tree_.load(std::memory_order_acquire)->size();
   }
 
   bool Insert(std::span<const uint64_t> key, uint64_t value) {
-    std::unique_lock lock(mutex_);
-    return tree_.Insert(key, value);
+    std::lock_guard lock(writer_mutex_);
+    return writer_tree()->Insert(key, value);
   }
 
   bool InsertOrAssign(std::span<const uint64_t> key, uint64_t value) {
-    std::unique_lock lock(mutex_);
-    return tree_.InsertOrAssign(key, value);
+    std::lock_guard lock(writer_mutex_);
+    return writer_tree()->InsertOrAssign(key, value);
   }
 
   bool Erase(std::span<const uint64_t> key) {
-    std::unique_lock lock(mutex_);
-    return tree_.Erase(key);
+    std::lock_guard lock(writer_mutex_);
+    return writer_tree()->Erase(key);
   }
 
   /// Relocates the entry at old_key to new_key (see PhTree::Update). One
-  /// writer critical section — atomic with respect to readers even when the
-  /// tree falls back to erase+insert internally.
+  /// writer critical section. Readers are not blocked; when the tree falls
+  /// back to insert-then-erase internally, a concurrent reader may observe
+  /// the one intermediate state in which both keys are present (it never
+  /// observes neither).
   UpdateOutcome Update(std::span<const uint64_t> old_key,
                        std::span<const uint64_t> new_key,
                        std::optional<uint64_t> value = std::nullopt) {
-    std::unique_lock lock(mutex_);
-    return tree_.Update(old_key, new_key, value);
+    std::lock_guard lock(writer_mutex_);
+    return writer_tree()->Update(old_key, new_key, value);
   }
 
   /// Non-throwing Update (see PhTree::TryUpdate).
   UpdateOutcome TryUpdate(std::span<const uint64_t> old_key,
                           std::span<const uint64_t> new_key,
                           std::optional<uint64_t> value = std::nullopt) {
-    std::unique_lock lock(mutex_);
-    return tree_.TryUpdate(old_key, new_key, value);
+    std::lock_guard lock(writer_mutex_);
+    return writer_tree()->TryUpdate(old_key, new_key, value);
   }
 
   std::optional<uint64_t> Find(std::span<const uint64_t> key) const {
-    std::shared_lock lock(mutex_);
-    return tree_.Find(key);
+    EpochManager::ReadGuard guard(epochs_);
+    return tree_.load(std::memory_order_acquire)->Find(key);
   }
 
   bool Contains(std::span<const uint64_t> key) const {
-    std::shared_lock lock(mutex_);
-    return tree_.Contains(key);
+    EpochManager::ReadGuard guard(epochs_);
+    return tree_.load(std::memory_order_acquire)->Contains(key);
   }
 
   /// Batched point query (see PhTree::FindBatch). The whole batch runs
-  /// under one reader-lock acquisition — amortising the lock is part of
-  /// the point of batching lookups.
+  /// under one epoch guard and against one root snapshot.
   std::vector<std::optional<uint64_t>> FindBatch(
       std::span<const PhKey> keys) const {
-    std::shared_lock lock(mutex_);
-    return tree_.FindBatch(keys);
+    EpochManager::ReadGuard guard(epochs_);
+    return tree_.load(std::memory_order_acquire)->FindBatch(keys);
   }
 
   std::vector<std::pair<PhKey, uint64_t>> QueryWindow(
       std::span<const uint64_t> min, std::span<const uint64_t> max) const {
-    std::shared_lock lock(mutex_);
-    return tree_.QueryWindow(min, max);
+    EpochManager::ReadGuard guard(epochs_);
+    return tree_.load(std::memory_order_acquire)->QueryWindow(min, max);
   }
 
   size_t CountWindow(std::span<const uint64_t> min,
                      std::span<const uint64_t> max) const {
-    std::shared_lock lock(mutex_);
-    return tree_.CountWindow(min, max);
+    EpochManager::ReadGuard guard(epochs_);
+    return tree_.load(std::memory_order_acquire)->CountWindow(min, max);
   }
 
-  /// Paginated window query (see PhTree::QueryWindowPage). Each page takes
-  /// the reader lock once; between pages writers may proceed — the resume
-  /// token keeps the scan stable across such interleaved mutations.
+  /// Paginated window query (see PhTree::QueryWindowPage). Each page runs
+  /// under its own epoch guard against the root current at that moment —
+  /// the resume token keeps the scan stable across mutations between
+  /// pages, exactly as in the single-tree case.
   WindowPage QueryWindowPage(std::span<const uint64_t> min,
                              std::span<const uint64_t> max, size_t page_size,
                              std::span<const uint64_t> resume_after = {})
       const {
-    std::shared_lock lock(mutex_);
-    return tree_.QueryWindowPage(min, max, page_size, resume_after);
+    EpochManager::ReadGuard guard(epochs_);
+    return tree_.load(std::memory_order_acquire)
+        ->QueryWindowPage(min, max, page_size, resume_after);
   }
 
   std::vector<KnnResult> KnnSearch(std::span<const uint64_t> center, size_t n,
                                    KnnMetric metric = KnnMetric::kL2Integer)
       const {
-    std::shared_lock lock(mutex_);
-    return phtree::KnnSearch(tree_, center, n, metric);
+    EpochManager::ReadGuard guard(epochs_);
+    return phtree::KnnSearch(*tree_.load(std::memory_order_acquire), center,
+                             n, metric);
   }
 
+  /// Structural statistics. Takes the writer mutex: the stats walk reads
+  /// arena accounting (freelists, retired queue) that only the writer may
+  /// touch, and the retired/live byte invariant only holds while no
+  /// mutation is in flight.
   PhTreeStats ComputeStats() const {
-    std::shared_lock lock(mutex_);
-    return tree_.ComputeStats();
+    std::lock_guard lock(writer_mutex_);
+    return tree_.load(std::memory_order_acquire)->ComputeStats();
   }
 
-  /// Visitor-form window query under the reader lock. The visitor runs
-  /// inside the critical section — keep it short and do not call back into
-  /// this tree from it (self-deadlock on the writer side, starvation on
-  /// the reader side).
+  /// Visitor-form window query under an epoch guard — writers proceed
+  /// concurrently. The visitor runs inside the guard: keep it short (it
+  /// defers memory reclamation, though it blocks no one) and do not call
+  /// writer methods of this tree from it on the same thread you would
+  /// later join.
   void QueryWindow(
       std::span<const uint64_t> min, std::span<const uint64_t> max,
       const std::function<void(const PhKey&, uint64_t)>& visitor) const {
-    std::shared_lock lock(mutex_);
-    tree_.QueryWindow(min, max, visitor);
+    EpochManager::ReadGuard guard(epochs_);
+    tree_.load(std::memory_order_acquire)->QueryWindow(min, max, visitor);
   }
 
-  /// Direct access to the wrapped tree, WITHOUT locking — only valid while
-  /// no other thread mutates it (tests, the structural validator and the
-  /// differential harness). Mirrors PhTreeSharded::UnsafeShard.
-  const PhTree& UnsafeTree() const { return tree_; }
+  /// Direct access to the wrapped tree, WITHOUT synchronisation — only
+  /// valid while no other thread mutates it (tests, the structural
+  /// validator and the differential harness). Mirrors
+  /// PhTreeSharded::UnsafeShard.
+  const PhTree& UnsafeTree() const {
+    return *tree_.load(std::memory_order_acquire);
+  }
+
+  /// The epoch manager readers announce themselves in. Exposed for tests
+  /// and stats tooling.
+  const EpochManager& epoch_manager() const { return epochs_; }
 
   /// Saves a v2 snapshot (SavePhTreeOr: checksummed, atomic, durable).
-  /// Serialisation happens under the reader lock; the disk I/O does not —
-  /// writers are blocked only while the in-memory byte stream is built.
+  /// Serialisation happens under the writer mutex (readers are
+  /// unaffected); the disk I/O does not — writers are blocked only while
+  /// the in-memory byte stream is built.
   Status Save(const std::string& path, const SaveOptions& options = {}) const {
     std::vector<uint8_t> bytes;
     {
-      std::shared_lock lock(mutex_);
-      bytes = SerializePhTree(tree_, options);
+      std::lock_guard lock(writer_mutex_);
+      bytes = SerializePhTree(*tree_.load(std::memory_order_acquire), options);
     }
     return WriteSnapshotFileOr(bytes, path);
   }
 
   /// Replaces the tree's whole content from a snapshot (LoadPhTreeOr).
-  /// The file is read, verified and deserialised without any lock; only
-  /// the final swap takes the writer lock. The snapshot's dimensionality
-  /// must match (kInvalidArgument otherwise).
+  /// The file is read, verified and deserialised without any lock; the
+  /// replacement tree is published with one atomic pointer swap under the
+  /// writer mutex, then the old tree is destroyed after a full epoch grace
+  /// period (readers still walking it finish on their snapshot). The
+  /// snapshot's dimensionality must match (kInvalidArgument otherwise).
   Status Load(const std::string& path, const LoadOptions& options = {}) {
     Expected<PhTree, SnapshotError> loaded = LoadPhTreeOr(path, options);
     if (!loaded) {
       return loaded.error();
     }
-    if (loaded->dim() != tree_.dim()) {
+    if (loaded->dim() != dim()) {
       return Status::Error(
           StatusCode::kInvalidArgument,
           "snapshot dimensionality " + std::to_string(loaded->dim()) +
-              " does not match tree dimensionality " +
-              std::to_string(tree_.dim()));
+              " does not match tree dimensionality " + std::to_string(dim()));
     }
-    std::unique_lock lock(mutex_);
-    tree_ = std::move(*loaded);
+    PhTree* fresh;
+    if (loaded->config().use_arena) {
+      fresh = new PhTree(std::move(*loaded));
+    } else {
+      // MVCC publication and deferred reclamation are arena features, so
+      // the wrapper pins use_arena: rebuild the stream's entries into a
+      // pooled tree.
+      PhTreeConfig cfg = loaded->config();
+      cfg.use_arena = true;
+      fresh = new PhTree(loaded->dim(), cfg);
+      fresh->ReserveNodes(loaded->size());
+      loaded->ForEach([fresh](const PhKey& key, uint64_t value) {
+        fresh->Insert(key, value);
+      });
+    }
+    fresh->EnableMvcc(&epochs_);
+    PhTree* old = nullptr;
+    {
+      std::lock_guard lock(writer_mutex_);
+      old = tree_.exchange(fresh, std::memory_order_acq_rel);
+    }
+    // The old tree's destructor resets its whole arena at once — legal
+    // only once no reader can still hold a node of it.
+    epochs_.SynchronizeFullGrace();
+    delete old;
     return Status::Ok();
   }
 
  private:
-  mutable std::shared_mutex mutex_;
-  PhTree tree_;
+  PhTree* writer_tree() { return tree_.load(std::memory_order_relaxed); }
+
+  mutable EpochManager epochs_;
+  mutable std::mutex writer_mutex_;
+  std::atomic<PhTree*> tree_;
 };
 
 }  // namespace phtree

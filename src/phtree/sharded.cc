@@ -55,7 +55,7 @@ PhTreeSharded::PhTreeSharded(uint32_t dim, uint32_t num_shards,
   assert(shard_bits_ <= 64 * dim_);
   shards_.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(dim, config));
+    shards_.push_back(std::make_unique<Shard>(dim, config, &epochs_));
   }
 }
 
@@ -146,31 +146,31 @@ double PhTreeSharded::ShardMinDist2(uint32_t s,
 }
 
 size_t PhTreeSharded::size() const {
+  EpochManager::ReadGuard guard(epochs_);
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mutex);
-    total += shard->tree.size();
+    total += shard->reader()->size();
   }
   return total;
 }
 
 bool PhTreeSharded::Insert(std::span<const uint64_t> key, uint64_t value) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::unique_lock lock(shard.mutex);
-  return shard.tree.Insert(key, value);
+  std::lock_guard lock(shard.mutex);
+  return shard.writer()->Insert(key, value);
 }
 
 bool PhTreeSharded::InsertOrAssign(std::span<const uint64_t> key,
                                    uint64_t value) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::unique_lock lock(shard.mutex);
-  return shard.tree.InsertOrAssign(key, value);
+  std::lock_guard lock(shard.mutex);
+  return shard.writer()->InsertOrAssign(key, value);
 }
 
 bool PhTreeSharded::Erase(std::span<const uint64_t> key) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::unique_lock lock(shard.mutex);
-  return shard.tree.Erase(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.writer()->Erase(key);
 }
 
 UpdateOutcome PhTreeSharded::Update(std::span<const uint64_t> old_key,
@@ -192,15 +192,18 @@ UpdateOutcome PhTreeSharded::TryUpdate(std::span<const uint64_t> old_key,
     // Same shard: one critical section, and the tree's single-descent
     // relocation fast path applies.
     Shard& shard = *shards_[so];
-    std::unique_lock lock(shard.mutex);
-    return shard.tree.TryUpdate(old_key, new_key, value);
+    std::lock_guard lock(shard.mutex);
+    return shard.writer()->TryUpdate(old_key, new_key, value);
   }
   // Cross-shard move: take both writer locks in ascending shard index (the
   // deadlock-free total order), then insert-then-erase across the trees.
+  // Holding both writer mutexes also makes the plain Find/Contains reads
+  // below safe without an epoch guard: only a shard's writer reclaims its
+  // arena, and both writers are us.
   std::unique_lock first(shards_[std::min(so, sn)]->mutex);
   std::unique_lock second(shards_[std::max(so, sn)]->mutex);
-  PhTree& src = shards_[so]->tree;
-  PhTree& dst = shards_[sn]->tree;
+  PhTree& src = *shards_[so]->writer();
+  PhTree& dst = *shards_[sn]->writer();
   const std::optional<uint64_t> old_value = src.Find(old_key);
   if (!old_value.has_value()) {
     return UpdateOutcome::kOldMissing;
@@ -227,17 +230,15 @@ UpdateOutcome PhTreeSharded::TryUpdate(std::span<const uint64_t> old_key,
 
 std::optional<uint64_t> PhTreeSharded::Find(
     std::span<const uint64_t> key) const {
-  Shard& shard = *shards_[ShardOf(key)];
-  std::shared_lock lock(shard.mutex);
-  return shard.tree.Find(key);
+  EpochManager::ReadGuard guard(epochs_);
+  return shards_[ShardOf(key)]->reader()->Find(key);
 }
 
 std::vector<std::optional<uint64_t>> PhTreeSharded::FindBatch(
     std::span<const PhKey> keys) const {
+  EpochManager::ReadGuard guard(epochs_);
   if (shards_.size() == 1) {
-    Shard& shard = *shards_[0];
-    std::shared_lock lock(shard.mutex);
-    return shard.tree.FindBatch(keys);
+    return shards_[0]->reader()->FindBatch(keys);
   }
   std::vector<std::optional<uint64_t>> results(keys.size());
   // Bucket input positions by shard, then answer each shard's sub-batch
@@ -257,12 +258,8 @@ std::vector<std::optional<uint64_t>> PhTreeSharded::FindBatch(
     for (const uint32_t i : bucket) {
       sub_keys.push_back(keys[i]);
     }
-    Shard& shard = *shards_[s];
-    std::vector<std::optional<uint64_t>> sub;
-    {
-      std::shared_lock lock(shard.mutex);
-      sub = shard.tree.FindBatch(sub_keys);
-    }
+    const std::vector<std::optional<uint64_t>> sub =
+        shards_[s]->reader()->FindBatch(sub_keys);
     for (size_t j = 0; j < bucket.size(); ++j) {
       results[bucket[j]] = sub[j];
     }
@@ -272,8 +269,10 @@ std::vector<std::optional<uint64_t>> PhTreeSharded::FindBatch(
 
 void PhTreeSharded::Clear() {
   for (auto& shard : shards_) {
-    std::unique_lock lock(shard->mutex);
-    shard->tree.Clear();
+    std::lock_guard lock(shard->mutex);
+    // MVCC Clear retires the whole tree behind one atomic root store, so
+    // concurrent lock-free readers keep walking their snapshot.
+    shard->writer()->Clear();
   }
 }
 
@@ -295,11 +294,12 @@ size_t PhTreeSharded::BulkLoad(std::span<const PhEntry> entries) {
       return;
     }
     Shard& shard = *shards_[s];
-    std::unique_lock lock(shard.mutex);
-    shard.tree.ReserveNodes(idx.size());
+    std::lock_guard lock(shard.mutex);
+    PhTree* tree = shard.writer();
+    tree->ReserveNodes(idx.size());
     size_t ins = 0;
     for (const size_t i : idx) {
-      ins += shard.tree.Insert(entries[i].key, entries[i].value) ? 1 : 0;
+      ins += tree->Insert(entries[i].key, entries[i].value) ? 1 : 0;
     }
     inserted[s] = ins;
   });
@@ -320,15 +320,15 @@ std::vector<std::pair<PhKey, uint64_t>> PhTreeSharded::QueryWindow(
     return out;
   }
   if (hit.size() == 1) {
-    Shard& shard = *shards_[hit[0]];
-    std::shared_lock lock(shard.mutex);
-    return shard.tree.QueryWindow(min, max);
+    EpochManager::ReadGuard guard(epochs_);
+    return shards_[hit[0]]->reader()->QueryWindow(min, max);
   }
   std::vector<std::vector<std::pair<PhKey, uint64_t>>> per(hit.size());
   pool_->ParallelFor(hit.size(), [&](size_t i) {
-    Shard& shard = *shards_[hit[i]];
-    std::shared_lock lock(shard.mutex);
-    per[i] = shard.tree.QueryWindow(min, max);
+    // Pool threads announce themselves: epoch slots are per reader, not
+    // per API call.
+    EpochManager::ReadGuard guard(epochs_);
+    per[i] = shards_[hit[i]]->reader()->QueryWindow(min, max);
   });
   size_t total = 0;
   for (const auto& v : per) {
@@ -353,13 +353,12 @@ void PhTreeSharded::QueryWindow(
     std::span<const uint64_t> min, std::span<const uint64_t> max,
     const std::function<void(const PhKey&, uint64_t)>& visitor) const {
   assert(min.size() == dim_ && max.size() == dim_);
+  EpochManager::ReadGuard guard(epochs_);
   for (uint32_t s = 0; s < num_shards(); ++s) {
     if (!ShardIntersects(s, min, max)) {
       continue;
     }
-    Shard& shard = *shards_[s];
-    std::shared_lock lock(shard.mutex);
-    shard.tree.QueryWindow(min, max, visitor);
+    shards_[s]->reader()->QueryWindow(min, max, visitor);
   }
 }
 
@@ -377,9 +376,8 @@ size_t PhTreeSharded::CountWindow(std::span<const uint64_t> min,
   }
   std::vector<size_t> counts(hit.size(), 0);
   pool_->ParallelFor(hit.size(), [&](size_t i) {
-    Shard& shard = *shards_[hit[i]];
-    std::shared_lock lock(shard.mutex);
-    counts[i] = shard.tree.CountWindow(min, max);
+    EpochManager::ReadGuard guard(epochs_);
+    counts[i] = shards_[hit[i]]->reader()->CountWindow(min, max);
   });
   return std::accumulate(counts.begin(), counts.end(), size_t{0});
 }
@@ -401,12 +399,9 @@ WindowPage PhTreeSharded::QueryWindowPage(
         continue;
       }
       const size_t want = page_size + 1 - page.entries.size();
-      Shard& shard = *shards_[s];
-      WindowPage sub;
-      {
-        std::shared_lock lock(shard.mutex);
-        sub = shard.tree.QueryWindowPage(min, max, want, resume_after);
-      }
+      EpochManager::ReadGuard guard(epochs_);
+      WindowPage sub = shards_[s]->reader()->QueryWindowPage(min, max, want,
+                                                             resume_after);
       std::move(sub.entries.begin(), sub.entries.end(),
                 std::back_inserter(page.entries));
     }
@@ -416,10 +411,9 @@ WindowPage PhTreeSharded::QueryWindowPage(
     // fetch those in parallel, z-merge, truncate below.
     std::vector<WindowPage> per(num_shards());
     pool_->ParallelFor(num_shards(), [&](size_t s) {
-      Shard& shard = *shards_[s];
-      std::shared_lock lock(shard.mutex);
-      per[s] =
-          shard.tree.QueryWindowPage(min, max, page_size + 1, resume_after);
+      EpochManager::ReadGuard guard(epochs_);
+      per[s] = shards_[s]->reader()->QueryWindowPage(min, max, page_size + 1,
+                                                     resume_after);
     });
     for (auto& sub : per) {
       std::move(sub.entries.begin(), sub.entries.end(),
@@ -449,9 +443,10 @@ std::vector<KnnResult> PhTreeSharded::KnnSearch(
   }
   const uint32_t S = num_shards();
   auto search_shard = [&](uint32_t s) {
-    Shard& shard = *shards_[s];
-    std::shared_lock lock(shard.mutex);
-    return phtree::KnnSearch(shard.tree, center, n, metric);
+    // Called from this thread and from pool threads: each call announces
+    // its own epoch slot.
+    EpochManager::ReadGuard guard(epochs_);
+    return phtree::KnnSearch(*shards_[s]->reader(), center, n, metric);
   };
   if (S == 1) {
     return search_shard(0);
@@ -517,17 +512,20 @@ std::vector<KnnResult> PhTreeSharded::KnnSearch(
 
 void PhTreeSharded::ForEach(
     const std::function<void(const PhKey&, uint64_t)>& fn) const {
+  EpochManager::ReadGuard guard(epochs_);
   for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mutex);
-    shard->tree.ForEach(fn);
+    shard->reader()->ForEach(fn);
   }
 }
 
 PhTreeStats PhTreeSharded::ComputeStats() const {
   PhTreeStats total;
+  total.epoch = epochs_.epoch();
   for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mutex);
-    const PhTreeStats s = shard->tree.ComputeStats();
+    // Writer mutex: the stats walk reads arena accounting (freelists,
+    // retired queue) that only the writer side may touch.
+    std::lock_guard lock(shard->mutex);
+    const PhTreeStats s = shard->reader()->ComputeStats();
     total.n_entries += s.n_entries;
     total.n_nodes += s.n_nodes;
     total.n_hc_nodes += s.n_hc_nodes;
@@ -540,6 +538,9 @@ PhTreeStats PhTreeSharded::ComputeStats() const {
     total.arena_slab_bytes += s.arena_slab_bytes;
     total.arena_live_bytes += s.arena_live_bytes;
     total.arena_freelist_bytes += s.arena_freelist_bytes;
+    total.arena_retired_bytes += s.arena_retired_bytes;
+    total.arena_retired_nodes += s.arena_retired_nodes;
+    total.arena_reclaimed_nodes += s.arena_reclaimed_nodes;
     total.max_depth = std::max(total.max_depth, s.max_depth);
     total.sum_node_depth += s.sum_node_depth;
     total.infix_bits += s.infix_bits;
@@ -572,9 +573,10 @@ std::vector<PhTree> PhTreeSharded::BuildShardTrees(
 Status PhTreeSharded::Save(const std::string& path,
                            const SaveOptions& options) const {
   const uint32_t S = num_shards();
-  // All reader locks taken together (in index order, like every cross-shard
-  // path here) => the snapshot is the one cross-shard consistent view.
-  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  // All writer mutexes taken together (in index order, like every
+  // cross-shard path here) => the snapshot is the one cross-shard
+  // consistent view. Lock-free readers are unaffected throughout.
+  std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(S);
   for (const auto& shard : shards_) {
     locks.emplace_back(shard->mutex);
@@ -582,11 +584,11 @@ Status PhTreeSharded::Save(const std::string& path,
   PhTree merged(dim_, config_);
   size_t total = 0;
   for (const auto& shard : shards_) {
-    total += shard->tree.size();
+    total += shard->reader()->size();
   }
   merged.ReserveNodes(total);
   for (const auto& shard : shards_) {
-    shard->tree.ForEach([&merged](const PhKey& key, uint64_t value) {
+    shard->reader()->ForEach([&merged](const PhKey& key, uint64_t value) {
       merged.Insert(key, value);
     });
   }
@@ -612,17 +614,32 @@ Status PhTreeSharded::Load(const std::string& path,
   loaded->ForEach([&entries](const PhKey& key, uint64_t value) {
     entries.push_back(PhEntry{key, value});
   });
+  // MVCC publication and deferred reclamation are arena features, so the
+  // wrapper pins use_arena regardless of what the stream's config says.
+  PhTreeConfig cfg = loaded->config();
+  cfg.use_arena = true;
   // Replacement shards are built in parallel while readers keep using the
   // old ones; the swap below is the only all-shard exclusive section.
-  std::vector<PhTree> trees = BuildShardTrees(entries, loaded->config());
-  std::vector<std::unique_lock<std::shared_mutex>> locks;
-  locks.reserve(num_shards());
-  for (const auto& shard : shards_) {
-    locks.emplace_back(shard->mutex);
+  std::vector<PhTree> trees = BuildShardTrees(entries, cfg);
+  std::vector<PhTree*> old(num_shards(), nullptr);
+  {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(num_shards());
+    for (const auto& shard : shards_) {
+      locks.emplace_back(shard->mutex);
+    }
+    config_ = cfg;
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      PhTree* fresh = new PhTree(std::move(trees[s]));
+      fresh->EnableMvcc(&epochs_);
+      old[s] = shards_[s]->tree.exchange(fresh, std::memory_order_acq_rel);
+    }
   }
-  config_ = loaded->config();
-  for (uint32_t s = 0; s < num_shards(); ++s) {
-    shards_[s]->tree = std::move(trees[s]);
+  // The displaced trees' destructors reset their whole arenas at once —
+  // legal only once no lock-free reader can still hold a node of them.
+  epochs_.SynchronizeFullGrace();
+  for (PhTree* tree : old) {
+    delete tree;
   }
   return Status::Ok();
 }

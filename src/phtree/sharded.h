@@ -2,10 +2,12 @@
 // PhTreeSync serialises every writer behind one tree-wide lock, this class
 // partitions the key space by the top bits of the z-interleaved address
 // into S = 2^b shards. Each shard is an independent PhTree with its own
-// NodeArena and its own shared_mutex, so:
+// NodeArena and its own writer mutex; all shards share ONE EpochManager
+// and run in MVCC mode (PhTree::EnableMvcc), so:
+//   * readers never lock anywhere — point, window and kNN reads announce
+//     themselves in an epoch slot and walk copy-on-write-published nodes,
 //   * writers on different shards never contend (the paper's two-node
 //     update property keeps each per-shard critical section short),
-//   * readers and writers only synchronise within one shard,
 //   * bulk loads partition the input once and build all shards in
 //     parallel on a ThreadPool,
 //   * window/count/kNN queries clip the query against each shard's
@@ -38,22 +40,24 @@
 // Consistency model: operations are linearisable per shard, not across
 // shards. A query that fans out over multiple shards sees each shard at a
 // (possibly different) consistent point in time; size() is a sum of
-// per-shard snapshots. Save() takes all shard locks together and is the
-// one cross-shard consistent snapshot primitive.
+// per-shard snapshots. Save() takes all writer mutexes together and is
+// the one cross-shard consistent snapshot primitive.
 #ifndef PHTREE_PHTREE_SHARDED_H_
 #define PHTREE_PHTREE_SHARDED_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "phtree/arena.h"
 #include "phtree/knn.h"
 #include "phtree/phtree.h"
 #include "phtree/serialize.h"
@@ -94,8 +98,8 @@ class PhTreeSharded {
   ShardRouting routing() const { return routing_; }
   const PhTreeConfig& config() const { return config_; }
 
-  /// Sum of per-shard sizes; each shard is read under its own lock, so the
-  /// total is not a single cross-shard snapshot.
+  /// Sum of per-shard sizes (lock-free atomic reads under one epoch
+  /// guard); the total is not a single cross-shard snapshot.
   size_t size() const;
   bool empty() const { return size() == 0; }
 
@@ -132,8 +136,9 @@ class PhTreeSharded {
 
   /// Batched point query: element i is Find(keys[i]). The batch is
   /// bucketed by shard in one pass; each shard with hits is then queried
-  /// with one PhTree::FindBatch under one reader-lock acquisition, and the
-  /// per-shard answers are scattered back to input order.
+  /// with one PhTree::FindBatch (lock-free, one epoch guard covers the
+  /// whole batch), and the per-shard answers are scattered back to input
+  /// order.
   std::vector<std::optional<uint64_t>> FindBatch(
       std::span<const PhKey> keys) const;
 
@@ -178,8 +183,8 @@ class PhTreeSharded {
   /// kZPrefix routing the page fills shard by shard (ascending shard index
   /// is ascending z-order); with kHash every shard contributes its first
   /// candidates after the token and the union is z-merged and truncated.
-  /// Locks are per shard and per page — the token keeps the scan stable
-  /// across mutations between pages, exactly as in the single-tree case.
+  /// Reads are lock-free — the token keeps the scan stable across
+  /// mutations between pages, exactly as in the single-tree case.
   WindowPage QueryWindowPage(std::span<const uint64_t> min,
                              std::span<const uint64_t> max, size_t page_size,
                              std::span<const uint64_t> resume_after = {})
@@ -200,12 +205,14 @@ class PhTreeSharded {
   // ---- Introspection ----------------------------------------------------
 
   /// Calls `fn(key, value)` for every entry, shards visited in index order
-  /// under their reader locks. Global z-order with kZPrefix routing;
-  /// per-shard z-order with kHash.
+  /// under one epoch guard (lock-free). Global z-order with kZPrefix
+  /// routing; per-shard z-order with kHash.
   void ForEach(const std::function<void(const PhKey&, uint64_t)>& fn) const;
 
   /// Aggregated stats: additive fields summed over shards, max_depth the
-  /// maximum. Per-shard locks only (no cross-shard snapshot).
+  /// maximum, epoch the shared EpochManager's current epoch. Takes each
+  /// shard's writer mutex in turn (the stats walk reads arena accounting
+  /// only the writer side may touch); no cross-shard snapshot.
   PhTreeStats ComputeStats() const;
 
   /// The axis-aligned key-space box owned by shard `s`: on return,
@@ -214,9 +221,16 @@ class PhTreeSharded {
   /// With kHash routing every shard's region is the whole key space.
   void ShardRegion(uint32_t s, PhKey* lo, PhKey* hi) const;
 
-  /// Direct access to shard `s`'s tree, WITHOUT locking — only valid while
-  /// no other thread mutates the tree (tests, validation, stats tooling).
-  const PhTree& UnsafeShard(uint32_t s) const { return shards_[s]->tree; }
+  /// Direct access to shard `s`'s tree, WITHOUT synchronisation — only
+  /// valid while no other thread mutates the tree (tests, validation,
+  /// stats tooling).
+  const PhTree& UnsafeShard(uint32_t s) const {
+    return *shards_[s]->tree.load(std::memory_order_acquire);
+  }
+
+  /// The epoch manager all shards share. Exposed for tests and stats
+  /// tooling.
+  const EpochManager& epoch_manager() const { return epochs_; }
 
   // ---- Persistence (single-stream merge; see DESIGN.md) -----------------
 
@@ -233,18 +247,32 @@ class PhTreeSharded {
   /// Replaces the whole content from a v2 (or legacy v1) snapshot written
   /// by Save() or by SavePhTreeOr on a plain tree: the stream is loaded
   /// and verified (LoadPhTreeOr), its entries are re-partitioned and the
-  /// replacement shards built in parallel off-line, then all shard locks
-  /// are taken and the shards swapped in. The stream's dimensionality must
-  /// match (kInvalidArgument otherwise); the stream's stored config
-  /// replaces this tree's config, like LoadPhTreeOr.
+  /// replacement shards built in parallel off-line, then all writer
+  /// mutexes are taken and the shard trees swapped in with one atomic
+  /// pointer store each; the displaced trees are destroyed after a full
+  /// epoch grace period, so in-flight lock-free readers finish on their
+  /// snapshot. The stream's dimensionality must match (kInvalidArgument
+  /// otherwise); the stream's stored config replaces this tree's config,
+  /// like LoadPhTreeOr.
   Status Load(const std::string& path, const LoadOptions& options = {});
 
  private:
   struct Shard {
-    mutable std::shared_mutex mutex;
-    PhTree tree;
-    explicit Shard(uint32_t dim, const PhTreeConfig& config)
-        : tree(dim, config) {}
+    mutable std::mutex mutex;  // writers only; readers go lock-free
+    std::atomic<PhTree*> tree;
+    Shard(uint32_t dim, const PhTreeConfig& config, EpochManager* epochs)
+        : tree(new PhTree(dim, config)) {
+      tree.load(std::memory_order_relaxed)->EnableMvcc(epochs);
+    }
+    ~Shard() { delete tree.load(std::memory_order_relaxed); }
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+    /// The tree, from under the shard's writer mutex.
+    PhTree* writer() { return tree.load(std::memory_order_relaxed); }
+    /// The tree, from a lock-free reader under an epoch guard.
+    const PhTree* reader() const {
+      return tree.load(std::memory_order_acquire);
+    }
   };
 
   /// True iff shard `s`'s region intersects the box [min, max].
@@ -266,8 +294,12 @@ class PhTreeSharded {
   ShardRouting routing_;
   PhTreeConfig config_;
   ThreadPool* pool_;
-  // unique_ptr: shared_mutex is neither movable nor copyable, and the
-  // indirection keeps shards on separate cache lines.
+  // One epoch manager for ALL shards: a reader announces itself once per
+  // API call, however many shards the operation fans out to. Declared
+  // before shards_ so it outlives every shard's arena.
+  mutable EpochManager epochs_;
+  // unique_ptr: Shard is neither movable nor copyable (mutex + atomic),
+  // and the indirection keeps shards on separate cache lines.
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -37,6 +37,17 @@ struct PhTreeStats {
   uint64_t arena_live_bytes = 0;
   /// Exact recyclable bytes parked in the arena freelists.
   uint64_t arena_freelist_bytes = 0;
+  /// Bytes held by retired-but-not-yet-reclaimed nodes (MVCC mode:
+  /// unlinked by a copy-on-write publication, awaiting their epoch grace
+  /// period). Invariant: memory_bytes + arena_retired_bytes ==
+  /// arena_live_bytes. Zero outside MVCC mode.
+  uint64_t arena_retired_bytes = 0;
+  /// Number of retired-but-not-yet-reclaimed nodes (MVCC mode).
+  size_t arena_retired_nodes = 0;
+  /// Total nodes whose deferred free completed (cumulative, MVCC mode).
+  uint64_t arena_reclaimed_nodes = 0;
+  /// Current epoch of the attached EpochManager (0 = no MVCC).
+  uint64_t epoch = 0;
   /// Maximum node depth (paper: bounded by w = 64).
   size_t max_depth = 0;
   /// Sum of the depths of all nodes (for average depth).

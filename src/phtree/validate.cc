@@ -325,12 +325,17 @@ std::string Validate(const PhTree& tree, const DeepValidateOptions* deep) {
   }
   // Arena bookkeeping invariants: the arena must account exactly the
   // reachable nodes (no leaked, no double-freed slots), and in pooled mode
-  // its live-byte meter must equal the sum of per-node exact sizes.
+  // its live-byte meter must equal the sum of per-node exact sizes. In
+  // MVCC mode, nodes unlinked by a copy-on-write publication stay in the
+  // arena's accounting until their epoch grace period expires, so the
+  // reachable side of each cross-check carries the retired queue.
   const NodeArena* arena = tree.arena();
-  if (arena != nullptr && arena->live_nodes() != state.nodes) {
+  if (arena != nullptr &&
+      arena->live_nodes() != state.nodes + arena->retired_nodes()) {
     std::ostringstream os;
     os << "arena live node count " << arena->live_nodes()
-       << " != reachable node count " << state.nodes;
+       << " != reachable node count " << state.nodes << " + retired "
+       << arena->retired_nodes();
     return os.str();
   }
   if (state.hc_bytes + state.lhc_bytes + state.bhc_bytes !=
@@ -342,12 +347,13 @@ std::string Validate(const PhTree& tree, const DeepValidateOptions* deep) {
     return os.str();
   }
   if (arena != nullptr && arena->pooled() &&
-      arena->LiveBytes() !=
-          state.hc_bytes + state.lhc_bytes + state.bhc_bytes) {
+      arena->LiveBytes() != state.hc_bytes + state.lhc_bytes +
+                               state.bhc_bytes + arena->RetiredBytes()) {
     std::ostringstream os;
     os << "arena live bytes " << arena->LiveBytes()
        << " != measured HC+LHC+BHC node bytes "
-       << state.hc_bytes + state.lhc_bytes + state.bhc_bytes;
+       << state.hc_bytes + state.lhc_bytes + state.bhc_bytes
+       << " + retired bytes " << arena->RetiredBytes();
     return os.str();
   }
 
@@ -403,6 +409,14 @@ std::string Validate(const PhTree& tree, const DeepValidateOptions* deep) {
       } else if (stats.arena_freelist_bytes != arena->FreeListBytes()) {
         os << "stats arena_freelist_bytes " << stats.arena_freelist_bytes
            << " != arena " << arena->FreeListBytes();
+      } else if (stats.arena_retired_bytes != arena->RetiredBytes()) {
+        os << "stats arena_retired_bytes " << stats.arena_retired_bytes
+           << " != arena " << arena->RetiredBytes();
+      } else if (stats.memory_bytes + stats.arena_retired_bytes !=
+                 stats.arena_live_bytes) {
+        os << "reachable bytes " << stats.memory_bytes << " + retired "
+           << stats.arena_retired_bytes << " != arena live bytes "
+           << stats.arena_live_bytes;
       } else if (arena->SlabBytes() <
                  arena->LiveBytes() + arena->FreeListBytes()) {
         os << "arena slab bytes " << arena->SlabBytes()

@@ -1,18 +1,23 @@
 #include "testlib/differential.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <optional>
 #include <span>
 #include <sstream>
+#include <thread>
 
 #include "common/fault.h"
+#include "common/rng.h"
 #include "common/simd.h"
 #include "critbit/critbit1.h"
 #include "kdtree/kdtree1.h"
 #include "kdtree/kdtree2.h"
+#include "phtree/arena.h"
 #include "phtree/cursor.h"
 #include "phtree/phtree.h"
 #include "phtree/phtree_sync.h"
@@ -198,8 +203,10 @@ class PlainAdapter : public VariantAdapter {
     return ValidatePhTreeDeep(tree_);
   }
 
- private:
+ protected:
   PhTree tree_;
+
+ private:
   const char* name_;
 };
 
@@ -269,6 +276,34 @@ class ScalarKernelAdapter : public PlainAdapter {
     simd::ScopedForceScalar force(true);
     return PlainAdapter::Validate();
   }
+};
+
+/// The plain tree again, in MVCC mode (EnableMvcc with a private
+/// EpochManager): every mutation runs the copy-on-write path — clone the
+/// ≤2 touched nodes, publish one atomic handle, retire the originals — so
+/// the whole command stream diffs the COW machinery against the oracle.
+/// Registered unconditionally, *including* fault mode: an injected
+/// bad_alloc inside a clone must roll back to the pre-op tree (created
+/// copies deleted, nothing published, nothing retired), and the retry +
+/// comparison that follows vets exactly that.
+class CowAdapter : public PlainAdapter {
+ public:
+  explicit CowAdapter(uint32_t dim) : PlainAdapter(dim, {}, "PhTree/cow") {
+    tree_.EnableMvcc(&epochs_);
+  }
+
+  std::optional<std::string> SaveLoad(const std::string& tmp_dir) override {
+    const std::optional<std::string> status = PlainAdapter::SaveLoad(tmp_dir);
+    // The round-trip move-assigned a freshly deserialized (plain) tree;
+    // re-enable MVCC so the rest of the stream stays on the COW path.
+    if (status.has_value() && status->empty()) {
+      tree_.EnableMvcc(&epochs_);
+    }
+    return status;
+  }
+
+ private:
+  EpochManager epochs_;
 };
 
 class SyncAdapter : public VariantAdapter {
@@ -581,6 +616,10 @@ class Runner {
     // Forced-scalar kernel arm: same tree, SIMD dispatch pinned off. Any
     // vector/scalar behavioural difference shows up as a divergence here.
     adapters_.push_back(std::make_unique<ScalarKernelAdapter>(dim));
+    // COW arm: every mutation through the MVCC clone/publish/retire path.
+    // Stays on in fault mode — injected failures in the clone sites must
+    // roll back like any other, and this arm proves it on real streams.
+    adapters_.push_back(std::make_unique<CowAdapter>(dim));
     // Fault mode forces the concurrent variants off: PhTreeSharded's
     // BulkLoad mutates on thread-pool threads where an injected bad_alloc
     // would terminate the process instead of reaching our handler.
@@ -717,9 +756,10 @@ class Runner {
         break;
       }
       case OpKind::kUpdate: {
-        const std::optional<uint64_t> value =
-            cmd.update_keep_value ? std::nullopt
-                                  : std::optional<uint64_t>(cmd.value);
+        std::optional<uint64_t> value;
+        if (!cmd.update_keep_value) {
+          value = cmd.value;
+        }
         const UpdateOutcome expect = model_.Update(cmd.key, cmd.key2, value);
         for (auto& v : adapters_) {
           ++report->replayed;
@@ -1053,9 +1093,495 @@ class Runner {
   std::vector<std::unique_ptr<VariantAdapter>> adapters_;
 };
 
+// ---- Concurrent mode ----------------------------------------------------
+//
+// One writer (the calling thread) replays the command stream against a
+// single PhTreeSync with exact oracle comparison after every op — valid
+// because nothing else mutates — while N reader threads run the lock-free
+// read path (epoch guard + acquire loads, no lock) against the same tree
+// the whole time. Mid-churn a reader cannot know the exact result set, so
+// it checks the invariants that survive interleaving: window hits inside
+// the box and strictly z-ascending, kNN distances non-decreasing, pages
+// bounded by their size. Exactness comes from the quiesced audits: every
+// validate_every ops the writer snapshots the oracle, bumps an audit
+// ticket (release) and parks until each reader has compared the frozen
+// tree's size and full content against the snapshot and acked (acquire/
+// release handshake; no locks on the read side even here).
+class ConcurrentRunner {
+ public:
+  ConcurrentRunner(const DiffOptions& opts, CommandSource& source)
+      : opts_(opts),
+        source_(source),
+        model_(opts.commands.dim),
+        tree_(opts.commands.dim),
+        acks_(opts.reader_threads) {}
+
+  DiffReport Run() {
+    DiffReport report;
+    report.variants = 1;
+    std::vector<std::thread> readers;
+    readers.reserve(opts_.reader_threads);
+    for (size_t t = 0; t < opts_.reader_threads; ++t) {
+      readers.emplace_back([this, t] { ReaderLoop(t); });
+    }
+    Command cmd;
+    while (report.ops_run < opts_.ops && source_.Next(&cmd)) {
+      Apply(cmd, &report);
+      ++report.ops_run;
+      report.max_size = std::max(report.max_size, model_.size());
+      if (report.divergence.empty() &&
+          failed_.load(std::memory_order_acquire)) {
+        CopyReaderFailure(&report);
+      }
+      if (!report.divergence.empty()) {
+        break;
+      }
+      if (opts_.validate_every != 0 &&
+          report.ops_run % opts_.validate_every == 0) {
+        QuiescedAudit(&report);
+        if (!report.divergence.empty()) {
+          break;
+        }
+      }
+    }
+    if (report.divergence.empty()) {
+      QuiescedAudit(&report);
+    }
+    stop_.store(true, std::memory_order_release);
+    for (auto& th : readers) {
+      th.join();
+    }
+    if (report.divergence.empty() && failed_.load(std::memory_order_acquire)) {
+      CopyReaderFailure(&report);
+    }
+    report.replayed += reader_checks_.load(std::memory_order_relaxed);
+    report.final_size = model_.size();
+    return report;
+  }
+
+ private:
+  std::string Where(size_t op_index, const Command& cmd) const {
+    std::ostringstream os;
+    os << "op " << op_index << " " << OpKindName(cmd.kind) << " key "
+       << KeyToString(cmd.key) << " variant PhTreeSync/mvcc: ";
+    return os.str();
+  }
+
+  void CopyReaderFailure(DiffReport* report) {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    report->divergence = reader_failure_;
+  }
+
+  Entries TreeContent() const {
+    Entries out;
+    out.reserve(tree_.size());
+    tree_.UnsafeTree().ForEach(
+        [&out](const PhKey& k, uint64_t v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  Entries ModelContent() const {
+    Entries out;
+    out.reserve(model_.size());
+    model_.ForEach(
+        [&out](const PhKey& k, uint64_t v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  // Writer-side application with exact comparison. All reads here run on
+  // the writer thread, so the oracle answer is the only correct one even
+  // while readers hammer the tree.
+  void Apply(const Command& cmd, DiffReport* report) {
+    const size_t op_index = report->ops_run;
+    ++report->replayed;
+    switch (cmd.kind) {
+      case OpKind::kInsert: {
+        const bool expect = model_.Insert(cmd.key, cmd.value);
+        if (tree_.Insert(cmd.key, cmd.value) != expect) {
+          report->divergence =
+              Where(op_index, cmd) + "Insert newly-inserted mismatch";
+        }
+        break;
+      }
+      case OpKind::kInsertOrAssign: {
+        const bool expect = model_.InsertOrAssign(cmd.key, cmd.value);
+        if (tree_.InsertOrAssign(cmd.key, cmd.value) != expect) {
+          report->divergence =
+              Where(op_index, cmd) + "InsertOrAssign newly-inserted mismatch";
+        }
+        break;
+      }
+      case OpKind::kErase: {
+        const bool expect = model_.Erase(cmd.key);
+        if (tree_.Erase(cmd.key) != expect) {
+          report->divergence =
+              Where(op_index, cmd) + "Erase hit/miss mismatch";
+        }
+        break;
+      }
+      case OpKind::kUpdate: {
+        std::optional<uint64_t> value;
+        if (!cmd.update_keep_value) {
+          value = cmd.value;
+        }
+        const UpdateOutcome expect = model_.Update(cmd.key, cmd.key2, value);
+        const UpdateOutcome got = tree_.Update(cmd.key, cmd.key2, value);
+        if (got != expect) {
+          report->divergence = Where(op_index, cmd) + "Update to " +
+                               KeyToString(cmd.key2) + " outcome " +
+                               UpdateOutcomeName(got) + " != oracle " +
+                               UpdateOutcomeName(expect);
+        }
+        break;
+      }
+      case OpKind::kFind: {
+        if (tree_.Find(cmd.key) != model_.Find(cmd.key)) {
+          report->divergence = Where(op_index, cmd) + "Find result mismatch";
+        }
+        break;
+      }
+      case OpKind::kFindBatch: {
+        std::vector<std::optional<uint64_t>> expect;
+        expect.reserve(cmd.batch.size());
+        for (const PhKey& k : cmd.batch) {
+          expect.push_back(model_.Find(k));
+        }
+        if (tree_.FindBatch(cmd.batch) != expect) {
+          report->divergence = Where(op_index, cmd) + "FindBatch of " +
+                               std::to_string(cmd.batch.size()) +
+                               " keys mismatch";
+        }
+        break;
+      }
+      case OpKind::kWindow: {
+        const Entries expect = model_.QueryWindow(cmd.key, cmd.key2);
+        const Entries got = tree_.QueryWindow(cmd.key, cmd.key2);
+        if (got != expect) {
+          report->divergence =
+              Where(op_index, cmd) + "window [" + KeyToString(cmd.key) +
+              ", " + KeyToString(cmd.key2) + "] returned " +
+              std::to_string(got.size()) + " entries, oracle " +
+              std::to_string(expect.size());
+        }
+        break;
+      }
+      case OpKind::kCountWindow: {
+        const size_t expect = model_.CountWindow(cmd.key, cmd.key2);
+        const size_t got = tree_.CountWindow(cmd.key, cmd.key2);
+        if (got != expect) {
+          report->divergence = Where(op_index, cmd) + "CountWindow " +
+                               std::to_string(got) + " != " +
+                               std::to_string(expect);
+        }
+        break;
+      }
+      case OpKind::kKnn: {
+        const std::vector<KnnResult> expect =
+            model_.KnnSearch(cmd.key, cmd.knn_n, KnnMetric::kL2Double);
+        const std::vector<KnnResult> got =
+            tree_.KnnSearch(cmd.key, cmd.knn_n, KnnMetric::kL2Double);
+        bool same = got.size() == expect.size();
+        for (size_t i = 0; same && i < expect.size(); ++i) {
+          same = got[i].key == expect[i].key &&
+                 got[i].value == expect[i].value &&
+                 got[i].dist2 == expect[i].dist2;
+        }
+        if (!same) {
+          report->divergence = Where(op_index, cmd) + "kNN n=" +
+                               std::to_string(cmd.knn_n) + " mismatch";
+        }
+        break;
+      }
+      case OpKind::kWindowPage: {
+        PhKey token_buf;
+        std::span<const uint64_t> token;
+        const size_t max_pages =
+            model_.size() / std::max<size_t>(cmd.page_size, 1) + 2;
+        for (size_t page_no = 0;; ++page_no) {
+          const WindowPage got =
+              tree_.QueryWindowPage(cmd.key, cmd.key2, cmd.page_size, token);
+          const WindowPage expect =
+              model_.QueryWindowPage(cmd.key, cmd.key2, cmd.page_size, token);
+          if (got.entries != expect.entries || got.more != expect.more ||
+              got.token != expect.token) {
+            report->divergence = Where(op_index, cmd) +
+                                 "QueryWindowPage page " +
+                                 std::to_string(page_no) + " (size " +
+                                 std::to_string(cmd.page_size) + ") mismatch";
+            return;
+          }
+          if (!expect.more) {
+            break;
+          }
+          if (page_no >= max_pages) {
+            report->divergence = Where(op_index, cmd) +
+                                 "QueryWindowPage drain exceeded " +
+                                 std::to_string(max_pages) + " pages";
+            return;
+          }
+          token_buf = expect.token;
+          token = token_buf;
+        }
+        break;
+      }
+      case OpKind::kClear: {
+        // PhTreeSync has no Clear; drain through erases. Readers watch
+        // the tree shrink one COW publication at a time.
+        model_.Clear();
+        const Entries all = TreeContent();
+        for (const auto& [key, value] : all) {
+          tree_.Erase(key);
+        }
+        break;
+      }
+      case OpKind::kSaveLoad: {
+        if (opts_.tmp_dir.empty()) {
+          break;
+        }
+        const std::string path = opts_.tmp_dir + "/diff_concurrent.snapshot";
+        if (Status s = tree_.Save(path); !s.ok()) {
+          report->divergence =
+              Where(op_index, cmd) + "snapshot save failed: " + s.ToString();
+          return;
+        }
+        LoadOptions load;
+        load.validate_structure = true;
+        // Load swaps the whole published tree under the live readers:
+        // they see old or new, both with identical content, and the old
+        // one outlives every guard that could still reference it.
+        if (Status s = tree_.Load(path, load); !s.ok()) {
+          report->divergence =
+              Where(op_index, cmd) + "snapshot load failed: " + s.ToString();
+          return;
+        }
+        if (TreeContent() != ModelContent()) {
+          report->divergence =
+              Where(op_index, cmd) + "content changed by round-trip";
+        }
+        break;
+      }
+      case OpKind::kBulkLoad: {
+        size_t expect = 0;
+        for (const PhEntry& e : cmd.bulk) {
+          expect += model_.Insert(e.key, e.value) ? 1 : 0;
+        }
+        size_t got = 0;
+        for (const PhEntry& e : cmd.bulk) {
+          got += tree_.Insert(e.key, e.value) ? 1 : 0;
+        }
+        if (got != expect) {
+          report->divergence =
+              Where(op_index, cmd) + "BulkLoad of " +
+              std::to_string(cmd.bulk.size()) + " entries inserted " +
+              std::to_string(got) + ", oracle " + std::to_string(expect);
+        }
+        break;
+      }
+    }
+    if (report->divergence.empty() && tree_.size() != model_.size()) {
+      report->divergence = Where(op_index, cmd) + "size " +
+                           std::to_string(tree_.size()) + " != oracle " +
+                           std::to_string(model_.size());
+    }
+  }
+
+  /// Park the writer until every reader has audited the frozen tree once.
+  void QuiescedAudit(DiffReport* report) {
+    // The tree is quiescent from here to the last ack: deep-validate it
+    // on the writer (the only thread allowed to read arena accounting),
+    // then publish the oracle snapshot and raise the ticket.
+    if (std::string err = ValidatePhTreeDeep(tree_.UnsafeTree());
+        !err.empty()) {
+      report->divergence = "audit after op " +
+                           std::to_string(report->ops_run) +
+                           " variant PhTreeSync/mvcc: validator: " + err;
+      return;
+    }
+    audit_content_ = ModelContent();
+    const uint64_t ticket =
+        audit_ticket_.load(std::memory_order_relaxed) + 1;
+    audit_ticket_.store(ticket, std::memory_order_release);
+    for (size_t t = 0; t < opts_.reader_threads; ++t) {
+      while (acks_[t].load(std::memory_order_acquire) < ticket) {
+        std::this_thread::yield();
+      }
+    }
+    if (failed_.load(std::memory_order_acquire)) {
+      CopyReaderFailure(report);
+    }
+  }
+
+  void ReaderFail(size_t reader, const std::string& what) {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    if (reader_failure_.empty()) {
+      reader_failure_ =
+          "reader " + std::to_string(reader) + " at epoch " +
+          std::to_string(tree_.epoch_manager().epoch()) + ": " + what;
+    }
+    failed_.store(true, std::memory_order_release);
+  }
+
+  void ReaderLoop(size_t index) {
+    Rng rng(opts_.seed * 0x9e3779b97f4a7c15ULL + 97 + index);
+    Entries sample;  // private copy of the last audit snapshot
+    uint64_t acked = 0;
+    size_t checks = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      const uint64_t ticket = audit_ticket_.load(std::memory_order_acquire);
+      if (ticket > acked) {
+        ExactAudit(index, &sample);
+        acked = ticket;
+        acks_[index].store(ticket, std::memory_order_release);
+        ++checks;
+        continue;
+      }
+      if (failed_.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();  // keep acking audits, stop probing
+        continue;
+      }
+      InvariantProbe(index, sample, &rng);
+      ++checks;
+    }
+    reader_checks_.fetch_add(checks, std::memory_order_relaxed);
+  }
+
+  /// The writer is parked until we ack: size and full content of the
+  /// frozen tree must match the published oracle snapshot exactly.
+  void ExactAudit(size_t index, Entries* sample) {
+    *sample = audit_content_;  // happens-before via the ticket release
+    if (tree_.size() != sample->size()) {
+      ReaderFail(index, "quiesced size " + std::to_string(tree_.size()) +
+                            " != oracle " + std::to_string(sample->size()));
+      return;
+    }
+    const uint32_t dim = opts_.commands.dim;
+    PhKey lo(dim);
+    PhKey hi(dim);
+    for (auto& v : hi) {
+      v = ~uint64_t{0};
+    }
+    // Full-domain window through the lock-free read path: z-ordered, so
+    // directly comparable against the (z-ordered) oracle dump.
+    const Entries got = tree_.QueryWindow(lo, hi);
+    if (got != *sample) {
+      ReaderFail(index, "quiesced content diverged: tree holds " +
+                            std::to_string(got.size()) + " entries, oracle " +
+                            std::to_string(sample->size()));
+      return;
+    }
+    // A stride of point probes through Find as well (different kernel).
+    const size_t step = sample->size() / 16 + 1;
+    for (size_t i = 0; i < sample->size(); i += step) {
+      const auto& [key, value] = (*sample)[i];
+      if (tree_.Find(key) != std::optional<uint64_t>(value)) {
+        ReaderFail(index,
+                   "quiesced Find of " + KeyToString(key) + " diverged");
+        return;
+      }
+    }
+  }
+
+  /// Mid-churn probe: results race with the writer, so only interleaving-
+  /// proof invariants are checked. Doubles as the memory-safety load for
+  /// the TSan/ASan legs.
+  void InvariantProbe(size_t index, const Entries& sample, Rng* rng) {
+    const uint32_t dim = opts_.commands.dim;
+    PhKey lo(dim);
+    PhKey hi(dim);
+    if (sample.empty()) {
+      for (uint32_t d = 0; d < dim; ++d) {
+        const uint64_t a = rng->NextU64();
+        const uint64_t b = rng->NextU64();
+        lo[d] = std::min(a, b);
+        hi[d] = std::max(a, b);
+      }
+    } else {
+      // Windows spanned by two real keys hit populated space.
+      const PhKey& a = sample[rng->NextBounded(sample.size())].first;
+      const PhKey& b = sample[rng->NextBounded(sample.size())].first;
+      for (uint32_t d = 0; d < dim; ++d) {
+        lo[d] = std::min(a[d], b[d]);
+        hi[d] = std::max(a[d], b[d]);
+      }
+    }
+    const Entries got = tree_.QueryWindow(lo, hi);
+    for (size_t i = 0; i < got.size(); ++i) {
+      for (uint32_t d = 0; d < dim; ++d) {
+        if (got[i].first[d] < lo[d] || got[i].first[d] > hi[d]) {
+          ReaderFail(index, "window hit " + KeyToString(got[i].first) +
+                                " outside [" + KeyToString(lo) + ", " +
+                                KeyToString(hi) + "]");
+          return;
+        }
+      }
+      if (i > 0 && !ZOrderLess(got[i - 1].first, got[i].first)) {
+        ReaderFail(index, "window results not strictly z-ordered at rank " +
+                              std::to_string(i));
+        return;
+      }
+    }
+    const size_t page_size = 1 + rng->NextBounded(16);
+    const WindowPage page =
+        tree_.QueryWindowPage(lo, hi, page_size, {});
+    if (page.entries.size() > page_size) {
+      ReaderFail(index, "page of size " + std::to_string(page_size) +
+                            " returned " +
+                            std::to_string(page.entries.size()) + " entries");
+      return;
+    }
+    for (const auto& [key, value] : page.entries) {
+      for (uint32_t d = 0; d < dim; ++d) {
+        if (key[d] < lo[d] || key[d] > hi[d]) {
+          ReaderFail(index,
+                     "page hit " + KeyToString(key) + " outside the box");
+          return;
+        }
+      }
+    }
+    const size_t n = 1 + rng->NextBounded(8);
+    const std::vector<KnnResult> knn =
+        tree_.KnnSearch(lo, n, KnnMetric::kL2Double);
+    if (knn.size() > n) {
+      ReaderFail(index, "kNN n=" + std::to_string(n) + " returned " +
+                            std::to_string(knn.size()) + " results");
+      return;
+    }
+    for (size_t i = 1; i < knn.size(); ++i) {
+      if (knn[i].dist2 < knn[i - 1].dist2) {
+        ReaderFail(index, "kNN distances not ascending at rank " +
+                              std::to_string(i));
+        return;
+      }
+    }
+    // Point lookups: mid-churn the value is unknowable; this is purely
+    // the lock-free Find safety probe.
+    if (!sample.empty()) {
+      (void)tree_.Find(sample[rng->NextBounded(sample.size())].first);
+    }
+    (void)tree_.CountWindow(lo, hi);
+  }
+
+  const DiffOptions& opts_;
+  CommandSource& source_;
+  ReferenceModel model_;
+  PhTreeSync tree_;
+  Entries audit_content_;  ///< written by the writer before each ticket
+  std::atomic<uint64_t> audit_ticket_{0};
+  std::vector<std::atomic<uint64_t>> acks_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> failed_{false};
+  std::atomic<size_t> reader_checks_{0};
+  std::mutex failure_mutex_;
+  std::string reader_failure_;  ///< guarded by failure_mutex_
+};
+
 }  // namespace
 
 DiffReport RunDifferential(const DiffOptions& opts, CommandSource& source) {
+  if (opts.reader_threads > 0) {
+    ConcurrentRunner runner(opts, source);
+    return runner.Run();
+  }
   Runner runner(opts, source);
   return runner.Run();
 }

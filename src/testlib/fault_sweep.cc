@@ -34,7 +34,11 @@ Entries TreeContent(const PhTree& tree) {
 class Sweeper {
  public:
   explicit Sweeper(const FaultSweepOptions& opts)
-      : opts_(opts), tree_(opts.commands.dim), model_(opts.commands.dim) {}
+      : opts_(opts), tree_(opts.commands.dim), model_(opts.commands.dim) {
+    if (opts.mvcc) {
+      tree_.EnableMvcc(&epochs_);
+    }
+  }
 
   FaultSweepReport Run() {
     SetFaultInjector(&injector_);
@@ -259,6 +263,7 @@ class Sweeper {
   }
 
   FaultSweepOptions opts_;
+  EpochManager epochs_;  // only attached when opts_.mvcc
   PhTree tree_;
   ReferenceModel model_;
   FaultInjector injector_;

@@ -39,6 +39,11 @@ struct FaultSweepOptions {
   /// expensive ones every `deep_every` injections (and always at the end).
   /// 1 = always deep-check.
   size_t deep_every = 128;
+  /// Run the swept tree in MVCC mode (PhTree::EnableMvcc with a private
+  /// EpochManager): every mutation goes through the copy-on-write path, so
+  /// the sweep exercises the clone-side kArenaNodeAlloc/kWordAlloc sites
+  /// and their rollback (created copies deleted, nothing published).
+  bool mvcc = false;
 };
 
 struct FaultSweepReport {

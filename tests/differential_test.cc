@@ -54,9 +54,9 @@ TEST(DifferentialTest, SeededRunAcrossAllVariantsHasZeroDivergence) {
 
   EXPECT_EQ(report.divergence, "");
   EXPECT_EQ(report.ops_run, opts.ops);
-  // plain, forced-BHC plain, forced-scalar-kernel plain, sync, 4x sharded,
-  // KD1/KD2/CB1
-  EXPECT_EQ(report.variants, 11u);
+  // plain, forced-BHC plain, forced-scalar-kernel plain, MVCC/COW plain,
+  // sync, 4x sharded, KD1/KD2/CB1
+  EXPECT_EQ(report.variants, 12u);
   EXPECT_GT(report.replayed, opts.ops * 7);
   EXPECT_GT(report.max_size, 100u);
 }
@@ -84,8 +84,36 @@ TEST(DifferentialTest, CoreOnlyConfigurationRuns) {
   opts.include_concurrent = false;
   const DiffReport report = RunDifferential(opts);
   EXPECT_EQ(report.divergence, "");
-  // plain + forced-BHC plain + forced-scalar-kernel plain
-  EXPECT_EQ(report.variants, 3u);
+  // plain + forced-BHC plain + forced-scalar-kernel plain + MVCC/COW plain
+  EXPECT_EQ(report.variants, 4u);
+}
+
+TEST(DifferentialTest, ConcurrentModeZeroDivergence) {
+  // Writer-with-exact-oracle plus lock-free reader threads on one
+  // PhTreeSync (see DiffOptions::reader_threads). Sized for the sanitizer
+  // presets; the TSan tier-1 leg runs this exact interleaving load.
+  DiffOptions opts;
+  opts.seed = 17;
+  opts.ops = 3000;
+  opts.commands.dim = 2;
+  opts.commands.grid_bits = 7;
+  opts.validate_every = 500;
+  opts.reader_threads = 2;
+  const std::string tmp =
+      (std::filesystem::temp_directory_path() / "phtree_diff_conc").string();
+  std::filesystem::create_directories(tmp);
+  opts.tmp_dir = tmp;  // Save/Load swaps whole trees under the readers
+
+  const DiffReport report = RunDifferential(opts);
+  std::error_code ec;
+  std::filesystem::remove_all(tmp, ec);
+
+  EXPECT_EQ(report.divergence, "");
+  EXPECT_EQ(report.ops_run, opts.ops);
+  EXPECT_EQ(report.variants, 1u);
+  // replayed = writer applications + reader probe/audit rounds; the
+  // readers spin for the whole run, so they dominate.
+  EXPECT_GT(report.replayed, opts.ops);
 }
 
 TEST(DifferentialTest, BytesSourceReplaysFuzzShapedInput) {

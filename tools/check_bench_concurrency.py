@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""CI gate for the BENCH_concurrency.json artefact.
+
+Validates that the file concurrency_scaling wrote is well-formed and sane:
+
+  * parses as JSON with "bench": "concurrency_scaling", a run-metadata
+    stamp (cores/build_type/git_sha/scale), an explicit boolean
+    "scaling_valid" verdict, and a workload block,
+  * every row has the required fields with positive finite ops/us and a
+    known index/op combination,
+  * the expected arms are present: the plain single-thread insert
+    baseline, sync and sharded insert sweeps, sharded bulk_load, the
+    window_query fan-outs, and — the MVCC arm — read_under_writer rows
+    for both PH(sync) (epoch-guarded lock-free reads) and PH(rwlock)
+    (the retired shared_mutex baseline) at every measured reader count,
+  * the reader-scaling gate: on artefacts whose producer could actually
+    observe parallelism ("scaling_valid": true, i.e. > 1 core), epoch
+    reads at t* readers (the largest measured count <= cores) must beat
+    one reader by >= 1.3x, and must at least match the rwlock arm at the
+    same t*. When "scaling_valid" is false or the stamp says one core,
+    every multi-thread number is time-slicing, so the gate self-skips
+    and only the schema is enforced.
+
+Exit code 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import json
+import math
+import sys
+
+METADATA_KEYS = ("cores", "build_type", "git_sha", "scale")
+ROW_KEYS = ("index", "op", "threads", "shards", "ops", "us",
+            "mops_per_sec", "us_per_op")
+KNOWN_INDEXES = {"PH(plain)", "PH(sync)", "PH(sharded)", "PH(rwlock)"}
+KNOWN_OPS = {"insert", "bulk_load", "window_query", "read_under_writer"}
+
+READ_SCALING_MIN = 1.3   # epoch reads, t* readers vs 1 (t* <= cores)
+EPOCH_VS_RWLOCK_MIN = 1.0  # epoch must at least match the lock at t*
+
+
+def fail(msg):
+    print(f"check_bench_concurrency: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_rows(rows):
+    if not isinstance(rows, list) or not rows:
+        fail("empty or non-list 'rows'")
+    for i, row in enumerate(rows):
+        for key in ROW_KEYS:
+            if key not in row:
+                fail(f"row {i}: missing {key!r}")
+        if row["index"] not in KNOWN_INDEXES:
+            fail(f"row {i}: unknown index {row['index']!r}")
+        if row["op"] not in KNOWN_OPS:
+            fail(f"row {i}: unknown op {row['op']!r}")
+        if not isinstance(row["threads"], int) or row["threads"] <= 0:
+            fail(f"row {i}: non-positive threads {row['threads']!r}")
+        for key in ("ops", "us"):
+            v = row[key]
+            if (not isinstance(v, (int, float)) or not math.isfinite(v)
+                    or v <= 0):
+                fail(f"row {i}: {key} {v!r} is not a positive finite number")
+
+
+def rows_of(rows, index, op):
+    return [r for r in rows if r["index"] == index and r["op"] == op]
+
+
+def check_arms(rows):
+    if not rows_of(rows, "PH(plain)", "insert"):
+        fail("missing PH(plain) insert baseline row")
+    for index, op in (("PH(sync)", "insert"), ("PH(sharded)", "insert"),
+                      ("PH(sharded)", "bulk_load"),
+                      ("PH(sync)", "window_query"),
+                      ("PH(sharded)", "window_query")):
+        if not rows_of(rows, index, op):
+            fail(f"missing {index} {op} rows")
+    epoch = rows_of(rows, "PH(sync)", "read_under_writer")
+    rwlock = rows_of(rows, "PH(rwlock)", "read_under_writer")
+    if not epoch or not rwlock:
+        fail("missing the read_under_writer MVCC arm "
+             "(need both PH(sync) and PH(rwlock) rows)")
+    epoch_t = {r["threads"] for r in epoch}
+    rwlock_t = {r["threads"] for r in rwlock}
+    if epoch_t != rwlock_t:
+        fail("read_under_writer arms measure different reader counts: "
+             f"epoch {sorted(epoch_t)} vs rwlock {sorted(rwlock_t)}")
+    if 1 not in epoch_t:
+        fail("read_under_writer arm has no 1-reader row to scale against")
+    return epoch, rwlock
+
+
+def mops(rows, threads):
+    vals = [r["mops_per_sec"] for r in rows if r["threads"] == threads]
+    if not vals:
+        fail(f"no read_under_writer row at {threads} readers")
+    return max(vals)
+
+
+def check_reader_scaling(epoch, rwlock, cores):
+    # Gate at the largest reader count the machine could genuinely run in
+    # parallel; higher counts measure oversubscription, not the read path.
+    counts = sorted(r["threads"] for r in epoch)
+    gated = [t for t in counts if t <= cores and t > 1]
+    if not gated:
+        return f"reader gate skipped (no measured count in (1, {cores}])"
+    t_star = gated[-1]
+    base = mops(epoch, 1)
+    at_t = mops(epoch, t_star)
+    if at_t < base * READ_SCALING_MIN:
+        fail(
+            f"reader-scaling gate: epoch reads at {t_star} readers "
+            f"({at_t:.4f} Mops/s) are not {READ_SCALING_MIN}x the 1-reader "
+            f"throughput ({base:.4f} Mops/s) despite {cores} cores"
+        )
+    lock_at_t = mops(rwlock, t_star)
+    if at_t < lock_at_t * EPOCH_VS_RWLOCK_MIN:
+        fail(
+            f"reader-scaling gate: epoch reads at {t_star} readers "
+            f"({at_t:.4f} Mops/s) fall below the rwlock baseline "
+            f"({lock_at_t:.4f} Mops/s) — lock-free reads must not lose "
+            "to the lock they replaced"
+        )
+    return (f"reader gate enforced at {t_star} readers "
+            f"(scaling {at_t / base:.2f}x, vs rwlock "
+            f"{at_t / lock_at_t:.2f}x)")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_concurrency.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    if doc.get("bench") != "concurrency_scaling":
+        fail(f"top-level bench is {doc.get('bench')!r}, "
+             "expected 'concurrency_scaling'")
+    metadata = doc.get("metadata")
+    if not isinstance(metadata, dict):
+        fail("missing metadata stamp")
+    for key in METADATA_KEYS:
+        if key not in metadata:
+            fail(f"metadata missing {key!r}")
+    if not isinstance(doc.get("scaling_valid"), bool):
+        fail("missing or non-boolean 'scaling_valid'")
+    if not isinstance(doc.get("workload"), dict):
+        fail("missing 'workload' block")
+    if not isinstance(doc.get("derived"), dict):
+        fail("missing 'derived' block")
+
+    rows = doc.get("rows")
+    check_rows(rows)
+    epoch, rwlock = check_arms(rows)
+
+    cores = metadata.get("cores")
+    if not isinstance(cores, int) or cores <= 0:
+        fail(f"metadata cores {cores!r} is not a positive integer")
+    if not doc["scaling_valid"] or cores == 1:
+        gates = ("reader gate skipped (scaling_valid false or single core: "
+                 "multi-thread rows measure time-slicing)")
+    else:
+        gates = check_reader_scaling(epoch, rwlock, cores)
+
+    print(
+        f"check_bench_concurrency: OK ({path}: {len(rows)} rows, "
+        f"{len(epoch)} epoch + {len(rwlock)} rwlock read arms, {gates})"
+    )
+
+
+if __name__ == "__main__":
+    main()
